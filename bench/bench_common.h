@@ -1,0 +1,144 @@
+// Shared plumbing for the per-figure/table benchmark binaries: store
+// factories for the three systems under comparison, run-length scaling,
+// and table printing helpers.
+//
+// Every binary prints the rows/series of the paper's figure it reproduces
+// plus a header describing the paper's qualitative result, so the output
+// can be compared at a glance (see EXPERIMENTS.md).
+
+#ifndef TARDIS_BENCH_BENCH_COMMON_H_
+#define TARDIS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/occ_store.h"
+#include "baseline/tardis_txkv.h"
+#include "baseline/twopl_store.h"
+#include "bench/driver.h"
+#include "bench/latency_kv.h"
+#include "bench/workload.h"
+#include "core/tardis_store.h"
+
+namespace tardis {
+namespace bench {
+
+/// Scales all run durations: TARDIS_BENCH_SCALE=5 makes every measurement
+/// five times longer (the defaults are smoke-test sized for CI).
+inline double BenchScale() {
+  const char* env = getenv("TARDIS_BENCH_SCALE");
+  return env != nullptr ? atof(env) : 1.0;
+}
+
+inline uint64_t ScaledMs(uint64_t base_ms) {
+  return static_cast<uint64_t>(static_cast<double>(base_ms) * BenchScale());
+}
+
+/// Client-server round trip of the paper's testbed (§7.1.1: "ping
+/// latencies average 0.15 ms"). Injected per operation by LatencyKv; this
+/// is what gives 2PL its lock queues and OCC its validation window — see
+/// latency_kv.h.
+constexpr uint64_t kTestbedRttUs = 150;
+
+/// A system under test: the TxKV store plus the TARDiS internals when the
+/// system is TARDiS (for GC wiring and DAG statistics).
+struct SystemUnderTest {
+  std::string name;
+  std::unique_ptr<TxKvStore> store;
+  std::unique_ptr<TardisStore> tardis;  // null for the baselines
+  std::unique_ptr<TxKvStore> latency;   // LatencyKv wrapper when enabled
+
+  TardisStore* tardis_store() { return tardis.get(); }
+
+  /// Wraps the store with the per-op testbed RTT.
+  void EnableRtt(uint64_t rtt_us = kTestbedRttUs) {
+    latency = std::make_unique<LatencyKv>(store.get(), rtt_us);
+  }
+  /// The store benchmarks should talk to.
+  TxKvStore* facade() { return latency ? latency.get() : store.get(); }
+};
+
+/// TARDiS with branch-on-conflict enabled (Ancestor begin, Serializability
+/// end — the Fig. 10 configuration), background GC, ceilings every 1000
+/// commits per client.
+inline SystemUnderTest MakeTardisBranching(bool with_gc = true) {
+  SystemUnderTest sut;
+  sut.name = "TARDiS";
+  TardisOptions options;  // in-memory: the paper keeps all requests cached
+  auto store = TardisStore::Open(options);
+  sut.tardis = std::move(*store);
+  sut.store = std::make_unique<TardisTxKv>(
+      sut.tardis.get(), AncestorBegin(), SerializabilityEnd(), "TARDiS",
+      /*ceiling_interval=*/1000);
+  if (with_gc) sut.tardis->StartGcThread(100);
+  return sut;
+}
+
+/// TARDiS mimicking sequential storage (Ancestor begin, Serializability ∧
+/// NoBranching end — the Fig. 9 configuration): conflicts abort instead of
+/// branching.
+inline SystemUnderTest MakeTardisSequential(bool with_gc = true) {
+  SystemUnderTest sut;
+  sut.name = "TARDiS";
+  TardisOptions options;
+  auto store = TardisStore::Open(options);
+  sut.tardis = std::move(*store);
+  sut.store = std::make_unique<TardisTxKv>(
+      sut.tardis.get(), AncestorBegin(),
+      AndEnd({SerializabilityEnd(), NoBranchingEnd()}), "TARDiS",
+      /*ceiling_interval=*/1000);
+  if (with_gc) sut.tardis->StartGcThread(100);
+  return sut;
+}
+
+/// TARDiS with caller-chosen constraints (Fig. 11).
+inline SystemUnderTest MakeTardisWith(BeginConstraintPtr begin,
+                                      EndConstraintPtr end,
+                                      const std::string& label) {
+  SystemUnderTest sut;
+  sut.name = label;
+  TardisOptions options;
+  auto store = TardisStore::Open(options);
+  sut.tardis = std::move(*store);
+  sut.store = std::make_unique<TardisTxKv>(sut.tardis.get(), std::move(begin),
+                                           std::move(end), label,
+                                           /*ceiling_interval=*/1000);
+  sut.tardis->StartGcThread(100);
+  return sut;
+}
+
+/// The BerkeleyDB stand-in: strict 2PL with record locks.
+inline SystemUnderTest MakeSeqKv() {
+  SystemUnderTest sut;
+  sut.name = "BDB(2PL)";
+  TwoPLOptions options;
+  options.lock_timeout_us = 1'000;
+  auto store = TwoPLStore::Open(options);
+  sut.store = std::move(*store);
+  return sut;
+}
+
+/// The OCC baseline.
+inline SystemUnderTest MakeOcc() {
+  SystemUnderTest sut;
+  sut.name = "OCC";
+  auto store = OccStore::Open(OccOptions{});
+  sut.store = std::move(*store);
+  return sut;
+}
+
+inline void PrintHeader(const char* what, const char* paper_expectation) {
+  printf("==================================================================\n");
+  printf("%s\n", what);
+  printf("paper: %s\n", paper_expectation);
+  printf("(set TARDIS_BENCH_SCALE>1 for longer, steadier runs)\n");
+  printf("==================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace tardis
+
+#endif  // TARDIS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,52 @@
+// Figure 9: baseline TARDiS performance — throughput/latency curves for
+// TARDiS (local branching DISABLED: Ancestor begin, Serializability ∧
+// NoBranching end) vs the BDB stand-in vs OCC, for (a) read-heavy and
+// (b) write-heavy uniform workloads, sweeping the closed-loop client count.
+
+#include "bench_common.h"
+
+using namespace tardis;
+using namespace tardis::bench;
+
+namespace {
+
+void RunCurve(const char* label, Mix mix) {
+  printf("--- %s ---\n", label);
+  printf("%-10s %8s %12s %12s %10s %8s\n", "system", "clients", "thr(txn/s)",
+         "lat(us)", "p99(us)", "aborts");
+  const size_t client_counts[] = {4, 8, 16, 32, 64};
+  for (int which = 0; which < 3; which++) {
+    for (size_t clients : client_counts) {
+      SystemUnderTest sut = which == 0   ? MakeTardisSequential()
+                            : which == 1 ? MakeSeqKv()
+                                         : MakeOcc();
+      WorkloadOptions w;
+      w.num_keys = 10'000;
+      w.mix = mix;
+      w.dist = Distribution::kUniform;
+      if (!Preload(sut.store.get(), w).ok()) return;
+      sut.EnableRtt();
+      DriverOptions d;
+      d.num_clients = clients;
+      d.duration_ms = ScaledMs(1000);
+      DriverResult r = RunClosedLoop(sut.facade(), w, d);
+      printf("%-10s %8zu %12.0f %12.1f %10.0f %8llu\n", sut.name.c_str(),
+             clients, r.throughput, r.txn_latency_us.mean(),
+             r.txn_latency_us.Percentile(0.99),
+             static_cast<unsigned long long>(r.aborted));
+      if (sut.tardis) sut.tardis->StopGcThread();
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Figure 9: TARDiS (no local branching) vs BDB(2PL) vs OCC",
+      "TARDiS tracks BDB within ~10% on both mixes (begin/commit overhead); "
+      "the gap narrows as contention rises; OCC lags on both (validation).");
+  RunCurve("(a) read-heavy (75/25), uniform", Mix::kReadHeavy);
+  RunCurve("(b) write-heavy (0/100), uniform", Mix::kWriteHeavy);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Table 3: per-operation latency breakdown (begin / get / put / commit,
+// reported in ×10⁻² ms like the paper) for TARDiS, the BDB stand-in and
+// OCC under RH-Uniform, WH-Uniform and WH-Zipfian, with branch-on-conflict
+// enabled for TARDiS (the Fig. 10 companion table).
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace tardis;
+using namespace tardis::bench;
+
+namespace {
+
+struct Row {
+  const char* workload;
+  Mix mix;
+  Distribution dist;
+};
+
+void RunCell(const char* workload, SystemUnderTest sut, Mix mix,
+             Distribution dist) {
+  WorkloadOptions w;
+  w.num_keys = 10'000;
+  w.mix = mix;
+  w.dist = dist;
+  Status s = Preload(sut.store.get(), w);
+  if (!s.ok()) {
+    printf("preload failed: %s\n", s.ToString().c_str());
+    return;
+  }
+  sut.EnableRtt();
+  DriverOptions d;
+  d.num_clients = 32;
+  d.duration_ms = ScaledMs(1500);
+  DriverResult r = RunClosedLoop(sut.facade(), w, d);
+  // The paper's unit: 10^-2 ms = 10 us, network latency excluded — so
+  // subtract the injected client-server RTT from the client-side ops.
+  auto server_side = [](double avg_us) {
+    return std::max(0.0, avg_us - static_cast<double>(kTestbedRttUs)) / 10.0;
+  };
+  printf("%-11s %-9s begin=%-6.2f get=%-6.2f put=%-6.2f commit=%-6.2f"
+         "  (x10^-2 ms; thr=%.0f txn/s aborts=%llu)\n",
+         workload, sut.name.c_str(), server_side(r.ops.BeginAvg()),
+         server_side(r.ops.GetAvg()), server_side(r.ops.PutAvg()),
+         r.ops.CommitAvg() / 10.0, r.throughput,
+         static_cast<unsigned long long>(r.aborted));
+  if (sut.tardis) sut.tardis->StopGcThread();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Table 3: per-operation latency breakdown (x10^-2 ms)",
+      "TARDiS begin+commit dominate (state selection); BDB get/put inflate "
+      "under contention (locks); OCC commit inflates (validation). "
+      "WH-Zipfian: BDB get/put blow up ~10x; TARDiS reads rise only ~16%.");
+
+  const Row rows[] = {
+      {"RH-Uniform", Mix::kReadHeavy, Distribution::kUniform},
+      {"WH-Uniform", Mix::kWriteHeavy, Distribution::kUniform},
+      {"WH-Zipfian", Mix::kWriteHeavy, Distribution::kZipfian},
+  };
+  for (const Row& row : rows) {
+    RunCell(row.workload, MakeTardisBranching(), row.mix, row.dist);
+    RunCell(row.workload, MakeSeqKv(), row.mix, row.dist);
+    RunCell(row.workload, MakeOcc(), row.mix, row.dist);
+    printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 3, executable: the TARDiS counter. Single-mode increment and
+// decrement look exactly like code against sequential storage; the merge
+// computes fork + Σ per-branch deltas. Here two "users" race, fork the
+// store, and a periodic merge reconciles them.
+//
+//   $ ./examples/counter
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/crdt/tardis_crdts.h"
+#include "core/tardis_store.h"
+
+using namespace tardis;
+
+int main() {
+  auto store_or = TardisStore::Open(TardisOptions{});
+  if (!store_or.ok()) return 1;
+  TardisStore* store = store_or->get();
+  crdt::TardisCounter counter(store, "page-views");
+
+  // Two worker threads increment concurrently. Conflicting commits fork
+  // instead of blocking — watch the branch count.
+  constexpr int kThreads = 4;
+  constexpr int kIncrementsEach = 250;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; t++) {
+    workers.emplace_back([store, &counter] {
+      auto session = store->CreateSession();
+      for (int i = 0; i < kIncrementsEach; i++) {
+        Status s = counter.Increment(session.get());
+        if (!s.ok()) {
+          fprintf(stderr, "increment failed: %s\n", s.ToString().c_str());
+          return;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  printf("after %d increments: %zu concurrent branches in the DAG\n",
+         kThreads * kIncrementsEach, store->dag()->Leaves().size());
+
+  // Merge until one branch remains (each merge folds all current tips).
+  auto merger = store->CreateSession();
+  int rounds = 0;
+  while (store->dag()->Leaves().size() > 1) {
+    Status s = counter.Merge(merger.get());
+    if (!s.ok()) {
+      fprintf(stderr, "merge failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    rounds++;
+  }
+  auto value = counter.Value(merger.get());
+  if (!value.ok()) return 1;
+  printf("merged in %d round(s); counter = %lld (expected %d)\n", rounds,
+         static_cast<long long>(*value), kThreads * kIncrementsEach);
+  return *value == kThreads * kIncrementsEach ? 0 : 1;
+}

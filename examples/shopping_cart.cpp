@@ -1,0 +1,192 @@
+// Figure 4, executable: the online game store. Alice and Bruno both buy
+// the last copy of a board game on different branches (standing in for
+// different sites); Bruno also buys the expansion pack, which is only
+// playable with the game. The merge detects the oversold counter, decides
+// who keeps the game — maximizing profit, like the paper's pseudocode —
+// removes related items, and "sends an apology" to the other customer,
+// all in one atomic merge transaction.
+//
+//   $ ./examples/shopping_cart
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/tardis_store.h"
+
+using namespace tardis;
+
+#define CHECK_OK(expr)                                          \
+  do {                                                          \
+    ::tardis::Status _s = (expr);                               \
+    if (!_s.ok()) {                                             \
+      fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__,  \
+              _s.ToString().c_str());                           \
+      return 1;                                                 \
+    }                                                           \
+  } while (0)
+
+namespace {
+
+// Figure 4's buy(): append to the cart, decrement stock, remember the
+// cart on the item (all in one serializable transaction on this branch).
+Status Buy(TardisStore* store, ClientSession* customer,
+           const std::string& cart, const std::string& item) {
+  auto txn = store->Begin(customer, AncestorBegin());
+  if (!txn.ok()) return txn.status();
+  Transaction* t = txn->get();
+
+  std::string items;
+  Status s = t->Get(cart + "/items", &items);
+  if (!s.ok() && !s.IsNotFound()) return s;
+  items += item + ";";
+  TARDIS_RETURN_IF_ERROR(t->Put(cart + "/items", items));
+
+  std::string stock_raw;
+  TARDIS_RETURN_IF_ERROR(t->Get(item + "/stock", &stock_raw));
+  const int stock = std::stoi(stock_raw);
+  TARDIS_RETURN_IF_ERROR(t->Put(item + "/stock", std::to_string(stock - 1)));
+
+  std::string carts;
+  s = t->Get(item + "/carts", &carts);
+  if (!s.ok() && !s.IsNotFound()) return s;
+  carts += cart + ";";
+  TARDIS_RETURN_IF_ERROR(t->Put(item + "/carts", carts));
+  return t->Commit(SerializabilityEnd());
+}
+
+std::string GetOr(Transaction* t, const std::string& key, StateId sid,
+                  const std::string& fallback) {
+  std::string v;
+  return t->GetForId(key, sid, &v).ok() ? v : fallback;
+}
+
+}  // namespace
+
+int main() {
+  auto store_or = TardisStore::Open(TardisOptions{});
+  if (!store_or.ok()) return 1;
+  TardisStore* store = store_or->get();
+
+  // Inventory: one copy of the board game, plenty of expansion packs.
+  auto admin = store->CreateSession();
+  {
+    auto txn = store->Begin(admin.get());
+    CHECK_OK(txn.status());
+    CHECK_OK((*txn)->Put("boardgame/stock", "1"));
+    CHECK_OK((*txn)->Put("expansion/stock", "10"));
+    CHECK_OK((*txn)->Commit());
+  }
+
+  // Alice and Bruno buy concurrently: both transactions read stock=1 from
+  // the same state, so the commits fork (branch-on-conflict) rather than
+  // letting one block or abort.
+  auto alice = store->CreateSession();
+  auto bruno = store->CreateSession();
+  {
+    auto ta = store->Begin(alice.get());
+    auto tb = store->Begin(bruno.get());
+    CHECK_OK(ta.status());
+    CHECK_OK(tb.status());
+    // interleave manually to force both to read pre-sale stock
+    std::string stock;
+    CHECK_OK((*ta)->Get("boardgame/stock", &stock));
+    CHECK_OK((*tb)->Get("boardgame/stock", &stock));
+    CHECK_OK((*ta)->Put("cart-alice/items", "boardgame;"));
+    CHECK_OK((*ta)->Put("boardgame/stock", "0"));
+    CHECK_OK((*ta)->Put("boardgame/carts", "cart-alice;"));
+    CHECK_OK((*tb)->Put("cart-bruno/items", "boardgame;"));
+    CHECK_OK((*tb)->Put("boardgame/stock", "0"));
+    CHECK_OK((*tb)->Put("boardgame/carts", "cart-bruno;"));
+    CHECK_OK((*ta)->Commit());
+    CHECK_OK((*tb)->Commit());
+  }
+  // Bruno additionally buys the expansion on his branch.
+  CHECK_OK(Buy(store, bruno.get(), "cart-bruno", "expansion"));
+
+  printf("branches after the concurrent sale: %zu\n",
+         store->dag()->Leaves().size());
+
+  // The merge (Figure 4 lines 13-45).
+  auto merge_session = store->CreateSession();
+  auto merge = store->BeginMerge(merge_session.get());
+  CHECK_OK(merge.status());
+  Transaction* m = merge->get();
+  auto parents = m->parents();
+  auto conflicts = m->FindConflictWrites(parents);
+  CHECK_OK(conflicts.status());
+  auto forks = m->FindForkPoints(parents);
+  CHECK_OK(forks.status());
+  const StateId fork = (*forks)[0];
+
+  printf("conflicting keys:");
+  for (const auto& k : *conflicts) printf(" %s", k.c_str());
+  printf("\n");
+
+  // Counter merge for the stock: fork + sum of branch deltas.
+  const int fork_stock = std::stoi(GetOr(m, "boardgame/stock", fork, "0"));
+  int merged_stock = fork_stock;
+  for (StateId p : parents) {
+    merged_stock += std::stoi(GetOr(m, "boardgame/stock", p, "0")) - fork_stock;
+  }
+  printf("boardgame stock at fork=%d, merged=%d\n", fork_stock, merged_stock);
+
+  if (merged_stock >= 0) {
+    CHECK_OK(m->Put("boardgame/stock", std::to_string(merged_stock)));
+  } else {
+    // Oversold. Orders since the fork point:
+    std::string fork_carts = GetOr(m, "boardgame/carts", fork, "");
+    std::vector<std::string> new_carts;
+    for (StateId p : parents) {
+      std::string carts = GetOr(m, "boardgame/carts", p, "");
+      std::string fresh = carts.substr(fork_carts.size());
+      size_t pos = 0;
+      while ((pos = fresh.find(';')) != std::string::npos) {
+        new_carts.push_back(fresh.substr(0, pos));
+        fresh.erase(0, pos + 1);
+      }
+    }
+    // Maximize profit: keep the customer whose cart is worth more —
+    // Bruno, who also bought the expansion (the paper's choice).
+    std::string winner, loser;
+    for (StateId p : parents) {
+      for (const std::string& cart : new_carts) {
+        std::string items = GetOr(m, cart + "/items", p, "");
+        if (items.find("expansion") != std::string::npos) winner = cart;
+      }
+    }
+    for (const std::string& cart : new_carts) {
+      if (cart != winner) loser = cart;
+    }
+    printf("oversold! confirming %s, apologizing to %s\n", winner.c_str(),
+           loser.c_str());
+
+    // Remove the game (and nothing else) from the loser's cart; keep the
+    // invariant "no expansion without the game" intact for everyone.
+    CHECK_OK(m->Put(loser + "/items", ""));
+    CHECK_OK(m->Put(loser + "/apology",
+                    "sorry - the last copy sold concurrently"));
+    std::string witems;
+    for (StateId p : parents) {
+      std::string v = GetOr(m, winner + "/items", p, "");
+      if (v.size() > witems.size()) witems = v;
+    }
+    CHECK_OK(m->Put(winner + "/items", witems));
+    CHECK_OK(m->Put("boardgame/stock", "0"));
+    CHECK_OK(m->Put("boardgame/carts", winner + ";"));
+  }
+  CHECK_OK(m->Commit());
+
+  // Verify the final, convergent state.
+  auto txn = store->Begin(admin.get());
+  CHECK_OK(txn.status());
+  std::string a_items, b_items, apology;
+  (*txn)->Get("cart-alice/items", &a_items);
+  (*txn)->Get("cart-bruno/items", &b_items);
+  (*txn)->Get("cart-alice/apology", &apology);
+  (*txn)->Abort();
+  printf("final: alice's cart=[%s] bruno's cart=[%s]\n", a_items.c_str(),
+         b_items.c_str());
+  printf("alice's inbox: %s\n", apology.c_str());
+  return 0;
+}

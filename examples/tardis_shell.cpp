@@ -1,0 +1,263 @@
+// tardis_shell: an interactive REPL for poking at a TARDiS store — create
+// sessions, run transactions, fork the state on purpose, inspect the DAG,
+// and merge branches by hand. Handy for exploring the branch-and-merge
+// model and for debugging.
+//
+//   $ ./examples/tardis_shell              # interactive
+//   $ echo "help" | ./examples/tardis_shell
+//   $ ./examples/tardis_shell --demo       # scripted self-demo
+//
+// Commands:
+//   session <name>          switch to (or create) a client session
+//   begin [parent|ancestor] start a transaction on the current session
+//   get <key>               read inside the open transaction
+//   put <key> <value>       write inside the open transaction
+//   commit [ser|si|ser-nb]  commit (default ser)
+//   abort                   abort the open transaction
+//   merge                   start a merge transaction over all branch tips
+//   forks                   fork points of the open merge's parents
+//   conflicts               conflicting keys of the open merge's parents
+//   getat <key> <state-id>  value of key at a given state (getForID)
+//   dag                     print the state DAG
+//   dot                     print the DAG as graphviz
+//   gc                      place a ceiling here and run garbage collection
+//   stats                   store statistics
+//   quit
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/tardis_store.h"
+
+using namespace tardis;
+
+namespace {
+
+struct Shell {
+  std::unique_ptr<TardisStore> store;
+  std::map<std::string, std::unique_ptr<ClientSession>> sessions;
+  // One open transaction per session, so the REPL can interleave
+  // transactions from different sessions and provoke real forks.
+  std::map<std::string, TxnPtr> txns;
+  std::string current = "default";
+
+  ClientSession* session() {
+    auto& slot = sessions[current];
+    if (!slot) slot = store->CreateSession();
+    return slot.get();
+  }
+
+  TxnPtr& txn_slot() { return txns[current]; }
+
+  void Help() {
+    printf(
+        "commands: session <name> | begin [parent|ancestor] | get <k> |\n"
+        "  put <k> <v> | commit [ser|si|ser-nb] | abort | merge | forks |\n"
+        "  conflicts | getat <k> <state-id> | dag | dot | gc | stats | "
+        "quit\n");
+  }
+
+  bool NeedTxn() {
+    if (txn_slot() == nullptr) {
+      printf("no open transaction on session %s (use `begin` or `merge`)\n",
+             current.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  void Execute(const std::string& line) {
+    std::stringstream ss(line);
+    std::string cmd;
+    if (!(ss >> cmd)) return;
+
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "session") {
+      std::string name;
+      if (ss >> name) current = name;
+      printf("session: %s\n", current.c_str());
+    } else if (cmd == "begin") {
+      std::string which = "ancestor";
+      ss >> which;
+      auto t = store->Begin(session(),
+                            which == "parent" ? ParentBegin() : AncestorBegin());
+      if (!t.ok()) {
+        printf("begin failed: %s\n", t.status().ToString().c_str());
+        return;
+      }
+      txn_slot() = std::move(*t);
+      printf("[%s] reading from state %llu\n", current.c_str(),
+             static_cast<unsigned long long>(txn_slot()->parents()[0]));
+    } else if (cmd == "merge") {
+      auto t = store->BeginMerge(session());
+      if (!t.ok()) {
+        printf("merge begin failed: %s\n", t.status().ToString().c_str());
+        return;
+      }
+      txn_slot() = std::move(*t);
+      printf("merging %zu branch tips:", txn_slot()->parents().size());
+      for (StateId p : txn_slot()->parents()) {
+        printf(" %llu", static_cast<unsigned long long>(p));
+      }
+      printf("\n");
+    } else if (cmd == "get") {
+      if (!NeedTxn()) return;
+      std::string key;
+      ss >> key;
+      std::string value;
+      Status s = txn_slot()->Get(key, &value);
+      if (s.ok()) printf("%s = %s\n", key.c_str(), value.c_str());
+      else printf("%s: %s\n", key.c_str(), s.ToString().c_str());
+    } else if (cmd == "put") {
+      if (!NeedTxn()) return;
+      std::string key, value;
+      ss >> key;
+      std::getline(ss, value);
+      if (!value.empty() && value[0] == ' ') value.erase(0, 1);
+      Status s = txn_slot()->Put(key, value);
+      printf("%s\n", s.ToString().c_str());
+    } else if (cmd == "commit") {
+      if (!NeedTxn()) return;
+      std::string which = "ser";
+      ss >> which;
+      EndConstraintPtr end =
+          which == "si" ? SnapshotIsolationEnd()
+          : which == "ser-nb"
+              ? AndEnd({SerializabilityEnd(), NoBranchingEnd()})
+              : SerializabilityEnd();
+      Status s = txn_slot()->Commit(end);
+      txn_slot().reset();
+      if (s.ok()) {
+        printf("committed as state %llu (%zu branch tip%s now)\n",
+               static_cast<unsigned long long>(
+                   session()->last_commit()->id()),
+               store->dag()->Leaves().size(),
+               store->dag()->Leaves().size() == 1 ? "" : "s");
+      } else {
+        printf("commit failed: %s\n", s.ToString().c_str());
+      }
+    } else if (cmd == "abort") {
+      if (!NeedTxn()) return;
+      txn_slot()->Abort();
+      txn_slot().reset();
+      printf("aborted\n");
+    } else if (cmd == "forks") {
+      if (!NeedTxn()) return;
+      auto forks = txn_slot()->FindForkPoints(txn_slot()->parents());
+      if (!forks.ok()) {
+        printf("%s\n", forks.status().ToString().c_str());
+        return;
+      }
+      printf("fork points:");
+      for (StateId f : *forks) {
+        printf(" %llu", static_cast<unsigned long long>(f));
+      }
+      printf("\n");
+    } else if (cmd == "conflicts") {
+      if (!NeedTxn()) return;
+      auto conflicts = txn_slot()->FindConflictWrites(txn_slot()->parents());
+      if (!conflicts.ok()) {
+        printf("%s\n", conflicts.status().ToString().c_str());
+        return;
+      }
+      printf("conflicting keys:");
+      for (const std::string& k : *conflicts) printf(" %s", k.c_str());
+      printf("\n");
+    } else if (cmd == "getat") {
+      if (!NeedTxn()) return;
+      std::string key;
+      unsigned long long sid = 0;
+      ss >> key >> sid;
+      std::string value;
+      Status s = txn_slot()->GetForId(key, sid, &value);
+      if (s.ok()) printf("%s @%llu = %s\n", key.c_str(), sid, value.c_str());
+      else printf("%s\n", s.ToString().c_str());
+    } else if (cmd == "dag") {
+      printf("%s", store->dag()->DebugString().c_str());
+    } else if (cmd == "dot") {
+      printf("%s", store->dag()->ToDot().c_str());
+    } else if (cmd == "gc") {
+      store->PlaceCeiling(session());
+      GcStats stats = store->RunGarbageCollection();
+      printf("gc: deleted %llu states, pruned %llu versions (%zu states "
+             "remain)\n",
+             static_cast<unsigned long long>(stats.states_deleted),
+             static_cast<unsigned long long>(stats.versions_pruned),
+             store->dag()->state_count());
+    } else if (cmd == "stats") {
+      const StoreStats s = store->stats();
+      printf("commits=%llu aborts=%llu read-only=%llu branches=%llu "
+             "merges=%llu remote=%llu\n",
+             static_cast<unsigned long long>(s.commits),
+             static_cast<unsigned long long>(s.aborts),
+             static_cast<unsigned long long>(s.read_only_commits),
+             static_cast<unsigned long long>(s.branches_created),
+             static_cast<unsigned long long>(s.merges_committed),
+             static_cast<unsigned long long>(s.remote_applied));
+      printf("states=%zu leaves=%zu keys=%zu versions=%zu\n",
+             store->dag()->state_count(), store->dag()->Leaves().size(),
+             store->kvmap()->key_count(), store->kvmap()->version_count());
+    } else if (cmd == "quit" || cmd == "exit") {
+      exit(0);
+    } else {
+      printf("unknown command: %s (try `help`)\n", cmd.c_str());
+    }
+  }
+};
+
+const char* kDemoScript[] = {
+    // A shared prefix...
+    "session alice", "begin", "put page neutral", "commit",
+    // ...then two transactions interleave: both read `page` from the same
+    // state, both write it, both commit. The second commit forks.
+    "session alice", "begin", "get page",
+    "session bruno", "begin", "get page",
+    "session alice", "put page FOR", "commit",
+    "session bruno", "put page AGAINST", "commit",
+    "dag",
+    // Each session still reads its own value (inter-branch isolation).
+    "session alice", "begin", "get page", "abort",
+    "session bruno", "begin", "get page", "abort",
+    // A moderator merges the branches with full context.
+    "session moderator", "merge", "forks", "conflicts",
+    "getat page 1", "put page disputed", "commit",
+    "dag", "gc", "stats",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto store_or = TardisStore::Open(TardisOptions{});
+  if (!store_or.ok()) {
+    fprintf(stderr, "open failed: %s\n",
+            store_or.status().ToString().c_str());
+    return 1;
+  }
+  Shell shell;
+  shell.store = std::move(*store_or);
+
+  if (argc > 1 && strcmp(argv[1], "--demo") == 0) {
+    for (const char* line : kDemoScript) {
+      printf("tardis> %s\n", line);
+      shell.Execute(line);
+    }
+    return 0;
+  }
+
+  printf("TARDiS shell — `help` for commands, `--demo` for a scripted "
+         "tour.\n");
+  std::string line;
+  while (true) {
+    printf("tardis> ");
+    fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    shell.Execute(line);
+  }
+  return 0;
+}

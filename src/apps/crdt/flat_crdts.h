@@ -1,0 +1,147 @@
+// CRDTs on flat (sequential) storage — the comparison implementations of
+// §7.2.1. These follow Shapiro et al.'s algorithms directly: state carries
+// explicit per-replica vectors, every read reconstructs the global view
+// from the replica entries, and every remote operation needs an immediate
+// element-wise merge. All state mutations run as serializable transactions
+// on the underlying TxKV store (SeqKV/2PL or OCC), which is what limits
+// per-site throughput.
+
+#ifndef TARDIS_APPS_CRDT_FLAT_CRDTS_H_
+#define TARDIS_APPS_CRDT_FLAT_CRDTS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baseline/txkv.h"
+
+namespace tardis {
+namespace crdt {
+
+/// State-based PN-counter: one increment slot and one decrement slot per
+/// replica ("two separate vector clocks", §5.2). Value = Σinc − Σdec over
+/// all replicas.
+class FlatPnCounter {
+ public:
+  FlatPnCounter(TxKvStore* store, std::string key, uint32_t replica_id,
+                uint32_t num_replicas)
+      : store_(store),
+        key_(std::move(key)),
+        replica_(replica_id),
+        num_replicas_(num_replicas) {}
+
+  Status Increment(TxKvClient* client, int64_t delta = 1);
+  Status Decrement(TxKvClient* client, int64_t delta = 1);
+  StatusOr<int64_t> Value(TxKvClient* client);
+
+  /// Applies a remote replica's vectors: element-wise max (required for
+  /// every received remote operation).
+  Status MergeRemote(TxKvClient* client,
+                     const std::vector<int64_t>& remote_inc,
+                     const std::vector<int64_t>& remote_dec);
+
+ private:
+  std::string SlotKey(const char* kind, uint32_t replica) const {
+    return key_ + "/" + kind + "/" + std::to_string(replica);
+  }
+
+  TxKvStore* const store_;
+  const std::string key_;
+  const uint32_t replica_;
+  const uint32_t num_replicas_;
+};
+
+/// Operation-based counter: each replica totals its own operations in its
+/// slot; reads sum all slots; delivering a remote op applies it to the
+/// origin replica's slot.
+class FlatOpCounter {
+ public:
+  FlatOpCounter(TxKvStore* store, std::string key, uint32_t replica_id,
+                uint32_t num_replicas)
+      : store_(store),
+        key_(std::move(key)),
+        replica_(replica_id),
+        num_replicas_(num_replicas) {}
+
+  Status Apply(TxKvClient* client, int64_t delta);  // local op
+  Status ApplyRemote(TxKvClient* client, uint32_t origin, int64_t delta);
+  StatusOr<int64_t> Value(TxKvClient* client);
+
+ private:
+  std::string SlotKey(uint32_t replica) const {
+    return key_ + "/op/" + std::to_string(replica);
+  }
+
+  TxKvStore* const store_;
+  const std::string key_;
+  const uint32_t replica_;
+  const uint32_t num_replicas_;
+};
+
+/// Last-writer-wins register with an explicit (timestamp, replica) tag.
+class FlatLwwRegister {
+ public:
+  FlatLwwRegister(TxKvStore* store, std::string key, uint32_t replica_id)
+      : store_(store), key_(std::move(key)), replica_(replica_id) {}
+
+  Status Set(TxKvClient* client, const std::string& value);
+  StatusOr<std::string> Get(TxKvClient* client);
+  /// Remote merge: keep the lexicographically larger (ts, replica).
+  Status MergeRemote(TxKvClient* client, uint64_t remote_ts,
+                     uint32_t remote_replica, const std::string& value);
+
+ private:
+  TxKvStore* const store_;
+  const std::string key_;
+  const uint32_t replica_;
+};
+
+/// Multi-value register: per-replica (value, version-vector) entries;
+/// reads return the non-dominated set.
+class FlatMvRegister {
+ public:
+  FlatMvRegister(TxKvStore* store, std::string key, uint32_t replica_id,
+                 uint32_t num_replicas)
+      : store_(store),
+        key_(std::move(key)),
+        replica_(replica_id),
+        num_replicas_(num_replicas) {}
+
+  Status Set(TxKvClient* client, const std::string& value);
+  StatusOr<std::vector<std::string>> Get(TxKvClient* client);
+
+ private:
+  std::string SlotKey(uint32_t replica) const {
+    return key_ + "/mv/" + std::to_string(replica);
+  }
+
+  TxKvStore* const store_;
+  const std::string key_;
+  const uint32_t replica_;
+  const uint32_t num_replicas_;
+};
+
+/// Observed-remove set with explicit tags and tombstones.
+class FlatOrSet {
+ public:
+  FlatOrSet(TxKvStore* store, std::string key, uint32_t replica_id)
+      : store_(store), key_(std::move(key)), replica_(replica_id) {}
+
+  Status Add(TxKvClient* client, const std::string& element);
+  Status Remove(TxKvClient* client, const std::string& element);
+  StatusOr<bool> Contains(TxKvClient* client, const std::string& element);
+  StatusOr<std::vector<std::string>> Elements(TxKvClient* client);
+
+ private:
+  TxKvStore* const store_;
+  const std::string key_;
+  const uint32_t replica_;
+};
+
+}  // namespace crdt
+}  // namespace tardis
+
+#endif  // TARDIS_APPS_CRDT_FLAT_CRDTS_H_

@@ -1,0 +1,411 @@
+#include "apps/crdt/tardis_crdts.h"
+
+#include <atomic>
+#include <sstream>
+#include <functional>
+
+#include "util/clock.h"
+
+namespace tardis {
+namespace crdt {
+
+namespace {
+
+/// Unique add-tags for the OR-set: wall-clock microseconds mixed with a
+/// process-wide counter so concurrent adds never collide.
+uint64_t FreshTag() {
+  static std::atomic<uint64_t> counter{0};
+  return (NowMicros() << 16) ^ (counter.fetch_add(1) & 0xFFFF);
+}
+
+/// Runs `body` inside a fresh single-mode transaction, committing with the
+/// store defaults (Ancestor + Serializability — branch on conflict).
+Status WithTxn(TardisStore* store, ClientSession* session,
+               const std::function<Status(Transaction*)>& body) {
+  auto txn = store->Begin(session);
+  if (!txn.ok()) return txn.status();
+  Status s = body(txn->get());
+  if (!s.ok()) {
+    (*txn)->Abort();
+    return s;
+  }
+  return (*txn)->Commit();
+}
+
+}  // namespace
+
+// ---- counter ----------------------------------------------------------------
+
+Status TardisCounter::Increment(ClientSession* session, int64_t delta) {
+  return WithTxn(store_, session, [&](Transaction* t) {
+    std::string raw;
+    int64_t value = 0;
+    Status s = t->Get(key_, &raw);
+    if (s.ok()) value = std::stoll(raw);
+    else if (!s.IsNotFound()) return s;
+    return t->Put(key_, std::to_string(value + delta));
+  });
+}
+
+StatusOr<int64_t> TardisCounter::Value(ClientSession* session) {
+  auto txn = store_->Begin(session);
+  if (!txn.ok()) return txn.status();
+  std::string raw;
+  Status s = (*txn)->Get(key_, &raw);
+  (*txn)->Abort();
+  if (s.IsNotFound()) return static_cast<int64_t>(0);
+  if (!s.ok()) return s;
+  return static_cast<int64_t>(std::stoll(raw));
+}
+
+Status TardisCounter::Merge(ClientSession* session) {
+  auto txn = store_->BeginMerge(session);
+  if (!txn.ok()) return txn.status();
+  Transaction* t = txn->get();
+  std::vector<StateId> parents = t->parents();
+  if (parents.size() < 2) {
+    t->Abort();
+    return Status::OK();  // nothing to merge
+  }
+  auto forks = t->FindForkPoints(parents);
+  if (!forks.ok()) {
+    t->Abort();
+    return forks.status();
+  }
+  auto value_at = [&](StateId sid) -> int64_t {
+    std::string raw;
+    Status s = t->GetForId(key_, sid, &raw);
+    return s.ok() ? std::stoll(raw) : 0;
+  };
+  const int64_t fork_value = value_at((*forks)[0]);
+  int64_t result = fork_value;
+  for (StateId p : parents) {
+    result += value_at(p) - fork_value;
+  }
+  Status s = t->Put(key_, std::to_string(result));
+  if (!s.ok()) {
+    t->Abort();
+    return s;
+  }
+  return t->Commit();
+}
+
+// ---- LWW register -------------------------------------------------------------
+
+namespace {
+std::string EncodeLww(uint64_t ts, const std::string& value) {
+  return std::to_string(ts) + "|" + value;
+}
+bool DecodeLww(const std::string& raw, uint64_t* ts, std::string* value) {
+  const size_t bar = raw.find('|');
+  if (bar == std::string::npos) return false;
+  *ts = std::stoull(raw.substr(0, bar));
+  *value = raw.substr(bar + 1);
+  return true;
+}
+}  // namespace
+
+Status TardisLwwRegister::Set(ClientSession* session,
+                              const std::string& value) {
+  return WithTxn(store_, session, [&](Transaction* t) {
+    return t->Put(key_, EncodeLww(NowMicros(), value));
+  });
+}
+
+StatusOr<std::string> TardisLwwRegister::Get(ClientSession* session) {
+  auto txn = store_->Begin(session);
+  if (!txn.ok()) return txn.status();
+  std::string raw;
+  Status s = (*txn)->Get(key_, &raw);
+  (*txn)->Abort();
+  if (!s.ok()) return s;
+  uint64_t ts;
+  std::string value;
+  if (!DecodeLww(raw, &ts, &value)) return Status::Corruption("bad lww");
+  return value;
+}
+
+Status TardisLwwRegister::Merge(ClientSession* session) {
+  auto txn = store_->BeginMerge(session);
+  if (!txn.ok()) return txn.status();
+  Transaction* t = txn->get();
+  std::vector<StateId> parents = t->parents();
+  if (parents.size() < 2) {
+    t->Abort();
+    return Status::OK();
+  }
+  uint64_t best_ts = 0;
+  std::string best;
+  bool found = false;
+  for (StateId p : parents) {
+    std::string raw;
+    if (!t->GetForId(key_, p, &raw).ok()) continue;
+    uint64_t ts;
+    std::string value;
+    if (DecodeLww(raw, &ts, &value) && (!found || ts > best_ts)) {
+      best_ts = ts;
+      best = value;
+      found = true;
+    }
+  }
+  if (!found) {
+    t->Abort();
+    return Status::OK();
+  }
+  Status s = t->Put(key_, EncodeLww(best_ts, best));
+  if (!s.ok()) {
+    t->Abort();
+    return s;
+  }
+  return t->Commit();
+}
+
+// ---- MV register ---------------------------------------------------------------
+
+namespace {
+std::string JoinValues(const std::vector<std::string>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); i++) {
+    if (i) out += '\x1f';  // unit separator
+    out += values[i];
+  }
+  return out;
+}
+std::vector<std::string> SplitValues(const std::string& raw) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t sep = raw.find('\x1f', start);
+    if (sep == std::string::npos) {
+      out.push_back(raw.substr(start));
+      return out;
+    }
+    out.push_back(raw.substr(start, sep - start));
+    start = sep + 1;
+  }
+}
+}  // namespace
+
+Status TardisMvRegister::Set(ClientSession* session,
+                             const std::string& value) {
+  return WithTxn(store_, session,
+                 [&](Transaction* t) { return t->Put(key_, value); });
+}
+
+StatusOr<std::vector<std::string>> TardisMvRegister::Get(
+    ClientSession* session) {
+  auto txn = store_->Begin(session);
+  if (!txn.ok()) return txn.status();
+  std::string raw;
+  Status s = (*txn)->Get(key_, &raw);
+  (*txn)->Abort();
+  if (s.IsNotFound()) return std::vector<std::string>{};
+  if (!s.ok()) return s;
+  return SplitValues(raw);
+}
+
+Status TardisMvRegister::Merge(ClientSession* session) {
+  auto txn = store_->BeginMerge(session);
+  if (!txn.ok()) return txn.status();
+  Transaction* t = txn->get();
+  std::vector<StateId> parents = t->parents();
+  if (parents.size() < 2) {
+    t->Abort();
+    return Status::OK();
+  }
+  // Concurrent values = the per-branch values; keep them all (set union).
+  std::set<std::string> values;
+  for (StateId p : parents) {
+    std::string raw;
+    if (t->GetForId(key_, p, &raw).ok()) {
+      for (std::string& v : SplitValues(raw)) values.insert(std::move(v));
+    }
+  }
+  if (values.empty()) {
+    t->Abort();
+    return Status::OK();
+  }
+  Status s = t->Put(
+      key_, JoinValues(std::vector<std::string>(values.begin(), values.end())));
+  if (!s.ok()) {
+    t->Abort();
+    return s;
+  }
+  return t->Commit();
+}
+
+// ---- OR-set ----------------------------------------------------------------------
+
+std::string TardisOrSet::SerializeTags(const TagSet& tags) {
+  std::string out;
+  bool first = true;
+  for (uint64_t tag : tags) {
+    if (!first) out += ',';
+    first = false;
+    out += std::to_string(tag);
+  }
+  return out;
+}
+
+TardisOrSet::TagSet TardisOrSet::DeserializeTags(const std::string& raw) {
+  TagSet tags;
+  std::stringstream ss(raw);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) tags.insert(std::stoull(tok));
+  }
+  return tags;
+}
+
+Status TardisOrSet::Add(ClientSession* session, const std::string& element) {
+  return WithTxn(store_, session, [&](Transaction* t) {
+    const std::string ekey = ElementKey(element);
+    std::string raw;
+    Status s = t->Get(ekey, &raw);
+    if (!s.ok() && !s.IsNotFound()) return s;
+    const bool fresh_element = s.IsNotFound();
+    TagSet tags = s.ok() ? DeserializeTags(raw) : TagSet{};
+    tags.insert(FreshTag());
+    TARDIS_RETURN_IF_ERROR(t->Put(ekey, SerializeTags(tags)));
+    if (fresh_element) {
+      // Append to the membership index (append-only; Elements() filters
+      // through Contains). Only first-time adds touch it.
+      std::string idx;
+      Status is = t->Get(IndexKey(), &idx);
+      if (!is.ok() && !is.IsNotFound()) return is;
+      if (("\x1f" + idx + "\x1f").find("\x1f" + element + "\x1f") ==
+          std::string::npos) {
+        if (!idx.empty()) idx += '\x1f';
+        idx += element;
+        TARDIS_RETURN_IF_ERROR(t->Put(IndexKey(), idx));
+      }
+    }
+    return Status::OK();
+  });
+}
+
+Status TardisOrSet::Remove(ClientSession* session,
+                           const std::string& element) {
+  return WithTxn(store_, session, [&](Transaction* t) {
+    const std::string ekey = ElementKey(element);
+    std::string raw;
+    Status s = t->Get(ekey, &raw);
+    if (s.IsNotFound()) return Status::OK();
+    if (!s.ok()) return s;
+    return t->Put(ekey, "");  // all observed tags removed
+  });
+}
+
+StatusOr<bool> TardisOrSet::Contains(ClientSession* session,
+                                     const std::string& element) {
+  auto txn = store_->Begin(session);
+  if (!txn.ok()) return txn.status();
+  std::string raw;
+  Status s = (*txn)->Get(ElementKey(element), &raw);
+  (*txn)->Abort();
+  if (s.IsNotFound()) return false;
+  if (!s.ok()) return s;
+  return !raw.empty();
+}
+
+StatusOr<std::vector<std::string>> TardisOrSet::Elements(
+    ClientSession* session) {
+  auto txn = store_->Begin(session);
+  if (!txn.ok()) return txn.status();
+  std::string idx;
+  Status s = (*txn)->Get(IndexKey(), &idx);
+  if (s.IsNotFound()) {
+    (*txn)->Abort();
+    return std::vector<std::string>{};
+  }
+  if (!s.ok()) {
+    (*txn)->Abort();
+    return s;
+  }
+  std::vector<std::string> out;
+  std::stringstream ss(idx);
+  std::string element;
+  while (std::getline(ss, element, '\x1f')) {
+    if (element.empty()) continue;
+    std::string raw;
+    Status es = (*txn)->Get(ElementKey(element), &raw);
+    if (es.ok() && !raw.empty()) out.push_back(element);
+  }
+  (*txn)->Abort();
+  return out;
+}
+
+Status TardisOrSet::Merge(ClientSession* session) {
+  auto txn = store_->BeginMerge(session);
+  if (!txn.ok()) return txn.status();
+  Transaction* t = txn->get();
+  std::vector<StateId> parents = t->parents();
+  if (parents.size() < 2) {
+    t->Abort();
+    return Status::OK();
+  }
+  auto forks = t->FindForkPoints(parents);
+  if (!forks.ok()) {
+    t->Abort();
+    return forks.status();
+  }
+  auto conflicts = t->FindConflictWrites(parents);
+  if (!conflicts.ok()) {
+    t->Abort();
+    return conflicts.status();
+  }
+
+  const std::string eprefix = key_ + "/e/";
+  for (const std::string& ckey : *conflicts) {
+    if (ckey == IndexKey()) {
+      // Union the membership indexes.
+      std::set<std::string> members;
+      for (StateId p : parents) {
+        std::string idx;
+        if (!t->GetForId(IndexKey(), p, &idx).ok()) continue;
+        std::stringstream ss(idx);
+        std::string element;
+        while (std::getline(ss, element, '\x1f')) {
+          if (!element.empty()) members.insert(element);
+        }
+      }
+      std::string merged;
+      for (const std::string& m : members) {
+        if (!merged.empty()) merged += '\x1f';
+        merged += m;
+      }
+      TARDIS_RETURN_IF_ERROR(t->Put(IndexKey(), merged));
+      continue;
+    }
+    if (ckey.rfind(eprefix, 0) != 0) continue;  // not ours
+
+    auto tags_at = [&](StateId sid) {
+      std::string raw;
+      return t->GetForId(ckey, sid, &raw).ok() ? DeserializeTags(raw)
+                                               : TagSet{};
+    };
+    const TagSet fork_tags = tags_at((*forks)[0]);
+    std::vector<TagSet> branch_tags;
+    for (StateId p : parents) branch_tags.push_back(tags_at(p));
+
+    // Observed-remove rule: a fork-time tag survives only if no branch
+    // removed it; branch-added tags always survive.
+    TagSet merged;
+    for (const TagSet& b : branch_tags) {
+      merged.insert(b.begin(), b.end());
+    }
+    for (uint64_t tag : fork_tags) {
+      for (const TagSet& b : branch_tags) {
+        if (!b.count(tag)) {
+          merged.erase(tag);
+          break;
+        }
+      }
+    }
+    TARDIS_RETURN_IF_ERROR(t->Put(ckey, SerializeTags(merged)));
+  }
+  return t->Commit();
+}
+
+}  // namespace crdt
+}  // namespace tardis

@@ -1,0 +1,121 @@
+// CRDTs on TARDiS (§7.2.1).
+//
+// On TARDiS, a CRDT is written as if it lived on sequential storage: the
+// datatype's state is a single plain field, operations are single-mode
+// transactions, and a *merge function* reconciles branches using the fork
+// point the store tracks for free. Contrast with flat_crdts.h, where the
+// same datatypes carry explicit per-replica vectors.
+//
+// Five types, matching Figure 14: operation-based counter, state-based
+// PN-counter, last-writer-wins register, multi-value register, OR-set.
+
+#ifndef TARDIS_APPS_CRDT_TARDIS_CRDTS_H_
+#define TARDIS_APPS_CRDT_TARDIS_CRDTS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/tardis_store.h"
+
+namespace tardis {
+namespace crdt {
+
+/// Counter (covers both the op-based and PN flavours: on TARDiS both
+/// reduce to an integer field plus the Figure 3 delta merge).
+class TardisCounter {
+ public:
+  TardisCounter(TardisStore* store, std::string key)
+      : store_(store), key_(std::move(key)) {}
+
+  Status Increment(ClientSession* session, int64_t delta = 1);
+  Status Decrement(ClientSession* session, int64_t delta = 1) {
+    return Increment(session, -delta);
+  }
+  StatusOr<int64_t> Value(ClientSession* session);
+
+  /// Figure 3's merge: value = fork + Σ_branches (branch - fork).
+  Status Merge(ClientSession* session);
+
+ private:
+  TardisStore* const store_;
+  const std::string key_;
+};
+
+/// Last-writer-wins register: each Set records a (timestamp, writer) pair;
+/// the merge keeps the branch value with the largest timestamp.
+class TardisLwwRegister {
+ public:
+  TardisLwwRegister(TardisStore* store, std::string key)
+      : store_(store), key_(std::move(key)) {}
+
+  Status Set(ClientSession* session, const std::string& value);
+  StatusOr<std::string> Get(ClientSession* session);
+  Status Merge(ClientSession* session);
+
+ private:
+  TardisStore* const store_;
+  const std::string key_;
+};
+
+/// Multi-value register: Get returns the branch-local value; Concurrent
+/// values are exactly the per-branch values, surfaced on demand. The merge
+/// stores the set of concurrent values (a later Set collapses it).
+class TardisMvRegister {
+ public:
+  TardisMvRegister(TardisStore* store, std::string key)
+      : store_(store), key_(std::move(key)) {}
+
+  Status Set(ClientSession* session, const std::string& value);
+  /// Values visible on this client's branch (usually one; several right
+  /// after a merge).
+  StatusOr<std::vector<std::string>> Get(ClientSession* session);
+  Status Merge(ClientSession* session);
+
+ private:
+  TardisStore* const store_;
+  const std::string key_;
+};
+
+/// Observed-remove set. Each element lives under its own key
+/// (`<set>/e/<element>`) holding that element's set of unique add-tags, so
+/// operations on different elements never conflict; a membership index
+/// (`<set>/idx`, append-only) supports enumeration. Remove deletes the
+/// tags it has observed. The merge applies the OR-set rule per element
+/// against the fork point's tags:
+///   merged = U_branches(tags) minus U_branches(fork_tags - branch_tags)
+class TardisOrSet {
+ public:
+  TardisOrSet(TardisStore* store, std::string key)
+      : store_(store), key_(std::move(key)) {}
+
+  Status Add(ClientSession* session, const std::string& element);
+  Status Remove(ClientSession* session, const std::string& element);
+  StatusOr<bool> Contains(ClientSession* session, const std::string& element);
+  StatusOr<std::vector<std::string>> Elements(ClientSession* session);
+  Status Merge(ClientSession* session);
+
+  /// Key of an element's tag set (exposed for tests that build
+  /// conflicting states by hand).
+  std::string ElementKey(const std::string& element) const {
+    return key_ + "/e/" + element;
+  }
+  std::string IndexKey() const { return key_ + "/idx"; }
+
+  // Tag-set (de)serialization: comma-separated decimal tags.
+  using TagSet = std::set<uint64_t>;
+  static std::string SerializeTags(const TagSet& tags);
+  static TagSet DeserializeTags(const std::string& raw);
+
+ private:
+  TardisStore* const store_;
+  const std::string key_;
+};
+
+}  // namespace crdt
+}  // namespace tardis
+
+#endif  // TARDIS_APPS_CRDT_TARDIS_CRDTS_H_

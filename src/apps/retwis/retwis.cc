@@ -1,0 +1,225 @@
+#include "apps/retwis/retwis.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "util/clock.h"
+
+namespace tardis {
+namespace retwis {
+
+namespace {
+
+uint64_t FreshPostId() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1);
+}
+
+std::vector<uint32_t> ParseIdList(const std::string& raw) {
+  std::vector<uint32_t> out;
+  std::stringstream ss(raw);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(static_cast<uint32_t>(std::stoul(tok)));
+  }
+  return out;
+}
+
+std::string JoinIdList(const std::vector<uint32_t>& ids) {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); i++) {
+    if (i) out += ',';
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+Status AppendId(TxKvTransaction* t, const std::string& key, uint32_t id) {
+  std::string raw;
+  Status s = t->Get(key, &raw);
+  if (!s.ok() && !s.IsNotFound()) return s;
+  std::vector<uint32_t> ids = s.ok() ? ParseIdList(raw) : std::vector<uint32_t>{};
+  if (std::find(ids.begin(), ids.end(), id) != ids.end()) {
+    return Status::OK();
+  }
+  ids.push_back(id);
+  return t->Put(key, JoinIdList(ids));
+}
+
+}  // namespace
+
+std::string Retwis::TimelineKey(uint32_t user) {
+  return "u/" + std::to_string(user) + "/timeline";
+}
+std::string Retwis::FollowersKey(uint32_t user) {
+  return "u/" + std::to_string(user) + "/followers";
+}
+std::string Retwis::FollowingKey(uint32_t user) {
+  return "u/" + std::to_string(user) + "/following";
+}
+
+std::string Retwis::EncodeTimeline(const std::vector<Post>& posts) {
+  std::string out;
+  char buf[64];
+  for (const Post& p : posts) {
+    snprintf(buf, sizeof(buf), "%" PRIx64 ":%" PRIx64 ":%x\n",
+             p.timestamp_us, p.post_id, p.author);
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<Post> Retwis::DecodeTimeline(const std::string& raw) {
+  std::vector<Post> out;
+  std::stringstream ss(raw);
+  std::string line;
+  while (std::getline(ss, line)) {
+    Post p;
+    unsigned author = 0;
+    if (sscanf(line.c_str(), "%" SCNx64 ":%" SCNx64 ":%x", &p.timestamp_us,
+               &p.post_id, &author) == 3) {
+      p.author = author;
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<Post> Retwis::MergeTimelines(
+    const std::vector<std::vector<Post>>& timelines) {
+  std::vector<Post> all;
+  std::set<uint64_t> seen;
+  for (const auto& tl : timelines) {
+    for (const Post& p : tl) {
+      if (seen.insert(p.post_id).second) all.push_back(p);
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Post& a, const Post& b) {
+    return a.timestamp_us != b.timestamp_us
+               ? a.timestamp_us > b.timestamp_us
+               : a.post_id > b.post_id;
+  });
+  if (all.size() > kTimelineCap) all.resize(kTimelineCap);
+  return all;
+}
+
+Status Retwis::CreateAccount(Client* client, uint32_t user_id) {
+  auto txn = client->kv()->Begin();
+  if (!txn.ok()) return txn.status();
+  TxKvTransaction* t = txn->get();
+  const std::string ukey = "u/" + std::to_string(user_id) + "/exists";
+  std::string raw;
+  Status s = t->Get(ukey, &raw);
+  if (s.ok()) {
+    (*txn)->Abort();
+    return Status::OK();  // already registered
+  }
+  if (!s.IsNotFound()) {
+    (*txn)->Abort();
+    return s;
+  }
+  s = t->Put(ukey, "1");
+  if (s.ok()) {
+    // Bump the global user counter (a natural hotspot; this is where
+    // duplicate-id conflicts arise across branches/sites).
+    std::string count;
+    Status cs = t->Get("users", &count);
+    if (!cs.ok() && !cs.IsNotFound()) s = cs;
+    else {
+      const uint64_t n = cs.ok() ? std::stoull(count) : 0;
+      s = t->Put("users", std::to_string(n + 1));
+    }
+  }
+  if (!s.ok()) {
+    (*txn)->Abort();
+    return s;
+  }
+  return (*txn)->Commit();
+}
+
+Status Retwis::FollowUser(Client* client, uint32_t follower,
+                          uint32_t followee) {
+  auto txn = client->kv()->Begin();
+  if (!txn.ok()) return txn.status();
+  TxKvTransaction* t = txn->get();
+  Status s = AppendId(t, FollowingKey(follower), followee);
+  if (s.ok()) s = AppendId(t, FollowersKey(followee), follower);
+  if (!s.ok()) {
+    (*txn)->Abort();
+    return s;
+  }
+  return (*txn)->Commit();
+}
+
+Status Retwis::PostTweet(Client* client, uint32_t author,
+                    const std::string& body) {
+  auto txn = client->kv()->Begin();
+  if (!txn.ok()) return txn.status();
+  TxKvTransaction* t = txn->get();
+
+  Post post;
+  post.timestamp_us = NowMicros();
+  post.post_id = FreshPostId();
+  post.author = author;
+
+  Status s = t->Put("p/" + std::to_string(post.post_id), body);
+
+  // Fan out on write: author + all followers.
+  std::vector<uint32_t> targets{author};
+  if (s.ok()) {
+    std::string raw;
+    Status fs = t->Get(FollowersKey(author), &raw);
+    if (fs.ok()) {
+      for (uint32_t f : ParseIdList(raw)) targets.push_back(f);
+    } else if (!fs.IsNotFound()) {
+      s = fs;
+    }
+  }
+  for (uint32_t target : targets) {
+    if (!s.ok()) break;
+    const std::string tkey = TimelineKey(target);
+    std::string raw;
+    Status gs = t->Get(tkey, &raw);
+    if (!gs.ok() && !gs.IsNotFound()) {
+      s = gs;
+      break;
+    }
+    std::vector<Post> timeline =
+        gs.ok() ? DecodeTimeline(raw) : std::vector<Post>{};
+    timeline.insert(timeline.begin(), post);
+    if (timeline.size() > kTimelineCap) timeline.resize(kTimelineCap);
+    s = t->Put(tkey, EncodeTimeline(timeline));
+  }
+  if (!s.ok()) {
+    (*txn)->Abort();
+    return s;
+  }
+  return (*txn)->Commit();
+}
+
+StatusOr<std::vector<Post>> Retwis::ReadOwnTimeline(Client* client,
+                                                    uint32_t user_id) {
+  auto txn = client->kv()->Begin();
+  if (!txn.ok()) return txn.status();
+  std::string raw;
+  Status s = (*txn)->Get(TimelineKey(user_id), &raw);
+  if (s.IsNotFound()) {
+    Status cs = (*txn)->Commit();
+    if (!cs.ok()) return cs;
+    return std::vector<Post>{};
+  }
+  if (!s.ok()) {
+    (*txn)->Abort();
+    return s;
+  }
+  Status cs = (*txn)->Commit();
+  if (!cs.ok()) return cs;
+  return DecodeTimeline(raw);
+}
+
+}  // namespace retwis
+}  // namespace tardis

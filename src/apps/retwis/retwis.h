@@ -1,0 +1,90 @@
+// Retwis: the Twitter-clone ALPS application of §7.2.2.
+//
+// Four operations — createAccount, followUser, post, readOwnTimeline —
+// implemented against the backend-neutral TxKV interface so the same
+// application code runs on TARDiS, the 2PL stand-in ("BDB") and OCC.
+//
+// Data model (all values are compact strings):
+//   u/<id>/following  — comma-separated user ids
+//   u/<id>/followers  — comma-separated user ids
+//   u/<id>/timeline   — newline-joined "<ts_hex>:<post_id_hex>:<author>"
+//                       entries, newest first, capped at kTimelineCap
+//   p/<post_id>       — the post body
+//   users             — registered user count
+//
+// Posting fans out on write: the post is prepended to the author's and
+// every follower's timeline inside one transaction — the contention the
+// paper calls out. readOwnTimeline returns the 50 most recent entries.
+
+#ifndef TARDIS_APPS_RETWIS_RETWIS_H_
+#define TARDIS_APPS_RETWIS_RETWIS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/txkv.h"
+
+namespace tardis {
+namespace retwis {
+
+constexpr size_t kTimelineCap = 50;
+
+struct Post {
+  uint64_t timestamp_us = 0;
+  uint64_t post_id = 0;
+  uint32_t author = 0;
+};
+
+class Retwis {
+ public:
+  explicit Retwis(TxKvStore* store) : store_(store) {}
+
+  /// Per-thread handle (wraps a TxKvClient).
+  class Client {
+   public:
+    explicit Client(std::unique_ptr<TxKvClient> kv) : kv_(std::move(kv)) {}
+    TxKvClient* kv() { return kv_.get(); }
+
+   private:
+    std::unique_ptr<TxKvClient> kv_;
+  };
+
+  std::unique_ptr<Client> NewClient() {
+    return std::make_unique<Client>(store_->NewClient());
+  }
+
+  /// Registers user `user_id`. Idempotent.
+  Status CreateAccount(Client* client, uint32_t user_id);
+
+  /// `follower` starts following `followee` (updates both adjacency
+  /// lists).
+  Status FollowUser(Client* client, uint32_t follower, uint32_t followee);
+
+  /// Publishes a post and fans it out to every follower's timeline.
+  Status PostTweet(Client* client, uint32_t author, const std::string& body);
+
+  /// The 50 most recent posts on the user's timeline (own + followees').
+  StatusOr<std::vector<Post>> ReadOwnTimeline(Client* client,
+                                              uint32_t user_id);
+
+  // --- timeline codec (exposed for the merge resolver and tests) ---------
+  static std::string EncodeTimeline(const std::vector<Post>& posts);
+  static std::vector<Post> DecodeTimeline(const std::string& raw);
+  /// Union of timelines, newest first, deduplicated, capped.
+  static std::vector<Post> MergeTimelines(
+      const std::vector<std::vector<Post>>& timelines);
+
+  static std::string TimelineKey(uint32_t user);
+  static std::string FollowersKey(uint32_t user);
+  static std::string FollowingKey(uint32_t user);
+
+ private:
+  TxKvStore* const store_;
+};
+
+}  // namespace retwis
+}  // namespace tardis
+
+#endif  // TARDIS_APPS_RETWIS_RETWIS_H_

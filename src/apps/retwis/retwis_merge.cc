@@ -1,0 +1,103 @@
+#include "apps/retwis/retwis_merge.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace tardis {
+namespace retwis {
+
+namespace {
+
+std::set<uint32_t> ParseIdSet(const std::string& raw) {
+  std::set<uint32_t> out;
+  std::stringstream ss(raw);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.insert(static_cast<uint32_t>(std::stoul(tok)));
+  }
+  return out;
+}
+
+std::string JoinIdSet(const std::set<uint32_t>& ids) {
+  std::string out;
+  bool first = true;
+  for (uint32_t id : ids) {
+    if (!first) out += ',';
+    first = false;
+    out += std::to_string(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status RetwisMerger::MergeOnce() {
+  auto txn = store_->BeginMerge(session_.get());
+  if (!txn.ok()) return txn.status();
+  Transaction* t = txn->get();
+  std::vector<StateId> parents = t->parents();
+  if (parents.size() < 2) {
+    t->Abort();
+    return Status::OK();
+  }
+
+  auto conflicts = t->FindConflictWrites(parents);
+  if (!conflicts.ok()) {
+    t->Abort();
+    return conflicts.status();
+  }
+
+  for (const std::string& key : *conflicts) {
+    // Collect the per-branch values.
+    std::vector<std::string> values;
+    for (StateId p : parents) {
+      std::string raw;
+      if (t->GetForId(key, p, &raw).ok()) values.push_back(std::move(raw));
+    }
+    if (values.empty()) continue;
+
+    Status s;
+    if (key.find("/timeline") != std::string::npos) {
+      // Merge timelines preserving post order.
+      std::vector<std::vector<Post>> timelines;
+      for (const std::string& raw : values) {
+        timelines.push_back(Retwis::DecodeTimeline(raw));
+      }
+      s = t->Put(key, Retwis::EncodeTimeline(Retwis::MergeTimelines(timelines)));
+    } else if (key.find("/followers") != std::string::npos ||
+               key.find("/following") != std::string::npos) {
+      // Set-union the adjacency lists.
+      std::set<uint32_t> merged;
+      for (const std::string& raw : values) {
+        auto ids = ParseIdSet(raw);
+        merged.insert(ids.begin(), ids.end());
+      }
+      s = t->Put(key, JoinIdSet(merged));
+    } else if (key == "users") {
+      // Resolve duplicate user ids: the merged registration count is the
+      // max across branches (ids are re-validated by u/<id>/exists keys).
+      uint64_t best = 0;
+      for (const std::string& raw : values) {
+        best = std::max<uint64_t>(best, std::stoull(raw));
+      }
+      s = t->Put(key, std::to_string(best));
+    } else {
+      // Posts and exist-flags are immutable/idempotent: any branch value
+      // works; pick the first.
+      s = t->Put(key, values[0]);
+    }
+    if (!s.ok()) {
+      t->Abort();
+      return s;
+    }
+  }
+
+  Status s = t->Commit();
+  if (s.ok()) merges_++;
+  return s;
+}
+
+}  // namespace retwis
+}  // namespace tardis

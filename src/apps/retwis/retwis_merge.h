@@ -1,0 +1,37 @@
+// RetwisMerger: the TARDiS-specific conflict resolver for Retwis
+// (§7.2.2): "a separate conflict resolver that periodically merges
+// conflicting branches by resolving duplicate user ids and merging
+// timelines (preserving the order of posts)".
+
+#ifndef TARDIS_APPS_RETWIS_RETWIS_MERGE_H_
+#define TARDIS_APPS_RETWIS_RETWIS_MERGE_H_
+
+#include <memory>
+
+#include "apps/retwis/retwis.h"
+#include "core/tardis_store.h"
+
+namespace tardis {
+namespace retwis {
+
+class RetwisMerger {
+ public:
+  explicit RetwisMerger(TardisStore* store)
+      : store_(store), session_(store->CreateSession()) {}
+
+  /// Merges all current branches once. Returns OK (and does nothing) when
+  /// there is a single branch.
+  Status MergeOnce();
+
+  uint64_t merges() const { return merges_; }
+
+ private:
+  TardisStore* const store_;
+  std::unique_ptr<ClientSession> session_;
+  uint64_t merges_ = 0;
+};
+
+}  // namespace retwis
+}  // namespace tardis
+
+#endif  // TARDIS_APPS_RETWIS_RETWIS_MERGE_H_

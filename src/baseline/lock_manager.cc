@@ -1,0 +1,100 @@
+#include "baseline/lock_manager.h"
+
+#include <chrono>
+
+namespace tardis {
+
+namespace {
+bool Holds(const std::vector<std::string>& keys, const std::string& key) {
+  for (const std::string& k : keys) {
+    if (k == key) return true;
+  }
+  return false;
+}
+}  // namespace
+
+Status LockManager::AcquireShared(LockTxnId txn, const std::string& key) {
+  std::unique_lock<std::mutex> guard(mu_);
+  auto& slot = table_[key];
+  if (!slot) slot = std::make_unique<LockState>();
+  LockState* ls = slot.get();
+
+  if (ls->exclusive == txn || ls->sharers.count(txn)) {
+    return Status::OK();  // re-entrant
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(wait_timeout_us_);
+  ls->waiters++;
+  while (ls->exclusive != 0) {
+    if (ls->cv.wait_until(guard, deadline) == std::cv_status::timeout &&
+        ls->exclusive != 0) {
+      ls->waiters--;
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Busy("shared lock wait timeout");
+    }
+  }
+  ls->waiters--;
+  ls->sharers.insert(txn);
+  held_[txn].push_back(key);
+  return Status::OK();
+}
+
+Status LockManager::AcquireExclusive(LockTxnId txn, const std::string& key) {
+  std::unique_lock<std::mutex> guard(mu_);
+  auto& slot = table_[key];
+  if (!slot) slot = std::make_unique<LockState>();
+  LockState* ls = slot.get();
+
+  if (ls->exclusive == txn) return Status::OK();
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(wait_timeout_us_);
+  const bool upgrading = ls->sharers.count(txn) > 0;
+
+  auto blocked = [&] {
+    if (ls->exclusive != 0) return true;
+    if (upgrading) return ls->sharers.size() > 1;  // others still share
+    return !ls->sharers.empty();
+  };
+
+  ls->waiters++;
+  while (blocked()) {
+    if (ls->cv.wait_until(guard, deadline) == std::cv_status::timeout &&
+        blocked()) {
+      ls->waiters--;
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Busy("exclusive lock wait timeout");
+    }
+  }
+  ls->waiters--;
+  if (upgrading) {
+    ls->sharers.erase(txn);
+  }
+  ls->exclusive = txn;
+  if (!upgrading || !Holds(held_[txn], key)) {
+    held_[txn].push_back(key);
+  }
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(LockTxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (const std::string& key : it->second) {
+    auto slot = table_.find(key);
+    if (slot == table_.end()) continue;
+    LockState* ls = slot->second.get();
+    if (ls->exclusive == txn) ls->exclusive = 0;
+    ls->sharers.erase(txn);
+    if (ls->waiters > 0) {
+      ls->cv.notify_all();
+    } else if (ls->exclusive == 0 && ls->sharers.empty()) {
+      table_.erase(slot);  // keep the table compact
+    }
+  }
+  held_.erase(it);
+}
+
+}  // namespace tardis

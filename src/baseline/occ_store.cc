@@ -1,0 +1,105 @@
+#include "baseline/occ_store.h"
+
+#include "storage/btree_record_store.h"
+#include "storage/memstore.h"
+
+namespace tardis {
+
+class OccClient : public TxKvClient {
+ public:
+  explicit OccClient(OccStore* store) : store_(store) {}
+
+  StatusOr<TxKvTxnPtr> Begin() override;
+
+ private:
+  OccStore* const store_;
+};
+
+StatusOr<std::unique_ptr<OccStore>> OccStore::Open(const OccOptions& options) {
+  std::unique_ptr<OccStore> store(new OccStore(options.history_limit));
+  if (options.dir.empty()) {
+    store->records_ = std::make_unique<MemRecordStore>();
+  } else {
+    auto rs = BTreeRecordStore::Open(options.dir + "/records.db",
+                                     options.cache_pages);
+    if (!rs.ok()) return rs.status();
+    store->records_ = std::move(*rs);
+  }
+  return store;
+}
+
+std::unique_ptr<TxKvClient> OccStore::NewClient() {
+  return std::make_unique<OccClient>(this);
+}
+
+StatusOr<TxKvTxnPtr> OccClient::Begin() {
+  uint64_t start_tn;
+  {
+    std::lock_guard<std::mutex> guard(store_->validate_mu_);
+    start_tn = store_->committed_tn_;
+  }
+  return TxKvTxnPtr(new OccTransaction(store_, start_tn));
+}
+
+Status OccTransaction::Get(const Slice& key, std::string* value) {
+  if (!active_) return Status::InvalidArgument("transaction finished");
+  auto cached = write_cache_.find(key.ToString());
+  if (cached != write_cache_.end()) {
+    *value = cached->second;
+    return Status::OK();
+  }
+  read_set_.Add(key.ToString());
+  return store_->records_->Get(key, value);
+}
+
+Status OccTransaction::Put(const Slice& key, const Slice& value) {
+  if (!active_) return Status::InvalidArgument("transaction finished");
+  write_cache_[key.ToString()] = value.ToString();
+  return Status::OK();
+}
+
+Status OccTransaction::Commit() {
+  if (!active_) return Status::InvalidArgument("transaction finished");
+  active_ = false;
+
+  std::lock_guard<std::mutex> guard(store_->validate_mu_);
+  store_->validations_.fetch_add(1, std::memory_order_relaxed);
+
+  if (start_tn_ < store_->oldest_tn_) {
+    // History needed for validation was pruned: conservatively abort.
+    store_->aborts_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Conflict("validation history pruned");
+  }
+
+  // Backward validation: our reads against the write sets of everyone who
+  // committed while we ran.
+  for (const OccStore::CommittedTxn& committed : store_->history_) {
+    if (committed.tn <= start_tn_) continue;
+    if (committed.write_set.Intersects(read_set_)) {
+      store_->aborts_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Conflict("read-write conflict in validation");
+    }
+  }
+
+  // Read-only transactions register nothing: read-write transactions are
+  // never verified against them (the paper's modification).
+  if (write_cache_.empty()) return Status::OK();
+
+  // Write phase (inside the critical section, as in serial-validation
+  // Kung-Robinson).
+  KeySet write_set;
+  for (const auto& [key, value] : write_cache_) {
+    Status s = store_->records_->Put(key, value);
+    if (!s.ok()) return s;
+    write_set.Add(key);
+  }
+  const uint64_t tn = ++store_->committed_tn_;
+  store_->history_.push_back({tn, std::move(write_set)});
+  while (store_->history_.size() > store_->history_limit_) {
+    store_->oldest_tn_ = store_->history_.front().tn;
+    store_->history_.pop_front();
+  }
+  return Status::OK();
+}
+
+}  // namespace tardis

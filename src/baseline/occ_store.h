@@ -1,0 +1,96 @@
+// OccStore: optimistic concurrency control baseline — a modified
+// Kung–Robinson backward-validation scheme. The paper's modification
+// (§7.1.1) is that read-write transactions are not verified against
+// read-only ones; that falls out naturally here because read-only
+// transactions never register a write set. Read-only transactions *are*
+// validated (their reads against concurrent committers' writes), which is
+// why OCC trails in the read-heavy workload (§7.1.2).
+//
+// Reads go straight to the committed store and are recorded in the read
+// set; writes are buffered. At commit, the transaction enters the
+// (serial) validation section and checks its read set against the write
+// sets of every transaction that committed after it began; any overlap is
+// a conflict and the transaction aborts (Status::Conflict). Validation
+// cost grows with the number of concurrently committing transactions —
+// the bottleneck the paper measures.
+
+#ifndef TARDIS_BASELINE_OCC_STORE_H_
+#define TARDIS_BASELINE_OCC_STORE_H_
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baseline/txkv.h"
+#include "core/types.h"
+#include "storage/record_store.h"
+
+namespace tardis {
+
+struct OccOptions {
+  /// Empty = in-memory records; otherwise a disk-backed B+Tree.
+  std::string dir;
+  size_t cache_pages = 8192;
+  /// Committed write sets older than this many transactions are pruned
+  /// (any validator that old would be aborted conservatively).
+  size_t history_limit = 4096;
+};
+
+class OccStore : public TxKvStore {
+ public:
+  static StatusOr<std::unique_ptr<OccStore>> Open(const OccOptions& options);
+
+  std::unique_ptr<TxKvClient> NewClient() override;
+  std::string name() const override { return "OCC"; }
+
+  uint64_t aborts() const { return aborts_.load(); }
+  uint64_t validations() const { return validations_.load(); }
+
+ private:
+  friend class OccTransaction;
+  friend class OccClient;
+  explicit OccStore(size_t history_limit) : history_limit_(history_limit) {}
+
+  struct CommittedTxn {
+    uint64_t tn;
+    KeySet write_set;
+  };
+
+  std::unique_ptr<RecordStore> records_;
+  const size_t history_limit_;
+
+  std::mutex validate_mu_;                // the serial validation section
+  uint64_t committed_tn_ = 0;             // guarded by validate_mu_
+  uint64_t oldest_tn_ = 0;                // guarded by validate_mu_
+  std::deque<CommittedTxn> history_;      // guarded by validate_mu_
+
+  std::atomic<uint64_t> aborts_{0};
+  std::atomic<uint64_t> validations_{0};
+};
+
+class OccTransaction : public TxKvTransaction {
+ public:
+  Status Get(const Slice& key, std::string* value) override;
+  Status Put(const Slice& key, const Slice& value) override;
+  Status Commit() override;
+  void Abort() override { active_ = false; }
+
+ private:
+  friend class OccClient;
+  OccTransaction(OccStore* store, uint64_t start_tn)
+      : store_(store), start_tn_(start_tn) {}
+
+  OccStore* const store_;
+  const uint64_t start_tn_;
+  KeySet read_set_;
+  std::map<std::string, std::string> write_cache_;
+  bool active_ = true;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_BASELINE_OCC_STORE_H_

@@ -1,0 +1,65 @@
+#include "baseline/tardis_txkv.h"
+
+#include <functional>
+
+namespace tardis {
+
+class TardisTxKv::Txn : public TxKvTransaction {
+ public:
+  Txn(TxnPtr inner, EndConstraintPtr end, std::function<void()> on_commit)
+      : inner_(std::move(inner)),
+        end_(std::move(end)),
+        on_commit_(std::move(on_commit)) {}
+
+  Status Get(const Slice& key, std::string* value) override {
+    return inner_->Get(key, value);
+  }
+  Status Put(const Slice& key, const Slice& value) override {
+    return inner_->Put(key, value);
+  }
+  Status Commit() override {
+    Status s = inner_->Commit(end_);
+    if (s.ok() && on_commit_) on_commit_();
+    return s;
+  }
+  void Abort() override { inner_->Abort(); }
+
+ private:
+  TxnPtr inner_;
+  EndConstraintPtr end_;
+  std::function<void()> on_commit_;
+};
+
+class TardisTxKv::Client : public TxKvClient {
+ public:
+  Client(TardisTxKv* owner)
+      : owner_(owner), session_(owner->store_->CreateSession()) {}
+
+  StatusOr<TxKvTxnPtr> Begin() override {
+    auto txn = owner_->store_->Begin(session_.get(), owner_->begin_);
+    if (!txn.ok()) return txn.status();
+    std::function<void()> on_commit;
+    if (owner_->ceiling_interval_ > 0) {
+      on_commit = [this] {
+        if (++commits_ % owner_->ceiling_interval_ == 0) {
+          owner_->store_->PlaceCeiling(session_.get());
+        }
+      };
+    }
+    return TxKvTxnPtr(
+        new Txn(std::move(*txn), owner_->end_, std::move(on_commit)));
+  }
+
+  ClientSession* session() { return session_.get(); }
+
+ private:
+  TardisTxKv* const owner_;
+  std::unique_ptr<ClientSession> session_;
+  uint64_t commits_ = 0;
+};
+
+std::unique_ptr<TxKvClient> TardisTxKv::NewClient() {
+  return std::make_unique<Client>(this);
+}
+
+}  // namespace tardis

@@ -1,0 +1,53 @@
+// TardisTxKv: adapts a TardisStore to the backend-neutral TxKV interface
+// so the benchmark driver and the applications can run the same code on
+// TARDiS and on the baselines. The begin/end constraints are fixed at
+// adapter construction (e.g. Ancestor + Serializability for the branching
+// configurations of Fig. 10, Ancestor + Serializability∧NoBranching for
+// the sequential configuration of Fig. 9).
+
+#ifndef TARDIS_BASELINE_TARDIS_TXKV_H_
+#define TARDIS_BASELINE_TARDIS_TXKV_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "baseline/txkv.h"
+#include "core/tardis_store.h"
+
+namespace tardis {
+
+class TardisTxKv : public TxKvStore {
+ public:
+  /// `store` must outlive the adapter. Null constraints select the store
+  /// defaults (Ancestor / Serializability). When `ceiling_interval` is
+  /// non-zero, each client places a GC ceiling at its last commit every
+  /// that-many commits (the §7.1.5 configuration).
+  TardisTxKv(TardisStore* store, BeginConstraintPtr begin = nullptr,
+             EndConstraintPtr end = nullptr, std::string label = "TARDiS",
+             uint64_t ceiling_interval = 0)
+      : store_(store),
+        begin_(std::move(begin)),
+        end_(std::move(end)),
+        label_(std::move(label)),
+        ceiling_interval_(ceiling_interval) {}
+
+  std::unique_ptr<TxKvClient> NewClient() override;
+  std::string name() const override { return label_; }
+
+  TardisStore* store() { return store_; }
+
+ private:
+  class Client;
+  class Txn;
+
+  TardisStore* const store_;
+  const BeginConstraintPtr begin_;
+  const EndConstraintPtr end_;
+  const std::string label_;
+  const uint64_t ceiling_interval_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_BASELINE_TARDIS_TXKV_H_

@@ -1,0 +1,89 @@
+#include "baseline/twopl_store.h"
+
+#include "storage/btree_record_store.h"
+#include "storage/memstore.h"
+
+namespace tardis {
+
+class TwoPLClient : public TxKvClient {
+ public:
+  explicit TwoPLClient(TwoPLStore* store) : store_(store) {}
+
+  StatusOr<TxKvTxnPtr> Begin() override {
+    const LockTxnId id = store_->next_txn_.fetch_add(1);
+    return TxKvTxnPtr(new TwoPLTransaction(store_, id));
+  }
+
+ private:
+  TwoPLStore* const store_;
+};
+
+StatusOr<std::unique_ptr<TwoPLStore>> TwoPLStore::Open(
+    const TwoPLOptions& options) {
+  std::unique_ptr<TwoPLStore> store(new TwoPLStore(options.lock_timeout_us));
+  if (options.dir.empty()) {
+    store->records_ = std::make_unique<MemRecordStore>();
+  } else {
+    auto rs = BTreeRecordStore::Open(options.dir + "/records.db",
+                                     options.cache_pages);
+    if (!rs.ok()) return rs.status();
+    store->records_ = std::move(*rs);
+  }
+  return store;
+}
+
+std::unique_ptr<TxKvClient> TwoPLStore::NewClient() {
+  return std::make_unique<TwoPLClient>(this);
+}
+
+TwoPLTransaction::~TwoPLTransaction() {
+  if (active_) Abort();
+}
+
+Status TwoPLTransaction::Get(const Slice& key, std::string* value) {
+  if (!active_) return Status::InvalidArgument("transaction finished");
+  auto cached = write_cache_.find(key.ToString());
+  if (cached != write_cache_.end()) {
+    *value = cached->second;
+    return Status::OK();
+  }
+  Status s = store_->locks_.AcquireShared(id_, key.ToString());
+  if (!s.ok()) {
+    Abort();
+    return s;
+  }
+  return store_->records_->Get(key, value);
+}
+
+Status TwoPLTransaction::Put(const Slice& key, const Slice& value) {
+  if (!active_) return Status::InvalidArgument("transaction finished");
+  Status s = store_->locks_.AcquireExclusive(id_, key.ToString());
+  if (!s.ok()) {
+    Abort();
+    return s;
+  }
+  write_cache_[key.ToString()] = value.ToString();
+  return Status::OK();
+}
+
+Status TwoPLTransaction::Commit() {
+  if (!active_) return Status::InvalidArgument("transaction finished");
+  for (const auto& [key, value] : write_cache_) {
+    Status s = store_->records_->Put(key, value);
+    if (s.ok()) continue;
+    Abort();
+    return s;
+  }
+  store_->locks_.ReleaseAll(id_);
+  active_ = false;
+  return Status::OK();
+}
+
+void TwoPLTransaction::Abort() {
+  if (!active_) return;
+  store_->locks_.ReleaseAll(id_);
+  store_->aborts_.fetch_add(1, std::memory_order_relaxed);
+  active_ = false;
+}
+
+}  // namespace tardis

@@ -1,0 +1,79 @@
+// TwoPLStore ("SeqKV"): a strictly sequential transactional KV using
+// strict two-phase locking over the shared storage substrate. This is the
+// repo's stand-in for the paper's BerkeleyDB baseline: a widely-used ACID
+// store whose record locks make conflicting writers (and readers of
+// written records) block.
+//
+// Protocol: reads take shared record locks, writes take exclusive record
+// locks (upgrading if needed); writes are buffered and applied at commit;
+// all locks release at commit/abort (strict 2PL). Lock-wait timeouts
+// resolve deadlocks; the caller sees Status::Busy and retries.
+
+#ifndef TARDIS_BASELINE_TWOPL_STORE_H_
+#define TARDIS_BASELINE_TWOPL_STORE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baseline/lock_manager.h"
+#include "baseline/txkv.h"
+#include "storage/record_store.h"
+
+namespace tardis {
+
+struct TwoPLOptions {
+  /// Empty = in-memory records; otherwise a disk-backed B+Tree at
+  /// dir/records.db.
+  std::string dir;
+  size_t cache_pages = 8192;
+  uint64_t lock_timeout_us = 50'000;
+};
+
+class TwoPLStore : public TxKvStore {
+ public:
+  static StatusOr<std::unique_ptr<TwoPLStore>> Open(
+      const TwoPLOptions& options);
+
+  std::unique_ptr<TxKvClient> NewClient() override;
+  std::string name() const override { return "SeqKV-2PL"; }
+
+  RecordStore* record_store() { return records_.get(); }
+  LockManager* lock_manager() { return &locks_; }
+  uint64_t aborts() const { return aborts_.load(); }
+
+ private:
+  friend class TwoPLTransaction;
+  friend class TwoPLClient;
+  explicit TwoPLStore(uint64_t lock_timeout_us) : locks_(lock_timeout_us) {}
+
+  std::unique_ptr<RecordStore> records_;
+  LockManager locks_;
+  std::atomic<LockTxnId> next_txn_{1};
+  std::atomic<uint64_t> aborts_{0};
+};
+
+class TwoPLTransaction : public TxKvTransaction {
+ public:
+  ~TwoPLTransaction() override;
+
+  Status Get(const Slice& key, std::string* value) override;
+  Status Put(const Slice& key, const Slice& value) override;
+  Status Commit() override;
+  void Abort() override;
+
+ private:
+  friend class TwoPLClient;
+  TwoPLTransaction(TwoPLStore* store, LockTxnId id)
+      : store_(store), id_(id) {}
+
+  TwoPLStore* const store_;
+  const LockTxnId id_;
+  std::map<std::string, std::string> write_cache_;
+  bool active_ = true;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_BASELINE_TWOPL_STORE_H_

@@ -1,0 +1,53 @@
+// TxKV: a minimal backend-neutral transactional KV interface.
+//
+// The evaluation (§7) compares three systems on identical workloads:
+// TARDiS, BerkeleyDB ("BDB", here a strict-2PL store) and a custom OCC
+// implementation. Applications (Retwis, CRDTs) and the benchmark driver
+// program against this interface so the comparison is apples-to-apples.
+//
+// Concurrency model: a TxKvClient belongs to one thread; transactions are
+// created from a client and driven by that thread only. The stores behind
+// the interface are fully thread-safe across clients.
+
+#ifndef TARDIS_BASELINE_TXKV_H_
+#define TARDIS_BASELINE_TXKV_H_
+
+#include <memory>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tardis {
+
+class TxKvTransaction {
+ public:
+  virtual ~TxKvTransaction() = default;
+
+  virtual Status Get(const Slice& key, std::string* value) = 0;
+  virtual Status Put(const Slice& key, const Slice& value) = 0;
+
+  /// Commit may return Aborted/Busy/Conflict; the transaction is finished
+  /// either way and the caller retries with a fresh Begin.
+  virtual Status Commit() = 0;
+  virtual void Abort() = 0;
+};
+
+using TxKvTxnPtr = std::unique_ptr<TxKvTransaction>;
+
+class TxKvClient {
+ public:
+  virtual ~TxKvClient() = default;
+  virtual StatusOr<TxKvTxnPtr> Begin() = 0;
+};
+
+class TxKvStore {
+ public:
+  virtual ~TxKvStore() = default;
+  virtual std::unique_ptr<TxKvClient> NewClient() = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_BASELINE_TXKV_H_

@@ -1,0 +1,191 @@
+#include "bench/driver.h"
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace tardis {
+namespace bench {
+
+std::string DriverResult::Summary() const {
+  char buf[512];
+  snprintf(buf, sizeof(buf),
+           "committed=%llu aborted=%llu thr=%.0f txn/s "
+           "lat(mean=%.1fus p50=%.0fus p99=%.0fus) "
+           "ops(begin=%.4fms get=%.4fms put=%.4fms commit=%.4fms) useful=%.2f",
+           static_cast<unsigned long long>(committed),
+           static_cast<unsigned long long>(aborted), throughput,
+           txn_latency_us.mean(), txn_latency_us.Percentile(0.5),
+           txn_latency_us.Percentile(0.99), ops.BeginAvg() / 1000.0,
+           ops.GetAvg() / 1000.0, ops.PutAvg() / 1000.0,
+           ops.CommitAvg() / 1000.0, useful_fraction);
+  return buf;
+}
+
+Status Preload(TxKvStore* store, const WorkloadOptions& workload) {
+  auto client = store->NewClient();
+  TxnGenerator gen(workload, 0);
+  constexpr uint64_t kBatch = 128;
+  for (uint64_t k = 0; k < workload.num_keys; k += kBatch) {
+    auto txn = client->Begin();
+    if (!txn.ok()) return txn.status();
+    for (uint64_t i = k; i < std::min(k + kBatch, workload.num_keys); i++) {
+      TARDIS_RETURN_IF_ERROR(
+          (*txn)->Put(TxnGenerator::KeyName(i), gen.RandomValue()));
+    }
+    TARDIS_RETURN_IF_ERROR((*txn)->Commit());
+  }
+  return Status::OK();
+}
+
+namespace {
+
+struct ClientStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  Histogram latency;
+  OpBreakdown ops;
+  uint64_t useful_us = 0;
+  uint64_t busy_us = 0;
+};
+
+void ClientLoop(TxKvStore* store, const WorkloadOptions& workload,
+                const DriverOptions& options, size_t client_idx,
+                std::atomic<bool>* stop, std::atomic<bool>* recording,
+                std::atomic<uint64_t>* live_committed, ClientStats* out) {
+  auto client = store->NewClient();
+  TxnGenerator gen(workload, options.seed * 977 + client_idx);
+
+  while (!stop->load(std::memory_order_acquire)) {
+    bool read_only = false;
+    std::vector<Op> txn_ops = gen.NextTxn(&read_only);
+    const bool record = recording->load(std::memory_order_acquire);
+    const uint64_t txn_start = NowNanos();
+    uint64_t attempt_start = txn_start;
+    bool committed = false;
+
+    for (int attempt = 0; attempt <= options.max_retries; attempt++) {
+      attempt_start = NowNanos();
+      uint64_t t0 = NowNanos();
+      auto txn = client->Begin();
+      uint64_t t1 = NowNanos();
+      if (record) {
+        out->ops.begin_us += (t1 - t0) / 1000;
+        out->ops.begins++;
+      }
+      if (!txn.ok()) {
+        if (record) out->aborted++;
+        continue;
+      }
+      Status s = Status::OK();
+      std::string scratch;
+      for (const Op& op : txn_ops) {
+        t0 = NowNanos();
+        if (op.is_write) {
+          s = (*txn)->Put(op.key, gen.RandomValue());
+          t1 = NowNanos();
+          if (record) {
+            out->ops.put_us += (t1 - t0) / 1000;
+            out->ops.puts++;
+          }
+        } else {
+          s = (*txn)->Get(op.key, &scratch);
+          if (s.IsNotFound()) s = Status::OK();
+          t1 = NowNanos();
+          if (record) {
+            out->ops.get_us += (t1 - t0) / 1000;
+            out->ops.gets++;
+          }
+        }
+        if (!s.ok()) break;
+      }
+      if (s.ok()) {
+        t0 = NowNanos();
+        s = (*txn)->Commit();
+        t1 = NowNanos();
+        if (record) {
+          out->ops.commit_us += (t1 - t0) / 1000;
+          out->ops.commits++;
+        }
+      } else {
+        (*txn)->Abort();
+      }
+      const uint64_t now = NowNanos();
+      if (record) out->busy_us += (now - attempt_start) / 1000;
+      if (s.ok()) {
+        committed = true;
+        if (record) {
+          out->committed++;
+          out->latency.Add((now - txn_start) / 1000);
+          out->useful_us += (now - attempt_start) / 1000;
+          if (live_committed) {
+            live_committed->fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        break;
+      }
+      if (record) out->aborted++;
+      if (stop->load(std::memory_order_acquire)) break;
+    }
+    (void)committed;
+  }
+}
+
+}  // namespace
+
+DriverResult RunClosedLoop(TxKvStore* store, const WorkloadOptions& workload,
+                           const DriverOptions& options,
+                           std::atomic<uint64_t>* live_committed,
+                           const std::function<void(size_t)>& per_client_hook) {
+  std::atomic<bool> stop{false};
+  std::atomic<bool> recording{false};
+  std::vector<ClientStats> stats(options.num_clients);
+  std::vector<std::thread> threads;
+  threads.reserve(options.num_clients);
+  for (size_t c = 0; c < options.num_clients; c++) {
+    threads.emplace_back([&, c] {
+      if (per_client_hook) per_client_hook(c);
+      ClientLoop(store, workload, options, c, &stop, &recording,
+                 live_committed, &stats[c]);
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(options.warmup_ms));
+  const uint64_t measure_start = NowNanos();
+  recording.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(options.duration_ms));
+  recording.store(false, std::memory_order_release);
+  const uint64_t measure_end = NowNanos();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  DriverResult result;
+  uint64_t useful_us = 0, busy_us = 0;
+  for (const ClientStats& s : stats) {
+    result.committed += s.committed;
+    result.aborted += s.aborted;
+    result.txn_latency_us.Merge(s.latency);
+    result.ops.begin_us += s.ops.begin_us;
+    result.ops.begins += s.ops.begins;
+    result.ops.get_us += s.ops.get_us;
+    result.ops.gets += s.ops.gets;
+    result.ops.put_us += s.ops.put_us;
+    result.ops.puts += s.ops.puts;
+    result.ops.commit_us += s.ops.commit_us;
+    result.ops.commits += s.ops.commits;
+    useful_us += s.useful_us;
+    busy_us += s.busy_us;
+  }
+  result.seconds =
+      static_cast<double>(measure_end - measure_start) / 1e9;
+  result.throughput =
+      result.seconds > 0 ? static_cast<double>(result.committed) / result.seconds : 0;
+  result.useful_fraction =
+      busy_us > 0 ? static_cast<double>(useful_us) / static_cast<double>(busy_us) : 0;
+  return result;
+}
+
+}  // namespace bench
+}  // namespace tardis

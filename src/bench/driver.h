@@ -1,0 +1,70 @@
+// Closed-loop benchmark driver (§7.1.1): N client threads, each issuing
+// transactions back-to-back against a TxKvStore for a fixed duration.
+// Collects throughput, transaction latency, a per-operation latency
+// breakdown (begin/get/put/commit — Table 3), abort counts and the
+// useful-work fraction (Fig. 14d).
+
+#ifndef TARDIS_BENCH_DRIVER_H_
+#define TARDIS_BENCH_DRIVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "baseline/txkv.h"
+#include "bench/workload.h"
+#include "util/histogram.h"
+
+namespace tardis {
+namespace bench {
+
+struct DriverOptions {
+  size_t num_clients = 8;
+  uint64_t duration_ms = 2'000;
+  uint64_t warmup_ms = 200;
+  /// Retries of an aborted transaction before moving on.
+  int max_retries = 64;
+  uint64_t seed = 1234;
+};
+
+struct OpBreakdown {
+  uint64_t begin_us = 0, get_us = 0, put_us = 0, commit_us = 0;
+  uint64_t begins = 0, gets = 0, puts = 0, commits = 0;
+
+  double BeginAvg() const { return begins ? double(begin_us) / begins : 0; }
+  double GetAvg() const { return gets ? double(get_us) / gets : 0; }
+  double PutAvg() const { return puts ? double(put_us) / puts : 0; }
+  double CommitAvg() const { return commits ? double(commit_us) / commits : 0; }
+};
+
+struct DriverResult {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  double seconds = 0;
+  double throughput = 0;  ///< committed txns / second
+  Histogram txn_latency_us;
+  OpBreakdown ops;
+  /// Fraction of client busy-time spent inside transactions that went on
+  /// to commit (Fig. 14d's "useful work").
+  double useful_fraction = 0;
+
+  std::string Summary() const;
+};
+
+/// Preloads every key in the workload with an initial value.
+Status Preload(TxKvStore* store, const WorkloadOptions& workload);
+
+/// Runs the closed loop and aggregates results across clients.
+/// `live_committed`, when non-null, is incremented on every commit so a
+/// sampler thread can build time series (Fig. 13).
+DriverResult RunClosedLoop(TxKvStore* store, const WorkloadOptions& workload,
+                           const DriverOptions& options,
+                           std::atomic<uint64_t>* live_committed = nullptr,
+                           const std::function<void(size_t)>& per_client_hook =
+                               nullptr);
+
+}  // namespace bench
+}  // namespace tardis
+
+#endif  // TARDIS_BENCH_DRIVER_H_

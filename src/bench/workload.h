@@ -1,0 +1,140 @@
+// Workload specification for the §7.1 microbenchmarks.
+//
+// Transactions contain six operations (three reads + three writes in the
+// read-write case); mixes vary the ratio of read-only to read-write
+// transactions: Read-Only 100/0, Read-Heavy 75/25, Mixed 25/75,
+// Write-Heavy 0/100. Keys are chosen uniformly or with YCSB's scrambled
+// Zipfian (theta = 0.99). Fig. 10(d)'s "blind writes" mode issues
+// single-write transactions with no reads.
+
+#ifndef TARDIS_BENCH_WORKLOAD_H_
+#define TARDIS_BENCH_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace tardis {
+namespace bench {
+
+enum class Distribution { kUniform, kZipfian };
+
+enum class Mix { kReadOnly, kReadHeavy, kMixed, kWriteHeavy };
+
+inline double ReadOnlyFraction(Mix mix) {
+  switch (mix) {
+    case Mix::kReadOnly:
+      return 1.00;
+    case Mix::kReadHeavy:
+      return 0.75;
+    case Mix::kMixed:
+      return 0.25;
+    case Mix::kWriteHeavy:
+      return 0.00;
+  }
+  return 0;
+}
+
+inline const char* MixName(Mix mix) {
+  switch (mix) {
+    case Mix::kReadOnly:
+      return "read-only";
+    case Mix::kReadHeavy:
+      return "read-heavy";
+    case Mix::kMixed:
+      return "mixed";
+    case Mix::kWriteHeavy:
+      return "write-heavy";
+  }
+  return "?";
+}
+
+struct WorkloadOptions {
+  uint64_t num_keys = 10'000;
+  Distribution dist = Distribution::kUniform;
+  double zipf_theta = 0.99;
+  Mix mix = Mix::kReadHeavy;
+  int reads_per_txn = 3;
+  int writes_per_txn = 3;
+  int reads_per_ro_txn = 6;
+  size_t value_size = 64;
+  /// Fig. 10(d): every transaction is a single blind write.
+  bool blind_writes = false;
+};
+
+/// One operation of a generated transaction.
+struct Op {
+  bool is_write = false;
+  std::string key;
+};
+
+/// Per-client-thread key/transaction generator (deterministic per seed).
+class TxnGenerator {
+ public:
+  TxnGenerator(const WorkloadOptions& options, uint64_t seed)
+      : options_(options),
+        rng_(seed),
+        zipf_(options.num_keys, options.zipf_theta, seed ^ 0x5bd1e995) {}
+
+  static std::string KeyName(uint64_t k) {
+    char buf[24];
+    snprintf(buf, sizeof(buf), "user%010llu",
+             static_cast<unsigned long long>(k));
+    return buf;
+  }
+
+  std::string NextKey() {
+    const uint64_t k = options_.dist == Distribution::kUniform
+                           ? rng_.Uniform(options_.num_keys)
+                           : zipf_.Next();
+    return KeyName(k);
+  }
+
+  /// Generates the next transaction's operations.
+  std::vector<Op> NextTxn(bool* read_only) {
+    std::vector<Op> ops;
+    if (options_.blind_writes) {
+      *read_only = false;
+      ops.push_back({true, NextKey()});
+      return ops;
+    }
+    *read_only = rng_.Bernoulli(ReadOnlyFraction(options_.mix));
+    if (*read_only) {
+      for (int i = 0; i < options_.reads_per_ro_txn; i++) {
+        ops.push_back({false, NextKey()});
+      }
+    } else {
+      for (int i = 0; i < options_.reads_per_txn; i++) {
+        ops.push_back({false, NextKey()});
+      }
+      for (int i = 0; i < options_.writes_per_txn; i++) {
+        ops.push_back({true, NextKey()});
+      }
+    }
+    return ops;
+  }
+
+  std::string RandomValue() {
+    std::string v(options_.value_size, 'x');
+    for (size_t i = 0; i < v.size(); i += 8) {
+      v[i] = static_cast<char>('a' + rng_.Uniform(26));
+    }
+    return v;
+  }
+
+  const WorkloadOptions& options() const { return options_; }
+
+ private:
+  WorkloadOptions options_;
+  Random rng_;
+  ScrambledZipfianGenerator zipf_;
+};
+
+}  // namespace bench
+}  // namespace tardis
+
+#endif  // TARDIS_BENCH_WORKLOAD_H_

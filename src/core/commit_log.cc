@@ -1,0 +1,74 @@
+#include "core/commit_log.h"
+
+#include "util/coding.h"
+
+namespace tardis {
+
+StatusOr<std::unique_ptr<CommitLog>> CommitLog::Open(const std::string& path,
+                                                     Wal::FlushMode mode) {
+  auto wal = Wal::Open(path, mode);
+  if (!wal.ok()) return wal.status();
+  return std::unique_ptr<CommitLog>(new CommitLog(std::move(*wal)));
+}
+
+std::string CommitLog::Serialize(const CommitLogEntry& entry) {
+  std::string out;
+  PutVarint64(&out, entry.id);
+  PutVarint64(&out, entry.guid.site);
+  PutVarint64(&out, entry.guid.seq);
+  PutVarint64(&out, entry.parent_ids.size());
+  for (StateId p : entry.parent_ids) PutVarint64(&out, p);
+  out.push_back(entry.is_merge ? 1 : 0);
+  PutVarint64(&out, entry.write_keys.size());
+  for (const std::string& k : entry.write_keys) {
+    PutLengthPrefixed(&out, Slice(k));
+  }
+  return out;
+}
+
+bool CommitLog::Deserialize(const Slice& payload, CommitLogEntry* entry) {
+  Slice in = payload;
+  uint64_t v = 0;
+  if (!GetVarint64(&in, &v)) return false;
+  entry->id = v;
+  if (!GetVarint64(&in, &v)) return false;
+  entry->guid.site = static_cast<uint32_t>(v);
+  if (!GetVarint64(&in, &v)) return false;
+  entry->guid.seq = v;
+  uint64_t nparents = 0;
+  if (!GetVarint64(&in, &nparents)) return false;
+  entry->parent_ids.clear();
+  for (uint64_t i = 0; i < nparents; i++) {
+    if (!GetVarint64(&in, &v)) return false;
+    entry->parent_ids.push_back(v);
+  }
+  if (in.empty()) return false;
+  entry->is_merge = in[0] != 0;
+  in.remove_prefix(1);
+  uint64_t nkeys = 0;
+  if (!GetVarint64(&in, &nkeys)) return false;
+  entry->write_keys.clear();
+  for (uint64_t i = 0; i < nkeys; i++) {
+    Slice k;
+    if (!GetLengthPrefixed(&in, &k)) return false;
+    entry->write_keys.push_back(k.ToString());
+  }
+  return in.empty();
+}
+
+Status CommitLog::Append(const CommitLogEntry& entry) {
+  return wal_->Append(Slice(Serialize(entry)));
+}
+
+Status CommitLog::Replay(
+    const std::function<Status(const CommitLogEntry&)>& fn) {
+  return wal_->ReadAll([&fn](const Slice& payload) {
+    CommitLogEntry entry;
+    if (!Deserialize(payload, &entry)) {
+      return Status::Corruption("undecodable commit log entry");
+    }
+    return fn(entry);
+  });
+}
+
+}  // namespace tardis

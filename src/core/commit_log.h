@@ -1,0 +1,54 @@
+// CommitLog: the durability log of §6.5. At commit time TARDiS logs "the
+// id of the corresponding commit state, its parent state(s) ids, and the
+// transaction's write set keys"; we additionally log the replication
+// identity (guid) so replicas can exchange states after recovery. Values
+// are persisted separately in the record store, keyed by (key, state id).
+
+#ifndef TARDIS_CORE_COMMIT_LOG_H_
+#define TARDIS_CORE_COMMIT_LOG_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace tardis {
+
+struct CommitLogEntry {
+  StateId id = kInvalidStateId;
+  GlobalStateId guid;
+  std::vector<StateId> parent_ids;
+  bool is_merge = false;
+  std::vector<std::string> write_keys;
+};
+
+class CommitLog {
+ public:
+  static StatusOr<std::unique_ptr<CommitLog>> Open(const std::string& path,
+                                                   Wal::FlushMode mode);
+
+  Status Append(const CommitLogEntry& entry);
+  /// Replays entries in append (= chronological = id) order. Stops cleanly
+  /// at the first torn record.
+  Status Replay(const std::function<Status(const CommitLogEntry&)>& fn);
+  Status Sync() { return wal_->Sync(); }
+  /// Discards the log after a checkpoint.
+  Status Truncate() { return wal_->Truncate(); }
+  /// Bytes appended since open/truncate (drives automatic checkpoints).
+  uint64_t appended_bytes() const { return wal_->appended_bytes(); }
+
+  static std::string Serialize(const CommitLogEntry& entry);
+  static bool Deserialize(const Slice& payload, CommitLogEntry* entry);
+
+ private:
+  explicit CommitLog(std::unique_ptr<Wal> wal) : wal_(std::move(wal)) {}
+  std::unique_ptr<Wal> wal_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_COMMIT_LOG_H_

@@ -1,0 +1,281 @@
+#include "core/constraints.h"
+
+#include "core/state_dag.h"
+
+namespace tardis {
+
+namespace {
+
+// ---- begin constraints -----------------------------------------------------
+
+class AnyBeginC : public BeginConstraint {
+ public:
+  bool Satisfies(const TxnContext&, const State&) const override {
+    return true;
+  }
+  std::string name() const override { return "Any"; }
+};
+
+class ParentBeginC : public BeginConstraint {
+ public:
+  bool Satisfies(const TxnContext& ctx, const State& s) const override {
+    // Before the first commit the client has no parent; the root (id 0)
+    // or any state stands in — we accept only the root so behavior is
+    // deterministic.
+    if (ctx.session_last_commit == nullptr) return s.parents().empty();
+    return s.id() == ctx.session_last_commit->id();
+  }
+  std::string name() const override { return "Parent"; }
+};
+
+class AncestorBeginC : public BeginConstraint {
+ public:
+  bool Satisfies(const TxnContext& ctx, const State& s) const override {
+    if (ctx.session_last_commit == nullptr) return true;
+    // Read-my-writes: the read state must descend from (or be) the
+    // client's last commit.
+    return StateDag::DescendantCheck(*ctx.session_last_commit, s);
+  }
+  bool PrefersSessionTip() const override { return true; }
+  std::string name() const override { return "Ancestor"; }
+};
+
+class StateIdBeginC : public BeginConstraint {
+ public:
+  explicit StateIdBeginC(StateId id) : id_(id) {}
+  bool Satisfies(const TxnContext&, const State& s) const override {
+    return s.id() == id_;
+  }
+  std::string name() const override {
+    return "StateID(" + std::to_string(id_) + ")";
+  }
+
+ private:
+  const StateId id_;
+};
+
+class AndBeginC : public BeginConstraint {
+ public:
+  explicit AndBeginC(std::vector<BeginConstraintPtr> parts)
+      : parts_(std::move(parts)) {}
+  bool Satisfies(const TxnContext& ctx, const State& s) const override {
+    for (const auto& p : parts_) {
+      if (!p->Satisfies(ctx, s)) return false;
+    }
+    return true;
+  }
+  std::string name() const override { return Compose("And"); }
+
+ private:
+  std::string Compose(const char* op) const {
+    std::string out = op;
+    out += "(";
+    for (size_t i = 0; i < parts_.size(); i++) {
+      if (i) out += ",";
+      out += parts_[i]->name();
+    }
+    return out + ")";
+  }
+  const std::vector<BeginConstraintPtr> parts_;
+};
+
+class OrBeginC : public BeginConstraint {
+ public:
+  explicit OrBeginC(std::vector<BeginConstraintPtr> parts)
+      : parts_(std::move(parts)) {}
+  bool Satisfies(const TxnContext& ctx, const State& s) const override {
+    for (const auto& p : parts_) {
+      if (p->Satisfies(ctx, s)) return true;
+    }
+    return false;
+  }
+  std::string name() const override { return "Or(...)"; }
+
+ private:
+  const std::vector<BeginConstraintPtr> parts_;
+};
+
+// ---- end constraints -------------------------------------------------------
+
+class AnyEndC : public EndConstraint {
+ public:
+  bool StepOk(const TxnContext&, const State&) const override { return true; }
+  bool FinalOk(const TxnContext&, const State&) const override {
+    return true;
+  }
+  std::string name() const override { return "Any"; }
+};
+
+class SerializabilityEndC : public EndConstraint {
+ public:
+  bool StepOk(const TxnContext& ctx, const State& next) const override {
+    // Backward validation against the concurrently committed state: a
+    // read-write conflict (they wrote what we read) forbids serializing
+    // us after them with our stale read.
+    return !next.write_set().Intersects(ctx.reads);
+  }
+  bool FinalOk(const TxnContext&, const State&) const override {
+    return true;
+  }
+  std::string name() const override { return "Serializability"; }
+};
+
+class SnapshotIsolationEndC : public EndConstraint {
+ public:
+  bool StepOk(const TxnContext& ctx, const State& next) const override {
+    // First-committer-wins: write-write conflicts may not ripple.
+    return !next.write_set().Intersects(ctx.writes);
+  }
+  bool FinalOk(const TxnContext&, const State&) const override {
+    return true;
+  }
+  std::string name() const override { return "SnapshotIsolation"; }
+};
+
+class ReadCommittedEndC : public EndConstraint {
+ public:
+  bool StepOk(const TxnContext&, const State&) const override { return true; }
+  bool FinalOk(const TxnContext&, const State&) const override {
+    return true;
+  }
+  std::string name() const override { return "ReadCommitted"; }
+};
+
+class NoBranchingEndC : public EndConstraint {
+ public:
+  bool StepOk(const TxnContext&, const State&) const override { return true; }
+  bool FinalOk(const TxnContext&, const State& parent) const override {
+    return parent.children().empty();
+  }
+  std::string name() const override { return "NoBranching"; }
+};
+
+class KBranchingEndC : public EndConstraint {
+ public:
+  explicit KBranchingEndC(uint32_t k) : k_(k) {}
+  bool StepOk(const TxnContext&, const State&) const override { return true; }
+  bool FinalOk(const TxnContext&, const State& parent) const override {
+    // Table 1: "state has fewer than k-1 children".
+    return parent.children().size() + 1 < k_;
+  }
+  std::string name() const override {
+    return "KBranching(" + std::to_string(k_) + ")";
+  }
+
+ private:
+  const uint32_t k_;
+};
+
+class StateIdEndC : public EndConstraint {
+ public:
+  explicit StateIdEndC(StateId target) : target_(target) {}
+  bool StepOk(const TxnContext&, const State& next) const override {
+    // Only ripple toward the target: through its ancestors.
+    return next.id() <= target_;
+  }
+  bool FinalOk(const TxnContext&, const State& parent) const override {
+    return parent.id() == target_;
+  }
+  std::string name() const override {
+    return "StateID(" + std::to_string(target_) + ")";
+  }
+
+ private:
+  const StateId target_;
+};
+
+class AndEndC : public EndConstraint {
+ public:
+  explicit AndEndC(std::vector<EndConstraintPtr> parts)
+      : parts_(std::move(parts)) {}
+  bool StepOk(const TxnContext& ctx, const State& next) const override {
+    for (const auto& p : parts_) {
+      if (!p->StepOk(ctx, next)) return false;
+    }
+    return true;
+  }
+  bool FinalOk(const TxnContext& ctx, const State& parent) const override {
+    for (const auto& p : parts_) {
+      if (!p->FinalOk(ctx, parent)) return false;
+    }
+    return true;
+  }
+  std::string name() const override {
+    std::string out = "And(";
+    for (size_t i = 0; i < parts_.size(); i++) {
+      if (i) out += ",";
+      out += parts_[i]->name();
+    }
+    return out + ")";
+  }
+
+ private:
+  const std::vector<EndConstraintPtr> parts_;
+};
+
+class OrEndC : public EndConstraint {
+ public:
+  explicit OrEndC(std::vector<EndConstraintPtr> parts)
+      : parts_(std::move(parts)) {}
+  bool StepOk(const TxnContext& ctx, const State& next) const override {
+    for (const auto& p : parts_) {
+      if (p->StepOk(ctx, next)) return true;
+    }
+    return false;
+  }
+  bool FinalOk(const TxnContext& ctx, const State& parent) const override {
+    for (const auto& p : parts_) {
+      if (p->FinalOk(ctx, parent)) return true;
+    }
+    return false;
+  }
+  std::string name() const override { return "Or(...)"; }
+
+ private:
+  const std::vector<EndConstraintPtr> parts_;
+};
+
+}  // namespace
+
+BeginConstraintPtr AnyBegin() { return std::make_shared<AnyBeginC>(); }
+BeginConstraintPtr ParentBegin() { return std::make_shared<ParentBeginC>(); }
+BeginConstraintPtr AncestorBegin() {
+  return std::make_shared<AncestorBeginC>();
+}
+BeginConstraintPtr StateIdBegin(StateId id) {
+  return std::make_shared<StateIdBeginC>(id);
+}
+BeginConstraintPtr AndBegin(std::vector<BeginConstraintPtr> parts) {
+  return std::make_shared<AndBeginC>(std::move(parts));
+}
+BeginConstraintPtr OrBegin(std::vector<BeginConstraintPtr> parts) {
+  return std::make_shared<OrBeginC>(std::move(parts));
+}
+
+EndConstraintPtr AnyEnd() { return std::make_shared<AnyEndC>(); }
+EndConstraintPtr SerializabilityEnd() {
+  return std::make_shared<SerializabilityEndC>();
+}
+EndConstraintPtr SnapshotIsolationEnd() {
+  return std::make_shared<SnapshotIsolationEndC>();
+}
+EndConstraintPtr ReadCommittedEnd() {
+  return std::make_shared<ReadCommittedEndC>();
+}
+EndConstraintPtr NoBranchingEnd() {
+  return std::make_shared<NoBranchingEndC>();
+}
+EndConstraintPtr KBranchingEnd(uint32_t k) {
+  return std::make_shared<KBranchingEndC>(k);
+}
+EndConstraintPtr StateIdEnd(StateId target) {
+  return std::make_shared<StateIdEndC>(target);
+}
+EndConstraintPtr AndEnd(std::vector<EndConstraintPtr> parts) {
+  return std::make_shared<AndEndC>(std::move(parts));
+}
+EndConstraintPtr OrEnd(std::vector<EndConstraintPtr> parts) {
+  return std::make_shared<OrEndC>(std::move(parts));
+}
+
+}  // namespace tardis

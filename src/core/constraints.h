@@ -1,0 +1,111 @@
+// Begin and end constraints (Table 1).
+//
+// A *begin constraint* is a predicate over candidate read states; the
+// transaction reads from the most recent state that satisfies it (§6.1.1).
+// An *end constraint* governs commit-state selection (§6.1.2) and is split
+// into two predicates that together implement the "ripple down" of
+// Figure 6:
+//
+//   StepOk(txn, X)  — may the committing transaction ripple *through*
+//                     concurrently committed state X? This is where the
+//                     isolation levels live: Serializability rejects X if
+//                     X's writes intersect the transaction's reads;
+//                     Snapshot Isolation if they intersect its writes.
+//   FinalOk(txn, S) — may the transaction commit as a child of S? This is
+//                     where the structural constraints live: NoBranching
+//                     requires S to be childless, K-Branching bounds S's
+//                     fan-out, StateID pins S exactly.
+//
+// Constraints compose: And(...) requires all parts (the paper's "union" of
+// constraints, e.g. Serializability ∧ NoBranching mimics sequential
+// storage), Or(...) accepts any part.
+//
+// All constraint objects are immutable and shareable across transactions
+// and threads.
+
+#ifndef TARDIS_CORE_CONSTRAINTS_H_
+#define TARDIS_CORE_CONSTRAINTS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/state.h"
+#include "core/txn_context.h"
+
+namespace tardis {
+
+class BeginConstraint {
+ public:
+  virtual ~BeginConstraint() = default;
+  /// True iff `s` is an acceptable read state for a transaction in
+  /// context `ctx`. Must be callable without the commit lock.
+  virtual bool Satisfies(const TxnContext& ctx, const State& s) const = 0;
+
+  /// True if the client's last committed state, while still a leaf, is a
+  /// most-recent satisfying state — lets Begin skip the BFS in the common
+  /// case of a client extending its own branch (Ancestor semantics).
+  virtual bool PrefersSessionTip() const { return false; }
+
+  virtual std::string name() const = 0;
+};
+
+class EndConstraint {
+ public:
+  virtual ~EndConstraint() = default;
+  /// May the ripple pass through concurrently committed state `next`?
+  /// Called with the commit lock held.
+  virtual bool StepOk(const TxnContext& ctx, const State& next) const = 0;
+  /// May the transaction commit as a child of `commit_parent`?
+  /// Called with the commit lock held.
+  virtual bool FinalOk(const TxnContext& ctx,
+                       const State& commit_parent) const = 0;
+  virtual std::string name() const = 0;
+};
+
+using BeginConstraintPtr = std::shared_ptr<const BeginConstraint>;
+using EndConstraintPtr = std::shared_ptr<const EndConstraint>;
+
+// ---- begin constraints -----------------------------------------------------
+
+/// "Always satisfies": the most recent state in the DAG (any leaf).
+BeginConstraintPtr AnyBegin();
+/// "State where client last committed" — Git-like: see only your own
+/// operations.
+BeginConstraintPtr ParentBegin();
+/// Descendant-or-self of the client's last committed state — read-my-
+/// writes plus any non-conflicting operations (§5.1's default).
+BeginConstraintPtr AncestorBegin();
+/// Exactly the state with this local id.
+BeginConstraintPtr StateIdBegin(StateId id);
+/// All sub-constraints must hold.
+BeginConstraintPtr AndBegin(std::vector<BeginConstraintPtr> parts);
+/// At least one sub-constraint must hold.
+BeginConstraintPtr OrBegin(std::vector<BeginConstraintPtr> parts);
+
+// ---- end constraints -------------------------------------------------------
+
+/// "Always satisfies."
+EndConstraintPtr AnyEnd();
+/// Serializability: no concurrently committed state between the read state
+/// and the commit state may have written a key this transaction read.
+EndConstraintPtr SerializabilityEnd();
+/// Snapshot isolation: first-committer-wins on the write sets.
+EndConstraintPtr SnapshotIsolationEnd();
+/// Read committed: every state in the DAG is committed, so always true.
+EndConstraintPtr ReadCommittedEnd();
+/// The commit parent must have no children: never create a local branch
+/// (conflicts abort instead — sequential-storage behavior).
+EndConstraintPtr NoBranchingEnd();
+/// The commit parent must have fewer than k-1 children: bounds the local
+/// branching degree (Table 1).
+EndConstraintPtr KBranchingEnd(uint32_t k);
+/// The commit parent must be exactly `target` (used by the replicator to
+/// apply remote transactions at their original parent).
+EndConstraintPtr StateIdEnd(StateId target);
+EndConstraintPtr AndEnd(std::vector<EndConstraintPtr> parts);
+EndConstraintPtr OrEnd(std::vector<EndConstraintPtr> parts);
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_CONSTRAINTS_H_

@@ -1,0 +1,91 @@
+// GarbageCollector: TARDiS' three-pronged garbage collection (§6.3).
+//
+//  1. Ceilings — clients promise never to use states preceding a ceiling
+//     as read states.
+//  2. DAG (path) compression — the three-pass algorithm of Figure 8:
+//     a ceiling-marking bottom-up pass, a safe-to-gc top-down pass, and a
+//     garbage-collecting pass that promotes non-fork-point states to
+//     their most recent surviving child.
+//  3. Record promotion/pruning — record versions of deleted states are
+//     re-tagged with their promoted state's id; of a chain sharing an id
+//     only the most recent survives.
+//
+// Runs either on demand (RunOnce) or on a background thread.
+
+#ifndef TARDIS_CORE_GC_H_
+#define TARDIS_CORE_GC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_set>
+#include <thread>
+#include <vector>
+
+#include "core/key_version_map.h"
+#include "core/state_dag.h"
+#include "storage/record_store.h"
+#include "util/status.h"
+
+namespace tardis {
+
+struct GcStats {
+  uint64_t runs = 0;
+  uint64_t states_marked = 0;
+  uint64_t states_deleted = 0;
+  uint64_t versions_promoted = 0;
+  uint64_t versions_pruned = 0;
+};
+
+class GarbageCollector {
+ public:
+  /// `record_store` may be null (pure in-memory configuration); then only
+  /// the in-memory version entries are pruned.
+  GarbageCollector(StateDag* dag, KeyVersionMap* kvmap,
+                   RecordStore* record_store);
+  ~GarbageCollector();
+
+  /// Registers a ceiling: states that are proper ancestors of `ceiling`
+  /// become eligible for compression on the next run.
+  void PlaceCeiling(const StatePtr& ceiling);
+
+  /// One full compression + pruning cycle. Safe to run concurrently with
+  /// transactions; DAG passes hold the commit lock.
+  GcStats RunOnce();
+
+  void StartBackground(uint64_t interval_ms);
+  void StopBackground();
+
+  GcStats TotalStats() const;
+
+ private:
+  void DagCompressionPass(GcStats* stats);
+  void RecordPromotionPass(GcStats* stats);
+
+  StateDag* const dag_;
+  KeyVersionMap* const kvmap_;
+  RecordStore* const record_store_;
+
+  std::mutex run_mu_;  ///< serializes whole collection cycles
+  std::mutex ceilings_mu_;
+  std::vector<StatePtr> pending_ceilings_;
+
+  /// Keys written by states deleted since the last promotion pass; only
+  /// these need record promotion. Touched by the GC thread only.
+  std::unordered_set<std::string> dirty_keys_;
+
+  mutable std::mutex stats_mu_;
+  GcStats total_;
+
+  std::thread bg_;
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool bg_stop_ = false;
+  bool bg_running_ = false;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_GC_H_

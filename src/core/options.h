@@ -1,0 +1,56 @@
+// TardisOptions: construction-time configuration of a TARDiS site.
+
+#ifndef TARDIS_CORE_OPTIONS_H_
+#define TARDIS_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/wal.h"
+
+namespace tardis {
+
+struct TardisOptions {
+  /// Directory for the record store and commit log. Empty means fully
+  /// in-memory and non-durable (handy for tests and benchmarks).
+  std::string dir;
+
+  /// Record persistence backend: true selects the disk-backed B+Tree
+  /// (the TARDiS-BDB configuration); false the in-memory store (the
+  /// TARDiS-MDB configuration). Ignored (forced false) when dir is empty.
+  bool use_btree = true;
+
+  /// Write the commit log (required for recovery). Needs a non-empty dir.
+  bool enable_commit_log = true;
+
+  /// kAsync trades durability for throughput (§6.5 "Asynchronous Flush");
+  /// kSync fsyncs the commit log on every commit.
+  Wal::FlushMode flush_mode = Wal::FlushMode::kAsync;
+
+  /// Buffer pool capacity for the B+Tree backend, in 4 KiB pages
+  /// (per shard when record_shards > 1).
+  size_t cache_pages = 8192;
+
+  /// Number of record-store partitions (§6.4's data-partitioning sketch:
+  /// the State DAG stays collocated with the transaction manager; record
+  /// payloads hash-shard across independent B+Trees, each with its own
+  /// file and lock domain). 1 = unsharded. Requires use_btree and a dir.
+  size_t record_shards = 1;
+
+  /// Replication identity of this site.
+  uint32_t site_id = 0;
+
+  /// Run recovery from the commit log on open (when a log exists).
+  bool recover_on_open = true;
+
+  /// When > 0, a checkpoint is taken automatically once the commit log
+  /// exceeds this many bytes (§6.5 "periodically takes non-blocking
+  /// checkpoints"), truncating the log. The checkpoint runs on the
+  /// committing thread; with FlushMode::kAsync it costs one DAG snapshot
+  /// plus a sequential file write.
+  uint64_t checkpoint_log_bytes = 0;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_OPTIONS_H_

@@ -1,0 +1,36 @@
+// Encoding of record-version keys as stored in the record B-Tree: a
+// length-prefixed user key followed by the fixed64 state id. Exact-match
+// lookups only, so the encoding just needs injectivity.
+
+#ifndef TARDIS_CORE_RECORD_CODEC_H_
+#define TARDIS_CORE_RECORD_CODEC_H_
+
+#include <string>
+
+#include "core/types.h"
+#include "util/coding.h"
+#include "util/slice.h"
+
+namespace tardis {
+
+inline std::string EncodeRecordKey(const Slice& user_key, StateId sid) {
+  std::string out;
+  PutLengthPrefixed(&out, user_key);
+  PutFixed64(&out, sid);
+  return out;
+}
+
+inline bool DecodeRecordKey(const Slice& record_key, std::string* user_key,
+                            StateId* sid) {
+  Slice in = record_key;
+  Slice k;
+  if (!GetLengthPrefixed(&in, &k)) return false;
+  if (in.size() != 8) return false;
+  *user_key = k.ToString();
+  *sid = DecodeFixed64(in.data());
+  return true;
+}
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_RECORD_CODEC_H_

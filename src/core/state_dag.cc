@@ -1,0 +1,406 @@
+#include "core/state_dag.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <queue>
+
+namespace tardis {
+
+namespace {
+/// Every replica names the initial empty-database state identically so
+/// that replicated transactions rooted at it resolve everywhere.
+const GlobalStateId kRootGuid{0xFFFFFFFFu, 0};
+}  // namespace
+
+StateDag::StateDag(uint32_t site_id) : site_id_(site_id) {
+  root_ = std::make_shared<State>(next_id_.fetch_add(1), kRootGuid);
+  by_id_[root_->id()] = root_;
+  by_guid_[kRootGuid] = root_;
+  leaves_.insert(root_.get());
+}
+
+bool StateDag::DescendantCheck(const State& writer, const State& reader) {
+  // Figure 7, verbatim: id equality, id ordering, then fork-path subset.
+  if (writer.id() == reader.id()) return true;
+  if (writer.id() > reader.id()) return false;
+  const auto wp = writer.fork_path();
+  const auto rp = reader.fork_path();
+  return wp->SubsetOf(*rp);
+}
+
+GlobalStateId StateDag::NextLocalGuid() {
+  return GlobalStateId{site_id_, next_seq_.fetch_add(1) + 1};
+}
+
+StatePtr StateDag::CreateStateLocked(const std::vector<StatePtr>& parents,
+                                     GlobalStateId guid, KeySet read_set,
+                                     KeySet write_set, bool is_merge) {
+  return CreateStateWithIdLocked(next_id_.fetch_add(1), parents, guid,
+                                 std::move(read_set), std::move(write_set),
+                                 is_merge);
+}
+
+StatePtr StateDag::CreateStateWithIdLocked(
+    StateId id, const std::vector<StatePtr>& parents, GlobalStateId guid,
+    KeySet read_set, KeySet write_set, bool is_merge) {
+  assert(!parents.empty());
+  // Keep the counters ahead of explicitly supplied ids (recovery).
+  uint64_t expect = next_id_.load();
+  while (expect <= id && !next_id_.compare_exchange_weak(expect, id + 1)) {
+  }
+  if (guid.site == site_id_) {
+    uint64_t seq = next_seq_.load();
+    while (seq < guid.seq && !next_seq_.compare_exchange_weak(seq, guid.seq)) {
+    }
+  }
+  auto state = std::make_shared<State>(id, guid);
+  state->read_set() = std::move(read_set);
+  state->write_set() = std::move(write_set);
+  state->set_is_merge(is_merge);
+
+  // Link under every parent first (running the retroactive fork
+  // annotation where a parent just became a fork point), and only then
+  // compute the new state's fork path from the parents' *updated* paths.
+  // The order matters when a merge names both a state and one of its own
+  // ancestors as parents: the ancestor's fork entry materializes during
+  // linking and must flow into the union.
+  std::vector<uint32_t> slots;
+  slots.reserve(parents.size());
+  for (const StatePtr& parent : parents) {
+    const uint32_t slot = parent->AllocateChildSlot();
+    slots.push_back(slot);
+    if (slot == 2) {
+      // The parent just became a fork point: retroactively annotate the
+      // first child's subtree with (parent, 1). Runs under the commit
+      // lock, before the new state is visible.
+      if (!parent->children().empty()) {
+        RetroactiveForkAnnotationLocked(parent->children()[0],
+                                        ForkPoint{parent->id(), 1});
+      }
+    }
+    parent->children().push_back(state);
+    state->parents().push_back(parent);
+    leaves_.erase(parent.get());
+  }
+  ForkPath path;
+  for (size_t i = 0; i < parents.size(); i++) {
+    path.Union(*parents[i]->fork_path());
+    if (slots[i] >= 2) {
+      path.Add(ForkPoint{parents[i]->id(), slots[i]});
+    }
+  }
+  state->set_fork_path(std::make_shared<const ForkPath>(std::move(path)));
+
+  by_id_[state->id()] = state;
+  by_guid_[state->guid()] = state;
+  leaves_.insert(state.get());
+  return state;
+}
+
+void StateDag::RetroactiveForkAnnotationLocked(const StatePtr& first_child,
+                                               ForkPoint entry) {
+  // DFS over the first child's subtree, adding `entry` to every fork
+  // path. Subtrees below a fresh fork are typically tiny: conflicts are
+  // detected within a handful of commits.
+  std::deque<StatePtr> work{first_child};
+  std::unordered_set<State*> seen;
+  while (!work.empty()) {
+    StatePtr s = work.back();
+    work.pop_back();
+    if (!seen.insert(s.get()).second) continue;
+    ForkPath updated = *s->fork_path();
+    updated.Add(entry);
+    s->set_fork_path(std::make_shared<const ForkPath>(std::move(updated)));
+    for (const StatePtr& c : s->children()) work.push_back(c);
+  }
+}
+
+std::vector<StatePtr> StateDag::Leaves() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<StatePtr> out;
+  out.reserve(leaves_.size());
+  for (State* leaf : leaves_) {
+    auto it = by_id_.find(leaf->id());
+    if (it != by_id_.end()) out.push_back(it->second);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StatePtr& a, const StatePtr& b) {
+              return a->id() > b->id();
+            });
+  return out;
+}
+
+StatePtr StateDag::ResolveLocked(StateId id) const {
+  StateId cur = id;
+  visited_scratch_.clear();
+  for (int hops = 0; hops < 1 << 20; hops++) {  // cycle guard
+    auto it = by_id_.find(cur);
+    if (it != by_id_.end()) {
+      // Union-find path compression: repoint every promotion entry on the
+      // walked chain directly at the live state, so chains stay O(1) no
+      // matter how many GC rounds splice them.
+      for (StateId hop : visited_scratch_) promoted_[hop] = cur;
+      return it->second;
+    }
+    auto promoted = promoted_.find(cur);
+    if (promoted == promoted_.end()) return nullptr;
+    visited_scratch_.push_back(cur);
+    cur = promoted->second;
+  }
+  return nullptr;
+}
+
+StatePtr StateDag::Resolve(StateId id) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return ResolveLocked(id);
+}
+
+StatePtr StateDag::ResolveGuidLocked(const GlobalStateId& guid) const {
+  auto it = by_guid_.find(guid);
+  return it == by_guid_.end() ? nullptr : it->second;
+}
+
+StatePtr StateDag::ResolveGuid(const GlobalStateId& guid) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return ResolveGuidLocked(guid);
+}
+
+StatePtr StateDag::BfsFromLeaves(
+    const std::function<bool(const StatePtr&)>& visit) const {
+  // Most-recent-first traversal: a max-heap on state id approximates the
+  // "breadth-first search through the State DAG from its leaves up" of
+  // §6.1.1 while guaranteeing we offer more recent states before their
+  // ancestors.
+  auto cmp = [](const StatePtr& a, const StatePtr& b) {
+    return a->id() < b->id();
+  };
+  std::priority_queue<StatePtr, std::vector<StatePtr>, decltype(cmp)> heap(
+      cmp);
+  std::unordered_set<State*> seen;
+
+  for (const StatePtr& leaf : Leaves()) {
+    if (seen.insert(leaf.get()).second) heap.push(leaf);
+  }
+  while (!heap.empty()) {
+    StatePtr s = heap.top();
+    heap.pop();
+    if (visit(s)) return s;
+    std::lock_guard<std::mutex> guard(mu_);
+    for (const StatePtr& p : s->parents()) {
+      if (p->deleted) continue;
+      if (seen.insert(p.get()).second) heap.push(p);
+    }
+  }
+  return nullptr;
+}
+
+StatePtr StateDag::FindForkPoint(const std::vector<StatePtr>& states) const {
+  if (states.empty()) return nullptr;
+  if (states.size() == 1) return states[0];
+
+  // Walk ancestors of each tip, collecting reachable sets; the deepest
+  // common ancestor is the common state with the largest id. The walk is
+  // bounded by the (compressed) DAG size.
+  std::lock_guard<std::mutex> guard(mu_);
+  std::unordered_map<State*, size_t> reach_count;
+  std::unordered_map<State*, StatePtr> ptr_of;
+  for (const StatePtr& tip : states) {
+    std::unordered_set<State*> seen;
+    std::deque<StatePtr> work{tip};
+    while (!work.empty()) {
+      StatePtr s = work.back();
+      work.pop_back();
+      if (!seen.insert(s.get()).second) continue;
+      reach_count[s.get()]++;
+      ptr_of[s.get()] = s;
+      for (const StatePtr& p : s->parents()) work.push_back(p);
+    }
+  }
+  StatePtr best;
+  for (const auto& [state, count] : reach_count) {
+    if (count == states.size()) {
+      if (!best || state->id() > best->id()) best = ptr_of[state];
+    }
+  }
+  return best;
+}
+
+std::vector<StatePtr> StateDag::FindForkPoints(
+    const std::vector<StatePtr>& states) const {
+  std::vector<StatePtr> out;
+  if (states.empty()) return out;
+  if (states.size() == 1) return {states[0]};
+  std::unordered_set<State*> seen;
+  for (size_t i = 0; i < states.size(); i++) {
+    for (size_t j = i + 1; j < states.size(); j++) {
+      StatePtr fork = FindForkPoint({states[i], states[j]});
+      if (fork != nullptr && seen.insert(fork.get()).second) {
+        out.push_back(std::move(fork));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StatePtr& a, const StatePtr& b) {
+              return a->id() > b->id();
+            });
+  // The overall (shallowest) fork point leads, matching the paper's
+  // examples that take `.first` as *the* fork point of the merge: it is
+  // the unique point from which every branch is reachable.
+  StatePtr overall = FindForkPoint(states);
+  if (overall != nullptr) {
+    auto it = std::find(out.begin(), out.end(), overall);
+    if (it != out.end()) out.erase(it);
+    out.insert(out.begin(), std::move(overall));
+  }
+  return out;
+}
+
+std::string StateDag::DebugString() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::string out;
+  std::vector<StatePtr> states;
+  states.reserve(by_id_.size());
+  for (const auto& [id, s] : by_id_) states.push_back(s);
+  std::sort(states.begin(), states.end(),
+            [](const StatePtr& a, const StatePtr& b) {
+              return a->id() < b->id();
+            });
+  for (const StatePtr& s : states) {
+    out += "state " + std::to_string(s->id()) + " guid=" +
+           s->guid().ToString();
+    out += " parents=[";
+    for (size_t i = 0; i < s->parents().size(); i++) {
+      if (i) out += ",";
+      out += std::to_string(s->parents()[i]->id());
+    }
+    out += "] path=" + s->fork_path()->ToString();
+    if (s->is_merge()) out += " MERGE";
+    if (s->children().empty()) out += " LEAF";
+    if (s->marked.load()) out += " marked";
+    if (!s->write_set().empty()) {
+      out += " writes={";
+      for (size_t i = 0; i < s->write_set().keys().size(); i++) {
+        if (i) out += ",";
+        out += s->write_set().keys()[i];
+      }
+      out += "}";
+    }
+    out += "\n";
+  }
+  out += "promotion table: " + std::to_string(promoted_.size()) +
+         " entries\n";
+  return out;
+}
+
+std::string StateDag::ToDot() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::string out = "digraph tardis {\n  rankdir=TB;\n";
+  for (const auto& [id, s] : by_id_) {
+    out += "  s" + std::to_string(id) + " [label=\"" + std::to_string(id);
+    if (s->is_merge()) out += "\\nmerge";
+    out += "\"";
+    if (s->children().empty()) out += ", style=bold";
+    out += "];\n";
+    for (const StatePtr& c : s->children()) {
+      out += "  s" + std::to_string(id) + " -> s" +
+             std::to_string(c->id()) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+KeySet StateDag::FindConflictWrites(const StatePtr& fork,
+                                    const std::vector<StatePtr>& tips) const {
+  // Per tip, union the write sets of states on the path(s) from the tip
+  // up to (excluding) the fork state; a key appearing under >= 2 tips is
+  // in conflict.
+  std::lock_guard<std::mutex> guard(mu_);
+  std::map<std::string, int> written_by_branches;
+  for (const StatePtr& tip : tips) {
+    KeySet branch_writes;
+    std::unordered_set<State*> seen;
+    std::deque<StatePtr> work{tip};
+    while (!work.empty()) {
+      StatePtr s = work.back();
+      work.pop_back();
+      if (s->id() <= fork->id()) continue;  // at or above the fork
+      if (!seen.insert(s.get()).second) continue;
+      branch_writes.Union(s->write_set());
+      branch_writes.Union(s->inherited_writes());
+      for (const StatePtr& p : s->parents()) work.push_back(p);
+    }
+    for (const std::string& k : branch_writes.keys()) {
+      written_by_branches[k]++;
+    }
+  }
+  KeySet conflicts;
+  for (const auto& [key, count] : written_by_branches) {
+    if (count >= 2) conflicts.Add(key);
+  }
+  return conflicts;
+}
+
+void StateDag::DeleteStateLocked(const StatePtr& victim,
+                                 const StatePtr& heir) {
+  assert(victim && heir);
+  // Unlink the victim and splice the heir in its place so the compressed
+  // DAG stays connected (Fig. 8: the child takes over the identity of its
+  // parent).
+  for (const StatePtr& c : victim->children()) {
+    auto& up = c->parents();
+    up.erase(std::remove(up.begin(), up.end(), victim), up.end());
+    if (c != heir) {
+      up.push_back(heir);
+      heir->children().push_back(c);
+    }
+  }
+  for (const StatePtr& p : victim->parents()) {
+    auto& siblings = p->children();
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), victim),
+                   siblings.end());
+    if (std::find(siblings.begin(), siblings.end(), heir) ==
+        siblings.end()) {
+      siblings.push_back(heir);
+      heir->parents().push_back(p);
+    }
+  }
+  victim->children().clear();
+  victim->parents().clear();
+  victim->deleted = true;
+
+  // Record the promotion target: the heir takes over the victim's
+  // identity (Fig. 8's Promote table). Write-set inheritance is the
+  // caller's job (the GC batches it per surviving heir — chain-at-a-time
+  // unions here would be quadratic in the chain length).
+  promoted_[victim->id()] = heir->id();
+
+  by_id_.erase(victim->id());
+  by_guid_.erase(victim->guid());
+  leaves_.erase(victim.get());
+}
+
+std::vector<StatePtr> StateDag::AllStatesLocked() const {
+  std::vector<StatePtr> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, state] : by_id_) out.push_back(state);
+  std::sort(out.begin(), out.end(),
+            [](const StatePtr& a, const StatePtr& b) {
+              return a->id() < b->id();
+            });
+  return out;
+}
+
+size_t StateDag::state_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return by_id_.size();
+}
+
+size_t StateDag::promotion_table_size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return promoted_.size();
+}
+
+}  // namespace tardis

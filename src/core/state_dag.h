@@ -1,0 +1,166 @@
+// StateDag: the consistency layer's directed acyclic graph of logical
+// database states (§4, §6.1).
+//
+// Responsibilities:
+//  * creating states (normal commits append one parent; merge commits
+//    several) and assigning monotone local ids;
+//  * maintaining fork paths. A state's fork path contains (a, b) for every
+//    ancestor fork state a reached through its b-th child. Fork entries
+//    materialize when a state gains its *second* child: the new child gets
+//    (parent, slot) and the existing child subtree is retroactively
+//    annotated with (parent, 1). The retroactive pass runs inside the
+//    commit critical section, before the new state is published, so
+//    readers never observe a torn branch structure (records created before
+//    the fork are filtered by the id comparison in descendantCheck);
+//  * the leaf set, which read-state selection walks "from the leaves up";
+//  * the promotion table id -> id left behind by DAG compression (§6.3),
+//    resolved union-find style;
+//  * mapping GlobalStateIds to states for the replicator.
+//
+// All structural mutation happens under mu_ (the commit lock). Read-side
+// helpers (DescendantCheck) touch only immutable snapshots and atomics.
+
+#ifndef TARDIS_CORE_STATE_DAG_H_
+#define TARDIS_CORE_STATE_DAG_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/state.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace tardis {
+
+class StateDag {
+ public:
+  /// Creates the DAG with its initial (empty-database) root state.
+  explicit StateDag(uint32_t site_id = 0);
+
+  StateDag(const StateDag&) = delete;
+  StateDag& operator=(const StateDag&) = delete;
+
+  /// The initial state.
+  StatePtr root() const { return root_; }
+  uint32_t site_id() const { return site_id_; }
+
+  /// Figure 7: can a transaction whose read state is `reader` see records
+  /// tagged with state `writer`? True iff writer is an ancestor-or-self of
+  /// reader. Thread-safe without the DAG lock.
+  static bool DescendantCheck(const State& writer, const State& reader);
+
+  /// Appends a new state with the given parents (>=1; >1 for merges).
+  /// `guid` must be unique; pass NextLocalGuid() for locally originated
+  /// commits. Returns the published state. Caller must hold the commit
+  /// lock (Lock()).
+  StatePtr CreateStateLocked(const std::vector<StatePtr>& parents,
+                             GlobalStateId guid, KeySet read_set,
+                             KeySet write_set, bool is_merge);
+
+  /// As CreateStateLocked but with a caller-chosen local id (recovery
+  /// replays states under their original ids so record B-Tree keys stay
+  /// valid, §6.5). Advances the id/seq counters past the given values.
+  StatePtr CreateStateWithIdLocked(StateId id,
+                                   const std::vector<StatePtr>& parents,
+                                   GlobalStateId guid, KeySet read_set,
+                                   KeySet write_set, bool is_merge);
+
+  /// Fresh replication identity for a local commit.
+  GlobalStateId NextLocalGuid();
+
+  /// Lock-held variants of Resolve/ResolveGuid (callers inside the commit
+  /// critical section).
+  StatePtr ResolveLocked(StateId id) const;
+  StatePtr ResolveGuidLocked(const GlobalStateId& guid) const;
+
+  /// The commit lock. Commit-state selection, state creation and version
+  /// publication happen under it.
+  std::mutex& Lock() { return mu_; }
+
+  /// Snapshot of the current leaves (states without children), most
+  /// recent first. Thread-safe.
+  std::vector<StatePtr> Leaves() const;
+
+  /// Resolves a (possibly garbage-collected) state id to the live state
+  /// that took over its identity, following the promotion table.
+  /// Returns nullptr if the id is unknown.
+  StatePtr Resolve(StateId id) const;
+
+  /// Lookup by replication identity (nullptr if absent). Follows
+  /// promotions.
+  StatePtr ResolveGuid(const GlobalStateId& guid) const;
+
+  /// Breadth-first search upward from the leaves; invokes `visit` on each
+  /// state in recency order until it returns true (state chosen) or the
+  /// DAG is exhausted. Returns the chosen state or nullptr. Thread-safe.
+  StatePtr BfsFromLeaves(
+      const std::function<bool(const StatePtr&)>& visit) const;
+
+  /// Deepest common ancestor of `states` — the fork point exposed by
+  /// findForkPoints (§6.2). For states on the same branch returns the
+  /// shallower one.
+  StatePtr FindForkPoint(const std::vector<StatePtr>& states) const;
+
+  /// The *structured* set of fork points (Table 2): the deepest common
+  /// ancestor of every pair of `states`, deduplicated and ordered deepest
+  /// (most recent) first. The first element is the overall fork point the
+  /// paper's examples use.
+  std::vector<StatePtr> FindForkPoints(
+      const std::vector<StatePtr>& states) const;
+
+  /// Human-readable dump of the DAG (ids, guids, edges, fork paths,
+  /// per-state write sets) for debugging and the interactive shell.
+  std::string DebugString() const;
+  /// Graphviz dot rendering of the DAG.
+  std::string ToDot() const;
+
+  /// Union of the write sets of all states strictly below `fork` on the
+  /// branches leading to each of `tips` — the raw material of
+  /// findConflictWrites. Keys written on >=2 of the branches are
+  /// conflicting.
+  KeySet FindConflictWrites(const StatePtr& fork,
+                            const std::vector<StatePtr>& tips) const;
+
+  // ---- GC support (used by GarbageCollector; all require Lock()) --------
+
+  /// Unlinks `victim` from the DAG, records Promote(victim -> heir) and
+  /// merges victim's write set into the heir (record promotion will move
+  /// the actual versions). `heir` must be victim's most recent surviving
+  /// child.
+  void DeleteStateLocked(const StatePtr& victim, const StatePtr& heir);
+
+  /// All live states, id order. Requires Lock().
+  std::vector<StatePtr> AllStatesLocked() const;
+
+  size_t state_count() const;
+  size_t promotion_table_size() const;
+  uint64_t max_id() const { return next_id_.load() - 1; }
+
+ private:
+  void RetroactiveForkAnnotationLocked(const StatePtr& first_child,
+                                       ForkPoint entry);
+
+  const uint32_t site_id_;
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<uint64_t> next_seq_{0};
+
+  mutable std::mutex mu_;  // commit lock: DAG structure + leaf set
+
+  StatePtr root_;
+  std::unordered_map<StateId, StatePtr> by_id_;
+  std::unordered_map<GlobalStateId, StatePtr, GlobalStateIdHash> by_guid_;
+  std::unordered_set<State*> leaves_;
+  // victim id -> heir id. Resolve() follows chains union-find style with
+  // path compression (chains are repointed at the live state they reach).
+  mutable std::unordered_map<StateId, StateId> promoted_;
+  mutable std::vector<StateId> visited_scratch_;  // guarded by mu_
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_STATE_DAG_H_

@@ -1,0 +1,520 @@
+#include "core/tardis_store.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/record_codec.h"
+#include "storage/btree_record_store.h"
+#include "storage/sharded_record_store.h"
+#include "storage/memstore.h"
+#include "util/logging.h"
+
+namespace tardis {
+
+namespace {
+constexpr const char* kCommitLogFile = "commit.log";
+constexpr const char* kCheckpointFile = "checkpoint.log";
+constexpr const char* kCheckpointTmpFile = "checkpoint.tmp";
+constexpr const char* kRecordsFile = "records.db";
+}  // namespace
+
+TardisStore::TardisStore(const TardisOptions& options)
+    : options_(options),
+      dag_(options.site_id),
+      default_begin_(AncestorBegin()),
+      default_end_(SerializabilityEnd()) {}
+
+TardisStore::~TardisStore() {
+  if (gc_) gc_->StopBackground();
+}
+
+StatusOr<std::unique_ptr<TardisStore>> TardisStore::Open(
+    const TardisOptions& options) {
+  std::unique_ptr<TardisStore> store(new TardisStore(options));
+
+  const bool durable = !options.dir.empty();
+  if (durable) {
+    ::mkdir(options.dir.c_str(), 0755);
+  }
+
+  if (durable && options.use_btree && options.record_shards > 1) {
+    auto rs = ShardedRecordStore::Open(options.dir, options.record_shards,
+                                       options.cache_pages);
+    if (!rs.ok()) return rs.status();
+    store->record_store_ = std::move(*rs);
+  } else if (durable && options.use_btree) {
+    auto rs =
+        BTreeRecordStore::Open(options.dir + "/" + kRecordsFile,
+                               options.cache_pages);
+    if (!rs.ok()) return rs.status();
+    store->record_store_ = std::move(*rs);
+  } else {
+    store->record_store_ = std::make_unique<MemRecordStore>();
+  }
+
+  if (durable && options.enable_commit_log) {
+    auto log = CommitLog::Open(options.dir + "/" + kCommitLogFile,
+                               options.flush_mode);
+    if (!log.ok()) return log.status();
+    store->commit_log_ = std::move(*log);
+  }
+
+  store->gc_ = std::make_unique<GarbageCollector>(
+      &store->dag_, &store->kvmap_, store->record_store_.get());
+
+  if (durable && options.recover_on_open) {
+    TARDIS_RETURN_IF_ERROR(store->Recover());
+  }
+  return store;
+}
+
+std::unique_ptr<ClientSession> TardisStore::CreateSession() {
+  return std::unique_ptr<ClientSession>(new ClientSession());
+}
+
+// ---- begin ------------------------------------------------------------------
+
+StatusOr<TxnPtr> TardisStore::Begin(ClientSession* session,
+                                    BeginConstraintPtr begin) {
+  if (session == nullptr) return Status::InvalidArgument("null session");
+  const BeginConstraintPtr& bc = begin ? begin : default_begin_;
+
+  TxnPtr txn(new Transaction(this, session, Transaction::Mode::kSingle));
+  txn->ctx_.session_last_commit = session->last_commit_;
+
+  // Fast path: a client extending its own branch reads from its last
+  // committed state while that state is still a leaf — no DAG search.
+  if (bc->PrefersSessionTip() && session->last_commit_ != nullptr) {
+    StatePtr tip = session->last_commit_;
+    if (tip->children().empty() && !tip->marked.load() &&
+        !tip->deleted.load()) {
+      std::lock_guard<std::mutex> guard(dag_.Lock());
+      if (tip->children().empty() && !tip->marked.load() &&
+          !tip->deleted.load()) {
+        tip->PinAsReadState();
+        txn->ctx_.read_states.push_back(std::move(tip));
+        return txn;
+      }
+    }
+  }
+
+  for (int attempt = 0; attempt < 64; attempt++) {
+    // §6.1.1: BFS from the leaves up; the first (most recent) state that
+    // satisfies the begin constraint becomes the read state. States above
+    // a ceiling (marked) are skipped.
+    StatePtr chosen = dag_.BfsFromLeaves([&](const StatePtr& s) {
+      if (s->marked.load() || s->deleted.load()) return false;
+      return bc->Satisfies(txn->ctx_, *s);
+    });
+    if (chosen == nullptr) {
+      return Status::Aborted("no state satisfies begin constraint " +
+                             bc->name());
+    }
+    // Pin atomically with a liveness re-check so a concurrent GC pass
+    // cannot delete the state between selection and pinning.
+    std::lock_guard<std::mutex> guard(dag_.Lock());
+    if (chosen->deleted.load() || chosen->marked.load()) continue;
+    chosen->PinAsReadState();
+    txn->ctx_.read_states.push_back(std::move(chosen));
+    return txn;
+  }
+  return Status::Busy("could not pin a read state");
+}
+
+StatusOr<TxnPtr> TardisStore::BeginMerge(ClientSession* session,
+                                         BeginConstraintPtr begin,
+                                         size_t max_parents) {
+  if (session == nullptr) return Status::InvalidArgument("null session");
+  const BeginConstraintPtr bc = begin ? begin : AnyBegin();
+
+  TxnPtr txn(new Transaction(this, session, Transaction::Mode::kMerge));
+  txn->ctx_.session_last_commit = session->last_commit_;
+
+  for (int attempt = 0; attempt < 64; attempt++) {
+    std::vector<StatePtr> tips;
+    for (const StatePtr& leaf : dag_.Leaves()) {
+      if (leaf->marked.load() || leaf->deleted.load()) continue;
+      if (!bc->Satisfies(txn->ctx_, *leaf)) continue;
+      tips.push_back(leaf);
+      if (max_parents != 0 && tips.size() == max_parents) break;
+    }
+    if (tips.empty()) {
+      return Status::Aborted("no leaf satisfies begin constraint " +
+                             bc->name());
+    }
+    std::lock_guard<std::mutex> guard(dag_.Lock());
+    bool ok = true;
+    for (const StatePtr& t : tips) {
+      if (t->deleted.load()) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    for (const StatePtr& t : tips) {
+      t->PinAsReadState();
+      txn->ctx_.read_states.push_back(t);
+    }
+    return txn;
+  }
+  return Status::Busy("could not pin merge read states");
+}
+
+// ---- reads ------------------------------------------------------------------
+
+Status TardisStore::LoadValue(const Slice& key, const VersionEntry& entry,
+                              std::string* value) {
+  if (entry.value != nullptr) {
+    *value = *entry.value;
+    return Status::OK();
+  }
+  // Post-recovery lazy load from the record store.
+  return record_store_->Get(EncodeRecordKey(key, entry.sid), value);
+}
+
+Status TardisStore::TxnGet(Transaction* t, const Slice& key,
+                           std::string* value) {
+  if (t->ctx_.read_states.empty()) {
+    return Status::InvalidArgument("transaction has no read state");
+  }
+  auto entry = kvmap_.GetVisible(key, *t->ctx_.read_states[0]);
+  if (!entry.ok()) return entry.status();
+  return LoadValue(key, *entry, value);
+}
+
+Status TardisStore::TxnGetForId(Transaction* t, const Slice& key,
+                                StateId sid, std::string* value) {
+  StatePtr state = dag_.Resolve(sid);
+  if (state == nullptr) {
+    return Status::Unavailable("state " + std::to_string(sid) +
+                               " unknown or garbage-collected");
+  }
+  auto entry = kvmap_.GetVisible(key, *state);
+  if (!entry.ok()) return entry.status();
+  return LoadValue(key, *entry, value);
+}
+
+// ---- commit -----------------------------------------------------------------
+
+Status TardisStore::CommitTxn(Transaction* t, const EndConstraintPtr& ec_in) {
+  const EndConstraintPtr& ec = ec_in ? ec_in : default_end_;
+
+  // Read-only transactions are not added to the State DAG (§6.1.4) and
+  // need no validation: their snapshot is a committed state. A *merge*
+  // over several branches is the exception — even with nothing to write
+  // (no conflicting keys), its entire purpose is to produce the joined
+  // state, so it always commits into the DAG.
+  const bool joins_branches = t->mode() == Transaction::Mode::kMerge &&
+                              t->ctx_.read_states.size() > 1;
+  if (t->write_cache_.empty() && !joins_branches) {
+    t->Finish();
+    std::lock_guard<std::mutex> guard(stats_mu_);
+    stats_.read_only_commits++;
+    return Status::OK();
+  }
+
+  StatePtr new_state;
+  bool forked = false;
+  {
+    std::lock_guard<std::mutex> guard(dag_.Lock());
+
+    // §6.1.2 / Figure 6: from each read state, ripple down through
+    // concurrently committed states that the end constraint tolerates;
+    // stop before the first one it does not.
+    std::vector<StatePtr> parents;
+    for (const StatePtr& read_state : t->ctx_.read_states) {
+      StatePtr cand = read_state;
+      while (true) {
+        StatePtr next;
+        for (const StatePtr& child : cand->children()) {
+          if (ec->StepOk(t->ctx_, *child)) {
+            next = child;
+            break;
+          }
+        }
+        if (next == nullptr) break;
+        cand = std::move(next);
+      }
+      if (!ec->FinalOk(t->ctx_, *cand)) {
+        // The structural part of the constraint is unsatisfiable: abort.
+        AbortTxnLockedStats(t);
+        return Status::Aborted("end constraint " + ec->name() +
+                               " unsatisfiable at state " +
+                               std::to_string(cand->id()));
+      }
+      if (std::find(parents.begin(), parents.end(), cand) == parents.end()) {
+        parents.push_back(std::move(cand));
+      }
+    }
+
+    for (const StatePtr& p : parents) {
+      if (!p->children().empty()) forked = true;
+    }
+
+    const bool is_merge = parents.size() > 1;
+    new_state = dag_.CreateStateLocked(parents, dag_.NextLocalGuid(),
+                                       t->ctx_.reads, t->ctx_.writes,
+                                       is_merge);
+
+    // Publish versions before releasing the commit lock so any
+    // transaction that selects new_state as its read state sees them.
+    for (const auto& [key, value] : t->write_cache_) {
+      kvmap_.AddVersion(key, new_state, value);
+    }
+
+    if (commit_log_) {
+      CommitLogEntry entry;
+      entry.id = new_state->id();
+      entry.guid = new_state->guid();
+      for (const StatePtr& p : new_state->parents()) {
+        entry.parent_ids.push_back(p->id());
+      }
+      entry.is_merge = is_merge;
+      for (const auto& [key, value] : t->write_cache_) {
+        entry.write_keys.push_back(key);
+      }
+      Status s = commit_log_->Append(entry);
+      if (!s.ok()) TARDIS_ERROR("commit log append: %s", s.ToString().c_str());
+    }
+  }
+
+  // Persistence of the record payloads happens outside the critical
+  // section; reads are already served from the version entries.
+  for (const auto& [key, value] : t->write_cache_) {
+    Status s = record_store_->Put(EncodeRecordKey(key, new_state->id()),
+                                  *value);
+    if (!s.ok()) TARDIS_ERROR("record persist: %s", s.ToString().c_str());
+  }
+
+  t->session_->last_commit_ = new_state;
+
+  // Automatic checkpointing (§6.5): once the commit log grows past the
+  // configured bound, snapshot the DAG and truncate it. At most one
+  // committer runs the checkpoint; the others proceed.
+  if (commit_log_ && options_.checkpoint_log_bytes > 0 &&
+      commit_log_->appended_bytes() > options_.checkpoint_log_bytes &&
+      !checkpoint_running_.exchange(true)) {
+    Status s = Checkpoint();
+    if (!s.ok()) TARDIS_ERROR("auto checkpoint: %s", s.ToString().c_str());
+    checkpoint_running_.store(false);
+  }
+
+  CommitRecord record;
+  if (commit_cb_) {
+    record.guid = new_state->guid();
+    for (const StatePtr& p : new_state->parents()) {
+      record.parent_guids.push_back(p->guid());
+    }
+    record.is_merge = new_state->is_merge();
+    for (const auto& [key, value] : t->write_cache_) {
+      record.writes.emplace_back(key, value);
+    }
+  }
+
+  const bool was_merge = t->mode() == Transaction::Mode::kMerge;
+  t->Finish();
+  {
+    std::lock_guard<std::mutex> guard(stats_mu_);
+    stats_.commits++;
+    if (forked) stats_.branches_created++;
+    if (was_merge) stats_.merges_committed++;
+  }
+
+  if (commit_cb_) commit_cb_(record);
+  return Status::OK();
+}
+
+void TardisStore::AbortTxnLockedStats(Transaction* t) {
+  t->Finish();
+  std::lock_guard<std::mutex> guard(stats_mu_);
+  stats_.aborts++;
+}
+
+void TardisStore::AbortTxn(Transaction* t) {
+  t->Finish();
+  std::lock_guard<std::mutex> guard(stats_mu_);
+  stats_.aborts++;
+}
+
+// ---- replication -------------------------------------------------------------
+
+Status TardisStore::ApplyRemote(const CommitRecord& record) {
+  StatePtr new_state;
+  {
+    std::lock_guard<std::mutex> guard(dag_.Lock());
+    if (dag_.ResolveGuidLocked(record.guid) != nullptr) {
+      return Status::OK();  // duplicate delivery: idempotent
+    }
+    std::vector<StatePtr> parents;
+    for (const GlobalStateId& pg : record.parent_guids) {
+      StatePtr p = dag_.ResolveGuidLocked(pg);
+      if (p == nullptr) {
+        return Status::Unavailable("parent state " + pg.ToString() +
+                                   " not yet replicated");
+      }
+      parents.push_back(std::move(p));
+    }
+    KeySet writes;
+    for (const auto& [key, value] : record.writes) writes.Add(key);
+
+    new_state = dag_.CreateStateLocked(parents, record.guid, KeySet(),
+                                       std::move(writes), record.is_merge);
+    for (const auto& [key, value] : record.writes) {
+      kvmap_.AddVersion(key, new_state, value);
+    }
+    if (commit_log_) {
+      CommitLogEntry entry;
+      entry.id = new_state->id();
+      entry.guid = new_state->guid();
+      for (const StatePtr& p : new_state->parents()) {
+        entry.parent_ids.push_back(p->id());
+      }
+      entry.is_merge = record.is_merge;
+      for (const auto& [key, value] : record.writes) {
+        entry.write_keys.push_back(key);
+      }
+      Status s = commit_log_->Append(entry);
+      if (!s.ok()) TARDIS_ERROR("commit log append: %s", s.ToString().c_str());
+    }
+  }
+  for (const auto& [key, value] : record.writes) {
+    Status s = record_store_->Put(EncodeRecordKey(key, new_state->id()),
+                                  *value);
+    if (!s.ok()) TARDIS_ERROR("record persist: %s", s.ToString().c_str());
+  }
+  std::lock_guard<std::mutex> guard(stats_mu_);
+  stats_.remote_applied++;
+  return Status::OK();
+}
+
+// ---- GC -----------------------------------------------------------------------
+
+void TardisStore::PlaceCeiling(ClientSession* session) {
+  if (session == nullptr || session->last_commit_ == nullptr) return;
+  gc_->PlaceCeiling(session->last_commit_);
+}
+
+// ---- durability ----------------------------------------------------------------
+
+Status TardisStore::Flush() {
+  TARDIS_RETURN_IF_ERROR(record_store_->Sync());
+  if (commit_log_) TARDIS_RETURN_IF_ERROR(commit_log_->Sync());
+  return Status::OK();
+}
+
+Status TardisStore::Checkpoint() {
+  if (options_.dir.empty()) {
+    return Status::NotSupported("checkpoint requires a durable store");
+  }
+  // (i) flush outstanding record writes, (ii) snapshot the DAG, (iii)
+  // truncate the commit log it makes redundant (§6.5).
+  TARDIS_RETURN_IF_ERROR(record_store_->Sync());
+
+  std::vector<CommitLogEntry> snapshot;
+  {
+    std::lock_guard<std::mutex> guard(dag_.Lock());
+    for (const StatePtr& s : dag_.AllStatesLocked()) {
+      if (s->parents().empty()) continue;  // root is implicit
+      CommitLogEntry entry;
+      entry.id = s->id();
+      entry.guid = s->guid();
+      for (const StatePtr& p : s->parents()) {
+        entry.parent_ids.push_back(p->id());
+      }
+      entry.is_merge = s->is_merge();
+      entry.write_keys = s->write_set().keys();
+      snapshot.push_back(std::move(entry));
+    }
+  }
+
+  const std::string tmp = options_.dir + "/" + kCheckpointTmpFile;
+  const std::string final_path = options_.dir + "/" + kCheckpointFile;
+  ::remove(tmp.c_str());
+  {
+    auto ckpt = CommitLog::Open(tmp, Wal::FlushMode::kAsync);
+    if (!ckpt.ok()) return ckpt.status();
+    for (const CommitLogEntry& entry : snapshot) {
+      TARDIS_RETURN_IF_ERROR((*ckpt)->Append(entry));
+    }
+    TARDIS_RETURN_IF_ERROR((*ckpt)->Sync());
+  }
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return Status::IOError("checkpoint rename failed");
+  }
+  if (commit_log_) TARDIS_RETURN_IF_ERROR(commit_log_->Truncate());
+  return Status::OK();
+}
+
+// ---- recovery -------------------------------------------------------------------
+
+Status TardisStore::RecoverEntry(const CommitLogEntry& entry,
+                                 bool check_persistence, bool* stop) {
+  if (*stop) return Status::OK();
+
+  if (check_persistence) {
+    // §6.5: a transaction whose write set is only partially persistent is
+    // discarded along with everything after it in the log.
+    for (const std::string& key : entry.write_keys) {
+      std::string scratch;
+      if (!record_store_->Get(EncodeRecordKey(key, entry.id), &scratch)
+               .ok()) {
+        *stop = true;
+        return Status::OK();
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> guard(dag_.Lock());
+  if (dag_.ResolveLocked(entry.id) != nullptr) return Status::OK();
+  std::vector<StatePtr> parents;
+  for (StateId pid : entry.parent_ids) {
+    StatePtr p = dag_.ResolveLocked(pid);
+    if (p == nullptr) {
+      // Orphaned suffix (parent discarded): stop replay.
+      *stop = true;
+      return Status::OK();
+    }
+    parents.push_back(std::move(p));
+  }
+  KeySet writes;
+  for (const std::string& k : entry.write_keys) writes.Add(k);
+  StatePtr state = dag_.CreateStateWithIdLocked(
+      entry.id, parents, entry.guid, KeySet(), std::move(writes),
+      entry.is_merge);
+  // Values load lazily from the record store on first read.
+  for (const std::string& k : entry.write_keys) {
+    kvmap_.AddVersion(k, state, nullptr);
+  }
+  return Status::OK();
+}
+
+Status TardisStore::Recover() {
+  bool stop = false;
+  const std::string ckpt_path = options_.dir + "/" + kCheckpointFile;
+  struct stat st;
+  if (::stat(ckpt_path.c_str(), &st) == 0) {
+    auto ckpt = CommitLog::Open(ckpt_path, Wal::FlushMode::kAsync);
+    if (!ckpt.ok()) return ckpt.status();
+    TARDIS_RETURN_IF_ERROR(
+        (*ckpt)->Replay([this, &stop](const CommitLogEntry& entry) {
+          return RecoverEntry(entry, /*check_persistence=*/false, &stop);
+        }));
+  }
+  stop = false;
+  if (commit_log_) {
+    TARDIS_RETURN_IF_ERROR(
+        commit_log_->Replay([this, &stop](const CommitLogEntry& entry) {
+          return RecoverEntry(entry, /*check_persistence=*/true, &stop);
+        }));
+  }
+  return Status::OK();
+}
+
+StoreStats TardisStore::stats() const {
+  std::lock_guard<std::mutex> guard(stats_mu_);
+  return stats_;
+}
+
+}  // namespace tardis

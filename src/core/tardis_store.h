@@ -1,0 +1,172 @@
+// TardisStore: a single TARDiS site (Figure 2) — storage layer, consistency
+// layer, garbage collector unit, and the hooks the replicator service
+// attaches to.
+//
+// Typical use:
+//
+//   TardisOptions options;
+//   auto store = TardisStore::Open(options);
+//   auto session = (*store)->CreateSession();
+//   auto txn = (*store)->Begin(session.get());          // Ancestor begin
+//   (*txn)->Put("k", "v");
+//   (*txn)->Get("k", &value);
+//   (*txn)->Commit(SerializabilityEnd());
+//
+// Conflicting commits fork the State DAG instead of blocking or aborting
+// (branch-on-conflict); merge transactions reconcile the branches:
+//
+//   auto merge = (*store)->BeginMerge(session.get());
+//   auto forks = (*merge)->FindForkPoints((*merge)->parents());
+//   ... resolve ...
+//   (*merge)->Commit();
+
+#ifndef TARDIS_CORE_TARDIS_STORE_H_
+#define TARDIS_CORE_TARDIS_STORE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/commit_log.h"
+#include "core/constraints.h"
+#include "core/gc.h"
+#include "core/key_version_map.h"
+#include "core/options.h"
+#include "core/state_dag.h"
+#include "core/transaction.h"
+#include "storage/record_store.h"
+#include "util/status.h"
+
+namespace tardis {
+
+/// Per-client session state: tracks the last committed state for the
+/// Parent/Ancestor begin constraints and read-my-writes. One session per
+/// client thread; not thread-safe.
+class ClientSession {
+ public:
+  StatePtr last_commit() const { return last_commit_; }
+
+ private:
+  friend class TardisStore;
+  friend class Transaction;
+  StatePtr last_commit_;
+};
+
+/// A committed transaction as shipped to other sites by the replicator.
+struct CommitRecord {
+  GlobalStateId guid;
+  std::vector<GlobalStateId> parent_guids;
+  bool is_merge = false;
+  std::vector<std::pair<std::string, std::shared_ptr<const std::string>>>
+      writes;
+};
+
+struct StoreStats {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t read_only_commits = 0;
+  uint64_t remote_applied = 0;
+  uint64_t branches_created = 0;  ///< commits that forked the DAG
+  uint64_t merges_committed = 0;
+};
+
+class TardisStore {
+ public:
+  static StatusOr<std::unique_ptr<TardisStore>> Open(
+      const TardisOptions& options);
+  ~TardisStore();
+
+  TardisStore(const TardisStore&) = delete;
+  TardisStore& operator=(const TardisStore&) = delete;
+
+  std::unique_ptr<ClientSession> CreateSession();
+
+  /// Starts a single-mode transaction. Default begin constraint:
+  /// Ancestor (§5.1).
+  StatusOr<TxnPtr> Begin(ClientSession* session,
+                         BeginConstraintPtr begin = nullptr);
+
+  /// Starts a merge transaction whose read states are all current branch
+  /// tips satisfying `begin` (default: Any). `max_parents` caps how many
+  /// branches one merge reconciles (0 = unlimited).
+  StatusOr<TxnPtr> BeginMerge(ClientSession* session,
+                              BeginConstraintPtr begin = nullptr,
+                              size_t max_parents = 0);
+
+  // ---- garbage collection ------------------------------------------------
+  /// Places a ceiling at the session's last committed state (§6.3).
+  void PlaceCeiling(ClientSession* session);
+  GcStats RunGarbageCollection() { return gc_->RunOnce(); }
+  void StartGcThread(uint64_t interval_ms) {
+    gc_->StartBackground(interval_ms);
+  }
+  void StopGcThread() { gc_->StopBackground(); }
+
+  // ---- replication hooks (used by replication::Replicator) ----------------
+  /// Invoked after every local commit, outside the commit lock.
+  void SetCommitCallback(std::function<void(const CommitRecord&)> cb) {
+    commit_cb_ = std::move(cb);
+  }
+  /// Applies a transaction committed at another site as a child of its
+  /// original parent states (the StateID constraint of §6.4). Idempotent.
+  /// Returns Status::Unavailable if a parent has not been received yet.
+  Status ApplyRemote(const CommitRecord& record);
+
+  // ---- durability ---------------------------------------------------------
+  /// Flushes record store and commit log to stable storage.
+  Status Flush();
+  /// Non-blocking-style checkpoint (§6.5): persists the DAG snapshot and
+  /// truncates the commit log.
+  Status Checkpoint();
+
+  // ---- introspection -------------------------------------------------------
+  StateDag* dag() { return &dag_; }
+  KeyVersionMap* kvmap() { return &kvmap_; }
+  GarbageCollector* gc() { return gc_.get(); }
+  RecordStore* record_store() { return record_store_.get(); }
+  const TardisOptions& options() const { return options_; }
+  StoreStats stats() const;
+  uint32_t site_id() const { return dag_.site_id(); }
+
+ private:
+  friend class Transaction;
+
+  explicit TardisStore(const TardisOptions& options);
+
+  Status Recover();
+  Status RecoverEntry(const CommitLogEntry& entry, bool check_persistence,
+                      bool* stop);
+
+  /// Transaction plumbing (called by Transaction).
+  Status TxnGet(Transaction* t, const Slice& key, std::string* value);
+  Status TxnGetForId(Transaction* t, const Slice& key, StateId sid,
+                     std::string* value);
+  Status CommitTxn(Transaction* t, const EndConstraintPtr& ec);
+  void AbortTxn(Transaction* t);
+  /// Abort bookkeeping used inside the commit critical section.
+  void AbortTxnLockedStats(Transaction* t);
+
+  Status LoadValue(const Slice& key, const VersionEntry& entry,
+                   std::string* value);
+
+  TardisOptions options_;
+  StateDag dag_;
+  KeyVersionMap kvmap_;
+  std::unique_ptr<RecordStore> record_store_;
+  std::unique_ptr<CommitLog> commit_log_;
+  std::unique_ptr<GarbageCollector> gc_;
+  std::function<void(const CommitRecord&)> commit_cb_;
+
+  mutable std::mutex stats_mu_;
+  StoreStats stats_;
+  std::atomic<bool> checkpoint_running_{false};
+
+  BeginConstraintPtr default_begin_;
+  EndConstraintPtr default_end_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_TARDIS_STORE_H_

@@ -1,0 +1,29 @@
+// TxnContext: the slice of a transaction's state that constraints and the
+// commit logic need — read/write key sets, selected read states, and the
+// client session's last committed state. Kept separate from Transaction so
+// constraints do not depend on the full transaction machinery.
+
+#ifndef TARDIS_CORE_TXN_CONTEXT_H_
+#define TARDIS_CORE_TXN_CONTEXT_H_
+
+#include <vector>
+
+#include "core/state.h"
+#include "core/types.h"
+
+namespace tardis {
+
+struct TxnContext {
+  KeySet reads;
+  KeySet writes;
+  /// Read states selected at begin (one in single mode, several in merge
+  /// mode). Pinned against GC for the transaction's lifetime.
+  std::vector<StatePtr> read_states;
+  /// The state this client last committed (nullptr before the first
+  /// commit; session guarantees treat the DAG root as the origin then).
+  StatePtr session_last_commit;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_TXN_CONTEXT_H_

@@ -1,0 +1,163 @@
+// Core value types of the TARDiS consistency layer: state identifiers,
+// fork points and fork paths (§6.1.3).
+//
+// A *fork point* is a tuple (i, b): "the current state is a descendant of
+// the b-th child of state i". A branch is summarized by its set of fork
+// points — its *fork path*. Record-version visibility reduces to the
+// subset test of Figure 7, instead of the per-object dependency tracking
+// that bottlenecks causally consistent systems.
+
+#ifndef TARDIS_CORE_TYPES_H_
+#define TARDIS_CORE_TYPES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tardis {
+
+/// Site-local, monotonically increasing state identifier. Along any branch
+/// a child's id is strictly greater than its parents' (ids are drawn after
+/// the parent exists), which descendantCheck (Fig. 7) relies on.
+using StateId = uint64_t;
+constexpr StateId kInvalidStateId = ~0ull;
+
+/// Replication-wide state identity: (origin site, per-site sequence).
+/// The same logical state carries the same GlobalStateId at every replica
+/// ("StateID replication", §7.2.1) while local ids stay site-monotone.
+struct GlobalStateId {
+  uint32_t site = 0;
+  uint64_t seq = 0;
+
+  bool operator==(const GlobalStateId& o) const {
+    return site == o.site && seq == o.seq;
+  }
+  bool operator<(const GlobalStateId& o) const {
+    return site != o.site ? site < o.site : seq < o.seq;
+  }
+  std::string ToString() const {
+    return std::to_string(site) + ":" + std::to_string(seq);
+  }
+};
+
+struct GlobalStateIdHash {
+  size_t operator()(const GlobalStateId& g) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(g.site) << 48) ^
+                                 g.seq);
+  }
+};
+
+/// (i, b): descendant of the b-th child (1-based, matching the paper's
+/// Figure 5) of state i.
+struct ForkPoint {
+  StateId state = kInvalidStateId;
+  uint32_t child = 0;
+
+  bool operator==(const ForkPoint& o) const {
+    return state == o.state && child == o.child;
+  }
+  bool operator<(const ForkPoint& o) const {
+    return state != o.state ? state < o.state : child < o.child;
+  }
+};
+
+/// A branch summary: sorted set of fork points. Small by design —
+/// "conflicts are a small percentage of the total number of operations".
+class ForkPath {
+ public:
+  ForkPath() = default;
+
+  /// Inserts a fork point, keeping the set sorted and unique.
+  void Add(const ForkPoint& fp) {
+    auto it = std::lower_bound(points_.begin(), points_.end(), fp);
+    if (it != points_.end() && *it == fp) return;
+    points_.insert(it, fp);
+  }
+
+  /// Set union (used for merge states, whose path is the union of their
+  /// parents' paths).
+  void Union(const ForkPath& other) {
+    std::vector<ForkPoint> merged;
+    merged.reserve(points_.size() + other.points_.size());
+    std::set_union(points_.begin(), points_.end(), other.points_.begin(),
+                   other.points_.end(), std::back_inserter(merged));
+    points_ = std::move(merged);
+  }
+
+  /// True iff every fork point of *this appears in `other` — the
+  /// "x.path ⊆ y.path" test of Figure 7. Linear in the path lengths.
+  bool SubsetOf(const ForkPath& other) const {
+    return std::includes(other.points_.begin(), other.points_.end(),
+                         points_.begin(), points_.end());
+  }
+
+  bool operator==(const ForkPath& o) const { return points_ == o.points_; }
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const std::vector<ForkPoint>& points() const { return points_; }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < points_.size(); i++) {
+      if (i) out += ",";
+      out += "(" + std::to_string(points_[i].state) + "," +
+             std::to_string(points_[i].child) + ")";
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<ForkPoint> points_;
+};
+
+/// Sorted, de-duplicated key set; read/write sets of transactions and the
+/// write sets stored with DAG states (needed by the Serializability and
+/// Snapshot Isolation end constraints and by findConflictWrites).
+class KeySet {
+ public:
+  void Add(const std::string& key) {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it != keys_.end() && *it == key) return;
+    keys_.insert(it, key);
+  }
+
+  bool Contains(const std::string& key) const {
+    return std::binary_search(keys_.begin(), keys_.end(), key);
+  }
+
+  /// True iff the two sorted sets share any key.
+  bool Intersects(const KeySet& other) const {
+    auto a = keys_.begin();
+    auto b = other.keys_.begin();
+    while (a != keys_.end() && b != other.keys_.end()) {
+      const int c = a->compare(*b);
+      if (c == 0) return true;
+      if (c < 0) ++a;
+      else ++b;
+    }
+    return false;
+  }
+
+  void Union(const KeySet& other) {
+    std::vector<std::string> merged;
+    merged.reserve(keys_.size() + other.keys_.size());
+    std::set_union(keys_.begin(), keys_.end(), other.keys_.begin(),
+                   other.keys_.end(), std::back_inserter(merged));
+    keys_ = std::move(merged);
+  }
+
+  void Clear() { keys_.clear(); }
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+  const std::vector<std::string>& keys() const { return keys_; }
+
+ private:
+  std::vector<std::string> keys_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_TYPES_H_

@@ -1,0 +1,64 @@
+#include "replication/cluster.h"
+
+#include <chrono>
+#include <thread>
+
+namespace tardis {
+
+StatusOr<std::unique_ptr<Cluster>> Cluster::Open(
+    const ClusterOptions& options) {
+  std::unique_ptr<Cluster> cluster(new Cluster());
+  cluster->net_ =
+      std::make_unique<SimNetwork>(options.num_sites, options.network);
+  for (size_t i = 0; i < options.num_sites; i++) {
+    TardisOptions site_options = options.store;
+    site_options.site_id = static_cast<uint32_t>(i);
+    if (!site_options.dir.empty()) {
+      site_options.dir += "/site" + std::to_string(i);
+    }
+    auto store = TardisStore::Open(site_options);
+    if (!store.ok()) return store.status();
+    cluster->sites_.push_back(std::move(*store));
+  }
+  for (size_t i = 0; i < options.num_sites; i++) {
+    cluster->replicators_.push_back(std::make_unique<Replicator>(
+        cluster->sites_[i].get(), cluster->net_.get(),
+        static_cast<uint32_t>(i), options.gc_mode));
+  }
+  return cluster;
+}
+
+Cluster::~Cluster() { Stop(); }
+
+void Cluster::Start() {
+  for (auto& r : replicators_) r->Start();
+}
+
+void Cluster::Stop() {
+  for (auto& r : replicators_) r->Stop();
+}
+
+bool Cluster::WaitQuiescent(uint64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool quiet = !net_->HasInflight();
+    for (const auto& r : replicators_) {
+      if (r->pending_count() > 0) quiet = false;
+    }
+    if (quiet) {
+      // Double-check after a grace period: a message may have been
+      // received but not yet fully applied.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      quiet = !net_->HasInflight();
+      for (const auto& r : replicators_) {
+        if (r->pending_count() > 0) quiet = false;
+      }
+      if (quiet) return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+}  // namespace tardis

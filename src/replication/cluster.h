@@ -1,0 +1,57 @@
+// Cluster: convenience harness that wires N TardisStore sites to a
+// SimNetwork through Replicators — the multi-master deployment of the
+// paper's evaluation (§7.1.6). Used by tests, examples and bench_fig12.
+
+#ifndef TARDIS_REPLICATION_CLUSTER_H_
+#define TARDIS_REPLICATION_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tardis_store.h"
+#include "replication/network.h"
+#include "replication/replicator.h"
+
+namespace tardis {
+
+struct ClusterOptions {
+  size_t num_sites = 3;
+  NetworkOptions network;
+  /// Base store options; dir (when set) gets a per-site suffix, site_id is
+  /// assigned automatically.
+  TardisOptions store;
+  GcCoordination gc_mode = GcCoordination::kOptimistic;
+};
+
+class Cluster {
+ public:
+  static StatusOr<std::unique_ptr<Cluster>> Open(
+      const ClusterOptions& options);
+  ~Cluster();
+
+  size_t num_sites() const { return sites_.size(); }
+  TardisStore* site(size_t i) { return sites_[i].get(); }
+  Replicator* replicator(size_t i) { return replicators_[i].get(); }
+  SimNetwork* network() { return net_.get(); }
+
+  /// Starts all replicator pump threads.
+  void Start();
+  void Stop();
+
+  /// Blocks until replication is quiescent (no in-flight messages, no
+  /// pending remote transactions) or the timeout elapses. Returns true on
+  /// quiescence.
+  bool WaitQuiescent(uint64_t timeout_ms = 10'000);
+
+ private:
+  Cluster() = default;
+
+  std::unique_ptr<SimNetwork> net_;
+  std::vector<std::unique_ptr<TardisStore>> sites_;
+  std::vector<std::unique_ptr<Replicator>> replicators_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_REPLICATION_CLUSTER_H_

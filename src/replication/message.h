@@ -1,0 +1,41 @@
+// Wire messages exchanged by Replicators. The paper's prototype used
+// protobuf-over-Netty; here sites live in one process and exchange
+// structured messages through a simulated network with injected latency,
+// which preserves the asynchronous, gossip-style semantics (§6.4).
+
+#ifndef TARDIS_REPLICATION_MESSAGE_H_
+#define TARDIS_REPLICATION_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tardis_store.h"
+
+namespace tardis {
+
+struct ReplMessage {
+  enum class Type {
+    kCommit,          ///< a committed transaction (CommitRecord)
+    kSyncRequest,     ///< recovery: vector of last-seen seq per site
+    kCeilingRequest,  ///< pessimistic GC: ask consent for a ceiling
+    kCeilingAck,      ///< consent granted (the state is present here)
+    kCeilingCommit,   ///< all consented: place the ceiling
+  };
+
+  Type type = Type::kCommit;
+  uint32_t from_site = 0;
+
+  CommitRecord commit;  // kCommit
+
+  /// kSyncRequest: last sequence number applied per origin site, indexed
+  /// by site id.
+  std::vector<uint64_t> seen_seq;
+
+  /// Ceiling protocol: the state the ceiling is placed on.
+  GlobalStateId ceiling;
+  uint64_t ceiling_epoch = 0;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_REPLICATION_MESSAGE_H_

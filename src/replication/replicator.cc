@@ -1,0 +1,239 @@
+#include "replication/replicator.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace tardis {
+
+Replicator::Replicator(TardisStore* store, SimNetwork* net, uint32_t site_id,
+                       GcCoordination gc_mode)
+    : store_(store), net_(net), site_id_(site_id), gc_mode_(gc_mode) {}
+
+Replicator::~Replicator() { Stop(); }
+
+void Replicator::Start() {
+  if (!stop_.exchange(false)) return;  // already running
+  store_->SetCommitCallback(
+      [this](const CommitRecord& record) { OnLocalCommit(record); });
+  pump_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_acquire)) {
+      if (PumpOnce() == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  });
+}
+
+void Replicator::Stop() {
+  if (stop_.exchange(true)) return;
+  if (pump_.joinable()) pump_.join();
+  store_->SetCommitCallback(nullptr);
+}
+
+void Replicator::OnLocalCommit(const CommitRecord& record) {
+  Archive(record);
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    uint64_t& seq = seen_seq_[record.guid.site];
+    if (record.guid.seq > seq) seq = record.guid.seq;
+  }
+  ReplMessage msg;
+  msg.type = ReplMessage::Type::kCommit;
+  msg.commit = record;
+  net_->Broadcast(site_id_, msg);
+}
+
+void Replicator::Archive(const CommitRecord& record) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto& log = archive_[record.guid.site];
+  if (!log.empty() && log.back().guid.seq >= record.guid.seq) return;
+  log.push_back(record);
+}
+
+size_t Replicator::PumpOnce() {
+  size_t handled = 0;
+  ReplMessage msg;
+  while (net_->Receive(site_id_, &msg)) {
+    HandleMessage(msg);
+    handled++;
+  }
+  return handled;
+}
+
+void Replicator::HandleMessage(const ReplMessage& msg) {
+  switch (msg.type) {
+    case ReplMessage::Type::kCommit:
+      TryApply(msg.commit);
+      break;
+
+    case ReplMessage::Type::kSyncRequest: {
+      // Reply with every archived commit the requester has not seen.
+      std::vector<CommitRecord> replay;
+      {
+        std::lock_guard<std::mutex> guard(mu_);
+        for (const auto& [origin, log] : archive_) {
+          const uint64_t their_seen =
+              origin < msg.seen_seq.size() ? msg.seen_seq[origin] : 0;
+          for (const CommitRecord& r : log) {
+            if (r.guid.seq > their_seen) replay.push_back(r);
+          }
+        }
+      }
+      for (const CommitRecord& r : replay) {
+        ReplMessage reply;
+        reply.type = ReplMessage::Type::kCommit;
+        reply.commit = r;
+        net_->Send(site_id_, msg.from_site, reply);
+      }
+      break;
+    }
+
+    case ReplMessage::Type::kCeilingRequest: {
+      // Consent iff we already hold the state the ceiling names.
+      if (store_->dag()->ResolveGuid(msg.ceiling) != nullptr) {
+        ReplMessage ack;
+        ack.type = ReplMessage::Type::kCeilingAck;
+        ack.ceiling = msg.ceiling;
+        ack.ceiling_epoch = msg.ceiling_epoch;
+        net_->Send(site_id_, msg.from_site, ack);
+      }
+      // Otherwise stay silent; the requester's ceiling never commits,
+      // which is the conservative (pessimistic) outcome during partitions.
+      break;
+    }
+
+    case ReplMessage::Type::kCeilingAck: {
+      bool complete = false;
+      GlobalStateId guid;
+      {
+        std::lock_guard<std::mutex> guard(mu_);
+        auto it = ceilings_.find(msg.ceiling_epoch);
+        if (it == ceilings_.end()) break;
+        if (--it->second.acks_needed == 0) {
+          complete = true;
+          guid = it->second.guid;
+          ceilings_.erase(it);
+        }
+      }
+      if (complete) {
+        StatePtr s = store_->dag()->ResolveGuid(guid);
+        if (s != nullptr) store_->gc()->PlaceCeiling(s);
+        ReplMessage commit;
+        commit.type = ReplMessage::Type::kCeilingCommit;
+        commit.ceiling = guid;
+        net_->Broadcast(site_id_, commit);
+      }
+      break;
+    }
+
+    case ReplMessage::Type::kCeilingCommit: {
+      StatePtr s = store_->dag()->ResolveGuid(msg.ceiling);
+      if (s != nullptr) store_->gc()->PlaceCeiling(s);
+      break;
+    }
+  }
+}
+
+void Replicator::TryApply(const CommitRecord& record) {
+  Status s = store_->ApplyRemote(record);
+  if (s.ok()) {
+    Archive(record);
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      uint64_t& seq = seen_seq_[record.guid.site];
+      if (record.guid.seq > seq) seq = record.guid.seq;
+    }
+    applied_.fetch_add(1, std::memory_order_relaxed);
+    RetryPending();
+    return;
+  }
+  if (s.IsUnavailable()) {
+    std::lock_guard<std::mutex> guard(mu_);
+    pending_.push_back(record);
+    return;
+  }
+  TARDIS_WARN("remote apply failed: %s", s.ToString().c_str());
+}
+
+void Replicator::RetryPending() {
+  // Every successful apply may unblock cached transactions; sweep until a
+  // full pass makes no progress.
+  while (true) {
+    std::deque<CommitRecord> work;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      work.swap(pending_);
+    }
+    if (work.empty()) return;
+    size_t applied_now = 0;
+    std::deque<CommitRecord> still_pending;
+    for (CommitRecord& record : work) {
+      Status s = store_->ApplyRemote(record);
+      if (s.ok()) {
+        Archive(record);
+        std::lock_guard<std::mutex> guard(mu_);
+        uint64_t& seq = seen_seq_[record.guid.site];
+        if (record.guid.seq > seq) seq = record.guid.seq;
+        applied_.fetch_add(1, std::memory_order_relaxed);
+        applied_now++;
+      } else if (s.IsUnavailable()) {
+        still_pending.push_back(std::move(record));
+      } else {
+        TARDIS_WARN("remote apply failed: %s", s.ToString().c_str());
+      }
+    }
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      for (CommitRecord& r : still_pending) pending_.push_back(std::move(r));
+    }
+    if (applied_now == 0) return;
+  }
+}
+
+void Replicator::PlaceCeiling(ClientSession* session) {
+  if (session == nullptr || session->last_commit() == nullptr) return;
+  if (gc_mode_ == GcCoordination::kOptimistic) {
+    store_->gc()->PlaceCeiling(session->last_commit());
+    return;
+  }
+  // Pessimistic: collect unanimous consent first.
+  const GlobalStateId guid = session->last_commit()->guid();
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    epoch = ++ceiling_epoch_;
+    ceilings_[epoch] = {guid, net_->num_sites() - 1};
+  }
+  if (net_->num_sites() == 1) {
+    std::lock_guard<std::mutex> guard(mu_);
+    ceilings_.erase(epoch);
+    store_->gc()->PlaceCeiling(session->last_commit());
+    return;
+  }
+  ReplMessage req;
+  req.type = ReplMessage::Type::kCeilingRequest;
+  req.ceiling = guid;
+  req.ceiling_epoch = epoch;
+  net_->Broadcast(site_id_, req);
+}
+
+void Replicator::RequestSync() {
+  ReplMessage req;
+  req.type = ReplMessage::Type::kSyncRequest;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    uint32_t max_site = 0;
+    for (const auto& [site, seq] : seen_seq_) max_site = std::max(max_site, site);
+    req.seen_seq.assign(max_site + 1, 0);
+    for (const auto& [site, seq] : seen_seq_) req.seen_seq[site] = seq;
+  }
+  net_->Broadcast(site_id_, req);
+}
+
+size_t Replicator::pending_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return pending_.size();
+}
+
+}  // namespace tardis

@@ -1,0 +1,99 @@
+// Replicator: the per-site replication service (§4, §6.4).
+//
+// Local commits are broadcast to every other site (gossip over the full
+// mesh). Incoming transactions apply when their parent states are present
+// — the StateID constraint reduces dependency checking to a constant-time
+// lookup; otherwise they are cached and retried once a parent arrives.
+//
+// Garbage collection coordination supports both modes of §6.4:
+// *optimistic* ceilings apply locally at once; *pessimistic* ceilings run
+// a consent round (request -> unanimous acks -> commit) so a state is only
+// collected after every replica has it.
+//
+// Recovery sync (§6.5): RequestSync broadcasts the vector of last-applied
+// sequence numbers; peers respond with every archived commit the caller is
+// missing.
+
+#ifndef TARDIS_REPLICATION_REPLICATOR_H_
+#define TARDIS_REPLICATION_REPLICATOR_H_
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/tardis_store.h"
+#include "replication/network.h"
+
+namespace tardis {
+
+enum class GcCoordination {
+  kOptimistic,   ///< ceilings apply locally immediately
+  kPessimistic,  ///< ceilings apply after unanimous replicator consent
+};
+
+class Replicator {
+ public:
+  Replicator(TardisStore* store, SimNetwork* net, uint32_t site_id,
+             GcCoordination gc_mode = GcCoordination::kOptimistic);
+  ~Replicator();
+
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  /// Subscribes to the store's commit feed and starts the pump thread.
+  void Start();
+  void Stop();
+
+  /// Drains due messages on the calling thread (useful in deterministic
+  /// tests without the pump thread). Returns the number applied.
+  size_t PumpOnce();
+
+  /// Places a ceiling at the session's last commit, under the configured
+  /// coordination mode.
+  void PlaceCeiling(ClientSession* session);
+
+  /// Broadcasts a recovery sync request for everything this site missed.
+  void RequestSync();
+
+  size_t pending_count() const;
+  uint64_t applied_count() const { return applied_.load(); }
+
+ private:
+  void OnLocalCommit(const CommitRecord& record);
+  void HandleMessage(const ReplMessage& msg);
+  void TryApply(const CommitRecord& record);
+  void RetryPending();
+  void Archive(const CommitRecord& record);
+
+  TardisStore* const store_;
+  SimNetwork* const net_;
+  const uint32_t site_id_;
+  const GcCoordination gc_mode_;
+
+  mutable std::mutex mu_;
+  /// Commits waiting for a missing parent state.
+  std::deque<CommitRecord> pending_;
+  /// Everything seen (local or remote), per origin site, for sync replies.
+  std::map<uint32_t, std::vector<CommitRecord>> archive_;
+  /// Highest sequence applied per origin site.
+  std::map<uint32_t, uint64_t> seen_seq_;
+  /// Outstanding pessimistic ceilings: epoch -> (guid, acks needed).
+  struct PendingCeiling {
+    GlobalStateId guid;
+    size_t acks_needed;
+  };
+  std::map<uint64_t, PendingCeiling> ceilings_;
+  uint64_t ceiling_epoch_ = 0;
+
+  std::atomic<uint64_t> applied_{0};
+  std::thread pump_;
+  std::atomic<bool> stop_{true};
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_REPLICATION_REPLICATOR_H_

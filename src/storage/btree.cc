@@ -1,0 +1,625 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "util/coding.h"
+
+namespace tardis {
+
+namespace {
+
+// Page header layout (see btree.h):
+//   [0]      u8  type (1 = leaf, 2 = internal)
+//   [2..4)   u16 ncells
+//   [4..6)   u16 cell_start (cells grow down from kPageSize)
+//   [6..8)   u16 frag bytes (reclaimed by compaction)
+//   [8..16)  u64 right (leaf: right sibling; internal: rightmost child)
+//   [16..)   u16 slot array
+constexpr uint8_t kLeaf = 1;
+constexpr uint8_t kInternal = 2;
+constexpr size_t kHeader = 16;
+
+uint8_t PageType(const char* p) { return static_cast<uint8_t>(p[0]); }
+void SetPageType(char* p, uint8_t t) { p[0] = static_cast<char>(t); }
+
+uint16_t NCells(const char* p) { return static_cast<uint16_t>(DecodeFixed32(p + 2) & 0xFFFF); }
+void SetNCells(char* p, uint16_t n) { memcpy(p + 2, &n, 2); }
+
+uint16_t CellStart(const char* p) {
+  uint16_t v;
+  memcpy(&v, p + 4, 2);
+  return v;
+}
+void SetCellStart(char* p, uint16_t v) { memcpy(p + 4, &v, 2); }
+
+uint16_t Frag(const char* p) {
+  uint16_t v;
+  memcpy(&v, p + 6, 2);
+  return v;
+}
+void SetFrag(char* p, uint16_t v) { memcpy(p + 6, &v, 2); }
+
+PageId Right(const char* p) { return DecodeFixed64(p + 8); }
+void SetRight(char* p, PageId r) { EncodeFixed64(p + 8, r); }
+
+uint16_t Slot(const char* p, int i) {
+  uint16_t v;
+  memcpy(&v, p + kHeader + 2 * i, 2);
+  return v;
+}
+void SetSlot(char* p, int i, uint16_t off) {
+  memcpy(p + kHeader + 2 * i, &off, 2);
+}
+
+void InitPage(char* p, uint8_t type) {
+  memset(p, 0, kPageSize);
+  SetPageType(p, type);
+  SetNCells(p, 0);
+  SetCellStart(p, static_cast<uint16_t>(kPageSize));
+  SetFrag(p, 0);
+  SetRight(p, kInvalidPageId);
+}
+
+size_t VarintLen(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    n++;
+  }
+  return n;
+}
+
+// ---- cell encoding -------------------------------------------------------
+
+void BuildLeafCell(std::string* out, const Slice& k, const Slice& v) {
+  out->clear();
+  PutVarint64(out, k.size());
+  PutVarint64(out, v.size());
+  out->append(k.data(), k.size());
+  out->append(v.data(), v.size());
+}
+
+bool ParseLeafCell(const char* cell, size_t max_len, Slice* k, Slice* v) {
+  Slice in(cell, max_len);
+  uint64_t klen = 0, vlen = 0;
+  if (!GetVarint64(&in, &klen) || !GetVarint64(&in, &vlen)) return false;
+  if (in.size() < klen + vlen) return false;
+  *k = Slice(in.data(), static_cast<size_t>(klen));
+  *v = Slice(in.data() + klen, static_cast<size_t>(vlen));
+  return true;
+}
+
+size_t LeafCellSize(const char* cell, size_t max_len) {
+  Slice k, v;
+  if (!ParseLeafCell(cell, max_len, &k, &v)) return 0;
+  return VarintLen(k.size()) + VarintLen(v.size()) + k.size() + v.size();
+}
+
+void BuildInternalCell(std::string* out, const Slice& k, PageId child) {
+  out->clear();
+  PutVarint64(out, k.size());
+  out->append(k.data(), k.size());
+  PutFixed64(out, child);
+}
+
+bool ParseInternalCell(const char* cell, size_t max_len, Slice* k,
+                       PageId* child) {
+  Slice in(cell, max_len);
+  uint64_t klen = 0;
+  if (!GetVarint64(&in, &klen)) return false;
+  if (in.size() < klen + 8) return false;
+  *k = Slice(in.data(), static_cast<size_t>(klen));
+  *child = DecodeFixed64(in.data() + klen);
+  return true;
+}
+
+size_t InternalCellSize(const char* cell, size_t max_len) {
+  Slice k;
+  PageId child;
+  if (!ParseInternalCell(cell, max_len, &k, &child)) return 0;
+  return VarintLen(k.size()) + k.size() + 8;
+}
+
+// ---- generic page operations ---------------------------------------------
+
+const char* CellAt(const char* p, int i) { return p + Slot(p, i); }
+
+size_t CellSizeAt(const char* p, int i) {
+  const char* cell = CellAt(p, i);
+  const size_t remaining = kPageSize - Slot(p, i);
+  return PageType(p) == kLeaf ? LeafCellSize(cell, remaining)
+                              : InternalCellSize(cell, remaining);
+}
+
+Slice CellKey(const char* p, int i) {
+  Slice k, v;
+  PageId c;
+  const char* cell = CellAt(p, i);
+  const size_t remaining = kPageSize - Slot(p, i);
+  if (PageType(p) == kLeaf) {
+    ParseLeafCell(cell, remaining, &k, &v);
+  } else {
+    ParseInternalCell(cell, remaining, &k, &c);
+  }
+  return k;
+}
+
+size_t FreeSpace(const char* p) {
+  return CellStart(p) - (kHeader + 2 * static_cast<size_t>(NCells(p)));
+}
+
+/// Rewrites the page, squeezing out fragmentation.
+void CompactPage(char* p) {
+  const int n = NCells(p);
+  std::vector<std::string> cells(n);
+  for (int i = 0; i < n; i++) {
+    cells[i].assign(CellAt(p, i), CellSizeAt(p, i));
+  }
+  uint16_t start = static_cast<uint16_t>(kPageSize);
+  for (int i = 0; i < n; i++) {
+    start = static_cast<uint16_t>(start - cells[i].size());
+    memcpy(p + start, cells[i].data(), cells[i].size());
+    SetSlot(p, i, start);
+  }
+  SetCellStart(p, start);
+  SetFrag(p, 0);
+}
+
+/// True if `cell_size` more bytes (plus a slot) fit, possibly after
+/// compaction.
+bool CanFit(const char* p, size_t cell_size) {
+  return FreeSpace(p) + Frag(p) >= cell_size + 2;
+}
+
+/// Inserts `cell` at slot index `idx`. Caller must have checked CanFit.
+void InsertCell(char* p, int idx, const std::string& cell) {
+  if (FreeSpace(p) < cell.size() + 2) CompactPage(p);
+  assert(FreeSpace(p) >= cell.size() + 2);
+  const int n = NCells(p);
+  const uint16_t start = static_cast<uint16_t>(CellStart(p) - cell.size());
+  memcpy(p + start, cell.data(), cell.size());
+  SetCellStart(p, start);
+  // Shift the slot array right of idx.
+  for (int i = n; i > idx; i--) SetSlot(p, i, Slot(p, i - 1));
+  SetSlot(p, idx, start);
+  SetNCells(p, static_cast<uint16_t>(n + 1));
+}
+
+void RemoveCell(char* p, int idx) {
+  const int n = NCells(p);
+  assert(idx >= 0 && idx < n);
+  SetFrag(p, static_cast<uint16_t>(Frag(p) + CellSizeAt(p, idx)));
+  for (int i = idx; i < n - 1; i++) SetSlot(p, i, Slot(p, i + 1));
+  SetNCells(p, static_cast<uint16_t>(n - 1));
+}
+
+/// First slot whose key >= `key`; NCells if none.
+int LowerBound(const char* p, const Slice& key) {
+  int lo = 0, hi = NCells(p);
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (CellKey(p, mid).compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Overwrites the child pointer of internal cell `idx` in place (the child
+/// is the trailing fixed64 of the cell, so the cell size is unchanged).
+void SetInternalChild(char* p, int idx, PageId child) {
+  const char* cell = CellAt(p, idx);
+  Slice in(cell, kPageSize - Slot(p, idx));
+  uint64_t klen = 0;
+  GetVarint64(&in, &klen);
+  char* child_pos = const_cast<char*>(in.data()) + klen;
+  EncodeFixed64(child_pos, child);
+}
+
+#ifdef TARDIS_BTREE_PARANOID
+/// Debug-only invariant check: slot keys strictly sorted, cells inside the
+/// page, no overlap with the slot array.
+void VerifyPage(const char* p, const char* where) {
+  const int n = NCells(p);
+  const size_t slots_end = kHeader + 2 * static_cast<size_t>(n);
+  for (int i = 0; i < n; i++) {
+    const uint16_t off = Slot(p, i);
+    if (off < slots_end || off >= kPageSize) {
+      fprintf(stderr, "PANIC %s: slot %d offset %u out of range (n=%d)\n",
+              where, i, off, n);
+      abort();
+    }
+    const size_t size = CellSizeAt(p, i);
+    if (size == 0 || off + size > kPageSize) {
+      fprintf(stderr, "PANIC %s: cell %d size %zu bad (off=%u)\n", where, i,
+              size, off);
+      abort();
+    }
+    if (i > 0 && !(CellKey(p, i - 1).compare(CellKey(p, i)) < 0)) {
+      fprintf(stderr, "PANIC %s: cells %d/%d out of order: %s >= %s (n=%d)\n",
+              where, i - 1, i, CellKey(p, i - 1).ToString().c_str(),
+              CellKey(p, i).ToString().c_str(), n);
+      abort();
+    }
+  }
+}
+#define TARDIS_VERIFY_PAGE(p, where) VerifyPage(p, where)
+#else
+#define TARDIS_VERIFY_PAGE(p, where)
+#endif
+
+}  // namespace
+
+// ---- tree operations -------------------------------------------------------
+
+StatusOr<std::unique_ptr<BTree>> BTree::Open(BufferPool* pool, Pager* pager) {
+  std::unique_ptr<BTree> tree(new BTree(pool, pager));
+  TARDIS_RETURN_IF_ERROR(tree->EnsureRoot());
+  return tree;
+}
+
+Status BTree::EnsureRoot() {
+  root_ = pager_->root();
+  if (root_ != kInvalidPageId) {
+    // Recompute size with a full scan (Open happens once; recovery-time
+    // cost is acceptable and keeps the meta page simple).
+    size_ = 0;
+    Iterator it = NewIterator();
+    for (it.SeekToFirst(); it.Valid(); it.Next()) size_++;
+    return Status::OK();
+  }
+  auto page = pool_->NewPage();
+  if (!page.ok()) return page.status();
+  InitPage(page->data(), kLeaf);
+  page->MarkDirty();
+  root_ = page->id();
+  return pager_->SetRoot(root_);
+}
+
+Status BTree::FindLeaf(const Slice& key, PageId* leaf) const {
+  PageId cur = root_;
+  while (true) {
+    auto h = pool_->Fetch(cur);
+    if (!h.ok()) return h.status();
+    const char* p = h->data();
+    if (PageType(p) == kLeaf) {
+      *leaf = cur;
+      return Status::OK();
+    }
+    const int idx = LowerBound(p, key);
+    if (idx < NCells(p)) {
+      Slice k;
+      PageId child;
+      ParseInternalCell(CellAt(p, idx), kPageSize - Slot(p, idx), &k, &child);
+      cur = child;
+    } else {
+      cur = Right(p);
+    }
+  }
+}
+
+Status BTree::Get(const Slice& key, std::string* value) {
+  std::shared_lock<std::shared_mutex> guard(rw_);
+  PageId leaf;
+  TARDIS_RETURN_IF_ERROR(FindLeaf(key, &leaf));
+  auto h = pool_->Fetch(leaf);
+  if (!h.ok()) return h.status();
+  const char* p = h->data();
+  const int idx = LowerBound(p, key);
+  if (idx >= NCells(p) || CellKey(p, idx) != key) {
+    return Status::NotFound();
+  }
+  Slice k, v;
+  ParseLeafCell(CellAt(p, idx), kPageSize - Slot(p, idx), &k, &v);
+  value->assign(v.data(), v.size());
+  return Status::OK();
+}
+
+Status BTree::Put(const Slice& key, const Slice& value) {
+  if (key.size() + value.size() > kMaxPayload) {
+    return Status::InvalidArgument("key+value exceeds kMaxPayload");
+  }
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  std::unique_lock<std::shared_mutex> guard(rw_);
+
+  std::optional<SplitResult> split;
+  bool inserted_new = false;
+  TARDIS_RETURN_IF_ERROR(PutRec(root_, key, value, &split, &inserted_new));
+  if (inserted_new) size_++;
+
+  if (split.has_value()) {
+    // Grow the tree: new internal root with one separator.
+    auto page = pool_->NewPage();
+    if (!page.ok()) return page.status();
+    char* p = page->data();
+    InitPage(p, kInternal);
+    std::string cell;
+    BuildInternalCell(&cell, Slice(split->separator), split->left_stays);
+    InsertCell(p, 0, cell);
+    SetRight(p, split->new_right);
+    page->MarkDirty();
+    root_ = page->id();
+    TARDIS_RETURN_IF_ERROR(pager_->SetRoot(root_));
+  }
+  return Status::OK();
+}
+
+Status BTree::PutRec(PageId page_id, const Slice& key, const Slice& value,
+                     std::optional<SplitResult>* split, bool* inserted_new) {
+  auto h = pool_->Fetch(page_id);
+  if (!h.ok()) return h.status();
+  char* p = h->data();
+
+  if (PageType(p) == kLeaf) {
+    int idx = LowerBound(p, key);
+    const bool overwrite = idx < NCells(p) && CellKey(p, idx) == key;
+    if (overwrite) {
+      RemoveCell(p, idx);
+    } else {
+      *inserted_new = true;
+    }
+    std::string cell;
+    BuildLeafCell(&cell, key, value);
+    if (CanFit(p, cell.size())) {
+      InsertCell(p, idx, cell);
+      TARDIS_VERIFY_PAGE(p, "leaf-insert");
+      h->MarkDirty();
+      return Status::OK();
+    }
+
+    // Split: gather all cells plus the new one, redistribute by bytes.
+    const int n = NCells(p);
+    std::vector<std::string> cells;
+    cells.reserve(n + 1);
+    size_t total = 0;
+    for (int i = 0; i < n; i++) {
+      cells.emplace_back(CellAt(p, i), CellSizeAt(p, i));
+      total += cells.back().size() + 2;
+    }
+    cells.insert(cells.begin() + idx, cell);
+    total += cell.size() + 2;
+
+    auto right_page = pool_->NewPage();
+    if (!right_page.ok()) return right_page.status();
+    char* rp = right_page->data();
+    InitPage(rp, kLeaf);
+    SetRight(rp, Right(p));
+
+    const PageId old_right_sibling [[maybe_unused]] = Right(p);
+    InitPage(p, kLeaf);
+    SetRight(p, right_page->id());
+
+    // Fill the left page to roughly half the payload bytes. Once one cell
+    // spills right, everything after it must too: cells are in key order,
+    // and only a prefix/suffix cut keeps the two ranges disjoint (a
+    // smaller later cell sneaking back left would scramble the order).
+    size_t acc = 0;
+    int left_n = 0;
+    int out_idx = 0;
+    bool spill_right = false;
+    for (const std::string& c : cells) {
+      if (!spill_right && (acc + c.size() + 2 <= total / 2 ||
+                           left_n == 0)) {  // left gets at least one cell
+        InsertCell(p, left_n++, c);
+        acc += c.size() + 2;
+      } else {
+        spill_right = true;
+        InsertCell(rp, out_idx++, c);
+      }
+    }
+    assert(NCells(rp) > 0);
+
+    SplitResult result;
+    result.separator = CellKey(p, NCells(p) - 1).ToString();
+    result.left_stays = page_id;
+    result.new_right = right_page->id();
+    *split = std::move(result);
+
+    TARDIS_VERIFY_PAGE(p, "leaf-split-left");
+    TARDIS_VERIFY_PAGE(rp, "leaf-split-right");
+    h->MarkDirty();
+    right_page->MarkDirty();
+    return Status::OK();
+  }
+
+  // Internal node: descend.
+  const int n = NCells(p);
+  const int idx = LowerBound(p, key);
+  PageId child;
+  if (idx < n) {
+    Slice k;
+    ParseInternalCell(CellAt(p, idx), kPageSize - Slot(p, idx), &k, &child);
+  } else {
+    child = Right(p);
+  }
+
+  std::optional<SplitResult> child_split;
+  TARDIS_RETURN_IF_ERROR(PutRec(child, key, value, &child_split, inserted_new));
+  if (!child_split.has_value()) return Status::OK();
+
+  // The child split into (left_stays | new_right) around `separator`.
+  // Re-point the existing reference at new_right, then insert a cell
+  // (separator -> left_stays) at idx.
+  if (idx < n) {
+    SetInternalChild(p, idx, child_split->new_right);
+  } else {
+    SetRight(p, child_split->new_right);
+  }
+  std::string cell;
+  BuildInternalCell(&cell, Slice(child_split->separator),
+                    child_split->left_stays);
+#ifdef TARDIS_BTREE_PARANOID
+  for (int i = 0; i < NCells(p); i++) {
+    if (CellKey(p, i) == Slice(child_split->separator)) {
+      fprintf(stderr,
+              "DUP-SEP sep=%s idx=%d n=%d child=%llu new_right=%llu page=%llu\n",
+              child_split->separator.c_str(), idx, n,
+              (unsigned long long)child, (unsigned long long)child_split->new_right,
+              (unsigned long long)page_id);
+      for (int j = 0; j < NCells(p); j++) {
+        PageId cc; Slice kk;
+        ParseInternalCell(CellAt(p, j), kPageSize - Slot(p, j), &kk, &cc);
+        fprintf(stderr, "  cell %d key=%s child=%llu\n", j,
+                kk.ToString().c_str(), (unsigned long long)cc);
+      }
+      fprintf(stderr, "  rightmost=%llu\n", (unsigned long long)Right(p));
+      abort();
+    }
+  }
+#endif
+  if (CanFit(p, cell.size())) {
+    InsertCell(p, idx, cell);
+    TARDIS_VERIFY_PAGE(p, "internal-insert");
+    h->MarkDirty();
+    return Status::OK();
+  }
+
+  // Split this internal node. Gather (key, child) pairs plus rightmost.
+  struct Pair {
+    std::string key;
+    PageId child;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(n + 1);
+  for (int i = 0; i < n; i++) {
+    Slice k;
+    PageId c;
+    ParseInternalCell(CellAt(p, i), kPageSize - Slot(p, i), &k, &c);
+    pairs.push_back({k.ToString(), c});
+  }
+  pairs.insert(pairs.begin() + idx,
+               {child_split->separator, child_split->left_stays});
+  const PageId rightmost = Right(p);
+
+  const int m = static_cast<int>(pairs.size()) / 2;  // pushed-up separator
+  auto right_page = pool_->NewPage();
+  if (!right_page.ok()) return right_page.status();
+  char* rp = right_page->data();
+  InitPage(rp, kInternal);
+
+  // Left keeps pairs [0, m); its rightmost child is pairs[m].child.
+  InitPage(p, kInternal);
+  for (int i = 0; i < m; i++) {
+    std::string c;
+    BuildInternalCell(&c, Slice(pairs[i].key), pairs[i].child);
+    InsertCell(p, i, c);
+  }
+  SetRight(p, pairs[m].child);
+
+  // Right gets pairs (m, end); rightmost child carried over.
+  int out = 0;
+  for (size_t i = m + 1; i < pairs.size(); i++) {
+    std::string c;
+    BuildInternalCell(&c, Slice(pairs[i].key), pairs[i].child);
+    InsertCell(rp, out++, c);
+  }
+  SetRight(rp, rightmost);
+
+  SplitResult result;
+  result.separator = pairs[m].key;
+  result.left_stays = page_id;
+  result.new_right = right_page->id();
+  *split = std::move(result);
+
+  TARDIS_VERIFY_PAGE(p, "internal-split-left");
+  TARDIS_VERIFY_PAGE(rp, "internal-split-right");
+  h->MarkDirty();
+  right_page->MarkDirty();
+  return Status::OK();
+}
+
+Status BTree::Delete(const Slice& key) {
+  std::unique_lock<std::shared_mutex> guard(rw_);
+  PageId leaf;
+  TARDIS_RETURN_IF_ERROR(FindLeaf(key, &leaf));
+  auto h = pool_->Fetch(leaf);
+  if (!h.ok()) return h.status();
+  char* p = h->data();
+  const int idx = LowerBound(p, key);
+  if (idx >= NCells(p) || CellKey(p, idx) != key) {
+    return Status::NotFound();
+  }
+  RemoveCell(p, idx);
+  h->MarkDirty();
+  size_--;
+  return Status::OK();
+}
+
+// ---- iterator --------------------------------------------------------------
+
+void BTree::Iterator::SeekToFirst() {
+  std::shared_lock<std::shared_mutex> guard(tree_->rw_);
+  // Descend leftmost.
+  PageId cur = tree_->root_;
+  while (true) {
+    auto h = tree_->pool_->Fetch(cur);
+    if (!h.ok()) {
+      valid_ = false;
+      return;
+    }
+    const char* p = h->data();
+    if (PageType(p) == kLeaf) break;
+    if (NCells(p) > 0) {
+      Slice k;
+      PageId child;
+      ParseInternalCell(CellAt(p, 0), kPageSize - Slot(p, 0), &k, &child);
+      cur = child;
+    } else {
+      cur = Right(p);
+    }
+  }
+  leaf_ = cur;
+  slot_ = 0;
+  LoadCurrent();
+}
+
+void BTree::Iterator::Seek(const Slice& target) {
+  std::shared_lock<std::shared_mutex> guard(tree_->rw_);
+  if (tree_->FindLeaf(target, &leaf_).ok()) {
+    auto h = tree_->pool_->Fetch(leaf_);
+    if (h.ok()) {
+      slot_ = LowerBound(h->data(), target);
+      LoadCurrent();
+      return;
+    }
+  }
+  valid_ = false;
+}
+
+void BTree::Iterator::Next() {
+  std::shared_lock<std::shared_mutex> guard(tree_->rw_);
+  slot_++;
+  LoadCurrent();
+}
+
+void BTree::Iterator::LoadCurrent() {
+  // Requires tree_->rw_ held (shared) by the caller.
+  while (leaf_ != kInvalidPageId) {
+    auto h = tree_->pool_->Fetch(leaf_);
+    if (!h.ok()) {
+      valid_ = false;
+      return;
+    }
+    const char* p = h->data();
+    if (slot_ < NCells(p)) {
+      Slice k, v;
+      ParseLeafCell(CellAt(p, slot_), kPageSize - Slot(p, slot_), &k, &v);
+      key_.assign(k.data(), k.size());
+      value_.assign(v.data(), v.size());
+      valid_ = true;
+      return;
+    }
+    leaf_ = Right(p);
+    slot_ = 0;
+  }
+  valid_ = false;
+}
+
+void BTree::Iterator::AdvanceLeaf() {}  // folded into LoadCurrent
+
+}  // namespace tardis

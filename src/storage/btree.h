@@ -1,0 +1,102 @@
+// Disk-backed B+Tree over the buffer pool.
+//
+// This is the "record B-Tree" of the TARDiS storage layer (§4): record
+// versions live here, keyed by an application-chosen byte string (the
+// TARDiS core encodes (user key, state id) composites). It also backs the
+// SeqKV/OCC baselines directly.
+//
+// Properties:
+//  * slotted 4 KiB pages, variable-length keys and values;
+//  * leaf pages chained left-to-right for ordered scans;
+//  * deletes tolerate under-full pages (no rebalancing) — acceptable for
+//    the version-pruning workload, where whole key ranges age out;
+//  * a tree-level shared_mutex: concurrent readers, single writer. Record
+//    locking/versioning above this layer provides transactional isolation.
+
+#ifndef TARDIS_STORAGE_BTREE_H_
+#define TARDIS_STORAGE_BTREE_H_
+
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tardis {
+
+class BTree {
+ public:
+  /// Maximum key+value payload accepted by Put (fits ≥3 cells per page).
+  static constexpr size_t kMaxPayload = 1000;
+
+  /// Opens a tree rooted at pager->root(), creating an empty root leaf on
+  /// first use. `pool` and its pager must outlive the tree.
+  static StatusOr<std::unique_ptr<BTree>> Open(BufferPool* pool, Pager* pager);
+
+  /// Inserts or overwrites `key`.
+  Status Put(const Slice& key, const Slice& value);
+  /// Looks up `key`; Status::NotFound if absent.
+  Status Get(const Slice& key, std::string* value);
+  /// Removes `key`; Status::NotFound if absent.
+  Status Delete(const Slice& key);
+
+  /// Number of live key/value pairs.
+  uint64_t size() const { return size_; }
+
+  /// Forward iterator over the whole tree (snapshot-free: concurrent
+  /// writers require external coordination, which the TARDiS core and the
+  /// baselines both provide).
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    Slice key() const { return Slice(key_); }
+    Slice value() const { return Slice(value_); }
+    void Next();
+    /// Positions at the first entry with key >= target.
+    void Seek(const Slice& target);
+    void SeekToFirst();
+
+   private:
+    friend class BTree;
+    explicit Iterator(BTree* tree) : tree_(tree) {}
+    void LoadCurrent();
+    void AdvanceLeaf();
+
+    BTree* tree_ = nullptr;
+    PageId leaf_ = kInvalidPageId;
+    int slot_ = 0;
+    bool valid_ = false;
+    std::string key_;
+    std::string value_;
+  };
+
+  Iterator NewIterator() { return Iterator(this); }
+
+ private:
+  BTree(BufferPool* pool, Pager* pager) : pool_(pool), pager_(pager) {}
+
+  struct SplitResult {
+    std::string separator;  // max key remaining in the (old) left child
+    PageId left_stays;      // the old page id (now the lower half)
+    PageId new_right;       // the freshly allocated upper half
+  };
+
+  Status EnsureRoot();
+  Status PutRec(PageId page, const Slice& key, const Slice& value,
+                std::optional<SplitResult>* split, bool* inserted_new);
+  Status FindLeaf(const Slice& key, PageId* leaf) const;
+
+  BufferPool* pool_;
+  Pager* pager_;
+  PageId root_ = kInvalidPageId;
+  uint64_t size_ = 0;
+  mutable std::shared_mutex rw_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_STORAGE_BTREE_H_

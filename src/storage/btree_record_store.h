@@ -1,0 +1,64 @@
+// BTreeRecordStore: disk-backed RecordStore over the pager / buffer pool /
+// B+Tree stack (the TARDiS-BDB configuration's analogue of BerkeleyDB with
+// concurrency control turned off, §6.6).
+
+#ifndef TARDIS_STORAGE_BTREE_RECORD_STORE_H_
+#define TARDIS_STORAGE_BTREE_RECORD_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "storage/record_store.h"
+
+namespace tardis {
+
+class BTreeRecordStore : public RecordStore {
+ public:
+  /// Opens (creating if needed) a store at `path`. `cache_pages` sizes the
+  /// buffer pool; the paper's evaluation keeps all requests cache-resident.
+  static StatusOr<std::unique_ptr<BTreeRecordStore>> Open(
+      const std::string& path, size_t cache_pages = 4096);
+
+  Status Put(const Slice& key, const Slice& value) override {
+    return tree_->Put(key, value);
+  }
+  Status Get(const Slice& key, std::string* value) override {
+    return tree_->Get(key, value);
+  }
+  Status Delete(const Slice& key) override { return tree_->Delete(key); }
+  Status Sync() override {
+    TARDIS_RETURN_IF_ERROR(pool_->FlushAll());
+    return pager_->Sync();
+  }
+  uint64_t size() const override { return tree_->size(); }
+
+  BTree* tree() { return tree_.get(); }
+
+ private:
+  BTreeRecordStore() = default;
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTree> tree_;
+};
+
+inline StatusOr<std::unique_ptr<BTreeRecordStore>> BTreeRecordStore::Open(
+    const std::string& path, size_t cache_pages) {
+  auto pager = Pager::Open(path);
+  if (!pager.ok()) return pager.status();
+  std::unique_ptr<BTreeRecordStore> store(new BTreeRecordStore());
+  store->pager_ = std::move(*pager);
+  store->pool_ =
+      std::make_unique<BufferPool>(store->pager_.get(), cache_pages);
+  auto tree = BTree::Open(store->pool_.get(), store->pager_.get());
+  if (!tree.ok()) return tree.status();
+  store->tree_ = std::move(*tree);
+  return store;
+}
+
+}  // namespace tardis
+
+#endif  // TARDIS_STORAGE_BTREE_RECORD_STORE_H_

@@ -1,0 +1,145 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace tardis {
+
+void PageHandle::MarkDirty() {
+  if (!valid()) return;
+  std::lock_guard<std::mutex> guard(pool_->mu_);
+  pool_->frames_[frame_].dirty = true;
+}
+
+void PageHandle::Release() {
+  if (!valid()) return;
+  std::lock_guard<std::mutex> guard(pool_->mu_);
+  pool_->UnpinLocked(frame_, /*dirty=*/false);
+  pool_ = nullptr;
+  frame_ = -1;
+  data_ = nullptr;
+  id_ = kInvalidPageId;
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity_pages)
+    : pager_(pager),
+      capacity_(capacity_pages),
+      frames_(capacity_pages),
+      arena_(new char[capacity_pages * kPageSize]) {
+  for (size_t i = 0; i < capacity_; i++) {
+    lru_.push_back(static_cast<int>(i));
+    lru_pos_[static_cast<int>(i)] = std::prev(lru_.end());
+  }
+}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+void BufferPool::TouchLocked(int frame) {
+  auto it = lru_pos_.find(frame);
+  if (it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_front(frame);
+  lru_pos_[frame] = lru_.begin();
+}
+
+void BufferPool::UnpinLocked(int frame, bool dirty) {
+  Frame& f = frames_[frame];
+  assert(f.pin_count > 0);
+  f.pin_count--;
+  if (dirty) f.dirty = true;
+}
+
+Status BufferPool::FlushFrameLocked(int frame) {
+  Frame& f = frames_[frame];
+  if (!f.valid || !f.dirty) return Status::OK();
+  Status s = pager_->WritePage(f.id, arena_.get() + frame * kPageSize);
+  if (!s.ok()) return s;
+  f.dirty = false;
+  return Status::OK();
+}
+
+Status BufferPool::EvictOneLocked(int* frame_out) {
+  // Scan from least-recently-used; skip pinned frames.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const int frame = *it;
+    Frame& f = frames_[frame];
+    if (f.pin_count > 0) continue;
+    TARDIS_RETURN_IF_ERROR(FlushFrameLocked(frame));
+    if (f.valid) page_to_frame_.erase(f.id);
+    f.valid = false;
+    f.id = kInvalidPageId;
+    *frame_out = frame;
+    return Status::OK();
+  }
+  return Status::Busy("all buffer pool frames pinned");
+}
+
+StatusOr<PageHandle> BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    const int frame = it->second;
+    frames_[frame].pin_count++;
+    TouchLocked(frame);
+    hits_++;
+    return PageHandle(this, frame, arena_.get() + frame * kPageSize, id);
+  }
+  misses_++;
+  int frame = -1;
+  TARDIS_RETURN_IF_ERROR(EvictOneLocked(&frame));
+  char* data = arena_.get() + frame * kPageSize;
+  TARDIS_RETURN_IF_ERROR(pager_->ReadPage(id, data));
+  Frame& f = frames_[frame];
+  f.id = id;
+  f.valid = true;
+  f.dirty = false;
+  f.pin_count = 1;
+  page_to_frame_[id] = frame;
+  TouchLocked(frame);
+  return PageHandle(this, frame, data, id);
+}
+
+StatusOr<PageHandle> BufferPool::NewPage() {
+  auto alloc = pager_->AllocatePage();
+  if (!alloc.ok()) return alloc.status();
+  const PageId id = *alloc;
+
+  std::lock_guard<std::mutex> guard(mu_);
+  int frame = -1;
+  TARDIS_RETURN_IF_ERROR(EvictOneLocked(&frame));
+  char* data = arena_.get() + frame * kPageSize;
+  memset(data, 0, kPageSize);
+  Frame& f = frames_[frame];
+  f.id = id;
+  f.valid = true;
+  f.dirty = true;
+  f.pin_count = 1;
+  page_to_frame_[id] = frame;
+  TouchLocked(frame);
+  return PageHandle(this, frame, data, id);
+}
+
+Status BufferPool::FreePage(PageId id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pin_count > 0) {
+      return Status::Busy("cannot free a pinned page");
+    }
+    f.valid = false;
+    f.dirty = false;
+    f.id = kInvalidPageId;
+    page_to_frame_.erase(it);
+  }
+  return pager_->FreePage(id);
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (size_t i = 0; i < capacity_; i++) {
+    TARDIS_RETURN_IF_ERROR(FlushFrameLocked(static_cast<int>(i)));
+  }
+  return Status::OK();
+}
+
+}  // namespace tardis

@@ -1,0 +1,128 @@
+// BufferPool: fixed number of kPageSize frames with LRU eviction, pin
+// counts and dirty tracking, fronting a Pager. The B+Tree never touches
+// the Pager directly for data pages.
+
+#ifndef TARDIS_STORAGE_BUFFER_POOL_H_
+#define TARDIS_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/pager.h"
+#include "util/status.h"
+
+namespace tardis {
+
+class BufferPool;
+
+/// RAII pin on a cached page frame. While alive, the frame cannot be
+/// evicted and `data()` stays valid. Mark dirty before release if written.
+class PageHandle {
+ public:
+  PageHandle() : pool_(nullptr), frame_(-1), data_(nullptr), id_(kInvalidPageId) {}
+  ~PageHandle() { Release(); }
+
+  PageHandle(PageHandle&& o) noexcept
+      : pool_(o.pool_), frame_(o.frame_), data_(o.data_), id_(o.id_) {
+    o.pool_ = nullptr;
+    o.frame_ = -1;
+    o.data_ = nullptr;
+    o.id_ = kInvalidPageId;
+  }
+  PageHandle& operator=(PageHandle&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      frame_ = o.frame_;
+      data_ = o.data_;
+      id_ = o.id_;
+      o.pool_ = nullptr;
+      o.frame_ = -1;
+      o.data_ = nullptr;
+      o.id_ = kInvalidPageId;
+    }
+    return *this;
+  }
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  /// Marks the frame dirty so it is written back before eviction.
+  void MarkDirty();
+  /// Unpins explicitly (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, int frame, char* data, PageId id)
+      : pool_(pool), frame_(frame), data_(data), id_(id) {}
+
+  BufferPool* pool_;
+  int frame_;
+  char* data_;
+  PageId id_;
+};
+
+class BufferPool {
+ public:
+  BufferPool(Pager* pager, size_t capacity_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from disk on a miss.
+  StatusOr<PageHandle> Fetch(PageId id);
+  /// Allocates a fresh zeroed page and pins it (already marked dirty).
+  StatusOr<PageHandle> NewPage();
+  /// Drops the page from cache (discarding its contents) and frees it in
+  /// the pager. The page must be unpinned.
+  Status FreePage(PageId id);
+
+  /// Writes back all dirty frames (no fsync; call pager->Sync() after).
+  Status FlushAll();
+
+  size_t capacity() const { return capacity_; }
+  uint64_t hit_count() const { return hits_; }
+  uint64_t miss_count() const { return misses_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    bool valid = false;
+  };
+
+  // All private helpers require mu_ held.
+  Status EvictOneLocked(int* frame_out);
+  Status FlushFrameLocked(int frame);
+  void TouchLocked(int frame);
+  void UnpinLocked(int frame, bool dirty);
+
+  Pager* pager_;
+  const size_t capacity_;
+  std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::unique_ptr<char[]> arena_;                 // capacity_ * kPageSize
+  std::unordered_map<PageId, int> page_to_frame_;
+  std::list<int> lru_;                            // front = most recent
+  std::unordered_map<int, std::list<int>::iterator> lru_pos_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,52 @@
+// MemRecordStore: in-memory RecordStore (the TARDiS-MDB configuration's
+// analogue of MapDB). Ordered map + shared mutex; the TARDiS core supplies
+// all transactional semantics above this layer.
+
+#ifndef TARDIS_STORAGE_MEMSTORE_H_
+#define TARDIS_STORAGE_MEMSTORE_H_
+
+#include <map>
+#include <shared_mutex>
+#include <string>
+
+#include "storage/record_store.h"
+
+namespace tardis {
+
+class MemRecordStore : public RecordStore {
+ public:
+  Status Put(const Slice& key, const Slice& value) override {
+    std::unique_lock<std::shared_mutex> guard(rw_);
+    map_[key.ToString()] = value.ToString();
+    return Status::OK();
+  }
+
+  Status Get(const Slice& key, std::string* value) override {
+    std::shared_lock<std::shared_mutex> guard(rw_);
+    auto it = map_.find(key.ToString());
+    if (it == map_.end()) return Status::NotFound();
+    *value = it->second;
+    return Status::OK();
+  }
+
+  Status Delete(const Slice& key) override {
+    std::unique_lock<std::shared_mutex> guard(rw_);
+    if (map_.erase(key.ToString()) == 0) return Status::NotFound();
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+  uint64_t size() const override {
+    std::shared_lock<std::shared_mutex> guard(rw_);
+    return map_.size();
+  }
+
+ private:
+  mutable std::shared_mutex rw_;
+  std::map<std::string, std::string, std::less<>> map_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_STORAGE_MEMSTORE_H_

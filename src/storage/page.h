@@ -1,0 +1,19 @@
+// Page-level constants shared by the pager, buffer pool and B+Tree.
+
+#ifndef TARDIS_STORAGE_PAGE_H_
+#define TARDIS_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace tardis {
+
+using PageId = uint64_t;
+
+constexpr uint32_t kPageSize = 4096;
+/// Page id 0 is the file's meta page and never stores tree data.
+constexpr PageId kMetaPageId = 0;
+constexpr PageId kInvalidPageId = ~0ull;
+
+}  // namespace tardis
+
+#endif  // TARDIS_STORAGE_PAGE_H_

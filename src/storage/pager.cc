@@ -1,0 +1,184 @@
+#include "storage/pager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace tardis {
+
+namespace {
+constexpr uint32_t kMagic = 0x7A4D15D8;  // "TARDiS" page file
+
+// Meta page layout (all fixed64 unless noted):
+//   [0..4)   magic (fixed32)
+//   [8..16)  page_count
+//   [16..24) free list head
+//   [24..32) root
+constexpr size_t kMagicOff = 0;
+constexpr size_t kPageCountOff = 8;
+constexpr size_t kFreeHeadOff = 16;
+constexpr size_t kRootOff = 24;
+}  // namespace
+
+StatusOr<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  std::unique_ptr<Pager> pager(new Pager(fd));
+  Status s = pager->LoadMeta();
+  if (!s.ok()) return s;
+  return pager;
+}
+
+Pager::Pager(int fd)
+    : fd_(fd),
+      page_count_(1),
+      free_head_(kInvalidPageId),
+      root_(kInvalidPageId) {}
+
+Pager::~Pager() {
+  if (fd_ >= 0) {
+    FlushMeta();
+    ::close(fd_);
+  }
+}
+
+Status Pager::LoadMeta() {
+  std::lock_guard<std::mutex> guard(mu_);
+  off_t len = ::lseek(fd_, 0, SEEK_END);
+  if (len < 0) return Status::IOError("lseek failed");
+  if (len == 0) {
+    // Fresh file: write an initial meta page.
+    return FlushMeta();
+  }
+  char buf[kPageSize];
+  ssize_t n = ::pread(fd_, buf, kPageSize, 0);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::Corruption("short meta page read");
+  }
+  if (DecodeFixed32(buf + kMagicOff) != kMagic) {
+    return Status::Corruption("bad page file magic");
+  }
+  page_count_ = DecodeFixed64(buf + kPageCountOff);
+  free_head_ = DecodeFixed64(buf + kFreeHeadOff);
+  root_ = DecodeFixed64(buf + kRootOff);
+  return Status::OK();
+}
+
+Status Pager::FlushMeta() {
+  char buf[kPageSize];
+  memset(buf, 0, sizeof(buf));
+  EncodeFixed32(buf + kMagicOff, kMagic);
+  EncodeFixed64(buf + kPageCountOff, page_count_);
+  EncodeFixed64(buf + kFreeHeadOff, free_head_);
+  EncodeFixed64(buf + kRootOff, root_);
+  ssize_t n = ::pwrite(fd_, buf, kPageSize, 0);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("meta page write failed");
+  }
+  return Status::OK();
+}
+
+StatusOr<PageId> Pager::AllocatePage() {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (free_head_ != kInvalidPageId) {
+    const PageId id = free_head_;
+    char buf[kPageSize];
+    ssize_t n = ::pread(fd_, buf, kPageSize,
+                        static_cast<off_t>(id) * kPageSize);
+    if (n != static_cast<ssize_t>(kPageSize)) {
+      return Status::IOError("free list page read failed");
+    }
+    free_head_ = DecodeFixed64(buf);
+    return id;
+  }
+  const PageId id = page_count_++;
+  // Extend the file so subsequent reads of this page succeed.
+  char zero[kPageSize];
+  memset(zero, 0, sizeof(zero));
+  ssize_t n = ::pwrite(fd_, zero, kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("page file extend failed");
+  }
+  return id;
+}
+
+Status Pager::FreePage(PageId id) {
+  if (id == kMetaPageId || id >= page_count()) {
+    return Status::InvalidArgument("bad page id in FreePage");
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  char buf[kPageSize];
+  memset(buf, 0, sizeof(buf));
+  EncodeFixed64(buf, free_head_);
+  ssize_t n = ::pwrite(fd_, buf, kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("free page write failed");
+  }
+  free_head_ = id;
+  return Status::OK();
+}
+
+Status Pager::ReadPage(PageId id, char* buf) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (id >= page_count_) {
+      return Status::InvalidArgument("page id out of range");
+    }
+  }
+  ssize_t n = ::pread(fd_, buf, kPageSize, static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("page read failed");
+  }
+  return Status::OK();
+}
+
+Status Pager::WritePage(PageId id, const char* buf) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (id >= page_count_) {
+      return Status::InvalidArgument("page id out of range");
+    }
+  }
+  ssize_t n = ::pwrite(fd_, buf, kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("page write failed");
+  }
+  return Status::OK();
+}
+
+Status Pager::Sync() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    Status s = FlushMeta();
+    if (!s.ok()) return s;
+  }
+  if (::fsync(fd_) != 0) return Status::IOError("fsync failed");
+  return Status::OK();
+}
+
+PageId Pager::root() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return root_;
+}
+
+Status Pager::SetRoot(PageId root) {
+  std::lock_guard<std::mutex> guard(mu_);
+  root_ = root;
+  return Status::OK();
+}
+
+uint64_t Pager::page_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return page_count_;
+}
+
+}  // namespace tardis

@@ -1,0 +1,63 @@
+// Pager: fixed-size page file with a free list and a meta page.
+//
+// Layout: page 0 is the meta page (magic, page count, free-list head, and
+// a user root pointer that the B+Tree stores its root page in). Freed
+// pages are chained through their first 8 bytes.
+
+#ifndef TARDIS_STORAGE_PAGER_H_
+#define TARDIS_STORAGE_PAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace tardis {
+
+class Pager {
+ public:
+  /// Opens (creating if absent) the page file at `path`.
+  static StatusOr<std::unique_ptr<Pager>> Open(const std::string& path);
+
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Allocates a page (reusing the free list when possible).
+  StatusOr<PageId> AllocatePage();
+  /// Returns a page to the free list.
+  Status FreePage(PageId id);
+
+  /// Reads page `id` into `buf` (kPageSize bytes).
+  Status ReadPage(PageId id, char* buf);
+  /// Writes `buf` (kPageSize bytes) as page `id`.
+  Status WritePage(PageId id, const char* buf);
+
+  /// fsyncs the page file.
+  Status Sync();
+
+  /// User root pointer persisted in the meta page (kInvalidPageId if unset).
+  PageId root() const;
+  Status SetRoot(PageId root);
+
+  uint64_t page_count() const;
+
+ private:
+  explicit Pager(int fd);
+
+  Status LoadMeta();
+  Status FlushMeta();
+
+  mutable std::mutex mu_;
+  int fd_;
+  uint64_t page_count_;   // includes the meta page
+  PageId free_head_;      // head of the free list, or kInvalidPageId
+  PageId root_;           // user root pointer
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_STORAGE_PAGER_H_

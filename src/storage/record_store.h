@@ -1,0 +1,30 @@
+// RecordStore: the persistence interface the TARDiS core writes record
+// versions through. Two implementations mirror the paper's two
+// configurations: BTreeRecordStore (disk-backed, the TARDiS-BDB analogue)
+// and MemRecordStore (the TARDiS-MDB analogue).
+
+#ifndef TARDIS_STORAGE_RECORD_STORE_H_
+#define TARDIS_STORAGE_RECORD_STORE_H_
+
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tardis {
+
+class RecordStore {
+ public:
+  virtual ~RecordStore() = default;
+
+  virtual Status Put(const Slice& key, const Slice& value) = 0;
+  virtual Status Get(const Slice& key, std::string* value) = 0;
+  virtual Status Delete(const Slice& key) = 0;
+  /// Flushes buffered state to stable storage (no-op for memory stores).
+  virtual Status Sync() = 0;
+  virtual uint64_t size() const = 0;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_STORAGE_RECORD_STORE_H_

@@ -1,0 +1,84 @@
+#include "storage/sharded_record_store.h"
+
+#include "storage/btree_record_store.h"
+#include "util/coding.h"
+
+namespace tardis {
+
+namespace {
+
+/// FNV-1a over the user-key prefix of a composite record key: record keys
+/// are [varint len][user key][fixed64 state id] (record_codec.h), and all
+/// versions of a user key must land on one shard. Falls back to hashing
+/// the whole key when it is not a composite (baseline stores pass raw
+/// keys through here too).
+uint64_t RouteHash(const Slice& key) {
+  Slice in = key;
+  Slice user_key;
+  if (GetLengthPrefixed(&in, &user_key) && in.size() == 8) {
+    in = user_key;
+  } else {
+    in = key;
+  }
+  uint64_t hash = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < in.size(); i++) {
+    hash ^= static_cast<unsigned char>(in[i]);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ShardedRecordStore>> ShardedRecordStore::Open(
+    const std::string& dir, size_t num_shards, size_t cache_pages) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  std::unique_ptr<ShardedRecordStore> store(new ShardedRecordStore());
+  for (size_t i = 0; i < num_shards; i++) {
+    auto shard = BTreeRecordStore::Open(
+        dir + "/shard-" + std::to_string(i) + ".db", cache_pages);
+    if (!shard.ok()) return shard.status();
+    store->shards_.push_back(std::move(*shard));
+  }
+  return store;
+}
+
+std::unique_ptr<ShardedRecordStore> ShardedRecordStore::Wrap(
+    std::vector<std::unique_ptr<RecordStore>> shards) {
+  std::unique_ptr<ShardedRecordStore> store(new ShardedRecordStore());
+  store->shards_ = std::move(shards);
+  return store;
+}
+
+size_t ShardedRecordStore::ShardFor(const Slice& key) const {
+  return static_cast<size_t>(RouteHash(key) % shards_.size());
+}
+
+Status ShardedRecordStore::Put(const Slice& key, const Slice& value) {
+  return shards_[ShardFor(key)]->Put(key, value);
+}
+
+Status ShardedRecordStore::Get(const Slice& key, std::string* value) {
+  return shards_[ShardFor(key)]->Get(key, value);
+}
+
+Status ShardedRecordStore::Delete(const Slice& key) {
+  return shards_[ShardFor(key)]->Delete(key);
+}
+
+Status ShardedRecordStore::Sync() {
+  for (auto& shard : shards_) {
+    TARDIS_RETURN_IF_ERROR(shard->Sync());
+  }
+  return Status::OK();
+}
+
+uint64_t ShardedRecordStore::size() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+}  // namespace tardis

@@ -1,0 +1,327 @@
+// Concurrent skip list.
+//
+// TARDiS keeps, per key, a topologically ordered list of record versions
+// (§6.1.4: "TARDiS can cheaply maintain a topological order as a sorted
+// list (more precisely, as a lock-free skip list)"). This is that skip
+// list: insertions use per-level CAS and never block readers; readers are
+// wait-free. Removal (needed by the garbage collector's record-pruning
+// pass, §6.3) is mark-then-unlink: logically deleted nodes are skipped by
+// readers and physically unlinked by later traversals.
+//
+// Memory reclamation: nodes are retired to a per-list free queue and only
+// reclaimed when the owner knows no readers are active (the key-version
+// map drains retired nodes from its GC thread during quiescent pruning
+// passes). Node keys are immutable after insert.
+
+#ifndef TARDIS_STORAGE_SKIPLIST_H_
+#define TARDIS_STORAGE_SKIPLIST_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "util/random.h"
+
+namespace tardis {
+
+/// Comparator contract: Compare(a, b) < 0 iff a orders before b.
+template <typename Key, class Comparator>
+class SkipList {
+ public:
+  explicit SkipList(Comparator cmp)
+      : compare_(cmp),
+        head_(NewNode(Key(), kMaxHeight)),
+        max_height_(1),
+        rnd_(0xdeadbeef),
+        size_(0) {
+    for (int i = 0; i < kMaxHeight; i++) {
+      head_->SetNext(i, nullptr);
+    }
+  }
+
+  ~SkipList() {
+    Node* x = head_;
+    while (x != nullptr) {
+      Node* next = x->Next(0);
+      FreeNode(x);
+      x = next;
+    }
+    for (Node* n : retired_) FreeNode(n);
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts key. Duplicates are allowed to coexist only if the comparator
+  /// distinguishes them; inserting an exact duplicate returns false.
+  bool Insert(const Key& key) {
+    while (true) {
+      Node* preds[kMaxHeight];
+      Node* succs[kMaxHeight];
+      Node* found = FindPosition(key, preds, succs);
+      if (found != nullptr && !found->deleted.load(std::memory_order_acquire)) {
+        return false;  // already present
+      }
+      if (found != nullptr) {
+        // A logically deleted duplicate is in the way; help unlink at level
+        // 0 and retry.
+        Node* after = found->Next(0);
+        preds[0]->CasNext(0, found, after);
+        continue;
+      }
+
+      const int height = RandomHeight();
+      Node* x = NewNode(key, height);
+      // Raise max_height_ if needed (monotone; racy max is fine).
+      int cur_max = max_height_.load(std::memory_order_relaxed);
+      while (height > cur_max &&
+             !max_height_.compare_exchange_weak(cur_max, height)) {
+      }
+      for (int i = cur_max; i < height; i++) {
+        // Levels above the old max have head as predecessor.
+        if (preds[i] == nullptr) preds[i] = head_;
+        if (succs[i] == nullptr) succs[i] = head_->Next(i);
+      }
+
+      // Link bottom level first; this is the linearization point.
+      x->SetNext(0, succs[0]);
+      if (!preds[0]->CasNext(0, succs[0], x)) {
+        FreeNode(x);  // not yet visible; safe to free directly
+        continue;     // raced with another insert; retry from scratch
+      }
+      size_.fetch_add(1, std::memory_order_relaxed);
+
+      // Link upper levels best-effort; a failed CAS just means the index
+      // is missing a shortcut, which affects speed, not correctness.
+      for (int i = 1; i < height; i++) {
+        while (true) {
+          x->SetNext(i, succs[i]);
+          if (preds[i]->CasNext(i, succs[i], x)) break;
+          if (x->deleted.load(std::memory_order_acquire)) return true;
+          FindPosition(key, preds, succs);  // recompute neighbors
+          if (succs[i] == x) break;         // someone linked us already
+        }
+      }
+      return true;
+    }
+  }
+
+  /// Removes key. Returns false if absent (or already removed). The node
+  /// is unlinked from every level it occupies and retired for deferred
+  /// reclamation once unreachable; if a racing traversal keeps relinking
+  /// it, the node is leaked (rare, safe). Concurrent Remove and Insert of
+  /// an *equal* key are not supported — distinct keys are fine.
+  bool Remove(const Key& key) {
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    Node* found = FindPosition(key, preds, succs);
+    if (found == nullptr) return false;
+    bool expected = false;
+    if (!found->deleted.compare_exchange_strong(expected, true)) {
+      return false;  // concurrent remover won
+    }
+    size_.fetch_sub(1, std::memory_order_relaxed);
+
+    // Physically unlink from every level (fresh predecessors each pass).
+    for (int attempt = 0; attempt < 16; attempt++) {
+      FindPosition(key, preds, succs);
+      bool linked = false;
+      for (int i = kMaxHeight - 1; i >= 0; i--) {
+        if (succs[i] == found) {
+          linked = true;
+          Node* pred = preds[i] ? preds[i] : head_;
+          pred->CasNext(i, found, found->Next(i));
+        }
+      }
+      if (!linked) break;
+    }
+    // Retire only if truly unreachable now.
+    FindPosition(key, preds, succs);
+    bool still_linked = false;
+    for (int i = 0; i < kMaxHeight; i++) {
+      if (succs[i] == found) still_linked = true;
+    }
+    if (!still_linked) Retire(found);
+    return true;
+  }
+
+  /// True iff key is present and not logically deleted.
+  bool Contains(const Key& key) const {
+    const Node* x = FindGreaterOrEqual(key);
+    return x != nullptr && Equal(x->key, key) &&
+           !x->deleted.load(std::memory_order_acquire);
+  }
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Reclaims retired nodes. Caller must guarantee no reader holds a
+  /// reference into the list (quiescent point).
+  void DrainRetired() {
+    std::vector<Node*> victims;
+    {
+      std::lock_guard<SpinLockAdapter> g(retire_lock_);
+      victims.swap(retired_);
+    }
+    for (Node* n : victims) FreeNode(n);
+  }
+
+  /// Forward iterator over live (non-deleted) nodes in comparator order.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list)
+        : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+
+    void Next() {
+      assert(Valid());
+      node_ = node_->Next(0);
+      SkipDeleted();
+    }
+
+    void SeekToFirst() {
+      node_ = list_->head_->Next(0);
+      SkipDeleted();
+    }
+
+    /// Positions at the first live node with key >= target.
+    void Seek(const Key& target) {
+      node_ = const_cast<Node*>(list_->FindGreaterOrEqual(target));
+      SkipDeleted();
+    }
+
+   private:
+    void SkipDeleted() {
+      while (node_ != nullptr &&
+             node_->deleted.load(std::memory_order_acquire)) {
+        node_ = node_->Next(0);
+      }
+    }
+
+    const SkipList* list_;
+    typename SkipList::Node* node_;
+
+    friend class SkipList;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  struct Node {
+    explicit Node(const Key& k) : key(k) {}
+    const Key key;
+    std::atomic<bool> deleted{false};
+    int height;
+    // next_[0..height-1], allocated inline after the node.
+    std::atomic<Node*> next_[1];
+
+    Node* Next(int n) const {
+      assert(n >= 0 && n < height);
+      return next_[n].load(std::memory_order_acquire);
+    }
+    void SetNext(int n, Node* x) {
+      next_[n].store(x, std::memory_order_release);
+    }
+    bool CasNext(int n, Node* expected, Node* x) {
+      return next_[n].compare_exchange_strong(expected, x);
+    }
+  };
+
+  // Tiny adapter so std::lock_guard works with SpinLock semantics without
+  // pulling in the util header for a one-liner.
+  struct SpinLockAdapter {
+    std::atomic_flag f = ATOMIC_FLAG_INIT;
+    void lock() {
+      while (f.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    void unlock() { f.clear(std::memory_order_release); }
+  };
+
+  Node* NewNode(const Key& key, int height) {
+    void* mem = ::operator new(sizeof(Node) +
+                               sizeof(std::atomic<Node*>) * (height - 1));
+    Node* n = new (mem) Node(key);
+    n->height = height;
+    for (int i = 0; i < height; i++) n->SetNext(i, nullptr);
+    return n;
+  }
+
+  static void FreeNode(Node* n) {
+    n->~Node();
+    ::operator delete(n);
+  }
+
+  void Retire(Node* n) {
+    std::lock_guard<SpinLockAdapter> g(retire_lock_);
+    retired_.push_back(n);
+  }
+
+  int RandomHeight() {
+    // p = 1/4 branching like LevelDB.
+    int h = 1;
+    std::lock_guard<SpinLockAdapter> g(rnd_lock_);
+    while (h < kMaxHeight && (rnd_.Next() & 3) == 0) h++;
+    return h;
+  }
+
+  bool Equal(const Key& a, const Key& b) const {
+    return compare_(a, b) == 0;
+  }
+
+  /// Fills preds/succs at every level; returns the node equal to key (live
+  /// or logically deleted) if one exists at level 0, else nullptr.
+  Node* FindPosition(const Key& key, Node** preds, Node** succs) const {
+    for (int i = 0; i < kMaxHeight; i++) {
+      preds[i] = nullptr;
+      succs[i] = nullptr;
+    }
+    Node* x = head_;
+    int level = max_height_.load(std::memory_order_relaxed) - 1;
+    for (int i = level; i >= 0; i--) {
+      Node* next = x->Next(i);
+      while (next != nullptr && compare_(next->key, key) < 0) {
+        x = next;
+        next = x->Next(i);
+      }
+      preds[i] = x;
+      succs[i] = next;
+    }
+    if (succs[0] != nullptr && Equal(succs[0]->key, key)) return succs[0];
+    return nullptr;
+  }
+
+  const Node* FindGreaterOrEqual(const Key& key) const {
+    const Node* x = head_;
+    int level = max_height_.load(std::memory_order_relaxed) - 1;
+    for (int i = level; i >= 0; i--) {
+      const Node* next = x->Next(i);
+      while (next != nullptr && compare_(next->key, key) < 0) {
+        x = next;
+        next = x->Next(i);
+      }
+      if (i == 0) return next;
+    }
+    return nullptr;
+  }
+
+  Comparator const compare_;
+  Node* const head_;
+  std::atomic<int> max_height_;
+  Random rnd_;
+  mutable SpinLockAdapter rnd_lock_;
+  SpinLockAdapter retire_lock_;
+  std::vector<Node*> retired_;
+  std::atomic<size_t> size_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_STORAGE_SKIPLIST_H_

@@ -1,0 +1,95 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "util/coding.h"
+#include "util/crc32.h"
+
+namespace tardis {
+
+namespace {
+constexpr size_t kFrameHeader = 8;  // u32 masked crc + u32 len
+}
+
+StatusOr<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                         FlushMode mode) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  return std::unique_ptr<Wal>(new Wal(fd, mode, path));
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+Status Wal::Append(const Slice& payload) {
+  std::string frame;
+  frame.resize(kFrameHeader);
+  EncodeFixed32(&frame[4], static_cast<uint32_t>(payload.size()));
+  frame.append(payload.data(), payload.size());
+  // CRC covers len + payload so a truncated length field is detected too.
+  const uint32_t crc =
+      Crc32c(frame.data() + 4, frame.size() - 4);
+  EncodeFixed32(&frame[0], MaskCrc(crc));
+
+  std::lock_guard<std::mutex> guard(mu_);
+  ssize_t n = ::write(fd_, frame.data(), frame.size());
+  if (n != static_cast<ssize_t>(frame.size())) {
+    return Status::IOError("wal append failed");
+  }
+  appended_ += frame.size();
+  if (mode_ == FlushMode::kSync) {
+    if (::fsync(fd_) != 0) return Status::IOError("wal fsync failed");
+  }
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (::fsync(fd_) != 0) return Status::IOError("wal fsync failed");
+  return Status::OK();
+}
+
+Status Wal::ReadAll(const std::function<Status(const Slice&)>& fn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) return Status::IOError("wal lseek failed");
+  std::vector<char> buf(static_cast<size_t>(size));
+  if (size > 0) {
+    ssize_t n = ::pread(fd_, buf.data(), buf.size(), 0);
+    if (n != size) return Status::IOError("wal read failed");
+  }
+
+  size_t off = 0;
+  while (off + kFrameHeader <= buf.size()) {
+    const uint32_t stored_crc = UnmaskCrc(DecodeFixed32(buf.data() + off));
+    const uint32_t len = DecodeFixed32(buf.data() + off + 4);
+    if (off + kFrameHeader + len > buf.size()) break;  // torn tail
+    const uint32_t actual_crc = Crc32c(buf.data() + off + 4, 4 + len);
+    if (actual_crc != stored_crc) break;  // corrupt: stop replay here
+    Status s = fn(Slice(buf.data() + off + kFrameHeader, len));
+    if (!s.ok()) return s;
+    off += kFrameHeader + len;
+  }
+  return Status::OK();
+}
+
+Status Wal::Truncate() {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (::ftruncate(fd_, 0) != 0) return Status::IOError("wal truncate failed");
+  if (::lseek(fd_, 0, SEEK_SET) < 0) return Status::IOError("wal lseek failed");
+  appended_ = 0;
+  return Status::OK();
+}
+
+}  // namespace tardis

@@ -1,0 +1,67 @@
+// Write-ahead log with CRC-framed records.
+//
+// Used as TARDiS' commit log (§6.5): each committed transaction appends
+// one record (commit state id, parent ids, write-set keys). Supports
+// synchronous or asynchronous flushing (the paper's "Asynchronous Flush"
+// trades durability for throughput) and truncation after a checkpoint.
+//
+// Record framing: [u32 masked crc over len+payload][u32 len][payload].
+// Recovery stops at the first torn/corrupt record.
+
+#ifndef TARDIS_STORAGE_WAL_H_
+#define TARDIS_STORAGE_WAL_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tardis {
+
+class Wal {
+ public:
+  enum class FlushMode {
+    kSync,   ///< fsync on every append (durable)
+    kAsync,  ///< write to the OS only; fsync on Checkpoint/close
+  };
+
+  static StatusOr<std::unique_ptr<Wal>> Open(const std::string& path,
+                                             FlushMode mode = FlushMode::kAsync);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one record; with kSync also fsyncs.
+  Status Append(const Slice& payload);
+
+  /// Forces everything written so far to stable storage.
+  Status Sync();
+
+  /// Replays all intact records in append order. Stops (returning OK) at
+  /// the first torn record, mirroring crash-recovery semantics.
+  Status ReadAll(const std::function<Status(const Slice&)>& fn);
+
+  /// Discards the log contents (after a checkpoint has made them
+  /// redundant).
+  Status Truncate();
+
+  uint64_t appended_bytes() const { return appended_; }
+
+ private:
+  Wal(int fd, FlushMode mode, std::string path)
+      : fd_(fd), mode_(mode), path_(std::move(path)) {}
+
+  std::mutex mu_;
+  int fd_;
+  FlushMode mode_;
+  std::string path_;
+  uint64_t appended_ = 0;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_STORAGE_WAL_H_

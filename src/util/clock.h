@@ -1,0 +1,39 @@
+// Monotonic time helpers used by the benchmark driver and the simulated
+// network.
+
+#ifndef TARDIS_UTIL_CLOCK_H_
+#define TARDIS_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tardis {
+
+/// Nanoseconds from an arbitrary (but monotone) origin.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline uint64_t NowMicros() { return NowNanos() / 1000; }
+inline uint64_t NowMillis() { return NowNanos() / 1000000; }
+
+/// RAII stopwatch: accumulates elapsed microseconds into *sink.
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(uint64_t* sink) : sink_(sink), start_(NowNanos()) {}
+  ~ScopedTimerUs() { *sink_ += (NowNanos() - start_) / 1000; }
+
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  uint64_t* sink_;
+  uint64_t start_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_UTIL_CLOCK_H_

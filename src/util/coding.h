@@ -1,0 +1,87 @@
+// Fixed-width and varint encodings for the storage layer (pages, WAL
+// records, commit-log entries). Little-endian fixed encodings; LEB128-style
+// varints. Mirrors the LevelDB coding conventions.
+
+#ifndef TARDIS_UTIL_CODING_H_
+#define TARDIS_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace tardis {
+
+inline void EncodeFixed32(char* dst, uint32_t v) { memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { memcpy(dst, &v, 8); }
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+inline void PutVarint64(std::string* dst, uint64_t v) {
+  unsigned char buf[10];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+/// Parses a varint64 from *input, advancing it past the parsed bytes.
+/// Returns false on truncated/overlong input.
+inline bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    const unsigned char byte = static_cast<unsigned char>((*input)[0]);
+    input->remove_prefix(1);
+    if (byte & 0x80) {
+      result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    } else {
+      result |= static_cast<uint64_t>(byte) << shift;
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Length-prefixed string: varint length followed by the bytes.
+inline void PutLengthPrefixed(std::string* dst, const Slice& s) {
+  PutVarint64(dst, s.size());
+  dst->append(s.data(), s.size());
+}
+
+inline bool GetLengthPrefixed(Slice* input, Slice* result) {
+  uint64_t len = 0;
+  if (!GetVarint64(input, &len)) return false;
+  if (input->size() < len) return false;
+  *result = Slice(input->data(), static_cast<size_t>(len));
+  input->remove_prefix(static_cast<size_t>(len));
+  return true;
+}
+
+}  // namespace tardis
+
+#endif  // TARDIS_UTIL_CODING_H_

@@ -1,0 +1,35 @@
+#include "util/crc32.h"
+
+namespace tardis {
+
+namespace {
+
+// Table-driven CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected
+// 0x82F63B78). Table built once at startup.
+struct Crc32cTable {
+  uint32_t t[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; k++) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable kTable;
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t init) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~init;
+  for (size_t i = 0; i < n; i++) {
+    crc = kTable.t[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace tardis

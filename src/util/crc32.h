@@ -1,0 +1,26 @@
+// CRC-32C (Castagnoli) for WAL and page checksums.
+
+#ifndef TARDIS_UTIL_CRC32_H_
+#define TARDIS_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tardis {
+
+/// CRC-32C of [data, data+n), seeded with `init` (chainable).
+uint32_t Crc32c(const void* data, size_t n, uint32_t init = 0);
+
+/// Masked CRC as stored on disk, so that a CRC of CRC-bearing bytes does
+/// not degenerate (same trick as LevelDB).
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8ul;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace tardis
+
+#endif  // TARDIS_UTIL_CRC32_H_

@@ -1,0 +1,113 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace tardis {
+
+// Bucket limits: 1,2,...,10, then 12,14,...  roughly geometric with ~1.2x
+// growth, matching LevelDB's histogram granularity.
+const uint64_t Histogram::kBucketLimits[kNumBuckets] = {
+    1,          2,          3,          4,          5,
+    6,          7,          8,          9,          10,
+    12,         14,         16,         18,         20,
+    25,         30,         35,         40,         45,
+    50,         60,         70,         80,         90,
+    100,        120,        140,        160,        180,
+    200,        250,        300,        350,        400,
+    450,        500,        600,        700,        800,
+    900,        1000,       1200,       1400,       1600,
+    1800,       2000,       2500,       3000,       3500,
+    4000,       4500,       5000,       6000,       7000,
+    8000,       9000,       10000,      12000,      14000,
+    16000,      18000,      20000,      25000,      30000,
+    35000,      40000,      45000,      50000,      60000,
+    70000,      80000,      90000,      100000,     120000,
+    140000,     160000,     180000,     200000,     250000,
+    300000,     350000,     400000,     450000,     500000,
+    600000,     700000,     800000,     900000,     1000000,
+    1200000,    1400000,    1600000,    1800000,    2000000,
+    2500000,    3000000,    3500000,    4000000,    4500000,
+    5000000,    6000000,    7000000,    8000000,    9000000,
+    10000000,   12000000,   14000000,   16000000,   18000000,
+    20000000,   25000000,   30000000,   35000000,   40000000,
+    45000000,   50000000,   60000000,   70000000,   80000000,
+    90000000,   100000000,  120000000,  140000000,  160000000,
+    180000000,  200000000,  250000000,  300000000,  350000000,
+    400000000,  450000000,  500000000,  600000000,  700000000,
+    800000000,  900000000,  1000000000, 1200000000, 1400000000,
+    1600000000, 1800000000, 2000000000, 2500000000, 3000000000,
+    3500000000, 4000000000, 4500000000, 5000000000, 6000000000,
+    7000000000, 8000000000, 9000000000, std::numeric_limits<uint64_t>::max()};
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Clear(); }
+
+void Histogram::Clear() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  const uint64_t* end = kBucketLimits + kNumBuckets;
+  const uint64_t* it = std::lower_bound(kBucketLimits, end, value);
+  return static_cast<int>(it - kBucketLimits);
+}
+
+void Histogram::Add(uint64_t value) {
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  buckets_[BucketFor(value)]++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (int i = 0; i < kNumBuckets; i++) buckets_[i] += other.buckets_[i];
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double threshold = static_cast<double>(count_) * q;
+  double cumulative = 0;
+  for (int i = 0; i < kNumBuckets; i++) {
+    cumulative += static_cast<double>(buckets_[i]);
+    if (cumulative >= threshold) {
+      // Interpolate within the bucket.
+      const uint64_t left = (i == 0) ? 0 : kBucketLimits[i - 1];
+      const uint64_t right = kBucketLimits[i];
+      const double in_bucket = static_cast<double>(buckets_[i]);
+      const double pos =
+          in_bucket == 0 ? 0 : (threshold - (cumulative - in_bucket)) / in_bucket;
+      double v = static_cast<double>(left) +
+                 pos * static_cast<double>(right - left);
+      return std::min(v, static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%llu mean=%.2f min=%llu max=%llu p50=%.1f p99=%.1f",
+           static_cast<unsigned long long>(count_), mean(),
+           static_cast<unsigned long long>(min()),
+           static_cast<unsigned long long>(max_), Percentile(0.5),
+           Percentile(0.99));
+  return buf;
+}
+
+}  // namespace tardis

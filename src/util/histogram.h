@@ -1,0 +1,46 @@
+// Latency histogram with log-scaled buckets; used by the benchmark driver
+// to report mean/median/p99 per operation and per transaction.
+
+#ifndef TARDIS_UTIL_HISTOGRAM_H_
+#define TARDIS_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tardis {
+
+class Histogram {
+ public:
+  Histogram();
+
+  /// Record a sample (any unit; the driver records microseconds).
+  void Add(uint64_t value);
+  /// Merge another histogram into this one (for per-thread aggregation).
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const;
+  /// Approximate quantile via bucket interpolation; q in [0,1].
+  double Percentile(double q) const;
+
+  std::string Summary() const;
+
+ private:
+  static constexpr int kNumBuckets = 154;
+  static const uint64_t kBucketLimits[kNumBuckets];
+  static int BucketFor(uint64_t value);
+
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_UTIL_HISTOGRAM_H_

@@ -1,0 +1,32 @@
+#include "util/logging.h"
+
+#include <cstdarg>
+#include <cstring>
+#include <mutex>
+
+namespace tardis {
+
+LogLevel& TardisLogLevel() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void LogImpl(LogLevel level, const char* file, int line, const char* fmt,
+             ...) {
+  static std::mutex mu;
+  static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const char* base = strrchr(file, '/');
+  base = base ? base + 1 : file;
+
+  char msg[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(msg, sizeof(msg), fmt, ap);
+  va_end(ap);
+
+  std::lock_guard<std::mutex> guard(mu);
+  fprintf(stderr, "[%s %s:%d] %s\n", names[static_cast<int>(level)], base,
+          line, msg);
+}
+
+}  // namespace tardis

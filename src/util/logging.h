@@ -1,0 +1,34 @@
+// Minimal leveled logger. Off by default above WARN so benchmarks are not
+// perturbed; tests can raise verbosity via TardisLogLevel().
+
+#ifndef TARDIS_UTIL_LOGGING_H_
+#define TARDIS_UTIL_LOGGING_H_
+
+#include <cstdio>
+
+namespace tardis {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level actually emitted.
+LogLevel& TardisLogLevel();
+
+void LogImpl(LogLevel level, const char* file, int line, const char* fmt,
+             ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace tardis
+
+#define TARDIS_LOG(level, ...)                                           \
+  do {                                                                   \
+    if (static_cast<int>(level) >=                                       \
+        static_cast<int>(::tardis::TardisLogLevel())) {                  \
+      ::tardis::LogImpl(level, __FILE__, __LINE__, __VA_ARGS__);         \
+    }                                                                    \
+  } while (0)
+
+#define TARDIS_DEBUG(...) TARDIS_LOG(::tardis::LogLevel::kDebug, __VA_ARGS__)
+#define TARDIS_INFO(...) TARDIS_LOG(::tardis::LogLevel::kInfo, __VA_ARGS__)
+#define TARDIS_WARN(...) TARDIS_LOG(::tardis::LogLevel::kWarn, __VA_ARGS__)
+#define TARDIS_ERROR(...) TARDIS_LOG(::tardis::LogLevel::kError, __VA_ARGS__)
+
+#endif  // TARDIS_UTIL_LOGGING_H_

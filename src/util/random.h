@@ -1,0 +1,60 @@
+// Fast deterministic PRNG for workload generation and tests.
+// xorshift128+ — not cryptographic, but fast, seedable and reproducible,
+// which is what benchmark harnesses need.
+
+#ifndef TARDIS_UTIL_RANDOM_H_
+#define TARDIS_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace tardis {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x2545F4914F6CDD1Dull) {
+    // SplitMix64 to expand the seed into two non-zero lanes.
+    uint64_t z = seed;
+    for (uint64_t* lane : {&s0_, &s1_}) {
+      z += 0x9E3779B97F4A7C15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      *lane = x ^ (x >> 31);
+    }
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / (1ull << 53));
+  }
+
+  /// True with probability p (0 <= p <= 1).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_UTIL_RANDOM_H_

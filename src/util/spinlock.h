@@ -1,0 +1,36 @@
+// Tiny test-and-test-and-set spinlock. Used for very short critical
+// sections (key-version list heads, DAG leaf set) where a futex-backed
+// mutex would dominate the cost of the protected work.
+
+#ifndef TARDIS_UTIL_SPINLOCK_H_
+#define TARDIS_UTIL_SPINLOCK_H_
+
+#include <atomic>
+
+namespace tardis {
+
+class SpinLock {
+ public:
+  void lock() {
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        // spin; on a single-core host the scheduler will preempt us
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_UTIL_SPINLOCK_H_

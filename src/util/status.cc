@@ -1,0 +1,43 @@
+#include "util/status.h"
+
+namespace tardis {
+
+namespace {
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kCorruption:
+      return "Corruption";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kIOError:
+      return "IOError";
+    case Code::kAborted:
+      return "Aborted";
+    case Code::kBusy:
+      return "Busy";
+    case Code::kConflict:
+      return "Conflict";
+    case Code::kNotSupported:
+      return "NotSupported";
+    case Code::kUnavailable:
+      return "Unavailable";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace tardis

@@ -1,0 +1,123 @@
+// Status: lightweight error propagation for all TARDiS modules.
+//
+// Modeled on the RocksDB/LevelDB Status idiom: functions that can fail
+// return a Status (or a StatusOr<T>); the caller inspects ok() or the
+// specific code. No exceptions cross module boundaries.
+
+#ifndef TARDIS_UTIL_STATUS_H_
+#define TARDIS_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tardis {
+
+/// Canonical error codes used across the store.
+enum class Code : uint8_t {
+  kOk = 0,
+  kNotFound = 1,        ///< key/state/record does not exist
+  kCorruption = 2,      ///< checksum mismatch or malformed on-disk data
+  kInvalidArgument = 3, ///< caller error (bad constraint, bad handle, ...)
+  kIOError = 4,         ///< underlying file operation failed
+  kAborted = 5,         ///< transaction aborted (constraint unsatisfiable)
+  kBusy = 6,            ///< lock wait timeout / deadlock victim (2PL baseline)
+  kConflict = 7,        ///< OCC validation failure
+  kNotSupported = 8,    ///< feature intentionally unimplemented
+  kUnavailable = 9,     ///< state garbage-collected or not yet replicated
+};
+
+/// Result of an operation; cheap to copy when OK (no allocation).
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Conflict(std::string msg = "") {
+    return Status(Code::kConflict, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsConflict() const { return code_ == Code::kConflict; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "CODE: message" string for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Value-or-Status, for functions that produce a result on success.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status s) : status_(std::move(s)) {}  // NOLINT: implicit by design
+  StatusOr(T value)                              // NOLINT: implicit by design
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+  T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tardis
+
+/// Early-return helper: propagate a non-OK Status to the caller.
+#define TARDIS_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::tardis::Status _s = (expr);               \
+    if (!_s.ok()) return _s;                    \
+  } while (0)
+
+#endif  // TARDIS_UTIL_STATUS_H_

@@ -1,0 +1,65 @@
+// Zipfian key chooser, as used by YCSB (Gray et al.'s rejection-free
+// algorithm) plus the "scrambled" variant that spreads hot keys across the
+// keyspace. The paper's skewed workloads use Zipfian with theta = 0.99.
+
+#ifndef TARDIS_UTIL_ZIPF_H_
+#define TARDIS_UTIL_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace tardis {
+
+class ZipfianGenerator {
+ public:
+  /// Generates values in [0, n) with Zipfian skew `theta` (YCSB default
+  /// 0.99; the paper uses p=0.99).
+  ZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 42);
+
+  uint64_t Next();
+
+  uint64_t item_count() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double zeta_n_;
+  double alpha_;
+  double eta_;
+  double zeta2_;
+  Random rng_;
+};
+
+/// Scrambled Zipfian: same popularity distribution, but the popular items
+/// are scattered uniformly over the key space (YCSB's default pattern).
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t n, double theta = 0.99,
+                            uint64_t seed = 42)
+      : n_(n), zipf_(n, theta, seed) {}
+
+  uint64_t Next() {
+    const uint64_t v = zipf_.Next();
+    return FnvHash64(v) % n_;
+  }
+
+ private:
+  static uint64_t FnvHash64(uint64_t v) {
+    uint64_t hash = 0xCBF29CE484222325ull;
+    for (int i = 0; i < 8; i++) {
+      hash ^= (v >> (i * 8)) & 0xFF;
+      hash *= 0x100000001B3ull;
+    }
+    return hash;
+  }
+
+  uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_UTIL_ZIPF_H_

@@ -1,0 +1,326 @@
+// Tests for both CRDT families: the TARDiS branch-and-merge datatypes and
+// the flat vector-clock datatypes on sequential storage. Includes
+// cross-checks that both families converge to the same abstract value.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "apps/crdt/flat_crdts.h"
+#include "apps/crdt/tardis_crdts.h"
+#include "baseline/twopl_store.h"
+#include "core/tardis_store.h"
+
+namespace tardis {
+namespace crdt {
+namespace {
+
+class TardisCrdtTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto store = TardisStore::Open(TardisOptions{});
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+    a_ = store_->CreateSession();
+    b_ = store_->CreateSession();
+    merger_ = store_->CreateSession();
+  }
+
+  std::unique_ptr<TardisStore> store_;
+  std::unique_ptr<ClientSession> a_, b_, merger_;
+};
+
+TEST_F(TardisCrdtTest, CounterSequential) {
+  TardisCounter c(store_.get(), "cnt");
+  ASSERT_TRUE(c.Increment(a_.get()).ok());
+  ASSERT_TRUE(c.Increment(a_.get(), 4).ok());
+  ASSERT_TRUE(c.Decrement(a_.get(), 2).ok());
+  auto v = c.Value(a_.get());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 3);
+}
+
+TEST_F(TardisCrdtTest, CounterConcurrentBranchesMerge) {
+  TardisCounter c(store_.get(), "cnt");
+  ASSERT_TRUE(c.Increment(a_.get(), 10).ok());  // shared prefix
+
+  // Concurrent increments from two sessions reading the same state fork
+  // the DAG; each branch sees only its own delta.
+  {
+    auto ta = store_->Begin(a_.get());
+    auto tb = store_->Begin(b_.get());
+    ASSERT_TRUE(ta.ok() && tb.ok());
+    std::string raw;
+    ASSERT_TRUE((*ta)->Get("cnt", &raw).ok());
+    ASSERT_TRUE((*ta)->Put("cnt", std::to_string(std::stoll(raw) + 5)).ok());
+    ASSERT_TRUE((*tb)->Get("cnt", &raw).ok());
+    ASSERT_TRUE((*tb)->Put("cnt", std::to_string(std::stoll(raw) + 7)).ok());
+    ASSERT_TRUE((*ta)->Commit().ok());
+    ASSERT_TRUE((*tb)->Commit().ok());
+  }
+  ASSERT_EQ(store_->dag()->Leaves().size(), 2u);
+  ASSERT_TRUE(c.Merge(merger_.get()).ok());
+  EXPECT_EQ(store_->dag()->Leaves().size(), 1u);
+  auto v = c.Value(merger_.get());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 22);  // 10 + 5 + 7
+}
+
+TEST_F(TardisCrdtTest, CounterMergeNoBranchesIsNoop) {
+  TardisCounter c(store_.get(), "cnt");
+  ASSERT_TRUE(c.Increment(a_.get()).ok());
+  ASSERT_TRUE(c.Merge(merger_.get()).ok());
+  auto v = c.Value(a_.get());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 1);
+}
+
+TEST_F(TardisCrdtTest, LwwRegisterLastTimestampWins) {
+  TardisLwwRegister r(store_.get(), "reg");
+  ASSERT_TRUE(r.Set(a_.get(), "first").ok());
+  ASSERT_TRUE(r.Set(a_.get(), "second").ok());
+  auto v = r.Get(a_.get());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "second");
+}
+
+TEST_F(TardisCrdtTest, LwwRegisterMergePicksNewest) {
+  TardisLwwRegister r(store_.get(), "reg");
+  ASSERT_TRUE(r.Set(a_.get(), "base").ok());
+  // Fork: A writes then B writes (B's timestamp is later).
+  {
+    auto ta = store_->Begin(a_.get());
+    auto tb = store_->Begin(b_.get());
+    ASSERT_TRUE(ta.ok() && tb.ok());
+    std::string raw;
+    (*ta)->Get("reg", &raw);
+    (*tb)->Get("reg", &raw);
+    ASSERT_TRUE((*ta)->Put("reg", "1000|valA").ok());
+    ASSERT_TRUE((*tb)->Put("reg", "2000|valB").ok());
+    ASSERT_TRUE((*ta)->Commit().ok());
+    ASSERT_TRUE((*tb)->Commit().ok());
+  }
+  ASSERT_TRUE(r.Merge(merger_.get()).ok());
+  auto v = r.Get(merger_.get());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "valB");
+}
+
+TEST_F(TardisCrdtTest, MvRegisterKeepsConcurrentValues) {
+  TardisMvRegister r(store_.get(), "mv");
+  ASSERT_TRUE(r.Set(a_.get(), "base").ok());
+  {
+    auto ta = store_->Begin(a_.get());
+    auto tb = store_->Begin(b_.get());
+    ASSERT_TRUE(ta.ok() && tb.ok());
+    std::string raw;
+    (*ta)->Get("mv", &raw);
+    (*tb)->Get("mv", &raw);
+    ASSERT_TRUE((*ta)->Put("mv", "left").ok());
+    ASSERT_TRUE((*tb)->Put("mv", "right").ok());
+    ASSERT_TRUE((*ta)->Commit().ok());
+    ASSERT_TRUE((*tb)->Commit().ok());
+  }
+  ASSERT_TRUE(r.Merge(merger_.get()).ok());
+  auto v = r.Get(merger_.get());
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->size(), 2u);
+  EXPECT_NE(std::find(v->begin(), v->end(), "left"), v->end());
+  EXPECT_NE(std::find(v->begin(), v->end(), "right"), v->end());
+  // A subsequent Set collapses the multi-value.
+  ASSERT_TRUE(r.Set(merger_.get(), "resolved").ok());
+  v = r.Get(merger_.get());
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->size(), 1u);
+  EXPECT_EQ((*v)[0], "resolved");
+}
+
+TEST_F(TardisCrdtTest, OrSetAddRemoveContains) {
+  TardisOrSet s(store_.get(), "set");
+  ASSERT_TRUE(s.Add(a_.get(), "x").ok());
+  ASSERT_TRUE(s.Add(a_.get(), "y").ok());
+  auto has = s.Contains(a_.get(), "x");
+  ASSERT_TRUE(has.ok());
+  EXPECT_TRUE(*has);
+  ASSERT_TRUE(s.Remove(a_.get(), "x").ok());
+  has = s.Contains(a_.get(), "x");
+  ASSERT_TRUE(has.ok());
+  EXPECT_FALSE(*has);
+  auto elems = s.Elements(a_.get());
+  ASSERT_TRUE(elems.ok());
+  EXPECT_EQ(*elems, std::vector<std::string>{"y"});
+}
+
+TEST_F(TardisCrdtTest, OrSetAddWinsOverConcurrentRemove) {
+  TardisOrSet s(store_.get(), "set");
+  ASSERT_TRUE(s.Add(a_.get(), "item").ok());
+  const std::string ekey = s.ElementKey("item");
+  // Fork: A removes "item"; B re-adds it (a concurrent add with a fresh
+  // tag). OR-set semantics: the re-add wins.
+  {
+    auto ta = store_->Begin(a_.get());
+    auto tb = store_->Begin(b_.get());
+    ASSERT_TRUE(ta.ok() && tb.ok());
+    std::string raw;
+    ASSERT_TRUE((*ta)->Get(ekey, &raw).ok());
+    ASSERT_TRUE((*ta)->Put(ekey, "").ok());  // remove all observed tags
+    ASSERT_TRUE((*tb)->Get(ekey, &raw).ok());
+    auto tags = TardisOrSet::DeserializeTags(raw);
+    tags.insert(999999);  // fresh tag unseen at the fork
+    ASSERT_TRUE((*tb)->Put(ekey, TardisOrSet::SerializeTags(tags)).ok());
+    ASSERT_TRUE((*ta)->Commit().ok());
+    ASSERT_TRUE((*tb)->Commit().ok());
+  }
+  ASSERT_TRUE(s.Merge(merger_.get()).ok());
+  auto has = s.Contains(merger_.get(), "item");
+  ASSERT_TRUE(has.ok());
+  EXPECT_TRUE(*has);  // add-wins
+  // But the original (observed) tag is gone: only the fresh tag remains.
+  auto txn = store_->Begin(merger_.get());
+  ASSERT_TRUE(txn.ok());
+  std::string raw;
+  ASSERT_TRUE((*txn)->Get(ekey, &raw).ok());
+  (*txn)->Abort();
+  auto tags = TardisOrSet::DeserializeTags(raw);
+  ASSERT_EQ(tags.size(), 1u);
+  EXPECT_TRUE(tags.count(999999));
+}
+
+TEST_F(TardisCrdtTest, OrSetConcurrentRemovesBothApply) {
+  TardisOrSet s(store_.get(), "set");
+  ASSERT_TRUE(s.Add(a_.get(), "p").ok());
+  ASSERT_TRUE(s.Add(a_.get(), "q").ok());
+  {
+    // Fork: A removes p, B removes q — both removals must survive the
+    // merge (each branch keeps the other element's tags intact).
+    auto ta = store_->Begin(a_.get());
+    auto tb = store_->Begin(b_.get());
+    ASSERT_TRUE(ta.ok() && tb.ok());
+    std::string raw;
+    ASSERT_TRUE((*ta)->Get(s.ElementKey("p"), &raw).ok());
+    ASSERT_TRUE((*ta)->Put(s.ElementKey("p"), "").ok());
+    ASSERT_TRUE((*tb)->Get(s.ElementKey("q"), &raw).ok());
+    ASSERT_TRUE((*tb)->Put(s.ElementKey("q"), "").ok());
+    ASSERT_TRUE((*ta)->Commit().ok());
+    ASSERT_TRUE((*tb)->Commit().ok());
+  }
+  ASSERT_TRUE(s.Merge(merger_.get()).ok());
+  auto ep = s.Contains(merger_.get(), "p");
+  auto eq = s.Contains(merger_.get(), "q");
+  ASSERT_TRUE(ep.ok() && eq.ok());
+  EXPECT_FALSE(*ep);
+  EXPECT_FALSE(*eq);
+  auto elems = s.Elements(merger_.get());
+  ASSERT_TRUE(elems.ok());
+  EXPECT_TRUE(elems->empty());
+}
+
+TEST_F(TardisCrdtTest, OrSetTagSerializationRoundTrip) {
+  TardisOrSet::TagSet tags = {1, 42, 99999999};
+  auto round =
+      TardisOrSet::DeserializeTags(TardisOrSet::SerializeTags(tags));
+  EXPECT_EQ(round, tags);
+  EXPECT_TRUE(TardisOrSet::DeserializeTags("").empty());
+  EXPECT_EQ(TardisOrSet::SerializeTags({}), "");
+}
+
+// ---- flat CRDTs ------------------------------------------------------------
+
+class FlatCrdtTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto store = TwoPLStore::Open(TwoPLOptions{});
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+    client_ = store_->NewClient();
+  }
+  std::unique_ptr<TwoPLStore> store_;
+  std::unique_ptr<TxKvClient> client_;
+};
+
+TEST_F(FlatCrdtTest, PnCounterLocalOps) {
+  FlatPnCounter c(store_.get(), "cnt", 0, 3);
+  ASSERT_TRUE(c.Increment(client_.get(), 5).ok());
+  ASSERT_TRUE(c.Decrement(client_.get(), 2).ok());
+  auto v = c.Value(client_.get());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 3);
+}
+
+TEST_F(FlatCrdtTest, PnCounterMergeRemoteTakesMax) {
+  FlatPnCounter c(store_.get(), "cnt", 0, 3);
+  ASSERT_TRUE(c.Increment(client_.get(), 5).ok());
+  // Remote replica 1 reports inc=[0,7,0], dec=[0,1,0].
+  ASSERT_TRUE(c.MergeRemote(client_.get(), {0, 7, 0}, {0, 1, 0}).ok());
+  auto v = c.Value(client_.get());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 11);  // 5 + 7 - 1
+  // Re-merging the same state is idempotent.
+  ASSERT_TRUE(c.MergeRemote(client_.get(), {0, 7, 0}, {0, 1, 0}).ok());
+  v = c.Value(client_.get());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 11);
+}
+
+TEST_F(FlatCrdtTest, OpCounterAccumulatesPerReplica) {
+  FlatOpCounter c(store_.get(), "opc", 0, 2);
+  ASSERT_TRUE(c.Apply(client_.get(), 3).ok());
+  ASSERT_TRUE(c.ApplyRemote(client_.get(), 1, 4).ok());
+  auto v = c.Value(client_.get());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST_F(FlatCrdtTest, LwwRegisterMergeRemote) {
+  FlatLwwRegister r(store_.get(), "reg", 0);
+  ASSERT_TRUE(r.Set(client_.get(), "local").ok());
+  // A remote write with a far-future timestamp wins.
+  ASSERT_TRUE(
+      r.MergeRemote(client_.get(), ~0ull - 5, 1, "remote").ok());
+  auto v = r.Get(client_.get());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "remote");
+  // A stale remote write does not.
+  ASSERT_TRUE(r.MergeRemote(client_.get(), 1, 1, "ancient").ok());
+  v = r.Get(client_.get());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "remote");
+}
+
+TEST_F(FlatCrdtTest, MvRegisterReturnsNonDominated) {
+  FlatMvRegister r0(store_.get(), "mv", 0, 2);
+  FlatMvRegister r1(store_.get(), "mv", 1, 2);
+  ASSERT_TRUE(r0.Set(client_.get(), "v0").ok());
+  auto v = r0.Get(client_.get());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, std::vector<std::string>{"v0"});
+
+  // Replica 1 writes having seen replica 0's write: dominates it.
+  ASSERT_TRUE(r1.Set(client_.get(), "v1").ok());
+  v = r0.Get(client_.get());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, std::vector<std::string>{"v1"});
+}
+
+TEST_F(FlatCrdtTest, OrSetBasics) {
+  FlatOrSet s(store_.get(), "set", 0);
+  ASSERT_TRUE(s.Add(client_.get(), "x").ok());
+  auto has = s.Contains(client_.get(), "x");
+  ASSERT_TRUE(has.ok());
+  EXPECT_TRUE(*has);
+  ASSERT_TRUE(s.Remove(client_.get(), "x").ok());
+  has = s.Contains(client_.get(), "x");
+  ASSERT_TRUE(has.ok());
+  EXPECT_FALSE(*has);
+  // Re-add after remove works (fresh tag).
+  ASSERT_TRUE(s.Add(client_.get(), "x").ok());
+  has = s.Contains(client_.get(), "x");
+  ASSERT_TRUE(has.ok());
+  EXPECT_TRUE(*has);
+}
+
+}  // namespace
+}  // namespace crdt
+}  // namespace tardis

@@ -1,0 +1,203 @@
+// Tests for the garbage collector: ceilings, the three-pass DAG
+// compression of Figure 8, record promotion/pruning, and correctness of
+// reads across GC.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/tardis_store.h"
+
+namespace tardis {
+namespace {
+
+class GcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TardisOptions options;  // in-memory
+    auto store = TardisStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+    session_ = store_->CreateSession();
+  }
+
+  void PutCommit(ClientSession* s, const std::string& k,
+                 const std::string& v) {
+    auto txn = store_->Begin(s);
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE((*txn)->Put(k, v).ok());
+    ASSERT_TRUE((*txn)->Commit().ok());
+  }
+
+  std::string MustGet(ClientSession* s, const std::string& k) {
+    auto txn = store_->Begin(s);
+    EXPECT_TRUE(txn.ok());
+    std::string v;
+    Status st = (*txn)->Get(k, &v);
+    EXPECT_TRUE(st.ok()) << k << ": " << st.ToString();
+    (*txn)->Abort();
+    return v;
+  }
+
+  std::unique_ptr<TardisStore> store_;
+  std::unique_ptr<ClientSession> session_;
+};
+
+TEST_F(GcTest, NoCeilingNoCompression) {
+  for (int i = 0; i < 10; i++) PutCommit(session_.get(), "k", std::to_string(i));
+  GcStats stats = store_->RunGarbageCollection();
+  EXPECT_EQ(stats.states_deleted, 0u);
+  EXPECT_EQ(store_->dag()->state_count(), 11u);
+}
+
+TEST_F(GcTest, CeilingCompressesLinearChain) {
+  for (int i = 0; i < 20; i++) {
+    PutCommit(session_.get(), "k" + std::to_string(i), "v");
+  }
+  ASSERT_EQ(store_->dag()->state_count(), 21u);
+  store_->PlaceCeiling(session_.get());
+  GcStats stats = store_->RunGarbageCollection();
+  // Everything above the last commit is an interior chain state: all of
+  // root..s19 delete except those needed (the ceiling state itself is not
+  // marked).
+  EXPECT_GE(stats.states_deleted, 19u);
+  EXPECT_LE(store_->dag()->state_count(), 2u);
+  // The surviving tip still answers every key.
+  for (int i = 0; i < 20; i++) {
+    EXPECT_EQ(MustGet(session_.get(), "k" + std::to_string(i)), "v");
+  }
+}
+
+TEST_F(GcTest, RecordPruningDropsSupersededVersions) {
+  for (int i = 0; i < 50; i++) PutCommit(session_.get(), "hot", std::to_string(i));
+  EXPECT_EQ(store_->kvmap()->version_count(), 50u);
+  store_->PlaceCeiling(session_.get());
+  GcStats stats = store_->RunGarbageCollection();
+  EXPECT_GT(stats.versions_pruned, 40u);
+  // Only the latest (and possibly one promoted) version remains.
+  EXPECT_LE(store_->kvmap()->version_count(), 2u);
+  EXPECT_EQ(MustGet(session_.get(), "hot"), "49");
+}
+
+TEST_F(GcTest, ForkPointsSurviveCompression) {
+  // Build a fork, advance both branches, put a ceiling on one side: the
+  // fork point must survive so the branches stay mergeable.
+  PutCommit(session_.get(), "base", "0");
+  auto s2 = store_->CreateSession();
+  auto t1 = store_->Begin(session_.get());
+  auto t2 = store_->Begin(s2.get());
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  std::string v;
+  ASSERT_TRUE((*t1)->Get("base", &v).ok());
+  ASSERT_TRUE((*t2)->Get("base", &v).ok());
+  ASSERT_TRUE((*t1)->Put("base", "L").ok());
+  ASSERT_TRUE((*t2)->Put("base", "R").ok());
+  ASSERT_TRUE((*t1)->Commit().ok());
+  ASSERT_TRUE((*t2)->Commit().ok());
+  for (int i = 0; i < 5; i++) {
+    PutCommit(session_.get(), "left" + std::to_string(i), "x");
+    PutCommit(s2.get(), "right" + std::to_string(i), "y");
+  }
+  const size_t before = store_->dag()->state_count();
+  store_->PlaceCeiling(session_.get());
+  store_->PlaceCeiling(s2.get());
+  GcStats stats = store_->RunGarbageCollection();
+  EXPECT_GT(stats.states_deleted, 0u);
+  EXPECT_LT(store_->dag()->state_count(), before);
+
+  // Merge still works after compression.
+  auto merger = store_->CreateSession();
+  auto m = store_->BeginMerge(merger.get());
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ((*m)->parents().size(), 2u);
+  auto forks = (*m)->FindForkPoints((*m)->parents());
+  ASSERT_TRUE(forks.ok()) << forks.status().ToString();
+  std::string fv;
+  ASSERT_TRUE((*m)->GetForId("base", (*forks)[0], &fv).ok());
+  ASSERT_TRUE((*m)->Put("base", "merged").ok());
+  ASSERT_TRUE((*m)->Commit().ok());
+  EXPECT_EQ(MustGet(session_.get(), "base"), "merged");
+}
+
+TEST_F(GcTest, PinnedReadStatesAreNotCollected) {
+  for (int i = 0; i < 10; i++) PutCommit(session_.get(), "k", std::to_string(i));
+  // Hold an open transaction pinning the current tip.
+  auto pin_session = store_->CreateSession();
+  auto pinned = store_->Begin(pin_session.get());
+  ASSERT_TRUE(pinned.ok());
+  const StateId pinned_id = (*pinned)->parents()[0];
+
+  for (int i = 10; i < 20; i++) PutCommit(session_.get(), "k", std::to_string(i));
+  store_->PlaceCeiling(session_.get());
+  store_->RunGarbageCollection();
+
+  // The pinned state must still resolve to itself and serve reads.
+  StatePtr s = store_->dag()->Resolve(pinned_id);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->id(), pinned_id);
+  std::string v;
+  EXPECT_TRUE((*pinned)->Get("k", &v).ok());
+  EXPECT_EQ(v, "9");
+  (*pinned)->Abort();
+}
+
+TEST_F(GcTest, PromotedIdsStillResolveForGetForId) {
+  PutCommit(session_.get(), "k", "old");
+  const StateId old_id = session_->last_commit()->id();
+  for (int i = 0; i < 10; i++) PutCommit(session_.get(), "k", std::to_string(i));
+  store_->PlaceCeiling(session_.get());
+  store_->RunGarbageCollection();
+
+  // The old state was compressed away; its id resolves to the heir, and
+  // getForID returns the heir's view.
+  auto txn = store_->Begin(session_.get());
+  ASSERT_TRUE(txn.ok());
+  std::string v;
+  Status s = (*txn)->GetForId("k", old_id, &v);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(v, "9");
+  (*txn)->Abort();
+}
+
+TEST_F(GcTest, RepeatedGcIsIdempotent) {
+  for (int i = 0; i < 30; i++) PutCommit(session_.get(), "k", std::to_string(i));
+  store_->PlaceCeiling(session_.get());
+  store_->RunGarbageCollection();
+  const size_t after_first = store_->dag()->state_count();
+  GcStats second = store_->RunGarbageCollection();
+  EXPECT_EQ(second.states_deleted, 0u);
+  EXPECT_EQ(store_->dag()->state_count(), after_first);
+}
+
+TEST_F(GcTest, BackgroundGcThreadRuns) {
+  store_->StartGcThread(10);
+  for (int i = 0; i < 200; i++) {
+    PutCommit(session_.get(), "k", std::to_string(i));
+    if (i % 50 == 49) store_->PlaceCeiling(session_.get());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  store_->StopGcThread();
+  EXPECT_GT(store_->gc()->TotalStats().states_deleted, 0u);
+  EXPECT_EQ(MustGet(session_.get(), "k"), "199");
+}
+
+TEST_F(GcTest, WriterConcurrentWithGc) {
+  store_->StartGcThread(5);
+  for (int i = 0; i < 500; i++) {
+    PutCommit(session_.get(), "k" + std::to_string(i % 7), std::to_string(i));
+    if (i % 20 == 19) store_->PlaceCeiling(session_.get());
+  }
+  store_->StopGcThread();
+  // Latest values survive whatever the GC did.
+  for (int k = 0; k < 7; k++) {
+    int latest = -1;
+    for (int i = 0; i < 500; i++) {
+      if (i % 7 == k) latest = i;
+    }
+    EXPECT_EQ(MustGet(session_.get(), "k" + std::to_string(k)),
+              std::to_string(latest));
+  }
+}
+
+}  // namespace
+}  // namespace tardis

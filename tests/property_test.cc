@@ -1,0 +1,442 @@
+// Property-based tests: randomized workloads checked against independent
+// models.
+//
+//  * sequential equivalence: one session on TARDiS behaves exactly like a
+//    std::map, under every isolation configuration;
+//  * branch isolation: concurrent forking sessions each see exactly their
+//    own branch's writes (a per-session model map);
+//  * fork-path soundness: DescendantCheck agrees with explicit graph
+//    reachability on randomly grown DAGs with merges;
+//  * counter convergence: random increments across branches + merges add
+//    up exactly;
+//  * GC transparency: visible state is unchanged by compression/pruning;
+//  * recovery equivalence: committed state survives close/reopen.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/tardis_store.h"
+#include "util/random.h"
+
+namespace tardis {
+namespace {
+
+// ---- sequential equivalence -------------------------------------------------
+
+class SequentialEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, const char*>> {};
+
+TEST_P(SequentialEquivalence, MatchesMapModel) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const std::string which_end = std::get<1>(GetParam());
+  EndConstraintPtr end =
+      which_end == "ser" ? SerializabilityEnd()
+      : which_end == "si"
+          ? SnapshotIsolationEnd()
+          : AndEnd({SerializabilityEnd(), NoBranchingEnd()});
+
+  auto store = TardisStore::Open(TardisOptions{});
+  ASSERT_TRUE(store.ok());
+  auto session = (*store)->CreateSession();
+  std::map<std::string, std::string> model;
+  Random rng(seed);
+
+  for (int round = 0; round < 120; round++) {
+    auto txn = (*store)->Begin(session.get());
+    ASSERT_TRUE(txn.ok());
+    std::map<std::string, std::string> txn_writes;
+    const int ops = 1 + rng.Uniform(6);
+    bool aborted = false;
+    for (int i = 0; i < ops; i++) {
+      const std::string key = "k" + std::to_string(rng.Uniform(12));
+      if (rng.Bernoulli(0.5)) {
+        const std::string value = "v" + std::to_string(rng.Next() % 1000);
+        ASSERT_TRUE((*txn)->Put(key, value).ok());
+        txn_writes[key] = value;
+      } else {
+        std::string got;
+        Status s = (*txn)->Get(key, &got);
+        auto w = txn_writes.find(key);
+        auto m = model.find(key);
+        if (w != txn_writes.end()) {
+          ASSERT_TRUE(s.ok());
+          EXPECT_EQ(got, w->second);
+        } else if (m != model.end()) {
+          ASSERT_TRUE(s.ok()) << key;
+          EXPECT_EQ(got, m->second);
+        } else {
+          EXPECT_TRUE(s.IsNotFound()) << key;
+        }
+      }
+    }
+    if (rng.Bernoulli(0.15)) {
+      (*txn)->Abort();
+      aborted = true;
+    } else {
+      // Single session: constraints never make a solo client abort.
+      ASSERT_TRUE((*txn)->Commit(end).ok());
+    }
+    if (!aborted) {
+      for (auto& [k, v] : txn_writes) model[k] = v;
+    }
+  }
+  // Final check of every key.
+  auto txn = (*store)->Begin(session.get());
+  ASSERT_TRUE(txn.ok());
+  for (int k = 0; k < 12; k++) {
+    const std::string key = "k" + std::to_string(k);
+    std::string got;
+    Status s = (*txn)->Get(key, &got);
+    auto m = model.find(key);
+    if (m != model.end()) {
+      ASSERT_TRUE(s.ok()) << key;
+      EXPECT_EQ(got, m->second);
+    } else {
+      EXPECT_TRUE(s.IsNotFound());
+    }
+  }
+  (*txn)->Abort();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SequentialEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values("ser", "si", "ser-nb")),
+    [](const auto& info) {
+      return std::string(std::get<1>(info.param)) == "ser-nb"
+                 ? "SerNB_" + std::to_string(std::get<0>(info.param))
+                 : std::string(std::get<1>(info.param)) + "_" +
+                       std::to_string(std::get<0>(info.param));
+    });
+
+// ---- branch isolation ----------------------------------------------------------
+
+class BranchIsolation : public ::testing::TestWithParam<int> {};
+
+TEST_P(BranchIsolation, EachSessionSeesExactlyItsBranch) {
+  auto store = TardisStore::Open(TardisOptions{});
+  ASSERT_TRUE(store.ok());
+  Random rng(GetParam());
+
+  constexpr int kSessions = 4;
+  std::vector<std::unique_ptr<ClientSession>> sessions;
+  // Per-session model: the values its branch should see.
+  std::vector<std::map<std::string, std::string>> models(kSessions);
+  // Seed a common prefix.
+  {
+    auto boot = (*store)->CreateSession();
+    auto txn = (*store)->Begin(boot.get());
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE((*txn)->Put("shared", "base").ok());
+    ASSERT_TRUE((*txn)->Commit().ok());
+  }
+  for (int s = 0; s < kSessions; s++) {
+    sessions.push_back((*store)->CreateSession());
+    models[s]["shared"] = "base";
+  }
+
+  // Force a 4-way fork: all sessions read the same tip, all write the
+  // same key, all commit.
+  {
+    std::vector<TxnPtr> txns;
+    for (int s = 0; s < kSessions; s++) {
+      auto txn = (*store)->Begin(sessions[s].get());
+      ASSERT_TRUE(txn.ok());
+      std::string v;
+      ASSERT_TRUE((*txn)->Get("shared", &v).ok());
+      const std::string mine = "branch" + std::to_string(s);
+      ASSERT_TRUE((*txn)->Put("shared", mine).ok());
+      models[s]["shared"] = mine;
+      txns.push_back(std::move(*txn));
+    }
+    for (auto& t : txns) ASSERT_TRUE(t->Commit().ok());
+  }
+
+  // Random per-branch activity; each session must keep seeing exactly its
+  // model (inter-branch isolation + read-my-writes).
+  for (int round = 0; round < 200; round++) {
+    const int s = rng.Uniform(kSessions);
+    auto txn = (*store)->Begin(sessions[s].get());
+    ASSERT_TRUE(txn.ok());
+    const std::string key = "k" + std::to_string(rng.Uniform(6));
+    if (rng.Bernoulli(0.5)) {
+      const std::string value =
+          "s" + std::to_string(s) + "_" + std::to_string(round);
+      ASSERT_TRUE((*txn)->Put(key, value).ok());
+      ASSERT_TRUE((*txn)->Commit().ok());
+      models[s][key] = value;
+    } else {
+      std::string got;
+      Status st = (*txn)->Get(key, &got);
+      auto m = models[s].find(key);
+      if (m != models[s].end()) {
+        ASSERT_TRUE(st.ok()) << "session " << s << " key " << key;
+        EXPECT_EQ(got, m->second) << "session " << s << " key " << key;
+      } else {
+        EXPECT_TRUE(st.IsNotFound()) << "session " << s << " key " << key;
+      }
+      (*txn)->Abort();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BranchIsolation, ::testing::Values(7, 8, 9));
+
+// ---- fork-path soundness ----------------------------------------------------------
+
+bool Reachable(const State* from, const State* to) {
+  // Is `from` an ancestor-or-self of `to`? Explicit upward BFS.
+  std::deque<const State*> work{to};
+  std::set<const State*> seen;
+  while (!work.empty()) {
+    const State* s = work.front();
+    work.pop_front();
+    if (s == from) return true;
+    if (!seen.insert(s).second) continue;
+    for (const StatePtr& p : s->parents()) work.push_back(p.get());
+  }
+  return false;
+}
+
+class ForkPathSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForkPathSoundness, DescendantCheckMatchesReachability) {
+  StateDag dag;
+  Random rng(GetParam());
+  std::vector<StatePtr> states{dag.root()};
+
+  for (int i = 0; i < 150; i++) {
+    std::lock_guard<std::mutex> guard(dag.Lock());
+    if (states.size() >= 2 && rng.Bernoulli(0.15)) {
+      // Merge two random distinct states.
+      StatePtr a = states[rng.Uniform(states.size())];
+      StatePtr b = states[rng.Uniform(states.size())];
+      if (a == b) continue;
+      states.push_back(dag.CreateStateLocked({a, b}, dag.NextLocalGuid(),
+                                             KeySet(), KeySet(), true));
+    } else {
+      StatePtr parent = states[rng.Uniform(states.size())];
+      states.push_back(dag.CreateStateLocked({parent}, dag.NextLocalGuid(),
+                                             KeySet(), KeySet(), false));
+    }
+  }
+
+  int positives = 0;
+  for (int trial = 0; trial < 2000; trial++) {
+    const State* a = states[rng.Uniform(states.size())].get();
+    const State* b = states[rng.Uniform(states.size())].get();
+    const bool expected = Reachable(a, b);
+    positives += expected;
+    EXPECT_EQ(StateDag::DescendantCheck(*a, *b), expected)
+        << "a=" << a->id() << " path=" << a->fork_path()->ToString()
+        << " b=" << b->id() << " path=" << b->fork_path()->ToString();
+  }
+  // Sanity: the test exercised both outcomes.
+  EXPECT_GT(positives, 50);
+  EXPECT_LT(positives, 1950);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForkPathSoundness,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// ---- counter convergence ------------------------------------------------------------
+
+class CounterConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(CounterConvergence, MergesPreserveTotalDelta) {
+  auto store = TardisStore::Open(TardisOptions{});
+  ASSERT_TRUE(store.ok());
+  Random rng(GetParam());
+
+  constexpr int kSessions = 3;
+  std::vector<std::unique_ptr<ClientSession>> sessions;
+  for (int s = 0; s < kSessions; s++) {
+    sessions.push_back((*store)->CreateSession());
+  }
+  auto merger = (*store)->CreateSession();
+
+  int64_t expected = 0;
+  auto increment = [&](ClientSession* session, int64_t delta) {
+    auto txn = (*store)->Begin(session);
+    ASSERT_TRUE(txn.ok());
+    std::string raw;
+    int64_t value = 0;
+    Status s = (*txn)->Get("cnt", &raw);
+    if (s.ok()) value = std::stoll(raw);
+    ASSERT_TRUE((*txn)->Put("cnt", std::to_string(value + delta)).ok());
+    ASSERT_TRUE((*txn)->Commit().ok());
+  };
+  auto merge_all = [&] {
+    while ((*store)->dag()->Leaves().size() > 1) {
+      auto m = (*store)->BeginMerge(merger.get());
+      ASSERT_TRUE(m.ok());
+      auto parents = (*m)->parents();
+      auto forks = (*m)->FindForkPoints(parents);
+      ASSERT_TRUE(forks.ok());
+      auto value_at = [&](StateId sid) {
+        std::string raw;
+        return (*m)->GetForId("cnt", sid, &raw).ok() ? std::stoll(raw)
+                                                     : int64_t{0};
+      };
+      int64_t fork_value = value_at((*forks)[0]);
+      int64_t result = fork_value;
+      for (StateId p : parents) result += value_at(p) - fork_value;
+      ASSERT_TRUE((*m)->Put("cnt", std::to_string(result)).ok());
+      ASSERT_TRUE((*m)->Commit().ok());
+    }
+  };
+
+  for (int round = 0; round < 150; round++) {
+    if (rng.Bernoulli(0.1)) {
+      merge_all();
+    } else {
+      const int s = rng.Uniform(kSessions);
+      const int64_t delta =
+          static_cast<int64_t>(rng.Uniform(9)) - 4;  // [-4, 4]
+      increment(sessions[s].get(), delta);
+      expected += delta;
+    }
+  }
+  merge_all();
+
+  auto txn = (*store)->Begin(merger.get());
+  ASSERT_TRUE(txn.ok());
+  std::string raw;
+  Status s = (*txn)->Get("cnt", &raw);
+  const int64_t final_value = s.ok() ? std::stoll(raw) : 0;
+  (*txn)->Abort();
+  EXPECT_EQ(final_value, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CounterConvergence,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707));
+
+// ---- GC transparency ---------------------------------------------------------------
+
+class GcTransparency : public ::testing::TestWithParam<int> {};
+
+TEST_P(GcTransparency, VisibleStateUnchangedByGc) {
+  auto store = TardisStore::Open(TardisOptions{});
+  ASSERT_TRUE(store.ok());
+  Random rng(GetParam());
+
+  constexpr int kSessions = 3;
+  std::vector<std::unique_ptr<ClientSession>> sessions;
+  for (int s = 0; s < kSessions; s++) {
+    sessions.push_back((*store)->CreateSession());
+  }
+  for (int round = 0; round < 300; round++) {
+    const int s = rng.Uniform(kSessions);
+    auto txn = (*store)->Begin(sessions[s].get());
+    ASSERT_TRUE(txn.ok());
+    const std::string key = "k" + std::to_string(rng.Uniform(10));
+    std::string v;
+    (*txn)->Get(key, &v);
+    ASSERT_TRUE(
+        (*txn)->Put(key, "r" + std::to_string(round)).ok());
+    ASSERT_TRUE((*txn)->Commit().ok());
+  }
+
+  // Snapshot each session's view of all keys.
+  auto view = [&](ClientSession* session) {
+    std::map<std::string, std::string> out;
+    auto txn = (*store)->Begin(session);
+    EXPECT_TRUE(txn.ok());
+    for (int k = 0; k < 10; k++) {
+      const std::string key = "k" + std::to_string(k);
+      std::string v;
+      if ((*txn)->Get(key, &v).ok()) out[key] = v;
+    }
+    (*txn)->Abort();
+    return out;
+  };
+  std::vector<std::map<std::string, std::string>> before;
+  for (auto& s : sessions) before.push_back(view(s.get()));
+
+  const size_t states_before = (*store)->dag()->state_count();
+  for (auto& s : sessions) (*store)->PlaceCeiling(s.get());
+  (*store)->RunGarbageCollection();
+  EXPECT_LT((*store)->dag()->state_count(), states_before);
+
+  for (int s = 0; s < kSessions; s++) {
+    EXPECT_EQ(view(sessions[s].get()), before[s]) << "session " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcTransparency,
+                         ::testing::Values(13, 17, 19));
+
+// ---- recovery equivalence -------------------------------------------------------------
+
+class RecoveryEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecoveryEquivalence, CommittedStateSurvivesReopen) {
+  const std::string dir =
+      ::testing::TempDir() + "tardis_prop_recovery_" +
+      std::to_string(GetParam()) + "_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  Random rng(GetParam());
+  std::map<std::string, std::string> model;
+
+  {
+    TardisOptions options;
+    options.dir = dir;
+    options.flush_mode = Wal::FlushMode::kSync;
+    auto store = TardisStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    auto session = (*store)->CreateSession();
+    for (int round = 0; round < 100; round++) {
+      auto txn = (*store)->Begin(session.get());
+      ASSERT_TRUE(txn.ok());
+      const int ops = 1 + rng.Uniform(4);
+      std::map<std::string, std::string> writes;
+      for (int i = 0; i < ops; i++) {
+        const std::string key = "k" + std::to_string(rng.Uniform(15));
+        const std::string value = "v" + std::to_string(rng.Next() % 10000);
+        ASSERT_TRUE((*txn)->Put(key, value).ok());
+        writes[key] = value;
+      }
+      if (rng.Bernoulli(0.2)) {
+        (*txn)->Abort();
+      } else {
+        ASSERT_TRUE((*txn)->Commit().ok());
+        for (auto& [k, v] : writes) model[k] = v;
+      }
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+
+  TardisOptions options;
+  options.dir = dir;
+  auto store = TardisStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  auto session = (*store)->CreateSession();
+  auto txn = (*store)->Begin(session.get());
+  ASSERT_TRUE(txn.ok());
+  for (int k = 0; k < 15; k++) {
+    const std::string key = "k" + std::to_string(k);
+    std::string got;
+    Status s = (*txn)->Get(key, &got);
+    auto m = model.find(key);
+    if (m != model.end()) {
+      ASSERT_TRUE(s.ok()) << key << ": " << s.ToString();
+      EXPECT_EQ(got, m->second) << key;
+    } else {
+      EXPECT_TRUE(s.IsNotFound()) << key;
+    }
+  }
+  (*txn)->Abort();
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryEquivalence,
+                         ::testing::Values(31, 37, 41));
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,216 @@
+// Tests for the Retwis application on all three backends, plus the
+// TARDiS-specific branch merge resolver.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "apps/retwis/retwis.h"
+#include "apps/retwis/retwis_merge.h"
+#include "baseline/occ_store.h"
+#include "baseline/tardis_txkv.h"
+#include "baseline/twopl_store.h"
+
+namespace tardis {
+namespace retwis {
+namespace {
+
+TEST(RetwisCodecTest, TimelineRoundTrip) {
+  std::vector<Post> posts = {{1111, 7, 3}, {999, 5, 2}, {42, 1, 1}};
+  auto decoded = Retwis::DecodeTimeline(Retwis::EncodeTimeline(posts));
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0].timestamp_us, 1111u);
+  EXPECT_EQ(decoded[0].post_id, 7u);
+  EXPECT_EQ(decoded[0].author, 3u);
+  EXPECT_EQ(decoded[2].post_id, 1u);
+}
+
+TEST(RetwisCodecTest, MergeTimelinesDedupsAndSorts) {
+  std::vector<Post> a = {{300, 3, 1}, {100, 1, 1}};
+  std::vector<Post> b = {{200, 2, 2}, {100, 1, 1}};  // post 1 duplicated
+  auto merged = Retwis::MergeTimelines({a, b});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].post_id, 3u);
+  EXPECT_EQ(merged[1].post_id, 2u);
+  EXPECT_EQ(merged[2].post_id, 1u);
+}
+
+TEST(RetwisCodecTest, MergeTimelinesCapsAtLimit) {
+  std::vector<Post> big;
+  for (uint64_t i = 0; i < kTimelineCap + 20; i++) {
+    big.push_back({i, i, 0});
+  }
+  auto merged = Retwis::MergeTimelines({big});
+  EXPECT_EQ(merged.size(), kTimelineCap);
+  // Newest first: the largest timestamps survive the cap.
+  EXPECT_EQ(merged[0].timestamp_us, kTimelineCap + 19);
+}
+
+// The same behavioural suite runs against each backend.
+class RetwisBackendTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    const std::string which = GetParam();
+    if (which == "tardis") {
+      auto inner = TardisStore::Open(TardisOptions{});
+      ASSERT_TRUE(inner.ok());
+      tardis_store_ = std::move(*inner);
+      store_ = std::make_unique<TardisTxKv>(tardis_store_.get());
+    } else if (which == "2pl") {
+      auto s = TwoPLStore::Open(TwoPLOptions{});
+      ASSERT_TRUE(s.ok());
+      store_ = std::move(*s);
+    } else {
+      auto s = OccStore::Open(OccOptions{});
+      ASSERT_TRUE(s.ok());
+      store_ = std::move(*s);
+    }
+    app_ = std::make_unique<Retwis>(store_.get());
+    client_ = app_->NewClient();
+  }
+
+  std::unique_ptr<TardisStore> tardis_store_;
+  std::unique_ptr<TxKvStore> store_;
+  std::unique_ptr<Retwis> app_;
+  std::unique_ptr<Retwis::Client> client_;
+};
+
+TEST_P(RetwisBackendTest, CreateAccountIsIdempotent) {
+  ASSERT_TRUE(app_->CreateAccount(client_.get(), 1).ok());
+  ASSERT_TRUE(app_->CreateAccount(client_.get(), 1).ok());
+}
+
+TEST_P(RetwisBackendTest, PostAppearsInOwnTimeline) {
+  ASSERT_TRUE(app_->CreateAccount(client_.get(), 1).ok());
+  ASSERT_TRUE(app_->PostTweet(client_.get(), 1, "hello world").ok());
+  auto tl = app_->ReadOwnTimeline(client_.get(), 1);
+  ASSERT_TRUE(tl.ok());
+  ASSERT_EQ(tl->size(), 1u);
+  EXPECT_EQ((*tl)[0].author, 1u);
+}
+
+TEST_P(RetwisBackendTest, PostFansOutToFollowers) {
+  for (uint32_t u = 1; u <= 3; u++) {
+    ASSERT_TRUE(app_->CreateAccount(client_.get(), u).ok());
+  }
+  ASSERT_TRUE(app_->FollowUser(client_.get(), 2, 1).ok());  // 2 follows 1
+  ASSERT_TRUE(app_->FollowUser(client_.get(), 3, 1).ok());
+  ASSERT_TRUE(app_->PostTweet(client_.get(), 1, "to my fans").ok());
+
+  for (uint32_t u = 2; u <= 3; u++) {
+    auto tl = app_->ReadOwnTimeline(client_.get(), u);
+    ASSERT_TRUE(tl.ok());
+    ASSERT_EQ(tl->size(), 1u) << "user " << u;
+    EXPECT_EQ((*tl)[0].author, 1u);
+  }
+  // A non-follower sees nothing.
+  ASSERT_TRUE(app_->CreateAccount(client_.get(), 9).ok());
+  auto tl = app_->ReadOwnTimeline(client_.get(), 9);
+  ASSERT_TRUE(tl.ok());
+  EXPECT_TRUE(tl->empty());
+}
+
+TEST_P(RetwisBackendTest, TimelineNewestFirstAndCapped) {
+  ASSERT_TRUE(app_->CreateAccount(client_.get(), 1).ok());
+  for (int i = 0; i < static_cast<int>(kTimelineCap) + 10; i++) {
+    ASSERT_TRUE(
+        app_->PostTweet(client_.get(), 1, "post " + std::to_string(i)).ok());
+  }
+  auto tl = app_->ReadOwnTimeline(client_.get(), 1);
+  ASSERT_TRUE(tl.ok());
+  EXPECT_EQ(tl->size(), kTimelineCap);
+  for (size_t i = 1; i < tl->size(); i++) {
+    EXPECT_GE((*tl)[i - 1].timestamp_us, (*tl)[i].timestamp_us);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, RetwisBackendTest,
+                         ::testing::Values("tardis", "2pl", "occ"),
+                         [](const auto& info) {
+                           return std::string(info.param) == "2pl"
+                                      ? "TwoPL"
+                                      : std::string(info.param);
+                         });
+
+TEST(RetwisMergeTest, ConcurrentPostsMergePreservingOrder) {
+  auto inner = TardisStore::Open(TardisOptions{});
+  ASSERT_TRUE(inner.ok());
+  TardisTxKv store(inner->get());
+  Retwis app(&store);
+  auto ca = app.NewClient();
+  auto cb = app.NewClient();
+
+  ASSERT_TRUE(app.CreateAccount(ca.get(), 1).ok());
+  ASSERT_TRUE(app.FollowUser(ca.get(), 2, 1).ok());
+  ASSERT_TRUE(app.CreateAccount(ca.get(), 2).ok());
+
+  // Two clients post to user 1's audience concurrently enough to fork:
+  // both posts update u/1/timeline and u/2/timeline from different
+  // branches. Interleave by posting from both clients.
+  ASSERT_TRUE(app.PostTweet(ca.get(), 1, "from A").ok());
+  ASSERT_TRUE(app.PostTweet(cb.get(), 1, "from B").ok());
+
+  if ((*inner)->dag()->Leaves().size() > 1) {
+    RetwisMerger merger(inner->get());
+    ASSERT_TRUE(merger.MergeOnce().ok());
+    EXPECT_EQ((*inner)->dag()->Leaves().size(), 1u);
+  }
+  // After merging, a fresh client sees both posts, newest first.
+  auto cc = app.NewClient();
+  auto tl = app.ReadOwnTimeline(cc.get(), 1);
+  ASSERT_TRUE(tl.ok());
+  EXPECT_EQ(tl->size(), 2u);
+  for (size_t i = 1; i < tl->size(); i++) {
+    EXPECT_GE((*tl)[i - 1].timestamp_us, (*tl)[i].timestamp_us);
+  }
+}
+
+TEST(RetwisMergeTest, ForkedTimelinesConvergeAfterMerge) {
+  auto inner = TardisStore::Open(TardisOptions{});
+  ASSERT_TRUE(inner.ok());
+  TardisStore* ts = inner->get();
+  TardisTxKv store(ts);
+  Retwis app(&store);
+  auto seed = app.NewClient();
+  ASSERT_TRUE(app.CreateAccount(seed.get(), 1).ok());
+  ASSERT_TRUE(app.PostTweet(seed.get(), 1, "base").ok());
+
+  // Force a genuine fork on the timeline key using raw transactions.
+  auto sa = ts->CreateSession();
+  auto sb = ts->CreateSession();
+  auto ta = ts->Begin(sa.get());
+  auto tb = ts->Begin(sb.get());
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  std::string raw;
+  ASSERT_TRUE((*ta)->Get(Retwis::TimelineKey(1), &raw).ok());
+  auto base = Retwis::DecodeTimeline(raw);
+  auto la = base;
+  la.insert(la.begin(), Post{la[0].timestamp_us + 100, 1001, 1});
+  ASSERT_TRUE(
+      (*ta)->Put(Retwis::TimelineKey(1), Retwis::EncodeTimeline(la)).ok());
+  ASSERT_TRUE((*tb)->Get(Retwis::TimelineKey(1), &raw).ok());
+  auto lb = base;
+  lb.insert(lb.begin(), Post{lb[0].timestamp_us + 200, 1002, 1});
+  ASSERT_TRUE(
+      (*tb)->Put(Retwis::TimelineKey(1), Retwis::EncodeTimeline(lb)).ok());
+  ASSERT_TRUE((*ta)->Commit().ok());
+  ASSERT_TRUE((*tb)->Commit().ok());
+  ASSERT_EQ(ts->dag()->Leaves().size(), 2u);
+
+  RetwisMerger merger(ts);
+  ASSERT_TRUE(merger.MergeOnce().ok());
+  EXPECT_EQ(merger.merges(), 1u);
+  EXPECT_EQ(ts->dag()->Leaves().size(), 1u);
+
+  auto cc = app.NewClient();
+  auto tl = app.ReadOwnTimeline(cc.get(), 1);
+  ASSERT_TRUE(tl.ok());
+  ASSERT_EQ(tl->size(), 3u);  // base + both branch posts
+  EXPECT_EQ((*tl)[0].post_id, 1002u);
+  EXPECT_EQ((*tl)[1].post_id, 1001u);
+}
+
+}  // namespace
+}  // namespace retwis
+}  // namespace tardis

@@ -1,0 +1,267 @@
+// Semantic corner cases: empty merges, write skew under SI vs Ser,
+// session guarantees across forks, and replication convergence under
+// arbitrary delivery orders.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/tardis_store.h"
+#include "util/random.h"
+
+namespace tardis {
+namespace {
+
+class SemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto store = TardisStore::Open(TardisOptions{});
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+    a_ = store_->CreateSession();
+    b_ = store_->CreateSession();
+  }
+
+  void PutCommit(ClientSession* s, const std::string& k,
+                 const std::string& v) {
+    auto txn = store_->Begin(s);
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE((*txn)->Put(k, v).ok());
+    ASSERT_TRUE((*txn)->Commit().ok());
+  }
+
+  void Fork(const std::string& key) {
+    auto ta = store_->Begin(a_.get());
+    auto tb = store_->Begin(b_.get());
+    ASSERT_TRUE(ta.ok() && tb.ok());
+    std::string v;
+    (*ta)->Get(key, &v);
+    (*tb)->Get(key, &v);
+    ASSERT_TRUE((*ta)->Put(key, "A").ok());
+    ASSERT_TRUE((*tb)->Put(key, "B").ok());
+    ASSERT_TRUE((*ta)->Commit().ok());
+    ASSERT_TRUE((*tb)->Commit().ok());
+  }
+
+  std::unique_ptr<TardisStore> store_;
+  std::unique_ptr<ClientSession> a_, b_;
+};
+
+TEST_F(SemanticsTest, EmptyMergeStillJoinsBranches) {
+  PutCommit(a_.get(), "x", "0");
+  Fork("x");
+  ASSERT_EQ(store_->dag()->Leaves().size(), 2u);
+
+  // A merge transaction that writes nothing must still produce the
+  // joined state — that is its entire point.
+  auto merger = store_->CreateSession();
+  auto m = store_->BeginMerge(merger.get());
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE((*m)->Commit().ok());
+  EXPECT_EQ(store_->dag()->Leaves().size(), 1u);
+  ASSERT_NE(merger->last_commit(), nullptr);
+  EXPECT_TRUE(merger->last_commit()->is_merge());
+
+  // Both branch values remain readable from the merged state via the
+  // topological order (most recent on the union branch wins).
+  auto txn = store_->Begin(merger.get());
+  ASSERT_TRUE(txn.ok());
+  std::string v;
+  ASSERT_TRUE((*txn)->Get("x", &v).ok());
+  EXPECT_TRUE(v == "A" || v == "B");
+  (*txn)->Abort();
+}
+
+TEST_F(SemanticsTest, EmptyNonMergeCommitStaysOutOfDag) {
+  PutCommit(a_.get(), "x", "0");
+  const size_t before = store_->dag()->state_count();
+  auto txn = store_->Begin(a_.get());
+  ASSERT_TRUE(txn.ok());
+  std::string v;
+  ASSERT_TRUE((*txn)->Get("x", &v).ok());
+  ASSERT_TRUE((*txn)->Commit().ok());
+  EXPECT_EQ(store_->dag()->state_count(), before);
+}
+
+TEST_F(SemanticsTest, WriteSkewAllowedBySiRejectedBySer) {
+  // Classic write skew: invariant x + y >= 1; T1 reads both, clears x;
+  // T2 reads both, clears y. Under SI∧NoBranching both commit (skew!);
+  // under Ser∧NoBranching the second must abort.
+  for (const bool serializable : {false, true}) {
+    auto store = TardisStore::Open(TardisOptions{});
+    ASSERT_TRUE(store.ok());
+    auto s1 = (*store)->CreateSession();
+    auto s2 = (*store)->CreateSession();
+    {
+      auto seed = (*store)->Begin(s1.get());
+      ASSERT_TRUE(seed.ok());
+      ASSERT_TRUE((*seed)->Put("x", "1").ok());
+      ASSERT_TRUE((*seed)->Put("y", "1").ok());
+      ASSERT_TRUE((*seed)->Commit().ok());
+    }
+    auto end = serializable
+                   ? AndEnd({SerializabilityEnd(), NoBranchingEnd()})
+                   : AndEnd({SnapshotIsolationEnd(), NoBranchingEnd()});
+    auto t1 = (*store)->Begin(s1.get());
+    auto t2 = (*store)->Begin(s2.get());
+    ASSERT_TRUE(t1.ok() && t2.ok());
+    std::string v;
+    ASSERT_TRUE((*t1)->Get("x", &v).ok());
+    ASSERT_TRUE((*t1)->Get("y", &v).ok());
+    ASSERT_TRUE((*t2)->Get("x", &v).ok());
+    ASSERT_TRUE((*t2)->Get("y", &v).ok());
+    ASSERT_TRUE((*t1)->Put("x", "0").ok());
+    ASSERT_TRUE((*t2)->Put("y", "0").ok());
+    ASSERT_TRUE((*t1)->Commit(end).ok());
+    Status second = (*t2)->Commit(end);
+    if (serializable) {
+      EXPECT_TRUE(second.IsAborted()) << "Ser must reject write skew";
+    } else {
+      EXPECT_TRUE(second.ok()) << "SI tolerates write skew";
+    }
+  }
+}
+
+TEST_F(SemanticsTest, ReadMyWritesHeldAcrossForeignForks) {
+  // Session A commits; then B forks elsewhere repeatedly; A must always
+  // read its own writes under the Ancestor begin constraint.
+  PutCommit(a_.get(), "mine", "v1");
+  for (int round = 0; round < 5; round++) {
+    PutCommit(b_.get(), "theirs", "r" + std::to_string(round));
+    auto txn = store_->Begin(a_.get(), AncestorBegin());
+    ASSERT_TRUE(txn.ok());
+    std::string v;
+    ASSERT_TRUE((*txn)->Get("mine", &v).ok());
+    EXPECT_EQ(v, "v1");
+    (*txn)->Abort();
+  }
+}
+
+TEST_F(SemanticsTest, MergeOfMergesConverges) {
+  // Fork into 3, merge two, fork again, merge all: the DAG must converge
+  // and remain readable at every step.
+  PutCommit(a_.get(), "k", "0");
+  std::vector<std::unique_ptr<ClientSession>> sessions;
+  std::vector<TxnPtr> txns;
+  for (int i = 0; i < 3; i++) {
+    sessions.push_back(store_->CreateSession());
+    auto t = store_->Begin(sessions.back().get());
+    ASSERT_TRUE(t.ok());
+    std::string v;
+    ASSERT_TRUE((*t)->Get("k", &v).ok());
+    ASSERT_TRUE((*t)->Put("k", std::to_string(i)).ok());
+    txns.push_back(std::move(*t));
+  }
+  for (auto& t : txns) ASSERT_TRUE(t->Commit().ok());
+  ASSERT_EQ(store_->dag()->Leaves().size(), 3u);
+
+  auto merger = store_->CreateSession();
+  {
+    auto m = store_->BeginMerge(merger.get(), nullptr, 2);
+    ASSERT_TRUE(m.ok());
+    ASSERT_TRUE((*m)->Put("k", "m1").ok());
+    ASSERT_TRUE((*m)->Commit().ok());
+  }
+  EXPECT_EQ(store_->dag()->Leaves().size(), 2u);
+  {
+    auto m = store_->BeginMerge(merger.get());
+    ASSERT_TRUE(m.ok());
+    ASSERT_EQ((*m)->parents().size(), 2u);
+    ASSERT_TRUE((*m)->Put("k", "m2").ok());
+    ASSERT_TRUE((*m)->Commit().ok());
+  }
+  EXPECT_EQ(store_->dag()->Leaves().size(), 1u);
+  auto txn = store_->Begin(merger.get());
+  ASSERT_TRUE(txn.ok());
+  std::string v;
+  ASSERT_TRUE((*txn)->Get("k", &v).ok());
+  EXPECT_EQ(v, "m2");
+  (*txn)->Abort();
+}
+
+// ---- replication delivery-order independence ---------------------------------
+
+class DeliveryOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeliveryOrderTest, AnyDeliveryPermutationConverges) {
+  // Build a history at a source store, capture its commit records, apply
+  // them to a fresh store in a random permutation (retrying Unavailable
+  // like the replicator's pending cache), and compare the two DAGs.
+  auto source = TardisStore::Open(TardisOptions{});
+  ASSERT_TRUE(source.ok());
+  std::vector<CommitRecord> records;
+  (*source)->SetCommitCallback(
+      [&](const CommitRecord& r) { records.push_back(r); });
+
+  Random rng(GetParam());
+  std::vector<std::unique_ptr<ClientSession>> sessions;
+  for (int i = 0; i < 3; i++) sessions.push_back((*source)->CreateSession());
+  for (int round = 0; round < 40; round++) {
+    const int s = rng.Uniform(3);
+    auto txn = (*source)->Begin(sessions[s].get());
+    ASSERT_TRUE(txn.ok());
+    const std::string key = "k" + std::to_string(rng.Uniform(5));
+    std::string v;
+    (*txn)->Get(key, &v);
+    ASSERT_TRUE((*txn)->Put(key, "r" + std::to_string(round)).ok());
+    ASSERT_TRUE((*txn)->Commit().ok());
+  }
+  ASSERT_EQ(records.size(), 40u);
+
+  auto replica = TardisStore::Open(TardisOptions{});
+  ASSERT_TRUE(replica.ok());
+  std::vector<CommitRecord> shuffled = records;
+  for (size_t i = shuffled.size(); i > 1; i--) {
+    std::swap(shuffled[i - 1], shuffled[rng.Uniform(i)]);
+  }
+  std::vector<CommitRecord> pending = std::move(shuffled);
+  int safety = 0;
+  while (!pending.empty()) {
+    ASSERT_LT(safety++, 10'000);
+    std::vector<CommitRecord> next;
+    for (const CommitRecord& r : pending) {
+      Status s = (*replica)->ApplyRemote(r);
+      if (s.IsUnavailable()) next.push_back(r);
+      else ASSERT_TRUE(s.ok()) << s.ToString();
+    }
+    ASSERT_LT(next.size(), pending.size()) << "no progress";
+    pending = std::move(next);
+  }
+
+  // Same number of states, same leaves (by guid), same per-leaf values.
+  EXPECT_EQ((*replica)->dag()->state_count(),
+            (*source)->dag()->state_count());
+  auto leaves_src = (*source)->dag()->Leaves();
+  auto leaves_dst = (*replica)->dag()->Leaves();
+  ASSERT_EQ(leaves_src.size(), leaves_dst.size());
+  for (const StatePtr& leaf : leaves_src) {
+    StatePtr twin = (*replica)->dag()->ResolveGuid(leaf->guid());
+    ASSERT_NE(twin, nullptr) << leaf->guid().ToString();
+    // Compare the view of every key from this leaf on both stores.
+    auto s_src = (*source)->CreateSession();
+    auto s_dst = (*replica)->CreateSession();
+    auto t_src = (*source)->Begin(s_src.get(), StateIdBegin(leaf->id()));
+    auto t_dst = (*replica)->Begin(s_dst.get(), StateIdBegin(twin->id()));
+    ASSERT_TRUE(t_src.ok() && t_dst.ok());
+    for (int k = 0; k < 5; k++) {
+      const std::string key = "k" + std::to_string(k);
+      std::string v1, v2;
+      Status g1 = (*t_src)->Get(key, &v1);
+      Status g2 = (*t_dst)->Get(key, &v2);
+      EXPECT_EQ(g1.ok(), g2.ok()) << key;
+      if (g1.ok() && g2.ok()) {
+        EXPECT_EQ(v1, v2) << key;
+      }
+    }
+    (*t_src)->Abort();
+    (*t_dst)->Abort();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeliveryOrderTest,
+                         ::testing::Values(3, 5, 8, 13));
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,174 @@
+// Unit and stress tests for the concurrent skip list backing the
+// key-version map.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "storage/skiplist.h"
+
+namespace tardis {
+namespace {
+
+struct IntCmp {
+  int operator()(int a, int b) const { return a < b ? -1 : (a > b ? 1 : 0); }
+};
+using IntList = SkipList<int, IntCmp>;
+
+TEST(SkipListTest, InsertAndContains) {
+  IntList list{IntCmp()};
+  EXPECT_FALSE(list.Contains(3));
+  EXPECT_TRUE(list.Insert(3));
+  EXPECT_TRUE(list.Contains(3));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(SkipListTest, DuplicateInsertRejected) {
+  IntList list{IntCmp()};
+  EXPECT_TRUE(list.Insert(5));
+  EXPECT_FALSE(list.Insert(5));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(SkipListTest, IterationIsSorted) {
+  IntList list{IntCmp()};
+  for (int v : {9, 1, 7, 3, 5}) list.Insert(v);
+  IntList::Iterator it(&list);
+  std::vector<int> seen;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) seen.push_back(it.key());
+  EXPECT_EQ(seen, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(SkipListTest, SeekFindsLowerBound) {
+  IntList list{IntCmp()};
+  for (int v : {10, 20, 30}) list.Insert(v);
+  IntList::Iterator it(&list);
+  it.Seek(15);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 20);
+  it.Seek(30);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 30);
+  it.Seek(31);
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(SkipListTest, RemoveHidesAndIsIdempotent) {
+  IntList list{IntCmp()};
+  list.Insert(1);
+  list.Insert(2);
+  EXPECT_TRUE(list.Remove(1));
+  EXPECT_FALSE(list.Contains(1));
+  EXPECT_FALSE(list.Remove(1));
+  EXPECT_EQ(list.size(), 1u);
+  IntList::Iterator it(&list);
+  it.SeekToFirst();
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 2);
+}
+
+TEST(SkipListTest, RemoveMissingReturnsFalse) {
+  IntList list{IntCmp()};
+  EXPECT_FALSE(list.Remove(42));
+}
+
+TEST(SkipListTest, ReinsertAfterRemove) {
+  IntList list{IntCmp()};
+  list.Insert(7);
+  EXPECT_TRUE(list.Remove(7));
+  EXPECT_TRUE(list.Insert(7));
+  EXPECT_TRUE(list.Contains(7));
+}
+
+TEST(SkipListTest, LargeSequentialInsert) {
+  IntList list{IntCmp()};
+  for (int i = 0; i < 10000; i++) ASSERT_TRUE(list.Insert(i));
+  EXPECT_EQ(list.size(), 10000u);
+  IntList::Iterator it(&list);
+  int expected = 0;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    ASSERT_EQ(it.key(), expected++);
+  }
+  EXPECT_EQ(expected, 10000);
+}
+
+TEST(SkipListTest, DrainRetiredReclaims) {
+  IntList list{IntCmp()};
+  for (int i = 0; i < 100; i++) list.Insert(i);
+  for (int i = 0; i < 100; i += 2) list.Remove(i);
+  list.DrainRetired();  // must not crash; reclaimed nodes are gone
+  EXPECT_EQ(list.size(), 50u);
+  for (int i = 1; i < 100; i += 2) EXPECT_TRUE(list.Contains(i));
+}
+
+TEST(SkipListStressTest, ConcurrentDisjointInserts) {
+  IntList list{IntCmp()};
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&list, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        ASSERT_TRUE(list.Insert(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(list.size(), static_cast<size_t>(kThreads * kPerThread));
+  IntList::Iterator it(&list);
+  int count = 0, prev = -1;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    ASSERT_GT(it.key(), prev);  // sorted, no duplicates
+    prev = it.key();
+    count++;
+  }
+  EXPECT_EQ(count, kThreads * kPerThread);
+}
+
+TEST(SkipListStressTest, ConcurrentContendedInserts) {
+  // All threads race to insert the same key range; exactly one insert per
+  // key may win.
+  IntList list{IntCmp()};
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 1000;
+  std::atomic<int> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kKeys; i++) {
+        if (list.Insert(i)) wins.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_EQ(list.size(), static_cast<size_t>(kKeys));
+}
+
+TEST(SkipListStressTest, ReadersDuringInserts) {
+  IntList list{IntCmp()};
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 20000; i++) list.Insert(i);
+    stop = true;
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      IntList::Iterator it(&list);
+      int prev = -1;
+      for (it.SeekToFirst(); it.Valid(); it.Next()) {
+        ASSERT_GT(it.key(), prev);
+        prev = it.key();
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(list.size(), 20000u);
+}
+
+}  // namespace
+}  // namespace tardis
