@@ -1,0 +1,337 @@
+// tardisd: a TARDiS site daemon — one TardisStore + Replicator behind a
+// TcpTransport, i.e. one of the paper's replicated sites (§6.4) as a real
+// OS process. Sites gossip commits over TCP using the length-prefixed
+// CRC-framed wire codec; clients speak a minimal line protocol on a
+// separate port.
+//
+//   tardisd --site=0 --peers=127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
+//           --client-port=8000 [--gc-mode=optimistic|pessimistic] [--dir=PATH]
+//
+// --peers lists every site's replication endpoint, indexed by site id;
+// entry --site names this daemon's own listen address. Client commands
+// (one per line, one-line replies):
+//
+//   ping                  liveness probe -> PONG
+//   put <key> <value>     commit a single-key transaction -> OK
+//   get <key>             read on this site's branch -> VALUE <v> | NOTFOUND
+//   merge [counter|lww]   merge all branch tips -> MERGED <n> | NOMERGE
+//   leaves                number of branch tips -> LEAVES <n>
+//   states                State DAG size -> STATES <n>
+//   sync                  broadcast a recovery sync request -> OK
+//   peers                 connected outbound peers -> PEERS <n>
+//   isolate <site>        cut traffic to/from <site> at this endpoint -> OK
+//   heal                  undo all isolates -> OK
+//   stats                 transport + replication counters
+//   quit                  close this client connection
+//   shutdown              exit the daemon
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/tcp_transport.h"
+#include "replication/replicator.h"
+
+namespace tardis {
+namespace {
+
+struct DaemonConfig {
+  uint32_t site = 0;
+  std::vector<TcpPeer> endpoints;  // every site, indexed by site id
+  uint16_t client_port = 0;
+  GcCoordination gc_mode = GcCoordination::kOptimistic;
+  std::string dir;
+};
+
+bool ParseEndpoints(const std::string& list, std::vector<TcpPeer>* out) {
+  std::stringstream ss(list);
+  std::string entry;
+  uint32_t site = 0;
+  while (std::getline(ss, entry, ',')) {
+    const size_t colon = entry.rfind(':');
+    if (colon == std::string::npos) return false;
+    TcpPeer p;
+    p.site = site++;
+    p.host = entry.substr(0, colon);
+    const int port = atoi(entry.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) return false;
+    p.port = static_cast<uint16_t>(port);
+    out->push_back(std::move(p));
+  }
+  return out->size() >= 2;
+}
+
+bool ParseFlags(int argc, char** argv, DaemonConfig* config) {
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--site=")) {
+      config->site = static_cast<uint32_t>(atoi(v));
+    } else if (const char* v = value("--peers=")) {
+      if (!ParseEndpoints(v, &config->endpoints)) return false;
+    } else if (const char* v = value("--client-port=")) {
+      config->client_port = static_cast<uint16_t>(atoi(v));
+    } else if (const char* v = value("--gc-mode=")) {
+      if (strcmp(v, "pessimistic") == 0) {
+        config->gc_mode = GcCoordination::kPessimistic;
+      } else if (strcmp(v, "optimistic") != 0) {
+        return false;
+      }
+    } else if (const char* v = value("--dir=")) {
+      config->dir = v;
+    } else {
+      fprintf(stderr, "tardisd: unknown flag %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !config->endpoints.empty() && config->site < config->endpoints.size() &&
+         config->client_port != 0;
+}
+
+/// Merges all current branch tips into one state. `counter` resolves each
+/// conflicting key as fork value + sum of per-branch deltas (the paper's
+/// running counter example); `lww` keeps the largest value. Deterministic,
+/// so any site may run it and all sites converge on the same record.
+std::string DoMerge(TardisStore* store, ClientSession* session,
+                    const std::string& strategy) {
+  auto m = store->BeginMerge(session);
+  if (!m.ok()) return "ERR " + m.status().ToString();
+  const std::vector<StateId> parents = (*m)->parents();
+  if (parents.size() < 2) {
+    (*m)->Abort();
+    return "NOMERGE";
+  }
+  auto conflicts = (*m)->FindConflictWrites(parents);
+  if (!conflicts.ok()) {
+    (*m)->Abort();
+    return "ERR " + conflicts.status().ToString();
+  }
+  auto forks = (*m)->FindForkPoints(parents);
+  if (!forks.ok()) {
+    (*m)->Abort();
+    return "ERR " + forks.status().ToString();
+  }
+  for (const std::string& key : *conflicts) {
+    std::string merged;
+    if (strategy == "counter") {
+      std::string fv;
+      const long long base =
+          (*m)->GetForId(key, (*forks)[0], &fv).ok() ? atoll(fv.c_str()) : 0;
+      long long result = base;
+      for (StateId p : parents) {
+        std::string bv;
+        const long long branch =
+            (*m)->GetForId(key, p, &bv).ok() ? atoll(bv.c_str()) : base;
+        result += branch - base;
+      }
+      merged = std::to_string(result);
+    } else {  // lww: largest value wins (deterministic at every site)
+      for (StateId p : parents) {
+        std::string bv;
+        if ((*m)->GetForId(key, p, &bv).ok() && bv > merged) merged = bv;
+      }
+    }
+    Status s = (*m)->Put(key, merged);
+    if (!s.ok()) {
+      (*m)->Abort();
+      return "ERR " + s.ToString();
+    }
+  }
+  Status s = (*m)->Commit();
+  if (!s.ok()) return "ERR " + s.ToString();
+  return "MERGED " + std::to_string(parents.size());
+}
+
+std::string HandleCommand(const std::string& line, TardisStore* store,
+                          ClientSession* session, Replicator* replicator,
+                          TcpTransport* transport, uint32_t site,
+                          bool* close_conn, bool* shutdown) {
+  std::stringstream ss(line);
+  std::string cmd;
+  ss >> cmd;
+  if (cmd == "ping") return "PONG";
+  if (cmd == "put") {
+    std::string key;
+    ss >> key;
+    std::string value;
+    std::getline(ss, value);
+    if (!value.empty() && value[0] == ' ') value.erase(0, 1);
+    if (key.empty()) return "ERR usage: put <key> <value>";
+    auto txn = store->Begin(session);
+    if (!txn.ok()) return "ERR " + txn.status().ToString();
+    Status s = (*txn)->Put(key, value);
+    if (s.ok()) s = (*txn)->Commit();
+    return s.ok() ? "OK" : "ERR " + s.ToString();
+  }
+  if (cmd == "get") {
+    std::string key;
+    ss >> key;
+    auto txn = store->Begin(session);
+    if (!txn.ok()) return "ERR " + txn.status().ToString();
+    std::string value;
+    Status s = (*txn)->Get(key, &value);
+    (*txn)->Abort();
+    if (s.IsNotFound()) return "NOTFOUND";
+    return s.ok() ? "VALUE " + value : "ERR " + s.ToString();
+  }
+  if (cmd == "merge") {
+    std::string strategy = "lww";
+    ss >> strategy;
+    return DoMerge(store, session, strategy);
+  }
+  if (cmd == "leaves") {
+    return "LEAVES " + std::to_string(store->dag()->Leaves().size());
+  }
+  if (cmd == "states") {
+    return "STATES " + std::to_string(store->dag()->state_count());
+  }
+  if (cmd == "sync") {
+    replicator->RequestSync();
+    return "OK";
+  }
+  if (cmd == "peers") {
+    uint32_t connected = 0;
+    for (uint32_t s = 0; s < transport->num_sites(); s++) {
+      if (s != site && transport->IsConnected(s)) connected++;
+    }
+    return "PEERS " + std::to_string(connected);
+  }
+  if (cmd == "isolate") {
+    uint32_t peer = 0;
+    // Failed extraction zeroes the value; test the stream, not a sentinel.
+    if (!(ss >> peer) || peer >= transport->num_sites()) {
+      return "ERR usage: isolate <site>";
+    }
+    transport->Partition(site, peer);
+    return "OK";
+  }
+  if (cmd == "heal") {
+    transport->HealAll();
+    return "OK";
+  }
+  if (cmd == "stats") {
+    return "STATS sent=" + std::to_string(transport->messages_sent()) +
+           " delivered=" + std::to_string(transport->messages_delivered()) +
+           " dropped=" + std::to_string(transport->messages_dropped()) +
+           " applied=" + std::to_string(replicator->applied_count()) +
+           " pending=" + std::to_string(replicator->pending_count());
+  }
+  if (cmd == "quit") {
+    *close_conn = true;
+    return "BYE";
+  }
+  if (cmd == "shutdown") {
+    *close_conn = true;
+    *shutdown = true;
+    return "BYE";
+  }
+  return "ERR unknown command '" + cmd + "'";
+}
+
+int RunDaemon(const DaemonConfig& config) {
+  TcpTransportOptions net_options;
+  net_options.site_id = config.site;
+  net_options.listen_host = config.endpoints[config.site].host;
+  net_options.listen_port = config.endpoints[config.site].port;
+  for (const TcpPeer& p : config.endpoints) {
+    if (p.site != config.site) net_options.peers.push_back(p);
+  }
+  auto transport = TcpTransport::Open(net_options);
+  if (!transport.ok()) {
+    fprintf(stderr, "tardisd: transport: %s\n",
+            transport.status().ToString().c_str());
+    return 1;
+  }
+
+  TardisOptions store_options;
+  store_options.site_id = config.site;
+  store_options.dir = config.dir;
+  auto store = TardisStore::Open(store_options);
+  if (!store.ok()) {
+    fprintf(stderr, "tardisd: store: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  Replicator replicator(store->get(), transport->get(), config.site,
+                        config.gc_mode);
+  replicator.Start();
+  auto session = (*store)->CreateSession();
+
+  const int server_fd = socket(AF_INET, SOCK_STREAM, 0);
+  int one = 1;
+  setsockopt(server_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = INADDR_ANY;
+  addr.sin_port = htons(config.client_port);
+  if (bind(server_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(server_fd, 16) != 0) {
+    fprintf(stderr, "tardisd: client port %u: %s\n", config.client_port,
+            strerror(errno));
+    return 1;
+  }
+  printf("tardisd: site %u serving clients on port %u, replication on %u\n",
+         config.site, config.client_port,
+         (*transport)->listen_port());
+  fflush(stdout);
+
+  bool shutdown = false;
+  while (!shutdown) {
+    const int conn = accept(server_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::string buffer;
+    bool close_conn = false;
+    char chunk[4096];
+    while (!close_conn) {
+      const ssize_t n = read(conn, chunk, sizeof(chunk));
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<size_t>(n));
+      size_t nl;
+      while (!close_conn && (nl = buffer.find('\n')) != std::string::npos) {
+        std::string line = buffer.substr(0, nl);
+        buffer.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty()) continue;
+        std::string reply =
+            HandleCommand(line, store->get(), session.get(), &replicator,
+                          transport->get(), config.site, &close_conn,
+                          &shutdown);
+        reply.push_back('\n');
+        if (write(conn, reply.data(), reply.size()) < 0) close_conn = true;
+      }
+    }
+    close(conn);
+  }
+  close(server_fd);
+  replicator.Stop();
+  (*transport)->Shutdown();
+  return 0;
+}
+
+}  // namespace
+}  // namespace tardis
+
+int main(int argc, char** argv) {
+  tardis::DaemonConfig config;
+  if (!tardis::ParseFlags(argc, argv, &config)) {
+    fprintf(stderr,
+            "usage: tardisd --site=N --peers=host:port,... --client-port=P\n"
+            "               [--gc-mode=optimistic|pessimistic] [--dir=PATH]\n"
+            "--peers is indexed by site id and must name every site,\n"
+            "including this one's own replication endpoint.\n");
+    return 2;
+  }
+  return tardis::RunDaemon(config);
+}

@@ -1,0 +1,287 @@
+// tardisd_driver: end-to-end harness for the tardisd site daemon. Spawns
+// three tardisd processes on 127.0.0.1, then drives the paper's canonical
+// branch-and-merge scenario across real OS processes and real sockets:
+//
+//   1. a commit at site 0 gossips to every site;
+//   2. sites 0 and 1 are partitioned from each other (but not from site
+//      2) and both update the same counter -> the State DAG forks;
+//   3. the partition heals, recovery sync exchanges the missed commits,
+//      every site holds both branches;
+//   4. site 0 runs a counter-delta merge transaction; the merge commit
+//      replicates and every site converges to the same single leaf;
+//   5. a hostile client spews garbage at a replication port — the daemon
+//      must shrug it off (frame CRC + bounds-checked decode).
+//
+// Exit code 0 iff the full scenario converges. Used by ctest as the
+// cross-process acceptance test and runnable by hand:
+//
+//   tardisd_driver --tardisd=./examples/tardisd [--verbose]
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+bool g_verbose = false;
+std::vector<pid_t>* g_fleet_pids = nullptr;
+
+[[noreturn]] void Die(const std::string& msg) {
+  fprintf(stderr, "tardisd_driver: FAIL: %s\n", msg.c_str());
+  // exit() skips destructors; reap the daemons so they don't hold the
+  // harness's output pipe open past our exit.
+  if (g_fleet_pids != nullptr) {
+    for (pid_t pid : *g_fleet_pids) {
+      if (pid > 0) {
+        kill(pid, SIGKILL);
+        waitpid(pid, nullptr, 0);
+      }
+    }
+  }
+  exit(1);
+}
+
+uint16_t PickFreePort() {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Die("bind for port probe failed");
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  close(fd);
+  return ntohs(addr.sin_port);
+}
+
+int ConnectTo(uint16_t port, uint64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return -1;
+}
+
+/// One line out, one line back.
+std::string Cmd(int fd, const std::string& line) {
+  const std::string out = line + "\n";
+  if (write(fd, out.data(), out.size()) != static_cast<ssize_t>(out.size())) {
+    Die("short write on client connection");
+  }
+  std::string reply;
+  char c;
+  while (true) {
+    const ssize_t n = read(fd, &c, 1);
+    if (n <= 0) Die("daemon closed connection during '" + line + "'");
+    if (c == '\n') break;
+    reply.push_back(c);
+  }
+  if (g_verbose) printf("  [%s] -> %s\n", line.c_str(), reply.c_str());
+  return reply;
+}
+
+bool WaitFor(const std::function<bool()>& cond, uint64_t timeout_ms = 15'000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return cond();
+}
+
+struct Fleet {
+  std::vector<pid_t> pids;
+  std::vector<int> conns;          // client connections, by site
+  std::vector<uint16_t> repl_ports;
+
+  ~Fleet() {
+    for (int fd : conns) {
+      if (fd >= 0) close(fd);
+    }
+    for (pid_t pid : pids) {
+      if (pid > 0) {
+        kill(pid, SIGKILL);
+        waitpid(pid, nullptr, 0);
+      }
+    }
+  }
+};
+
+void SpawnFleet(const std::string& tardisd, size_t n, Fleet* fleet) {
+  std::vector<uint16_t> client_ports;
+  std::string peers;
+  for (size_t i = 0; i < n; i++) {
+    fleet->repl_ports.push_back(PickFreePort());
+    client_ports.push_back(PickFreePort());
+    if (i) peers += ",";
+    peers += "127.0.0.1:" + std::to_string(fleet->repl_ports.back());
+  }
+  for (size_t i = 0; i < n; i++) {
+    const pid_t pid = fork();
+    if (pid < 0) Die("fork failed");
+    if (pid == 0) {
+      const std::string site_flag = "--site=" + std::to_string(i);
+      const std::string peers_flag = "--peers=" + peers;
+      const std::string client_flag =
+          "--client-port=" + std::to_string(client_ports[i]);
+      if (!g_verbose) {
+        freopen("/dev/null", "w", stdout);
+      }
+      execl(tardisd.c_str(), "tardisd", site_flag.c_str(), peers_flag.c_str(),
+            client_flag.c_str(), static_cast<char*>(nullptr));
+      fprintf(stderr, "exec %s failed: %s\n", tardisd.c_str(),
+              strerror(errno));
+      _exit(127);
+    }
+    fleet->pids.push_back(pid);
+  }
+  for (size_t i = 0; i < n; i++) {
+    const int fd = ConnectTo(client_ports[i], 10'000);
+    if (fd < 0) Die("site " + std::to_string(i) + " never came up");
+    fleet->conns.push_back(fd);
+  }
+}
+
+void FuzzReplicationPort(uint16_t port) {
+  // Garbage bytes, then a hostile length prefix claiming a 4 GiB frame.
+  const int fd = ConnectTo(port, 5'000);
+  if (fd < 0) Die("could not connect to replication port for fuzzing");
+  std::string junk(8192, '\xd6');
+  for (size_t i = 0; i < junk.size(); i++) {
+    junk[i] = static_cast<char>((i * 2654435761u) >> 13);
+  }
+  memset(junk.data(), 0xFF, 4);  // length prefix = 0xFFFFFFFF
+  (void)!write(fd, junk.data(), junk.size());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  close(fd);
+}
+
+int Run(const std::string& tardisd) {
+  Fleet fleet;
+  SpawnFleet(tardisd, 3, &fleet);
+  g_fleet_pids = &fleet.pids;
+  auto at = [&](size_t site, const std::string& line) {
+    return Cmd(fleet.conns[site], line);
+  };
+
+  // Everyone alive, and every dialed replication connection established?
+  // Gossip tolerates drops by design, so a commit broadcast before the
+  // mesh is up would silently miss its peers.
+  for (size_t i = 0; i < 3; i++) {
+    if (at(i, "ping") != "PONG") Die("site did not answer ping");
+  }
+  if (!WaitFor([&] {
+        for (size_t i = 0; i < 3; i++) {
+          if (at(i, "peers") != "PEERS 2") return false;
+        }
+        return true;
+      })) {
+    Die("replication mesh never fully connected");
+  }
+  printf("== 3 tardisd processes up, replication mesh connected\n");
+
+  // 1. One commit gossips everywhere.
+  if (at(0, "put cnt 5") != "OK") Die("put at site 0 failed");
+  if (!WaitFor([&] {
+        return at(1, "get cnt") == "VALUE 5" && at(2, "get cnt") == "VALUE 5";
+      })) {
+    Die("initial commit did not replicate to all sites");
+  }
+  printf("== initial commit replicated to all sites\n");
+
+  // 2. Cut 0<->1 (both endpoints) and write concurrently: the DAG forks.
+  at(0, "isolate 1");
+  at(1, "isolate 0");
+  if (at(0, "put cnt 6") != "OK") Die("put at site 0 failed");
+  if (at(1, "put cnt 7") != "OK") Die("put at site 1 failed");
+  // Site 2 talks to both writers, so it sees the fork first.
+  if (!WaitFor([&] { return at(2, "leaves") == "LEAVES 2"; })) {
+    Die("site 2 never saw both branches");
+  }
+  printf("== concurrent writes during partition: site 2 forked\n");
+
+  // 3. Heal and sync: every site holds both branches.
+  at(0, "heal");
+  at(1, "heal");
+  at(0, "sync");
+  at(1, "sync");
+  if (!WaitFor([&] {
+        return at(0, "leaves") == "LEAVES 2" && at(1, "leaves") == "LEAVES 2";
+      })) {
+    Die("branches did not propagate after heal+sync");
+  }
+  printf("== partition healed, all sites hold both branches\n");
+
+  // 4. Counter-delta merge at site 0: 5 + (6-5) + (7-5) = 8 everywhere.
+  const std::string merged = at(0, "merge counter");
+  if (merged != "MERGED 2") Die("merge failed: " + merged);
+  for (size_t i = 0; i < 3; i++) {
+    const size_t site = i;
+    if (!WaitFor([&] {
+          return at(site, "leaves") == "LEAVES 1" &&
+                 at(site, "get cnt") == "VALUE 8";
+        })) {
+      Die("site " + std::to_string(site) + " did not converge to merged 8");
+    }
+  }
+  printf("== merge replicated: all 3 sites converged on cnt=8, one leaf\n");
+
+  // 5. Fuzz a replication port; the daemon must survive and keep serving.
+  FuzzReplicationPort(fleet.repl_ports[0]);
+  if (at(0, "ping") != "PONG" || at(0, "get cnt") != "VALUE 8") {
+    Die("site 0 unhealthy after garbage frames");
+  }
+  printf("== site 0 survived garbage frames on its replication port\n");
+
+  for (size_t i = 0; i < 3; i++) at(i, "shutdown");
+  printf("PASS: cross-process branch-and-merge converged over TCP\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string tardisd;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--tardisd=", 0) == 0) {
+      tardisd = arg.substr(strlen("--tardisd="));
+    } else if (arg == "--verbose") {
+      g_verbose = true;
+    } else {
+      fprintf(stderr, "usage: tardisd_driver --tardisd=PATH [--verbose]\n");
+      return 2;
+    }
+  }
+  if (tardisd.empty()) {
+    fprintf(stderr, "usage: tardisd_driver --tardisd=PATH [--verbose]\n");
+    return 2;
+  }
+  signal(SIGPIPE, SIG_IGN);
+  return Run(tardisd);
+}

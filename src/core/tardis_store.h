@@ -56,6 +56,14 @@ class ClientSession {
 
 /// A committed transaction as shipped to other sites by the replicator.
 struct CommitRecord {
+  CommitRecord() = default;
+  // Noexcept-movable so replication queues and transports relocate
+  // records without copying the write set.
+  CommitRecord(CommitRecord&&) noexcept = default;
+  CommitRecord& operator=(CommitRecord&&) noexcept = default;
+  CommitRecord(const CommitRecord&) = default;
+  CommitRecord& operator=(const CommitRecord&) = default;
+
   GlobalStateId guid;
   std::vector<GlobalStateId> parent_guids;
   bool is_merge = false;

@@ -1,0 +1,452 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "net/wire.h"
+#include "util/logging.h"
+
+namespace tardis {
+
+namespace {
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(const TcpTransportOptions& options)
+    : options_(options), num_sites_(options.peers.size() + 1) {
+  outbound_.reserve(options_.peers.size());
+  for (const TcpPeer& peer : options_.peers) {
+    PeerConn pc;
+    pc.peer = peer;
+    outbound_.push_back(std::move(pc));
+  }
+}
+
+TcpTransport::~TcpTransport() { Shutdown(); }
+
+StatusOr<std::unique_ptr<TcpTransport>> TcpTransport::Open(
+    const TcpTransportOptions& options) {
+  std::unique_ptr<TcpTransport> t(new TcpTransport(options));
+  Status s = t->Listen();
+  if (!s.ok()) return s;
+  if (pipe(t->wake_pipe_) != 0) {
+    return Status::IOError("pipe: " + std::string(strerror(errno)));
+  }
+  SetNonBlocking(t->wake_pipe_[0]);
+  SetNonBlocking(t->wake_pipe_[1]);
+  t->stop_.store(false);
+  t->io_ = std::thread([raw = t.get()] { raw->IoLoop(); });
+  return t;
+}
+
+Status TcpTransport::Listen() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket: " + std::string(strerror(errno)));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.listen_port);
+  if (inet_pton(AF_INET, options_.listen_host.c_str(), &addr.sin_addr) != 1) {
+    addr.sin_addr.s_addr = INADDR_ANY;
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("bind port " + std::to_string(options_.listen_port) +
+                           ": " + strerror(errno));
+  }
+  if (listen(listen_fd_, 64) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("listen: " + std::string(strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  listen_port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+  return Status::OK();
+}
+
+void TcpTransport::Shutdown() {
+  if (stop_.exchange(true)) return;
+  Wake();
+  if (io_.joinable()) io_.join();
+  std::lock_guard<std::mutex> guard(mu_);
+  for (PeerConn& pc : outbound_) {
+    if (pc.fd >= 0) close(pc.fd);
+    pc.fd = -1;
+    pc.connected = pc.connecting = false;
+  }
+  for (InboundConn& ic : inbound_) {
+    if (ic.fd >= 0) close(ic.fd);
+  }
+  inbound_.clear();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+}
+
+void TcpTransport::Wake() {
+  if (wake_pipe_[1] >= 0) {
+    const char b = 1;
+    ssize_t ignored = write(wake_pipe_[1], &b, 1);
+    (void)ignored;
+  }
+}
+
+bool TcpTransport::IsConnected(uint32_t site) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (const PeerConn& pc : outbound_) {
+    if (pc.peer.site == site) return pc.connected;
+  }
+  return false;
+}
+
+void TcpTransport::Send(uint32_t from, uint32_t to, ReplMessage msg) {
+  if (from != options_.site_id || to == from) return;
+  msg.from_site = from;
+  std::string frame;
+  EncodeFrame(msg, &frame);
+  EnqueueEncoded(to, frame);
+}
+
+void TcpTransport::Broadcast(uint32_t from, ReplMessage msg) {
+  if (from != options_.site_id) return;
+  msg.from_site = from;
+  // Serialize once; every peer gets the same bytes.
+  std::string frame;
+  EncodeFrame(msg, &frame);
+  for (const PeerConn& pc : outbound_) EnqueueEncoded(pc.peer.site, frame);
+}
+
+void TcpTransport::EnqueueEncoded(uint32_t to, const std::string& frame) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    PeerConn* pc = nullptr;
+    for (PeerConn& cand : outbound_) {
+      if (cand.peer.site == to) {
+        pc = &cand;
+        break;
+      }
+    }
+    if (pc == nullptr) return;  // unknown destination, like SimNetwork
+    if (partitioned_.count(to) != 0 || pc->fd < 0 ||
+        pc->sendbuf.size() - pc->sendbuf_off + frame.size() >
+            options_.max_sendbuf_bytes) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    pc->sendbuf.append(frame);
+    pc->frame_lens.push_back(frame.size());
+    sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Wake();
+}
+
+bool TcpTransport::Receive(uint32_t site, ReplMessage* msg) {
+  if (site != options_.site_id) return false;
+  std::lock_guard<std::mutex> guard(mu_);
+  if (inbox_.empty()) return false;
+  *msg = std::move(inbox_.front());
+  inbox_.pop_front();
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool TcpTransport::HasInflight() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!inbox_.empty()) return true;
+  for (const PeerConn& pc : outbound_) {
+    if (!pc.frame_lens.empty()) return true;
+  }
+  for (const InboundConn& ic : inbound_) {
+    if (!ic.recvbuf.empty()) return true;
+  }
+  return false;
+}
+
+void TcpTransport::Partition(uint32_t a, uint32_t b) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (a == options_.site_id) partitioned_.insert(b);
+  if (b == options_.site_id) partitioned_.insert(a);
+}
+
+void TcpTransport::Heal(uint32_t a, uint32_t b) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (a == options_.site_id) partitioned_.erase(b);
+  if (b == options_.site_id) partitioned_.erase(a);
+}
+
+void TcpTransport::HealAll() {
+  std::lock_guard<std::mutex> guard(mu_);
+  partitioned_.clear();
+}
+
+void TcpTransport::StartConnect(PeerConn* pc, uint64_t now_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* res = nullptr;
+  const std::string port = std::to_string(pc->peer.port);
+  if (getaddrinfo(pc->peer.host.c_str(), port.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    CloseOutbound(pc, now_ms);
+    return;
+  }
+  const int fd = socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    freeaddrinfo(res);
+    CloseOutbound(pc, now_ms);
+    return;
+  }
+  SetNonBlocking(fd);
+  SetNoDelay(fd);
+  const int rc = connect(fd, res->ai_addr, res->ai_addrlen);
+  freeaddrinfo(res);
+  if (rc == 0) {
+    pc->fd = fd;
+    pc->connecting = false;
+    pc->connected = true;
+    pc->backoff_ms = 0;
+  } else if (errno == EINPROGRESS) {
+    pc->fd = fd;
+    pc->connecting = true;
+    pc->connected = false;
+  } else {
+    close(fd);
+    CloseOutbound(pc, now_ms);
+  }
+}
+
+void TcpTransport::CloseOutbound(PeerConn* pc, uint64_t now_ms) {
+  if (pc->fd >= 0) close(pc->fd);
+  pc->fd = -1;
+  pc->connecting = false;
+  pc->connected = false;
+  // Anything still buffered will never reach the peer: gossip tolerates
+  // the loss (RequestSync re-fetches), so count and discard.
+  dropped_.fetch_add(pc->frame_lens.size(), std::memory_order_relaxed);
+  pc->sendbuf.clear();
+  pc->sendbuf_off = 0;
+  pc->frame_lens.clear();
+  pc->backoff_ms = pc->backoff_ms == 0
+                       ? options_.reconnect_initial_ms
+                       : std::min(pc->backoff_ms * 2, options_.reconnect_max_ms);
+  pc->next_attempt_ms = now_ms + pc->backoff_ms;
+}
+
+void TcpTransport::FlushWrites(PeerConn* pc, uint64_t now_ms) {
+  while (pc->sendbuf_off < pc->sendbuf.size()) {
+    const ssize_t n =
+        send(pc->fd, pc->sendbuf.data() + pc->sendbuf_off,
+             pc->sendbuf.size() - pc->sendbuf_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      pc->sendbuf_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseOutbound(pc, now_ms);
+    return;
+  }
+  // Retire fully written frames so drop accounting stays per-message.
+  while (!pc->frame_lens.empty() && pc->frame_lens.front() <= pc->sendbuf_off) {
+    const size_t len = pc->frame_lens.front();
+    pc->frame_lens.pop_front();
+    pc->sendbuf.erase(0, len);
+    pc->sendbuf_off -= len;
+  }
+}
+
+void TcpTransport::DrainInbound(InboundConn* ic) {
+  size_t off = 0;
+  while (true) {
+    ReplMessage msg;
+    size_t consumed = 0;
+    Status s = DecodeFrame(
+        Slice(ic->recvbuf.data() + off, ic->recvbuf.size() - off), &msg,
+        &consumed);
+    if (!s.ok()) {
+      // Malformed bytes: this peer (or fuzzer) is speaking garbage.
+      // Closing the connection is the whole defense — never crash.
+      TARDIS_WARN("site %u: dropping inbound connection: %s",
+                  options_.site_id, s.ToString().c_str());
+      close(ic->fd);
+      ic->fd = -1;
+      ic->recvbuf.clear();
+      return;
+    }
+    if (consumed == 0) break;  // incomplete frame, wait for more bytes
+    off += consumed;
+    if (partitioned_.count(msg.from_site) != 0) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      inbox_.push_back(std::move(msg));
+    }
+  }
+  ic->recvbuf.erase(0, off);
+}
+
+void TcpTransport::IoLoop() {
+  std::vector<pollfd> pfds;
+  // For pfds[i] (i >= 2): kind 0 = outbound index, kind 1 = inbound index.
+  std::vector<std::pair<int, size_t>> index;
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    const uint64_t now = NowMs();
+    int timeout_ms = 50;
+
+    pfds.clear();
+    index.clear();
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      for (size_t i = 0; i < outbound_.size(); i++) {
+        PeerConn& pc = outbound_[i];
+        if (pc.fd < 0) {
+          if (now >= pc.next_attempt_ms) StartConnect(&pc, now);
+          if (pc.fd < 0) {
+            const uint64_t wait = pc.next_attempt_ms - now;
+            timeout_ms = std::min<int>(timeout_ms, static_cast<int>(wait) + 1);
+            continue;
+          }
+        }
+        short events = POLLIN;  // detect peer close/reset
+        if (pc.connecting || pc.sendbuf_off < pc.sendbuf.size()) {
+          events |= POLLOUT;
+        }
+        pfds.push_back({pc.fd, events, 0});
+        index.emplace_back(0, i);
+      }
+      for (size_t i = 0; i < inbound_.size(); i++) {
+        pfds.push_back({inbound_[i].fd, POLLIN, 0});
+        index.emplace_back(1, i);
+      }
+    }
+
+    const int rc = poll(pfds.data(), pfds.size(), timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+      TARDIS_WARN("site %u: poll: %s", options_.site_id, strerror(errno));
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    if (pfds[0].revents & POLLIN) {  // drain wakeups
+      char buf[64];
+      while (read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+
+    if (pfds[1].revents & POLLIN) {  // accept inbound connections
+      while (true) {
+        const int fd = accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        SetNonBlocking(fd);
+        SetNoDelay(fd);
+        std::lock_guard<std::mutex> guard(mu_);
+        inbound_.push_back(InboundConn{fd, {}});
+      }
+    }
+
+    std::lock_guard<std::mutex> guard(mu_);
+    const uint64_t after = NowMs();
+    for (size_t p = 2; p < pfds.size(); p++) {
+      const auto [kind, i] = index[p - 2];
+      const short revents = pfds[p].revents;
+      if (revents == 0) continue;
+      if (kind == 0) {
+        PeerConn& pc = outbound_[i];
+        if (pc.fd != pfds[p].fd) continue;  // replaced meanwhile
+        if (pc.connecting && (revents & (POLLOUT | POLLERR | POLLHUP))) {
+          int err = 0;
+          socklen_t len = sizeof(err);
+          getsockopt(pc.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+          if (err != 0) {
+            CloseOutbound(&pc, after);
+            continue;
+          }
+          pc.connecting = false;
+          pc.connected = true;
+          pc.backoff_ms = 0;
+        }
+        if (revents & (POLLERR | POLLHUP)) {
+          CloseOutbound(&pc, after);
+          continue;
+        }
+        if (revents & POLLIN) {
+          // Peers never send data on connections we dialed; readable
+          // means EOF/reset.
+          char probe[256];
+          const ssize_t n = read(pc.fd, probe, sizeof(probe));
+          if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                         errno != EINTR)) {
+            CloseOutbound(&pc, after);
+            continue;
+          }
+        }
+        if (pc.connected && (revents & POLLOUT)) FlushWrites(&pc, after);
+      } else {
+        InboundConn& ic = inbound_[i];
+        if (ic.fd != pfds[p].fd) continue;
+        bool closed = false;
+        char buf[65536];
+        while (true) {
+          const ssize_t n = read(ic.fd, buf, sizeof(buf));
+          if (n > 0) {
+            ic.recvbuf.append(buf, static_cast<size_t>(n));
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          closed = true;
+          break;
+        }
+        if (!ic.recvbuf.empty()) DrainInbound(&ic);
+        if (closed && ic.fd >= 0) {
+          close(ic.fd);
+          ic.fd = -1;
+        }
+      }
+    }
+    // Compact inbound connections closed during this pass.
+    for (size_t i = inbound_.size(); i-- > 0;) {
+      if (inbound_[i].fd < 0) inbound_.erase(inbound_.begin() + i);
+    }
+  }
+}
+
+}  // namespace tardis

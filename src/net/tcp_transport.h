@@ -1,0 +1,141 @@
+// TcpTransport: a real-socket Transport for one site of the mesh — the
+// moral equivalent of the paper's Netty layer (§6.4), sized for the
+// tardisd daemon.
+//
+// Topology: every site listens on one port and dials one outbound
+// connection to each peer. A site *sends* only on the connections it
+// dialed and *receives* only on the connections it accepted, so no
+// identity handshake is needed — every decoded message carries its
+// from_site. Outbound connections that fail or die reconnect with capped
+// exponential backoff; while a peer is down, messages addressed to it are
+// counted as dropped (gossip tolerates loss — RequestSync recovers it),
+// never an error up the stack.
+//
+// One background thread multiplexes all sockets with poll(2): the listen
+// socket, accepted inbound sockets (read side, frame reassembly +
+// decode), and dialed outbound sockets (connect completion + buffered
+// writes). Send/Broadcast enqueue encoded bytes under a mutex and wake
+// the thread through a self-pipe. A malformed inbound frame (bad CRC,
+// hostile length prefix, undecodable payload) closes that connection and
+// is otherwise ignored — a fuzzing peer cannot crash the daemon.
+
+#ifndef TARDIS_NET_TCP_TRANSPORT_H_
+#define TARDIS_NET_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "net/transport.h"
+#include "util/status.h"
+
+namespace tardis {
+
+struct TcpPeer {
+  uint32_t site = 0;
+  std::string host;
+  uint16_t port = 0;
+};
+
+struct TcpTransportOptions {
+  uint32_t site_id = 0;
+  /// Port this site's replication endpoint listens on. 0 picks an
+  /// ephemeral port (see listen_port() after Open).
+  uint16_t listen_port = 0;
+  std::string listen_host = "0.0.0.0";
+  /// Every other site in the mesh.
+  std::vector<TcpPeer> peers;
+  /// Reconnect backoff: initial delay doubling up to the cap.
+  uint64_t reconnect_initial_ms = 20;
+  uint64_t reconnect_max_ms = 2000;
+  /// Bytes buffered per not-yet-writable peer before new messages are
+  /// dropped instead of queued.
+  size_t max_sendbuf_bytes = 64u << 20;
+};
+
+class TcpTransport : public Transport {
+ public:
+  /// Binds the listen socket and starts the IO thread. Fails with
+  /// IOError if the port cannot be bound.
+  static StatusOr<std::unique_ptr<TcpTransport>> Open(
+      const TcpTransportOptions& options);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Stops the IO thread and closes every socket. Idempotent.
+  void Shutdown();
+
+  /// Actual bound port (differs from options when listen_port was 0).
+  uint16_t listen_port() const { return listen_port_; }
+
+  /// True once the dialed connection to `site` is established.
+  bool IsConnected(uint32_t site) const;
+
+  // ---- Transport ----------------------------------------------------------
+  size_t num_sites() const override { return num_sites_; }
+  void Send(uint32_t from, uint32_t to, ReplMessage msg) override;
+  void Broadcast(uint32_t from, ReplMessage msg) override;
+  bool Receive(uint32_t site, ReplMessage* msg) override;
+  bool HasInflight() const override;
+
+  /// Endpoint-local partition: suppresses outbound traffic to and
+  /// inbound traffic from the named peer (the other endpoint must do the
+  /// same for a symmetric cut, mirroring a real bidirectional outage).
+  void Partition(uint32_t a, uint32_t b) override;
+  void Heal(uint32_t a, uint32_t b) override;
+  void HealAll() override;
+
+ private:
+  struct PeerConn {
+    TcpPeer peer;
+    int fd = -1;
+    bool connecting = false;   ///< non-blocking connect in flight
+    bool connected = false;
+    std::string sendbuf;       ///< encoded frames awaiting write
+    size_t sendbuf_off = 0;    ///< bytes of sendbuf already written
+    std::deque<size_t> frame_lens;  ///< frame boundaries, for drop stats
+    uint64_t next_attempt_ms = 0;
+    uint64_t backoff_ms = 0;
+  };
+  struct InboundConn {
+    int fd = -1;
+    std::string recvbuf;
+  };
+
+  explicit TcpTransport(const TcpTransportOptions& options);
+
+  Status Listen();
+  void IoLoop();
+  void Wake();
+  void StartConnect(PeerConn* pc, uint64_t now_ms);
+  void CloseOutbound(PeerConn* pc, uint64_t now_ms);
+  void FlushWrites(PeerConn* pc, uint64_t now_ms);
+  void DrainInbound(InboundConn* ic);
+  void EnqueueEncoded(uint32_t to, const std::string& frame);
+
+  TcpTransportOptions options_;
+  size_t num_sites_;
+  uint16_t listen_port_ = 0;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+
+  mutable std::mutex mu_;
+  std::vector<PeerConn> outbound_;          // one per peer
+  std::vector<InboundConn> inbound_;        // accepted connections
+  std::deque<ReplMessage> inbox_;           // decoded, awaiting Receive
+  std::unordered_set<uint32_t> partitioned_;
+
+  std::thread io_;
+  std::atomic<bool> stop_{true};
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_NET_TCP_TRANSPORT_H_

@@ -1,0 +1,181 @@
+#include "net/wire.h"
+
+#include "util/coding.h"
+#include "util/crc32.h"
+
+namespace tardis {
+
+namespace {
+
+void PutGuid(std::string* out, const GlobalStateId& g) {
+  PutVarint64(out, g.site);
+  PutVarint64(out, g.seq);
+}
+
+bool GetGuid(Slice* in, GlobalStateId* g) {
+  uint64_t site = 0, seq = 0;
+  if (!GetVarint64(in, &site)) return false;
+  if (site > UINT32_MAX) return false;
+  if (!GetVarint64(in, &seq)) return false;
+  g->site = static_cast<uint32_t>(site);
+  g->seq = seq;
+  return true;
+}
+
+void PutCommitRecord(std::string* out, const CommitRecord& r) {
+  PutGuid(out, r.guid);
+  PutVarint64(out, r.parent_guids.size());
+  for (const GlobalStateId& p : r.parent_guids) PutGuid(out, p);
+  out->push_back(r.is_merge ? 1 : 0);
+  PutVarint64(out, r.writes.size());
+  for (const auto& [key, value] : r.writes) {
+    PutLengthPrefixed(out, Slice(key));
+    PutLengthPrefixed(out, value ? Slice(*value) : Slice());
+  }
+}
+
+bool GetCommitRecord(Slice* in, CommitRecord* r) {
+  if (!GetGuid(in, &r->guid)) return false;
+  uint64_t nparents = 0;
+  if (!GetVarint64(in, &nparents)) return false;
+  // A parent guid is >= 2 bytes; cheap sanity bound before reserving.
+  if (nparents > in->size()) return false;
+  r->parent_guids.clear();
+  r->parent_guids.reserve(static_cast<size_t>(nparents));
+  for (uint64_t i = 0; i < nparents; i++) {
+    GlobalStateId p;
+    if (!GetGuid(in, &p)) return false;
+    r->parent_guids.push_back(p);
+  }
+  if (in->empty()) return false;
+  r->is_merge = (*in)[0] != 0;
+  in->remove_prefix(1);
+  uint64_t nwrites = 0;
+  if (!GetVarint64(in, &nwrites)) return false;
+  if (nwrites > in->size()) return false;
+  r->writes.clear();
+  r->writes.reserve(static_cast<size_t>(nwrites));
+  for (uint64_t i = 0; i < nwrites; i++) {
+    Slice key, value;
+    if (!GetLengthPrefixed(in, &key)) return false;
+    if (!GetLengthPrefixed(in, &value)) return false;
+    r->writes.emplace_back(key.ToString(),
+                           std::make_shared<const std::string>(value.ToString()));
+  }
+  return true;
+}
+
+}  // namespace
+
+void EncodeReplMessage(const ReplMessage& msg, std::string* out) {
+  out->push_back(static_cast<char>(kWireVersion));
+  out->push_back(static_cast<char>(msg.type));
+  PutVarint64(out, msg.from_site);
+  switch (msg.type) {
+    case ReplMessage::Type::kCommit:
+      PutCommitRecord(out, msg.commit);
+      break;
+    case ReplMessage::Type::kSyncRequest:
+      PutVarint64(out, msg.seen_seq.size());
+      for (uint64_t s : msg.seen_seq) PutVarint64(out, s);
+      break;
+    case ReplMessage::Type::kCeilingRequest:
+    case ReplMessage::Type::kCeilingAck:
+    case ReplMessage::Type::kCeilingCommit:
+      PutGuid(out, msg.ceiling);
+      PutVarint64(out, msg.ceiling_epoch);
+      break;
+  }
+}
+
+Status DecodeReplMessage(Slice payload, ReplMessage* out) {
+  Slice in = payload;
+  if (in.size() < 2) return Status::Corruption("payload too short");
+  const uint8_t version = static_cast<uint8_t>(in[0]);
+  if (version != kWireVersion) {
+    return Status::Corruption("unsupported wire version " +
+                              std::to_string(version));
+  }
+  const uint8_t type_byte = static_cast<uint8_t>(in[1]);
+  if (type_byte > static_cast<uint8_t>(ReplMessage::Type::kCeilingCommit)) {
+    return Status::Corruption("unknown message type " +
+                              std::to_string(type_byte));
+  }
+  in.remove_prefix(2);
+
+  ReplMessage msg;
+  msg.type = static_cast<ReplMessage::Type>(type_byte);
+  uint64_t from = 0;
+  if (!GetVarint64(&in, &from) || from > UINT32_MAX) {
+    return Status::Corruption("bad from_site");
+  }
+  msg.from_site = static_cast<uint32_t>(from);
+
+  switch (msg.type) {
+    case ReplMessage::Type::kCommit:
+      if (!GetCommitRecord(&in, &msg.commit)) {
+        return Status::Corruption("bad commit record");
+      }
+      break;
+    case ReplMessage::Type::kSyncRequest: {
+      uint64_t count = 0;
+      if (!GetVarint64(&in, &count) || count > in.size()) {
+        return Status::Corruption("bad seen_seq count");
+      }
+      msg.seen_seq.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; i++) {
+        uint64_t s = 0;
+        if (!GetVarint64(&in, &s)) return Status::Corruption("bad seen_seq");
+        msg.seen_seq.push_back(s);
+      }
+      break;
+    }
+    case ReplMessage::Type::kCeilingRequest:
+    case ReplMessage::Type::kCeilingAck:
+    case ReplMessage::Type::kCeilingCommit:
+      if (!GetGuid(&in, &msg.ceiling)) {
+        return Status::Corruption("bad ceiling guid");
+      }
+      if (!GetVarint64(&in, &msg.ceiling_epoch)) {
+        return Status::Corruption("bad ceiling epoch");
+      }
+      break;
+  }
+  if (!in.empty()) return Status::Corruption("trailing bytes in payload");
+  *out = std::move(msg);
+  return Status::OK();
+}
+
+void EncodeFrame(const ReplMessage& msg, std::string* out) {
+  const size_t header_at = out->size();
+  out->append(kWireHeaderBytes, '\0');
+  EncodeReplMessage(msg, out);
+  const size_t payload_len = out->size() - header_at - kWireHeaderBytes;
+  const char* payload = out->data() + header_at + kWireHeaderBytes;
+  EncodeFixed32(out->data() + header_at, static_cast<uint32_t>(payload_len));
+  EncodeFixed32(out->data() + header_at + 4,
+                MaskCrc(Crc32c(payload, payload_len)));
+}
+
+Status DecodeFrame(Slice buffer, ReplMessage* out, size_t* consumed) {
+  *consumed = 0;
+  if (buffer.size() < kWireHeaderBytes) return Status::OK();  // need header
+  const uint32_t payload_len = DecodeFixed32(buffer.data());
+  if (payload_len > kMaxWirePayload) {
+    return Status::Corruption("oversized frame: " +
+                              std::to_string(payload_len) + " bytes");
+  }
+  if (buffer.size() < kWireHeaderBytes + payload_len) {
+    return Status::OK();  // need more payload bytes
+  }
+  const uint32_t expected_crc = UnmaskCrc(DecodeFixed32(buffer.data() + 4));
+  const char* payload = buffer.data() + kWireHeaderBytes;
+  if (Crc32c(payload, payload_len) != expected_crc) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  TARDIS_RETURN_IF_ERROR(DecodeReplMessage(Slice(payload, payload_len), out));
+  *consumed = kWireHeaderBytes + payload_len;
+  return Status::OK();
+}
+
+}  // namespace tardis

@@ -22,6 +22,15 @@ struct ReplMessage {
     kCeilingCommit,   ///< all consented: place the ceiling
   };
 
+  ReplMessage() = default;
+  // Movable (and noexcept-movable, so containers relocate cheaply):
+  // messages are moved through the transport fabric; the commit write set
+  // is only deep-copied where a fan-out genuinely needs its own copy.
+  ReplMessage(ReplMessage&&) noexcept = default;
+  ReplMessage& operator=(ReplMessage&&) noexcept = default;
+  ReplMessage(const ReplMessage&) = default;
+  ReplMessage& operator=(const ReplMessage&) = default;
+
   Type type = Type::kCommit;
   uint32_t from_site = 0;
 

@@ -24,9 +24,20 @@ void SimNetwork::Send(uint32_t from, uint32_t to, ReplMessage msg) {
   sent_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void SimNetwork::Broadcast(uint32_t from, const ReplMessage& msg) {
+void SimNetwork::Broadcast(uint32_t from, ReplMessage msg) {
+  // Each link queue owns its message, so fan-out needs num_sites-2 copies;
+  // the last link takes the caller's message by move.
+  uint32_t last = UINT32_MAX;
   for (uint32_t to = 0; to < num_sites_; to++) {
-    if (to != from) Send(from, to, msg);
+    if (to != from) last = to;
+  }
+  for (uint32_t to = 0; to < num_sites_; to++) {
+    if (to == from) continue;
+    if (to == last) {
+      Send(from, to, std::move(msg));
+    } else {
+      Send(from, to, msg);
+    }
   }
 }
 

@@ -1,17 +1,20 @@
-// SimNetwork: an in-process message fabric between sites with per-link
-// FIFO channels, configurable one-way latency/jitter, and fault injection
-// (partitions, drops). Substitutes for the paper's WAN (Google Cloud,
-// three zones): replication semantics — asynchronous, ordered per link —
-// are preserved; latencies are injected rather than measured.
+// SimNetwork: the in-process Transport implementation — a message fabric
+// between sites with per-link FIFO channels, configurable one-way
+// latency/jitter, and fault injection (partitions, drops). Substitutes
+// for the paper's WAN (Google Cloud, three zones) in tests and
+// benchmarks: replication semantics — asynchronous, ordered per link —
+// are preserved; latencies are injected rather than measured. The same
+// Replicator runs unchanged over TcpTransport (net/tcp_transport.h) for
+// real multi-process deployments.
 
 #ifndef TARDIS_REPLICATION_NETWORK_H_
 #define TARDIS_REPLICATION_NETWORK_H_
 
-#include <atomic>
 #include <deque>
 #include <mutex>
 #include <vector>
 
+#include "net/transport.h"
 #include "replication/message.h"
 #include "util/clock.h"
 #include "util/random.h"
@@ -24,34 +27,31 @@ struct NetworkOptions {
   uint64_t seed = 7;
 };
 
-class SimNetwork {
+class SimNetwork : public Transport {
  public:
   SimNetwork(size_t num_sites, NetworkOptions options = {});
 
-  size_t num_sites() const { return num_sites_; }
+  size_t num_sites() const override { return num_sites_; }
 
   /// Enqueues `msg` on the from->to link; delivery is delayed by the link
   /// latency. Messages to partitioned or identical sites are dropped.
-  void Send(uint32_t from, uint32_t to, ReplMessage msg);
+  void Send(uint32_t from, uint32_t to, ReplMessage msg) override;
 
-  /// Broadcast to every other site.
-  void Broadcast(uint32_t from, const ReplMessage& msg);
+  /// Broadcast to every other site; the final link receives the message
+  /// by move, the rest get copies (each link queue owns its message).
+  void Broadcast(uint32_t from, ReplMessage msg) override;
 
   /// Pops the next due message addressed to `site` (FIFO per link).
   /// Returns false if nothing is due yet.
-  bool Receive(uint32_t site, ReplMessage* msg);
+  bool Receive(uint32_t site, ReplMessage* msg) override;
 
   /// True if any message (due or in flight) is queued anywhere.
-  bool HasInflight() const;
+  bool HasInflight() const override;
 
   // ---- fault injection ----------------------------------------------------
-  void Partition(uint32_t a, uint32_t b);
-  void Heal(uint32_t a, uint32_t b);
-  void HealAll();
-
-  uint64_t messages_sent() const { return sent_.load(); }
-  uint64_t messages_delivered() const { return delivered_.load(); }
-  uint64_t messages_dropped() const { return dropped_.load(); }
+  void Partition(uint32_t a, uint32_t b) override;
+  void Heal(uint32_t a, uint32_t b) override;
+  void HealAll() override;
 
  private:
   struct InFlight {
@@ -72,9 +72,6 @@ class SimNetwork {
   std::vector<Link> links_;
   std::vector<bool> partitioned_;  // per link
   Random rng_;
-  std::atomic<uint64_t> sent_{0};
-  std::atomic<uint64_t> delivered_{0};
-  std::atomic<uint64_t> dropped_{0};
 };
 
 }  // namespace tardis

@@ -6,7 +6,7 @@
 
 namespace tardis {
 
-Replicator::Replicator(TardisStore* store, SimNetwork* net, uint32_t site_id,
+Replicator::Replicator(TardisStore* store, Transport* net, uint32_t site_id,
                        GcCoordination gc_mode)
     : store_(store), net_(net), site_id_(site_id), gc_mode_(gc_mode) {}
 
@@ -41,7 +41,7 @@ void Replicator::OnLocalCommit(const CommitRecord& record) {
   ReplMessage msg;
   msg.type = ReplMessage::Type::kCommit;
   msg.commit = record;
-  net_->Broadcast(site_id_, msg);
+  net_->Broadcast(site_id_, std::move(msg));
 }
 
 void Replicator::Archive(const CommitRecord& record) {
@@ -80,11 +80,11 @@ void Replicator::HandleMessage(const ReplMessage& msg) {
           }
         }
       }
-      for (const CommitRecord& r : replay) {
+      for (CommitRecord& r : replay) {
         ReplMessage reply;
         reply.type = ReplMessage::Type::kCommit;
-        reply.commit = r;
-        net_->Send(site_id_, msg.from_site, reply);
+        reply.commit = std::move(r);
+        net_->Send(site_id_, msg.from_site, std::move(reply));
       }
       break;
     }
@@ -96,7 +96,7 @@ void Replicator::HandleMessage(const ReplMessage& msg) {
         ack.type = ReplMessage::Type::kCeilingAck;
         ack.ceiling = msg.ceiling;
         ack.ceiling_epoch = msg.ceiling_epoch;
-        net_->Send(site_id_, msg.from_site, ack);
+        net_->Send(site_id_, msg.from_site, std::move(ack));
       }
       // Otherwise stay silent; the requester's ceiling never commits,
       // which is the conservative (pessimistic) outcome during partitions.
@@ -122,7 +122,7 @@ void Replicator::HandleMessage(const ReplMessage& msg) {
         ReplMessage commit;
         commit.type = ReplMessage::Type::kCeilingCommit;
         commit.ceiling = guid;
-        net_->Broadcast(site_id_, commit);
+        net_->Broadcast(site_id_, std::move(commit));
       }
       break;
     }
@@ -215,7 +215,7 @@ void Replicator::PlaceCeiling(ClientSession* session) {
   req.type = ReplMessage::Type::kCeilingRequest;
   req.ceiling = guid;
   req.ceiling_epoch = epoch;
-  net_->Broadcast(site_id_, req);
+  net_->Broadcast(site_id_, std::move(req));
 }
 
 void Replicator::RequestSync() {
@@ -228,7 +228,7 @@ void Replicator::RequestSync() {
     req.seen_seq.assign(max_site + 1, 0);
     for (const auto& [site, seq] : seen_seq_) req.seen_seq[site] = seq;
   }
-  net_->Broadcast(site_id_, req);
+  net_->Broadcast(site_id_, std::move(req));
 }
 
 size_t Replicator::pending_count() const {

@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "core/tardis_store.h"
-#include "replication/network.h"
+#include "net/transport.h"
 
 namespace tardis {
 
@@ -37,7 +37,9 @@ enum class GcCoordination {
 
 class Replicator {
  public:
-  Replicator(TardisStore* store, SimNetwork* net, uint32_t site_id,
+  /// `net` may be any Transport: the in-process SimNetwork fabric or a
+  /// per-site TcpTransport endpoint — the replication logic is identical.
+  Replicator(TardisStore* store, Transport* net, uint32_t site_id,
              GcCoordination gc_mode = GcCoordination::kOptimistic);
   ~Replicator();
 
@@ -70,7 +72,7 @@ class Replicator {
   void Archive(const CommitRecord& record);
 
   TardisStore* const store_;
-  SimNetwork* const net_;
+  Transport* const net_;
   const uint32_t site_id_;
   const GcCoordination gc_mode_;
 
