@@ -130,6 +130,23 @@ inline SystemUnderTest MakeOcc() {
   return sut;
 }
 
+/// Prints the registry movement captured over the measurement window,
+/// indented under the row it belongs to. No-op for systems that don't
+/// expose a registry (DriverOptions::metrics unset -> empty delta).
+inline void PrintMetricsDelta(const DriverResult& r) {
+  if (r.metrics_delta.empty()) return;
+  std::string line;
+  for (char c : r.metrics_delta) {
+    if (c == '\n') {
+      printf("             | %s\n", line.c_str());
+      line.clear();
+    } else {
+      line.push_back(c);
+    }
+  }
+  if (!line.empty()) printf("             | %s\n", line.c_str());
+}
+
 inline void PrintHeader(const char* what, const char* paper_expectation) {
   printf("==================================================================\n");
   printf("%s\n", what);

@@ -36,6 +36,7 @@ void RunPanel(const char* label, Mix mix, Distribution dist,
       DriverOptions d;
       d.num_clients = clients;
       d.duration_ms = ScaledMs(1000);
+      if (sut.tardis) d.metrics = sut.tardis->metrics();
       DriverResult r = RunClosedLoop(sut.facade(), w, d);
       printf("%-10s %8zu %12.0f %12.1f %10.0f %8llu", sut.name.c_str(),
              clients, r.throughput, r.txn_latency_us.mean(),
@@ -49,6 +50,7 @@ void RunPanel(const char* label, Mix mix, Distribution dist,
         sut.tardis->StopGcThread();
       }
       printf("\n");
+      PrintMetricsDelta(r);
     }
   }
 }

@@ -29,12 +29,14 @@ void RunCurve(const char* label, Mix mix) {
       DriverOptions d;
       d.num_clients = clients;
       d.duration_ms = ScaledMs(1000);
+      if (sut.tardis) d.metrics = sut.tardis->metrics();
       DriverResult r = RunClosedLoop(sut.facade(), w, d);
       printf("%-10s %8zu %12.0f %12.1f %10.0f %8llu\n", sut.name.c_str(),
              clients, r.throughput, r.txn_latency_us.mean(),
              r.txn_latency_us.Percentile(0.99),
              static_cast<unsigned long long>(r.aborted));
       if (sut.tardis) sut.tardis->StopGcThread();
+      PrintMetricsDelta(r);
     }
   }
 }

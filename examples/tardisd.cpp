@@ -4,12 +4,17 @@
 // CRC-framed wire codec; clients speak a minimal line protocol on a
 // separate port.
 //
-//   tardisd --site=0 --peers=127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
-//           --client-port=8000 [--gc-mode=optimistic|pessimistic] [--dir=PATH]
+// Usage:
+//   tardisd --site=0 --peers=127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//           --client-port=8000 [--gc-mode=optimistic|pessimistic]
+//           [--dir=PATH] [--metrics-port=P]
 //
 // --peers lists every site's replication endpoint, indexed by site id;
-// entry --site names this daemon's own listen address. Client commands
-// (one per line, one-line replies):
+// entry --site names this daemon's own listen address. With
+// --metrics-port the daemon additionally serves the full metrics registry
+// as Prometheus text over plain HTTP (GET anything on that port).
+//
+// Client commands (one per line; single-line replies unless noted):
 //
 //   ping                  liveness probe -> PONG
 //   put <key> <value>     commit a single-key transaction -> OK
@@ -21,7 +26,10 @@
 //   peers                 connected outbound peers -> PEERS <n>
 //   isolate <site>        cut traffic to/from <site> at this endpoint -> OK
 //   heal                  undo all isolates -> OK
-//   stats                 transport + replication counters
+//   metrics [prom|table]  full registry dump, multi-line, terminated "END"
+//   stats                 alias of `metrics table`
+//   trace start|stop      toggle the branch-lifecycle tracer -> OK
+//   trace dump <path>     write captured events as Chrome trace JSON -> OK
 //   quit                  close this client connection
 //   shutdown              exit the daemon
 
@@ -29,15 +37,22 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/tcp_transport.h"
+#include "obs/exposition.h"
+#include "obs/trace.h"
 #include "replication/replicator.h"
+#include "util/logging.h"
 
 namespace tardis {
 namespace {
@@ -46,6 +61,7 @@ struct DaemonConfig {
   uint32_t site = 0;
   std::vector<TcpPeer> endpoints;  // every site, indexed by site id
   uint16_t client_port = 0;
+  uint16_t metrics_port = 0;  ///< 0 disables the HTTP metrics endpoint
   GcCoordination gc_mode = GcCoordination::kOptimistic;
   std::string dir;
 };
@@ -81,6 +97,8 @@ bool ParseFlags(int argc, char** argv, DaemonConfig* config) {
       if (!ParseEndpoints(v, &config->endpoints)) return false;
     } else if (const char* v = value("--client-port=")) {
       config->client_port = static_cast<uint16_t>(atoi(v));
+    } else if (const char* v = value("--metrics-port=")) {
+      config->metrics_port = static_cast<uint16_t>(atoi(v));
     } else if (const char* v = value("--gc-mode=")) {
       if (strcmp(v, "pessimistic") == 0) {
         config->gc_mode = GcCoordination::kPessimistic;
@@ -155,7 +173,8 @@ std::string DoMerge(TardisStore* store, ClientSession* session,
 std::string HandleCommand(const std::string& line, TardisStore* store,
                           ClientSession* session, Replicator* replicator,
                           TcpTransport* transport, uint32_t site,
-                          bool* close_conn, bool* shutdown) {
+                          obs::MetricsRegistry* registry, bool* close_conn,
+                          bool* shutdown) {
   std::stringstream ss(line);
   std::string cmd;
   ss >> cmd;
@@ -219,12 +238,38 @@ std::string HandleCommand(const std::string& line, TardisStore* store,
     transport->HealAll();
     return "OK";
   }
-  if (cmd == "stats") {
-    return "STATS sent=" + std::to_string(transport->messages_sent()) +
-           " delivered=" + std::to_string(transport->messages_delivered()) +
-           " dropped=" + std::to_string(transport->messages_dropped()) +
-           " applied=" + std::to_string(replicator->applied_count()) +
-           " pending=" + std::to_string(replicator->pending_count());
+  if (cmd == "metrics" || cmd == "stats") {
+    // Multi-line reply; "END" terminates it so line-oriented clients know
+    // where the dump stops.
+    std::string format = cmd == "stats" ? "table" : "prom";
+    ss >> format;
+    const std::vector<obs::Sample> samples = registry->Collect();
+    std::string body = format == "table" ? obs::RenderTable(samples)
+                                         : obs::RenderPrometheus(samples);
+    if (!body.empty() && body.back() != '\n') body.push_back('\n');
+    return body + "END";
+  }
+  if (cmd == "trace") {
+    std::string sub;
+    ss >> sub;
+    if (sub == "start") {
+      obs::Tracer::Get().Enable();
+      return "OK";
+    }
+    if (sub == "stop") {
+      obs::Tracer::Get().Disable();
+      return "OK";
+    }
+    if (sub == "dump") {
+      std::string path;
+      ss >> path;
+      if (path.empty()) return "ERR usage: trace dump <path>";
+      std::ofstream out(path, std::ios::trunc);
+      if (!out) return "ERR cannot open " + path;
+      out << obs::Tracer::Get().DumpChromeTrace();
+      return "OK " + std::to_string(obs::Tracer::Get().EventCount());
+    }
+    return "ERR usage: trace start|stop|dump <path>";
   }
   if (cmd == "quit") {
     *close_conn = true;
@@ -238,7 +283,79 @@ std::string HandleCommand(const std::string& line, TardisStore* store,
   return "ERR unknown command '" + cmd + "'";
 }
 
+/// Minimal plaintext-metrics HTTP server: accept, read (and ignore) the
+/// request, answer one 200 with the current Prometheus rendering, close.
+/// Enough for `curl` and a Prometheus scrape config.
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer(uint16_t port, std::shared_ptr<obs::MetricsRegistry> reg)
+      : registry_(std::move(reg)) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    int one = 1;
+    setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = INADDR_ANY;
+    addr.sin_port = htons(port);
+    if (bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        listen(fd_, 8) != 0) {
+      fprintf(stderr, "tardisd: metrics port %u: %s\n", port, strerror(errno));
+      close(fd_);
+      fd_ = -1;
+      return;
+    }
+    serving_ = true;
+    thread_ = std::thread([this] { Serve(); });
+  }
+
+  ~MetricsHttpServer() {
+    stop_.store(true);
+    if (fd_ >= 0) {
+      // shutdown() unblocks the accept; some platforms need the close too.
+      ::shutdown(fd_, SHUT_RDWR);
+      close(fd_);
+    }
+    if (thread_.joinable()) thread_.join();
+  }
+
+  bool serving() const { return serving_; }
+
+ private:
+  void Serve() {
+    while (!stop_.load()) {
+      const int conn = accept(fd_, nullptr, nullptr);
+      if (conn < 0) {
+        if (errno == EINTR) continue;
+        return;  // listen socket closed: shutting down
+      }
+      char buf[4096];
+      (void)read(conn, buf, sizeof(buf));  // request line + headers, ignored
+      const std::string body = obs::RenderPrometheus(registry_->Collect());
+      std::string resp =
+          "HTTP/1.0 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+          "Content-Length: " +
+          std::to_string(body.size()) + "\r\n\r\n" + body;
+      (void)write(conn, resp.data(), resp.size());
+      close(conn);
+    }
+  }
+
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  int fd_ = -1;
+  bool serving_ = false;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
 int RunDaemon(const DaemonConfig& config) {
+  SetLogSite(static_cast<int>(config.site));
+
+  // One registry for the whole process: store, GC, replicator and
+  // transport all register here, so `metrics` and --metrics-port expose
+  // every subsystem in one dump. Created first so it outlives them all.
+  auto registry = std::make_shared<obs::MetricsRegistry>();
+
   TcpTransportOptions net_options;
   net_options.site_id = config.site;
   net_options.listen_host = config.endpoints[config.site].host;
@@ -252,10 +369,12 @@ int RunDaemon(const DaemonConfig& config) {
             transport.status().ToString().c_str());
     return 1;
   }
+  (*transport)->BindMetrics(registry.get(), config.site);
 
   TardisOptions store_options;
   store_options.site_id = config.site;
   store_options.dir = config.dir;
+  store_options.metrics_registry = registry;
   auto store = TardisStore::Open(store_options);
   if (!store.ok()) {
     fprintf(stderr, "tardisd: store: %s\n", store.status().ToString().c_str());
@@ -279,9 +398,16 @@ int RunDaemon(const DaemonConfig& config) {
             strerror(errno));
     return 1;
   }
-  printf("tardisd: site %u serving clients on port %u, replication on %u\n",
-         config.site, config.client_port,
-         (*transport)->listen_port());
+  std::unique_ptr<MetricsHttpServer> metrics_http;
+  if (config.metrics_port != 0) {
+    metrics_http =
+        std::make_unique<MetricsHttpServer>(config.metrics_port, registry);
+    if (!metrics_http->serving()) return 1;
+  }
+
+  printf("tardisd: site %u serving clients on port %u, replication on %u%s\n",
+         config.site, config.client_port, (*transport)->listen_port(),
+         config.metrics_port != 0 ? ", metrics via http" : "");
   fflush(stdout);
 
   bool shutdown = false;
@@ -306,8 +432,8 @@ int RunDaemon(const DaemonConfig& config) {
         if (line.empty()) continue;
         std::string reply =
             HandleCommand(line, store->get(), session.get(), &replicator,
-                          transport->get(), config.site, &close_conn,
-                          &shutdown);
+                          transport->get(), config.site, registry.get(),
+                          &close_conn, &shutdown);
         reply.push_back('\n');
         if (write(conn, reply.data(), reply.size()) < 0) close_conn = true;
       }
@@ -315,6 +441,7 @@ int RunDaemon(const DaemonConfig& config) {
     close(conn);
   }
   close(server_fd);
+  metrics_http.reset();
   replicator.Stop();
   (*transport)->Shutdown();
   return 0;
@@ -329,6 +456,7 @@ int main(int argc, char** argv) {
     fprintf(stderr,
             "usage: tardisd --site=N --peers=host:port,... --client-port=P\n"
             "               [--gc-mode=optimistic|pessimistic] [--dir=PATH]\n"
+            "               [--metrics-port=P]\n"
             "--peers is indexed by site id and must name every site,\n"
             "including this one's own replication endpoint.\n");
     return 2;

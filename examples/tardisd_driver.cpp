@@ -9,7 +9,10 @@
 //      every site holds both branches;
 //   4. site 0 runs a counter-delta merge transaction; the merge commit
 //      replicates and every site converges to the same single leaf;
-//   5. a hostile client spews garbage at a replication port — the daemon
+//   5. the metrics registry must reflect the lifecycle: site 0 reports
+//      nonzero fork and merge counters, over the line protocol and over
+//      the --metrics-port HTTP endpoint;
+//   6. a hostile client spews garbage at a replication port — the daemon
 //      must shrug it off (frame CRC + bounds-checked decode).
 //
 // Exit code 0 iff the full scenario converges. Used by ctest as the
@@ -104,6 +107,52 @@ std::string Cmd(int fd, const std::string& line) {
   return reply;
 }
 
+/// One line out, lines back until the "END" terminator (the `metrics` and
+/// `stats` commands). Returns the body without the terminator.
+std::string CmdMulti(int fd, const std::string& line) {
+  const std::string out = line + "\n";
+  if (write(fd, out.data(), out.size()) != static_cast<ssize_t>(out.size())) {
+    Die("short write on client connection");
+  }
+  std::string body, cur;
+  char c;
+  while (true) {
+    const ssize_t n = read(fd, &c, 1);
+    if (n <= 0) Die("daemon closed connection during '" + line + "'");
+    if (c != '\n') {
+      cur.push_back(c);
+      continue;
+    }
+    if (cur == "END") break;
+    body += cur;
+    body.push_back('\n');
+    cur.clear();
+  }
+  if (g_verbose) printf("  [%s] -> %zu bytes\n", line.c_str(), body.size());
+  return body;
+}
+
+/// Value of `name{...}` in a Prometheus text dump; -1 when the series is
+/// absent. Matches any label set — the driver only checks one site's dump.
+long long MetricValue(const std::string& dump, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = dump.find(name, pos)) != std::string::npos) {
+    // Reject prefix matches (tardis_txn_forks_total vs ..._total_foo) and
+    // mid-line hits (HELP/TYPE lines start with '#').
+    const bool line_start = pos == 0 || dump[pos - 1] == '\n';
+    const size_t end = pos + name.size();
+    const char next = end < dump.size() ? dump[end] : '\n';
+    if (!line_start || (next != '{' && next != ' ')) {
+      pos = end;
+      continue;
+    }
+    const size_t sp = dump.find(' ', end);
+    if (sp == std::string::npos) return -1;
+    return atoll(dump.c_str() + sp + 1);
+  }
+  return -1;
+}
+
 bool WaitFor(const std::function<bool()>& cond, uint64_t timeout_ms = 15'000) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
@@ -118,6 +167,7 @@ struct Fleet {
   std::vector<pid_t> pids;
   std::vector<int> conns;          // client connections, by site
   std::vector<uint16_t> repl_ports;
+  std::vector<uint16_t> metrics_ports;
 
   ~Fleet() {
     for (int fd : conns) {
@@ -138,6 +188,7 @@ void SpawnFleet(const std::string& tardisd, size_t n, Fleet* fleet) {
   for (size_t i = 0; i < n; i++) {
     fleet->repl_ports.push_back(PickFreePort());
     client_ports.push_back(PickFreePort());
+    fleet->metrics_ports.push_back(PickFreePort());
     if (i) peers += ",";
     peers += "127.0.0.1:" + std::to_string(fleet->repl_ports.back());
   }
@@ -149,11 +200,14 @@ void SpawnFleet(const std::string& tardisd, size_t n, Fleet* fleet) {
       const std::string peers_flag = "--peers=" + peers;
       const std::string client_flag =
           "--client-port=" + std::to_string(client_ports[i]);
+      const std::string metrics_flag =
+          "--metrics-port=" + std::to_string(fleet->metrics_ports[i]);
       if (!g_verbose) {
         freopen("/dev/null", "w", stdout);
       }
       execl(tardisd.c_str(), "tardisd", site_flag.c_str(), peers_flag.c_str(),
-            client_flag.c_str(), static_cast<char*>(nullptr));
+            client_flag.c_str(), metrics_flag.c_str(),
+            static_cast<char*>(nullptr));
       fprintf(stderr, "exec %s failed: %s\n", tardisd.c_str(),
               strerror(errno));
       _exit(127);
@@ -165,6 +219,28 @@ void SpawnFleet(const std::string& tardisd, size_t n, Fleet* fleet) {
     if (fd < 0) Die("site " + std::to_string(i) + " never came up");
     fleet->conns.push_back(fd);
   }
+}
+
+/// Plain HTTP/1.0 GET against a daemon's --metrics-port; returns the body.
+std::string HttpGetMetrics(uint16_t port) {
+  const int fd = ConnectTo(port, 5'000);
+  if (fd < 0) Die("could not connect to metrics port");
+  const char req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  if (write(fd, req, sizeof(req) - 1) != static_cast<ssize_t>(sizeof(req) - 1)) {
+    Die("short write on metrics connection");
+  }
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fd, buf, sizeof(buf))) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  const size_t body = resp.find("\r\n\r\n");
+  if (resp.rfind("HTTP/1.0 200", 0) != 0 || body == std::string::npos) {
+    Die("metrics endpoint returned a malformed response");
+  }
+  return resp.substr(body + 4);
 }
 
 void FuzzReplicationPort(uint16_t port) {
@@ -251,7 +327,36 @@ int Run(const std::string& tardisd) {
   }
   printf("== merge replicated: all 3 sites converged on cnt=8, one leaf\n");
 
-  // 5. Fuzz a replication port; the daemon must survive and keep serving.
+  // 5. The registry must have watched all of it happen. Site 0 committed
+  // the merge itself; its branch forked when site 1's concurrent write
+  // arrived, so both lifecycle counters are nonzero. Check the line
+  // protocol first, then the same series over HTTP.
+  const std::string dump = CmdMulti(fleet.conns[0], "metrics");
+  if (MetricValue(dump, "tardis_txn_forks_total") < 1) {
+    Die("site 0 metrics: tardis_txn_forks_total not >= 1\n" + dump);
+  }
+  if (MetricValue(dump, "tardis_txn_merges_total") < 1) {
+    Die("site 0 metrics: tardis_txn_merges_total not >= 1\n" + dump);
+  }
+  if (MetricValue(dump, "tardis_repl_applied_total") < 1) {
+    Die("site 0 metrics: tardis_repl_applied_total not >= 1\n" + dump);
+  }
+  if (MetricValue(dump, "tardis_dag_leaves") != 1) {
+    Die("site 0 metrics: tardis_dag_leaves != 1\n" + dump);
+  }
+  const std::string table = CmdMulti(fleet.conns[0], "stats");
+  if (table.find("tardis_txn_commits_total") == std::string::npos) {
+    Die("stats table missing tardis_txn_commits_total\n" + table);
+  }
+  const std::string http = HttpGetMetrics(fleet.metrics_ports[0]);
+  if (MetricValue(http, "tardis_txn_commits_total") < 1 ||
+      MetricValue(http, "tardis_txn_forks_total") < 1) {
+    Die("HTTP metrics endpoint missing txn counters\n" + http);
+  }
+  printf("== metrics reflect the lifecycle: forks>=1, merges>=1, "
+         "served over line protocol and HTTP\n");
+
+  // 6. Fuzz a replication port; the daemon must survive and keep serving.
   FuzzReplicationPort(fleet.repl_ports[0]);
   if (at(0, "ping") != "PONG" || at(0, "get cnt") != "VALUE 8") {
     Die("site 0 unhealthy after garbage frames");

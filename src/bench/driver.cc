@@ -1,9 +1,13 @@
 #include "bench/driver.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <thread>
 #include <vector>
 
+#include "obs/exposition.h"
+#include "obs/trace.h"
 #include "util/clock.h"
 
 namespace tardis {
@@ -21,7 +25,22 @@ std::string DriverResult::Summary() const {
            txn_latency_us.Percentile(0.99), ops.BeginAvg() / 1000.0,
            ops.GetAvg() / 1000.0, ops.PutAvg() / 1000.0,
            ops.CommitAvg() / 1000.0, useful_fraction);
-  return buf;
+  std::string out = buf;
+  if (!metrics_delta.empty()) {
+    out += "\n  metrics over the run:\n";
+    // Indent the delta under the headline numbers.
+    std::string line;
+    for (char c : metrics_delta) {
+      if (c == '\n') {
+        out += "    " + line + "\n";
+        line.clear();
+      } else {
+        line.push_back(c);
+      }
+    }
+    if (!line.empty()) out += "    " + line + "\n";
+  }
+  return out;
 }
 
 Status Preload(TxKvStore* store, const WorkloadOptions& workload) {
@@ -139,6 +158,12 @@ DriverResult RunClosedLoop(TxKvStore* store, const WorkloadOptions& workload,
                            const DriverOptions& options,
                            std::atomic<uint64_t>* live_committed,
                            const std::function<void(size_t)>& per_client_hook) {
+  std::string trace_file = options.trace_file;
+  if (trace_file.empty()) {
+    if (const char* env = getenv("TARDIS_TRACE_FILE")) trace_file = env;
+  }
+  if (!trace_file.empty()) obs::Tracer::Get().Enable();
+
   std::atomic<bool> stop{false};
   std::atomic<bool> recording{false};
   std::vector<ClientStats> stats(options.num_clients);
@@ -153,13 +178,30 @@ DriverResult RunClosedLoop(TxKvStore* store, const WorkloadOptions& workload,
   }
 
   std::this_thread::sleep_for(std::chrono::milliseconds(options.warmup_ms));
+  std::vector<obs::Sample> metrics_before;
+  if (options.metrics) metrics_before = options.metrics->Collect();
   const uint64_t measure_start = NowNanos();
   recording.store(true, std::memory_order_release);
   std::this_thread::sleep_for(std::chrono::milliseconds(options.duration_ms));
   recording.store(false, std::memory_order_release);
   const uint64_t measure_end = NowNanos();
+  std::vector<obs::Sample> metrics_after;
+  if (options.metrics) metrics_after = options.metrics->Collect();
   stop.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
+
+  if (!trace_file.empty()) {
+    std::ofstream out(trace_file, std::ios::trunc);
+    if (out) {
+      out << obs::Tracer::Get().DumpChromeTrace();
+      fprintf(stderr, "[driver] wrote %zu trace events to %s\n",
+              obs::Tracer::Get().EventCount(), trace_file.c_str());
+    } else {
+      fprintf(stderr, "[driver] cannot write trace file %s\n",
+              trace_file.c_str());
+    }
+    obs::Tracer::Get().Disable();
+  }
 
   DriverResult result;
   uint64_t useful_us = 0, busy_us = 0;
@@ -184,6 +226,9 @@ DriverResult RunClosedLoop(TxKvStore* store, const WorkloadOptions& workload,
       result.seconds > 0 ? static_cast<double>(result.committed) / result.seconds : 0;
   result.useful_fraction =
       busy_us > 0 ? static_cast<double>(useful_us) / static_cast<double>(busy_us) : 0;
+  if (options.metrics) {
+    result.metrics_delta = obs::RenderDelta(metrics_before, metrics_after);
+  }
   return result;
 }
 

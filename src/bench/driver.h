@@ -14,6 +14,7 @@
 
 #include "baseline/txkv.h"
 #include "bench/workload.h"
+#include "obs/metrics.h"
 #include "util/histogram.h"
 
 namespace tardis {
@@ -26,6 +27,14 @@ struct DriverOptions {
   /// Retries of an aborted transaction before moving on.
   int max_retries = 64;
   uint64_t seed = 1234;
+  /// When set, the driver snapshots this registry at the measurement
+  /// window's edges and reports the delta (DriverResult::metrics_delta) —
+  /// what the system under test actually did during the run, straight
+  /// from its own counters.
+  const obs::MetricsRegistry* metrics = nullptr;
+  /// When non-empty (or when $TARDIS_TRACE_FILE is set), the tracer is
+  /// enabled for the run and a Chrome trace JSON is written here.
+  std::string trace_file;
 };
 
 struct OpBreakdown {
@@ -48,6 +57,9 @@ struct DriverResult {
   /// Fraction of client busy-time spent inside transactions that went on
   /// to commit (Fig. 14d's "useful work").
   double useful_fraction = 0;
+  /// Registry movement over the measurement window (empty when
+  /// DriverOptions::metrics was null or nothing changed).
+  std::string metrics_delta;
 
   std::string Summary() const;
 };

@@ -6,13 +6,38 @@
 #include <unordered_set>
 
 #include "core/record_codec.h"
+#include "obs/trace.h"
 #include "util/clock.h"
 
 namespace tardis {
 
 GarbageCollector::GarbageCollector(StateDag* dag, KeyVersionMap* kvmap,
-                                   RecordStore* record_store)
-    : dag_(dag), kvmap_(kvmap), record_store_(record_store) {}
+                                   RecordStore* record_store,
+                                   obs::MetricsRegistry* registry)
+    : dag_(dag), kvmap_(kvmap), record_store_(record_store) {
+  if (registry == nullptr) {
+    own_registry_ = std::make_shared<obs::MetricsRegistry>();
+    registry = own_registry_.get();
+  }
+  const obs::LabelSet site{{"site", std::to_string(dag_->site_id())}};
+  runs_total_ = registry->RegisterCounter(
+      "tardis_gc_runs_total", "Completed garbage collection cycles", site);
+  states_marked_total_ = registry->RegisterCounter(
+      "tardis_gc_states_marked_total",
+      "DAG states marked below a ceiling (pass 1)", site);
+  states_deleted_total_ = registry->RegisterCounter(
+      "tardis_gc_states_deleted_total",
+      "DAG states compressed away (pass 3)", site);
+  versions_promoted_total_ = registry->RegisterCounter(
+      "tardis_gc_versions_promoted_total",
+      "Record versions retained as chain survivors", site);
+  versions_pruned_total_ = registry->RegisterCounter(
+      "tardis_gc_versions_pruned_total",
+      "Record versions removed from the version map and store", site);
+  pass_duration_us_ = registry->RegisterHistogram(
+      "tardis_gc_pass_duration_us",
+      "Wall time of one full GC cycle, microseconds", site);
+}
 
 GarbageCollector::~GarbageCollector() { StopBackground(); }
 
@@ -27,6 +52,7 @@ GcStats GarbageCollector::RunOnce() {
   // background thread, and the passes share dirty_keys_ and the
   // safe-to-gc markings.
   std::lock_guard<std::mutex> run_guard(run_mu_);
+  TARDIS_TRACE_SCOPE("gc", "run");
   GcStats stats;
   stats.runs = 1;
   static const bool trace = getenv("TARDIS_GC_TRACE") != nullptr;
@@ -44,18 +70,17 @@ GcStats GarbageCollector::RunOnce() {
             (unsigned long long)stats.versions_pruned,
             (unsigned long long)stats.versions_promoted);
   }
-  {
-    std::lock_guard<std::mutex> guard(stats_mu_);
-    total_.runs += stats.runs;
-    total_.states_marked += stats.states_marked;
-    total_.states_deleted += stats.states_deleted;
-    total_.versions_promoted += stats.versions_promoted;
-    total_.versions_pruned += stats.versions_pruned;
-  }
+  runs_total_->Increment();
+  states_marked_total_->Increment(stats.states_marked);
+  states_deleted_total_->Increment(stats.states_deleted);
+  versions_promoted_total_->Increment(stats.versions_promoted);
+  versions_pruned_total_->Increment(stats.versions_pruned);
+  pass_duration_us_->Observe(NowMicros() - t0);
   return stats;
 }
 
 void GarbageCollector::DagCompressionPass(GcStats* stats) {
+  TARDIS_TRACE_SCOPE("gc", "compress");
   std::vector<StatePtr> ceilings;
   {
     std::lock_guard<std::mutex> guard(ceilings_mu_);
@@ -143,6 +168,7 @@ void GarbageCollector::DagCompressionPass(GcStats* stats) {
 }
 
 void GarbageCollector::RecordPromotionPass(GcStats* stats) {
+  TARDIS_TRACE_SCOPE("gc", "promote");
   // Only keys whose versions lost their owning state need promotion work;
   // dirty_keys_ was filled while deleting (and persists across runs until
   // processed, so a key is never missed).
@@ -233,8 +259,13 @@ void GarbageCollector::StopBackground() {
 }
 
 GcStats GarbageCollector::TotalStats() const {
-  std::lock_guard<std::mutex> guard(stats_mu_);
-  return total_;
+  GcStats out;
+  out.runs = runs_total_->Value();
+  out.states_marked = states_marked_total_->Value();
+  out.states_deleted = states_deleted_total_->Value();
+  out.versions_promoted = versions_promoted_total_->Value();
+  out.versions_pruned = versions_pruned_total_->Value();
+  return out;
 }
 
 }  // namespace tardis

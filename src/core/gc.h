@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -26,11 +27,14 @@
 
 #include "core/key_version_map.h"
 #include "core/state_dag.h"
+#include "obs/metrics.h"
 #include "storage/record_store.h"
 #include "util/status.h"
 
 namespace tardis {
 
+/// Per-run deltas returned by RunOnce(); TotalStats() materializes the
+/// lifetime totals from the metrics registry counters.
 struct GcStats {
   uint64_t runs = 0;
   uint64_t states_marked = 0;
@@ -42,9 +46,11 @@ struct GcStats {
 class GarbageCollector {
  public:
   /// `record_store` may be null (pure in-memory configuration); then only
-  /// the in-memory version entries are pruned.
+  /// the in-memory version entries are pruned. `registry` is where the GC
+  /// registers its counters (null: a private registry is created).
   GarbageCollector(StateDag* dag, KeyVersionMap* kvmap,
-                   RecordStore* record_store);
+                   RecordStore* record_store,
+                   obs::MetricsRegistry* registry = nullptr);
   ~GarbageCollector();
 
   /// Registers a ceiling: states that are proper ancestors of `ceiling`
@@ -76,8 +82,16 @@ class GarbageCollector {
   /// these need record promotion. Touched by the GC thread only.
   std::unordered_set<std::string> dirty_keys_;
 
-  mutable std::mutex stats_mu_;
-  GcStats total_;
+  /// Lifetime totals live in registry counters, not a mutex-guarded
+  /// struct. own_registry_ backs the counters when no shared registry was
+  /// supplied.
+  std::shared_ptr<obs::MetricsRegistry> own_registry_;
+  obs::Counter* runs_total_ = nullptr;
+  obs::Counter* states_marked_total_ = nullptr;
+  obs::Counter* states_deleted_total_ = nullptr;
+  obs::Counter* versions_promoted_total_ = nullptr;
+  obs::Counter* versions_pruned_total_ = nullptr;
+  obs::HistogramMetric* pass_duration_us_ = nullptr;
 
   std::thread bg_;
   std::mutex bg_mu_;

@@ -4,8 +4,10 @@
 #define TARDIS_CORE_OPTIONS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "obs/metrics.h"
 #include "storage/wal.h"
 
 namespace tardis {
@@ -49,6 +51,13 @@ struct TardisOptions {
   /// committing thread; with FlushMode::kAsync it costs one DAG snapshot
   /// plus a sequential file write.
   uint64_t checkpoint_log_bytes = 0;
+
+  /// Metrics registry this site registers its counters/gauges/histograms
+  /// in, labeled with site_id. Null means the store creates a private
+  /// registry (reachable via TardisStore::metrics()). Share one registry
+  /// across the store, replicator and transport of a process (tardisd
+  /// does) to expose everything through a single endpoint.
+  std::shared_ptr<obs::MetricsRegistry> metrics_registry;
 };
 
 }  // namespace tardis

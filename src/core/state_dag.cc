@@ -6,6 +6,8 @@
 #include <map>
 #include <queue>
 
+#include "obs/trace.h"
+
 namespace tardis {
 
 namespace {
@@ -169,6 +171,7 @@ StatePtr StateDag::ResolveGuid(const GlobalStateId& guid) const {
 
 StatePtr StateDag::BfsFromLeaves(
     const std::function<bool(const StatePtr&)>& visit) const {
+  TARDIS_TRACE_SCOPE("dag", "bfs_from_leaves");
   // Most-recent-first traversal: a max-heap on state id approximates the
   // "breadth-first search through the State DAG from its leaves up" of
   // §6.1.1 while guaranteeing we offer more recent states before their
@@ -229,6 +232,7 @@ StatePtr StateDag::FindForkPoint(const std::vector<StatePtr>& states) const {
 
 std::vector<StatePtr> StateDag::FindForkPoints(
     const std::vector<StatePtr>& states) const {
+  TARDIS_TRACE_SCOPE("dag", "find_fork_points");
   std::vector<StatePtr> out;
   if (states.empty()) return out;
   if (states.size() == 1) return {states[0]};
@@ -314,6 +318,7 @@ std::string StateDag::ToDot() const {
 
 KeySet StateDag::FindConflictWrites(const StatePtr& fork,
                                     const std::vector<StatePtr>& tips) const {
+  TARDIS_TRACE_SCOPE("dag", "find_conflict_writes");
   // Per tip, union the write sets of states on the path(s) from the tip
   // up to (excluding) the fork state; a key appearing under >= 2 tips is
   // in conflict.
@@ -396,6 +401,11 @@ std::vector<StatePtr> StateDag::AllStatesLocked() const {
 size_t StateDag::state_count() const {
   std::lock_guard<std::mutex> guard(mu_);
   return by_id_.size();
+}
+
+size_t StateDag::leaf_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return leaves_.size();
 }
 
 size_t StateDag::promotion_table_size() const {

@@ -138,6 +138,7 @@ class StateDag {
   std::vector<StatePtr> AllStatesLocked() const;
 
   size_t state_count() const;
+  size_t leaf_count() const;
   size_t promotion_table_size() const;
   uint64_t max_id() const { return next_id_.load() - 1; }
 

@@ -6,9 +6,11 @@
 #include <cstdio>
 
 #include "core/record_codec.h"
+#include "obs/trace.h"
 #include "storage/btree_record_store.h"
 #include "storage/sharded_record_store.h"
 #include "storage/memstore.h"
+#include "util/clock.h"
 #include "util/logging.h"
 
 namespace tardis {
@@ -23,11 +25,58 @@ constexpr const char* kRecordsFile = "records.db";
 TardisStore::TardisStore(const TardisOptions& options)
     : options_(options),
       dag_(options.site_id),
+      metrics_(options.metrics_registry
+                   ? options.metrics_registry
+                   : std::make_shared<obs::MetricsRegistry>()),
       default_begin_(AncestorBegin()),
-      default_end_(SerializabilityEnd()) {}
+      default_end_(SerializabilityEnd()) {
+  RegisterMetrics();
+}
+
+void TardisStore::RegisterMetrics() {
+  const obs::LabelSet site{{"site", std::to_string(options_.site_id)}};
+  commits_total_ = metrics_->RegisterCounter(
+      "tardis_txn_commits_total", "Committed update transactions", site);
+  aborts_total_ = metrics_->RegisterCounter(
+      "tardis_txn_aborts_total", "Aborted transactions", site);
+  read_only_commits_total_ = metrics_->RegisterCounter(
+      "tardis_txn_read_only_commits_total",
+      "Read-only commits (not added to the State DAG)", site);
+  remote_applied_total_ = metrics_->RegisterCounter(
+      "tardis_txn_remote_applied_total",
+      "Replicated transactions applied from other sites", site);
+  forks_total_ = metrics_->RegisterCounter(
+      "tardis_txn_forks_total",
+      "Commits (local or replicated) that forked the State DAG", site);
+  merges_total_ = metrics_->RegisterCounter(
+      "tardis_txn_merges_total", "Locally committed merge transactions",
+      site);
+  commit_latency_us_ = metrics_->RegisterHistogram(
+      "tardis_commit_latency_us",
+      "Commit critical path latency, microseconds", site);
+  merge_latency_us_ = metrics_->RegisterHistogram(
+      "tardis_merge_latency_us",
+      "Merge transaction commit latency, microseconds", site);
+  // DAG shape gauges read the live structures at collect time; no shadow
+  // counters to keep in sync.
+  metrics_->RegisterCallbackGauge(
+      "tardis_dag_states", "Live states in the State DAG",
+      [this] { return static_cast<double>(dag_.state_count()); }, site, this);
+  metrics_->RegisterCallbackGauge(
+      "tardis_dag_leaves", "Branch tips (states without children)",
+      [this] { return static_cast<double>(dag_.leaf_count()); }, site, this);
+  metrics_->RegisterCallbackGauge(
+      "tardis_dag_promotions",
+      "Promotion-table entries left behind by DAG compression",
+      [this] { return static_cast<double>(dag_.promotion_table_size()); },
+      site, this);
+}
 
 TardisStore::~TardisStore() {
   if (gc_) gc_->StopBackground();
+  // The registry may be shared and outlive this site: detach the gauges
+  // that capture `this` before the DAG goes away.
+  metrics_->DropCallbacks(this);
 }
 
 StatusOr<std::unique_ptr<TardisStore>> TardisStore::Open(
@@ -62,7 +111,8 @@ StatusOr<std::unique_ptr<TardisStore>> TardisStore::Open(
   }
 
   store->gc_ = std::make_unique<GarbageCollector>(
-      &store->dag_, &store->kvmap_, store->record_store_.get());
+      &store->dag_, &store->kvmap_, store->record_store_.get(),
+      store->metrics_.get());
 
   if (durable && options.recover_on_open) {
     TARDIS_RETURN_IF_ERROR(store->Recover());
@@ -78,6 +128,7 @@ std::unique_ptr<ClientSession> TardisStore::CreateSession() {
 
 StatusOr<TxnPtr> TardisStore::Begin(ClientSession* session,
                                     BeginConstraintPtr begin) {
+  TARDIS_TRACE_SCOPE("txn", "begin");
   if (session == nullptr) return Status::InvalidArgument("null session");
   const BeginConstraintPtr& bc = begin ? begin : default_begin_;
 
@@ -126,6 +177,7 @@ StatusOr<TxnPtr> TardisStore::Begin(ClientSession* session,
 StatusOr<TxnPtr> TardisStore::BeginMerge(ClientSession* session,
                                          BeginConstraintPtr begin,
                                          size_t max_parents) {
+  TARDIS_TRACE_SCOPE("txn", "begin_merge");
   if (session == nullptr) return Status::InvalidArgument("null session");
   const BeginConstraintPtr bc = begin ? begin : AnyBegin();
 
@@ -199,6 +251,8 @@ Status TardisStore::TxnGetForId(Transaction* t, const Slice& key,
 // ---- commit -----------------------------------------------------------------
 
 Status TardisStore::CommitTxn(Transaction* t, const EndConstraintPtr& ec_in) {
+  TARDIS_TRACE_SCOPE("txn", "commit");
+  const uint64_t commit_start_us = NowMicros();
   const EndConstraintPtr& ec = ec_in ? ec_in : default_end_;
 
   // Read-only transactions are not added to the State DAG (§6.1.4) and
@@ -210,8 +264,7 @@ Status TardisStore::CommitTxn(Transaction* t, const EndConstraintPtr& ec_in) {
                               t->ctx_.read_states.size() > 1;
   if (t->write_cache_.empty() && !joins_branches) {
     t->Finish();
-    std::lock_guard<std::mutex> guard(stats_mu_);
-    stats_.read_only_commits++;
+    read_only_commits_total_->Increment();
     return Status::OK();
   }
 
@@ -219,6 +272,7 @@ Status TardisStore::CommitTxn(Transaction* t, const EndConstraintPtr& ec_in) {
   bool forked = false;
   {
     std::lock_guard<std::mutex> guard(dag_.Lock());
+    TARDIS_TRACE_SCOPE("txn", "ripple_down");
 
     // §6.1.2 / Figure 6: from each read state, ripple down through
     // concurrently committed states that the end constraint tolerates;
@@ -239,7 +293,9 @@ Status TardisStore::CommitTxn(Transaction* t, const EndConstraintPtr& ec_in) {
       }
       if (!ec->FinalOk(t->ctx_, *cand)) {
         // The structural part of the constraint is unsatisfiable: abort.
-        AbortTxnLockedStats(t);
+        // (Counter increments are lock-free, so doing this inside the
+        // commit critical section costs one relaxed fetch_add.)
+        AbortTxn(t);
         return Status::Aborted("end constraint " + ec->name() +
                                " unsatisfiable at state " +
                                std::to_string(cand->id()));
@@ -315,33 +371,33 @@ Status TardisStore::CommitTxn(Transaction* t, const EndConstraintPtr& ec_in) {
 
   const bool was_merge = t->mode() == Transaction::Mode::kMerge;
   t->Finish();
-  {
-    std::lock_guard<std::mutex> guard(stats_mu_);
-    stats_.commits++;
-    if (forked) stats_.branches_created++;
-    if (was_merge) stats_.merges_committed++;
+  commits_total_->Increment();
+  if (forked) {
+    forks_total_->Increment();
+    TARDIS_TRACE_INSTANT("txn", "fork");
   }
+  if (was_merge) {
+    merges_total_->Increment();
+    TARDIS_TRACE_INSTANT("txn", "merge");
+  }
+  (was_merge ? merge_latency_us_ : commit_latency_us_)
+      ->Observe(NowMicros() - commit_start_us);
 
   if (commit_cb_) commit_cb_(record);
   return Status::OK();
 }
 
-void TardisStore::AbortTxnLockedStats(Transaction* t) {
-  t->Finish();
-  std::lock_guard<std::mutex> guard(stats_mu_);
-  stats_.aborts++;
-}
-
 void TardisStore::AbortTxn(Transaction* t) {
   t->Finish();
-  std::lock_guard<std::mutex> guard(stats_mu_);
-  stats_.aborts++;
+  aborts_total_->Increment();
 }
 
 // ---- replication -------------------------------------------------------------
 
 Status TardisStore::ApplyRemote(const CommitRecord& record) {
+  TARDIS_TRACE_SCOPE("repl", "apply");
   StatePtr new_state;
+  bool forked = false;
   {
     std::lock_guard<std::mutex> guard(dag_.Lock());
     if (dag_.ResolveGuidLocked(record.guid) != nullptr) {
@@ -355,6 +411,11 @@ Status TardisStore::ApplyRemote(const CommitRecord& record) {
                                    " not yet replicated");
       }
       parents.push_back(std::move(p));
+    }
+    // A remote commit whose parent already has local children forks the
+    // DAG here exactly as a conflicting local commit would.
+    for (const StatePtr& p : parents) {
+      if (!p->children().empty()) forked = true;
     }
     KeySet writes;
     for (const auto& [key, value] : record.writes) writes.Add(key);
@@ -384,8 +445,11 @@ Status TardisStore::ApplyRemote(const CommitRecord& record) {
                                   *value);
     if (!s.ok()) TARDIS_ERROR("record persist: %s", s.ToString().c_str());
   }
-  std::lock_guard<std::mutex> guard(stats_mu_);
-  stats_.remote_applied++;
+  remote_applied_total_->Increment();
+  if (forked) {
+    forks_total_->Increment();
+    TARDIS_TRACE_INSTANT("repl", "fork");
+  }
   return Status::OK();
 }
 
@@ -513,8 +577,14 @@ Status TardisStore::Recover() {
 }
 
 StoreStats TardisStore::stats() const {
-  std::lock_guard<std::mutex> guard(stats_mu_);
-  return stats_;
+  StoreStats s;
+  s.commits = commits_total_->Value();
+  s.aborts = aborts_total_->Value();
+  s.read_only_commits = read_only_commits_total_->Value();
+  s.remote_applied = remote_applied_total_->Value();
+  s.branches_created = forks_total_->Value();
+  s.merges_committed = merges_total_->Value();
+  return s;
 }
 
 }  // namespace tardis

@@ -36,6 +36,7 @@
 #include "core/options.h"
 #include "core/state_dag.h"
 #include "core/transaction.h"
+#include "obs/metrics.h"
 #include "storage/record_store.h"
 #include "util/status.h"
 
@@ -71,6 +72,9 @@ struct CommitRecord {
       writes;
 };
 
+/// Compatibility snapshot of the per-site transaction counters. The
+/// authoritative storage is the metrics registry (see
+/// TardisStore::metrics()); stats() materializes this view from it.
 struct StoreStats {
   uint64_t commits = 0;
   uint64_t aborts = 0;
@@ -135,6 +139,10 @@ class TardisStore {
   GarbageCollector* gc() { return gc_.get(); }
   RecordStore* record_store() { return record_store_.get(); }
   const TardisOptions& options() const { return options_; }
+  /// The registry holding every metric of this site (txn counters, DAG
+  /// gauges, GC counters; the replicator and transport register here too
+  /// when they share the registry).
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
   StoreStats stats() const;
   uint32_t site_id() const { return dag_.site_id(); }
 
@@ -153,8 +161,8 @@ class TardisStore {
                      std::string* value);
   Status CommitTxn(Transaction* t, const EndConstraintPtr& ec);
   void AbortTxn(Transaction* t);
-  /// Abort bookkeeping used inside the commit critical section.
-  void AbortTxnLockedStats(Transaction* t);
+
+  void RegisterMetrics();
 
   Status LoadValue(const Slice& key, const VersionEntry& entry,
                    std::string* value);
@@ -167,8 +175,18 @@ class TardisStore {
   std::unique_ptr<GarbageCollector> gc_;
   std::function<void(const CommitRecord&)> commit_cb_;
 
-  mutable std::mutex stats_mu_;
-  StoreStats stats_;
+  /// Lock-free registry metrics; the commit hot path increments counters
+  /// without any mutex (the StoreStats mutex this replaced is gone).
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* commits_total_ = nullptr;
+  obs::Counter* aborts_total_ = nullptr;
+  obs::Counter* read_only_commits_total_ = nullptr;
+  obs::Counter* remote_applied_total_ = nullptr;
+  obs::Counter* forks_total_ = nullptr;
+  obs::Counter* merges_total_ = nullptr;
+  obs::HistogramMetric* commit_latency_us_ = nullptr;
+  obs::HistogramMetric* merge_latency_us_ = nullptr;
+
   std::atomic<bool> checkpoint_running_{false};
 
   BeginConstraintPtr default_begin_;

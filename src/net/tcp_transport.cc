@@ -242,6 +242,10 @@ void TcpTransport::StartConnect(PeerConn* pc, uint64_t now_ms) {
     pc->connecting = false;
     pc->connected = true;
     pc->backoff_ms = 0;
+    if (pc->ever_connected) {
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+    }
+    pc->ever_connected = true;
   } else if (errno == EINPROGRESS) {
     pc->fd = fd;
     pc->connecting = true;
@@ -275,6 +279,8 @@ void TcpTransport::FlushWrites(PeerConn* pc, uint64_t now_ms) {
         send(pc->fd, pc->sendbuf.data() + pc->sendbuf_off,
              pc->sendbuf.size() - pc->sendbuf_off, MSG_NOSIGNAL);
     if (n > 0) {
+      bytes_sent_.fetch_add(static_cast<uint64_t>(n),
+                            std::memory_order_relaxed);
       pc->sendbuf_off += static_cast<size_t>(n);
       continue;
     }
@@ -402,6 +408,10 @@ void TcpTransport::IoLoop() {
           pc.connecting = false;
           pc.connected = true;
           pc.backoff_ms = 0;
+          if (pc.ever_connected) {
+            reconnects_.fetch_add(1, std::memory_order_relaxed);
+          }
+          pc.ever_connected = true;
         }
         if (revents & (POLLERR | POLLHUP)) {
           CloseOutbound(&pc, after);
@@ -427,6 +437,8 @@ void TcpTransport::IoLoop() {
         while (true) {
           const ssize_t n = read(ic.fd, buf, sizeof(buf));
           if (n > 0) {
+            bytes_received_.fetch_add(static_cast<uint64_t>(n),
+                                      std::memory_order_relaxed);
             ic.recvbuf.append(buf, static_cast<size_t>(n));
             continue;
           }
@@ -447,6 +459,23 @@ void TcpTransport::IoLoop() {
       if (inbound_[i].fd < 0) inbound_.erase(inbound_.begin() + i);
     }
   }
+}
+
+void TcpTransport::BindMetrics(obs::MetricsRegistry* registry,
+                               uint32_t site_id) {
+  Transport::BindMetrics(registry, site_id);
+  const obs::LabelSet site{{"site", std::to_string(site_id)}};
+  registry->RegisterCallbackCounter(
+      "tardis_net_bytes_sent_total", "Payload bytes written to peer sockets",
+      [this] { return bytes_sent(); }, site, this);
+  registry->RegisterCallbackCounter(
+      "tardis_net_bytes_received_total",
+      "Payload bytes read from accepted sockets",
+      [this] { return bytes_received(); }, site, this);
+  registry->RegisterCallbackCounter(
+      "tardis_net_reconnects_total",
+      "Outbound connections re-established after a drop",
+      [this] { return reconnects(); }, site, this);
 }
 
 }  // namespace tardis

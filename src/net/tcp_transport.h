@@ -78,6 +78,20 @@ class TcpTransport : public Transport {
   /// True once the dialed connection to `site` is established.
   bool IsConnected(uint32_t site) const;
 
+  uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+  /// Outbound connections established after the first (backoff redials).
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+
+  /// Transport counters plus wire-level byte and reconnect counts.
+  void BindMetrics(obs::MetricsRegistry* registry, uint32_t site_id) override;
+
   // ---- Transport ----------------------------------------------------------
   size_t num_sites() const override { return num_sites_; }
   void Send(uint32_t from, uint32_t to, ReplMessage msg) override;
@@ -98,6 +112,7 @@ class TcpTransport : public Transport {
     int fd = -1;
     bool connecting = false;   ///< non-blocking connect in flight
     bool connected = false;
+    bool ever_connected = false;  ///< distinguishes reconnects from dial #1
     std::string sendbuf;       ///< encoded frames awaiting write
     size_t sendbuf_off = 0;    ///< bytes of sendbuf already written
     std::deque<size_t> frame_lens;  ///< frame boundaries, for drop stats
@@ -131,6 +146,10 @@ class TcpTransport : public Transport {
   std::vector<InboundConn> inbound_;        // accepted connections
   std::deque<ReplMessage> inbox_;           // decoded, awaiting Receive
   std::unordered_set<uint32_t> partitioned_;
+
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> reconnects_{0};
 
   std::thread io_;
   std::atomic<bool> stop_{true};

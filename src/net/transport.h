@@ -19,14 +19,16 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
+#include "obs/metrics.h"
 #include "replication/message.h"
 
 namespace tardis {
 
 class Transport {
  public:
-  virtual ~Transport() = default;
+  virtual ~Transport() { UnbindMetrics(); }
 
   /// Number of sites in the mesh (including this one, for endpoint
   /// transports). The pessimistic-GC consent round sizes its quorum
@@ -70,10 +72,38 @@ class Transport {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  /// Exports the transport's counters into `registry` as callback-backed
+  /// metrics labeled with `site_id`. The registry must outlive the
+  /// transport (the destructor unregisters). Derived transports extend
+  /// this with their own counters.
+  virtual void BindMetrics(obs::MetricsRegistry* registry, uint32_t site_id) {
+    UnbindMetrics();
+    bound_registry_ = registry;
+    const obs::LabelSet site{{"site", std::to_string(site_id)}};
+    registry->RegisterCallbackCounter(
+        "tardis_net_sent_total", "Messages handed to the transport",
+        [this] { return messages_sent(); }, site, this);
+    registry->RegisterCallbackCounter(
+        "tardis_net_delivered_total", "Messages delivered to a receiver",
+        [this] { return messages_delivered(); }, site, this);
+    registry->RegisterCallbackCounter(
+        "tardis_net_dropped_total",
+        "Messages dropped (partition, dead peer, full buffer)",
+        [this] { return messages_dropped(); }, site, this);
+  }
+
  protected:
+  void UnbindMetrics() {
+    if (bound_registry_ != nullptr) {
+      bound_registry_->DropCallbacks(this);
+      bound_registry_ = nullptr;
+    }
+  }
+
   std::atomic<uint64_t> sent_{0};
   std::atomic<uint64_t> delivered_{0};
   std::atomic<uint64_t> dropped_{0};
+  obs::MetricsRegistry* bound_registry_ = nullptr;
 };
 
 }  // namespace tardis

@@ -1,0 +1,193 @@
+#include "obs/exposition.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace tardis {
+namespace obs {
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// {a="1",b="2"} — empty string for no labels. `extra`, when non-null, is
+/// appended as one more pair (used for quantile series).
+std::string FormatLabels(const LabelSet& labels,
+                         const std::pair<std::string, std::string>* extra =
+                             nullptr) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k + "=\"" + EscapeLabelValue(v) + "\"";
+  }
+  if (extra != nullptr) {
+    if (!first) out.push_back(',');
+    out += extra->first + "=\"" + extra->second + "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (std::floor(v) == v && std::fabs(v) < 1e15) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "summary";
+  }
+  return "untyped";
+}
+
+std::string SeriesKey(const Sample& s) {
+  return s.name + FormatLabels(s.labels);
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const std::vector<Sample>& samples) {
+  std::string out;
+  std::string last_name;
+  for (const Sample& s : samples) {
+    if (s.name != last_name) {
+      // HELP/TYPE once per family even when several label sets follow.
+      if (!s.help.empty()) out += "# HELP " + s.name + " " + s.help + "\n";
+      out += "# TYPE " + s.name + " " + std::string(KindName(s.kind)) + "\n";
+      last_name = s.name;
+    }
+    const std::string labels = FormatLabels(s.labels);
+    char buf[64];
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        snprintf(buf, sizeof(buf), " %" PRIu64 "\n", s.counter);
+        out += s.name + labels + buf;
+        break;
+      case MetricKind::kGauge:
+        out += s.name + labels + " " + FormatDouble(s.gauge) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        for (double q : {0.5, 0.9, 0.99}) {
+          const std::pair<std::string, std::string> extra{"quantile",
+                                                          FormatDouble(q)};
+          out += s.name + FormatLabels(s.labels, &extra) + " " +
+                 FormatDouble(s.hist.Percentile(q)) + "\n";
+        }
+        const double sum = s.hist.mean() * static_cast<double>(s.hist.count());
+        out += s.name + "_sum" + labels + " " + FormatDouble(sum) + "\n";
+        snprintf(buf, sizeof(buf), " %" PRIu64 "\n", s.hist.count());
+        out += s.name + "_count" + labels + buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderTable(const std::vector<Sample>& samples) {
+  std::string out;
+  char line[256];
+  for (const Sample& s : samples) {
+    const std::string series = SeriesKey(s);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        snprintf(line, sizeof(line), "%-52s %" PRIu64 "\n", series.c_str(),
+                 s.counter);
+        break;
+      case MetricKind::kGauge:
+        snprintf(line, sizeof(line), "%-52s %s\n", series.c_str(),
+                 FormatDouble(s.gauge).c_str());
+        break;
+      case MetricKind::kHistogram:
+        snprintf(line, sizeof(line),
+                 "%-52s count=%" PRIu64 " mean=%.1f p50=%.0f p99=%.0f\n",
+                 series.c_str(), s.hist.count(), s.hist.mean(),
+                 s.hist.Percentile(0.5), s.hist.Percentile(0.99));
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+std::string RenderDelta(const std::vector<Sample>& before,
+                        const std::vector<Sample>& after) {
+  std::map<std::string, const Sample*> prior;
+  for (const Sample& s : before) prior[SeriesKey(s)] = &s;
+
+  std::string out;
+  char line[256];
+  for (const Sample& s : after) {
+    const auto it = prior.find(SeriesKey(s));
+    const Sample* b = it == prior.end() ? nullptr : it->second;
+    switch (s.kind) {
+      case MetricKind::kCounter: {
+        const uint64_t base = b != nullptr ? b->counter : 0;
+        if (s.counter <= base) continue;
+        snprintf(line, sizeof(line), "%s +%" PRIu64 "\n",
+                 SeriesKey(s).c_str(), s.counter - base);
+        out += line;
+        break;
+      }
+      case MetricKind::kGauge: {
+        const double base = b != nullptr ? b->gauge : 0;
+        if (s.gauge == base) continue;
+        snprintf(line, sizeof(line), "%s %s -> %s\n", SeriesKey(s).c_str(),
+                 FormatDouble(base).c_str(), FormatDouble(s.gauge).c_str());
+        out += line;
+        break;
+      }
+      case MetricKind::kHistogram: {
+        const uint64_t base = b != nullptr ? b->hist.count() : 0;
+        if (s.hist.count() <= base) continue;
+        // The window's mean is derivable from the sums; quantiles are
+        // cumulative (bucket subtraction is not worth the noise here).
+        const double sum_after =
+            s.hist.mean() * static_cast<double>(s.hist.count());
+        const double sum_base =
+            b != nullptr ? b->hist.mean() * static_cast<double>(base) : 0;
+        const uint64_t n = s.hist.count() - base;
+        snprintf(line, sizeof(line), "%s +%" PRIu64 " samples mean=%.1f\n",
+                 SeriesKey(s).c_str(), n,
+                 (sum_after - sum_base) / static_cast<double>(n));
+        out += line;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace tardis

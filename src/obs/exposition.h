@@ -1,0 +1,37 @@
+// Rendering of registry snapshots:
+//
+//  * RenderPrometheus — Prometheus text exposition format (counters and
+//    gauges verbatim; histograms as summaries with quantile labels plus
+//    _sum/_count series), served by tardisd's `metrics` command and its
+//    --metrics-port endpoint.
+//  * RenderTable — compact aligned human table, the `stats` line-command
+//    output.
+//  * RenderDelta — what changed between two Collect() snapshots: counter
+//    increases, histogram count/mean over the window, gauge movements.
+//    The bench driver reports this per measured run.
+//
+// All three are pure functions of Sample vectors — no registry locks held
+// while formatting.
+
+#ifndef TARDIS_OBS_EXPOSITION_H_
+#define TARDIS_OBS_EXPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tardis {
+namespace obs {
+
+std::string RenderPrometheus(const std::vector<Sample>& samples);
+
+std::string RenderTable(const std::vector<Sample>& samples);
+
+std::string RenderDelta(const std::vector<Sample>& before,
+                        const std::vector<Sample>& after);
+
+}  // namespace obs
+}  // namespace tardis
+
+#endif  // TARDIS_OBS_EXPOSITION_H_

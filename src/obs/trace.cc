@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tardis {
+namespace obs {
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();  // never destroyed: threads may
+                                         // hold ring pointers at exit
+  return *tracer;
+}
+
+Tracer::Ring* Tracer::ThreadRing() {
+  thread_local std::shared_ptr<Ring> ring;
+  if (ring == nullptr) {
+    std::lock_guard<std::mutex> guard(mu_);
+    static uint32_t next_tid = 1;
+    ring = std::make_shared<Ring>(next_tid++, capacity_);
+    rings_.push_back(ring);
+  }
+  return ring.get();
+}
+
+void Tracer::Enable(size_t events_per_thread) {
+  if (events_per_thread == 0) events_per_thread = 1;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    capacity_ = events_per_thread;
+    for (const auto& ring : rings_) {
+      std::lock_guard<SpinLock> rg(ring->mu);
+      ring->events.assign(events_per_thread, TraceEvent{});
+      ring->total = 0;
+    }
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Record(const char* cat, const char* name, char phase,
+                    uint64_t ts_us, uint64_t dur_us) {
+  if (!enabled()) return;
+  Ring* ring = ThreadRing();
+  std::lock_guard<SpinLock> guard(ring->mu);
+  TraceEvent& slot = ring->events[ring->total % ring->events.size()];
+  slot.cat = cat;
+  slot.name = name;
+  slot.ts_us = ts_us;
+  slot.dur_us = dur_us;
+  slot.phase = phase;
+  ring->total++;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<SpinLock> rg(ring->mu);
+    ring->total = 0;
+  }
+}
+
+size_t Tracer::EventCount() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  size_t n = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<SpinLock> rg(ring->mu);
+    n += std::min<uint64_t>(ring->total, ring->events.size());
+  }
+  return n;
+}
+
+uint64_t Tracer::TotalRecorded() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t n = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<SpinLock> rg(ring->mu);
+    n += ring->total;
+  }
+  return n;
+}
+
+std::string Tracer::DumpChromeTrace() const {
+  struct Tagged {
+    TraceEvent ev;
+    uint32_t tid;
+  };
+  std::vector<Tagged> events;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<SpinLock> rg(ring->mu);
+      const size_t cap = ring->events.size();
+      const size_t kept = std::min<uint64_t>(ring->total, cap);
+      // Oldest retained event first: after a wrap that is slot total%cap.
+      const size_t start = ring->total > cap ? ring->total % cap : 0;
+      for (size_t i = 0; i < kept; i++) {
+        events.push_back({ring->events[(start + i) % cap], ring->tid});
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Tagged& a, const Tagged& b) {
+              return a.ev.ts_us < b.ev.ts_us;
+            });
+
+  std::string out = "{\"traceEvents\":[\n";
+  char buf[256];
+  const int pid = static_cast<int>(getpid());
+  bool first = true;
+  for (const Tagged& t : events) {
+    if (!first) out += ",\n";
+    first = false;
+    if (t.ev.phase == 'X') {
+      snprintf(buf, sizeof(buf),
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%llu,"
+               "\"dur\":%llu,\"pid\":%d,\"tid\":%u}",
+               t.ev.name, t.ev.cat,
+               static_cast<unsigned long long>(t.ev.ts_us),
+               static_cast<unsigned long long>(t.ev.dur_us), pid, t.tid);
+    } else {
+      snprintf(buf, sizeof(buf),
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+               "\"ts\":%llu,\"pid\":%d,\"tid\":%u}",
+               t.ev.name, t.ev.cat,
+               static_cast<unsigned long long>(t.ev.ts_us), pid, t.tid);
+    }
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace tardis

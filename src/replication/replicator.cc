@@ -2,15 +2,34 @@
 
 #include <chrono>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace tardis {
 
 Replicator::Replicator(TardisStore* store, Transport* net, uint32_t site_id,
                        GcCoordination gc_mode)
-    : store_(store), net_(net), site_id_(site_id), gc_mode_(gc_mode) {}
+    : store_(store), net_(net), site_id_(site_id), gc_mode_(gc_mode) {
+  obs::MetricsRegistry* registry = store_->metrics();
+  const obs::LabelSet site{{"site", std::to_string(site_id_)}};
+  applied_total_ = registry->RegisterCounter(
+      "tardis_repl_applied_total",
+      "Remote commits applied into the local DAG", site);
+  sent_total_ = registry->RegisterCounter(
+      "tardis_repl_sent_total",
+      "Commit records shipped to peers (broadcasts and sync replies)", site);
+  deferred_total_ = registry->RegisterCounter(
+      "tardis_repl_deferred_total",
+      "Remote commits parked while a parent state was missing", site);
+  registry->RegisterCallbackGauge(
+      "tardis_repl_pending", "Commits currently waiting for a parent",
+      [this] { return static_cast<int64_t>(pending_count()); }, site, this);
+}
 
-Replicator::~Replicator() { Stop(); }
+Replicator::~Replicator() {
+  Stop();
+  store_->metrics()->DropCallbacks(this);
+}
 
 void Replicator::Start() {
   if (!stop_.exchange(false)) return;  // already running
@@ -32,6 +51,7 @@ void Replicator::Stop() {
 }
 
 void Replicator::OnLocalCommit(const CommitRecord& record) {
+  TARDIS_TRACE_SCOPE("repl", "broadcast");
   Archive(record);
   {
     std::lock_guard<std::mutex> guard(mu_);
@@ -42,6 +62,7 @@ void Replicator::OnLocalCommit(const CommitRecord& record) {
   msg.type = ReplMessage::Type::kCommit;
   msg.commit = record;
   net_->Broadcast(site_id_, std::move(msg));
+  sent_total_->Increment();
 }
 
 void Replicator::Archive(const CommitRecord& record) {
@@ -85,6 +106,7 @@ void Replicator::HandleMessage(const ReplMessage& msg) {
         reply.type = ReplMessage::Type::kCommit;
         reply.commit = std::move(r);
         net_->Send(site_id_, msg.from_site, std::move(reply));
+        sent_total_->Increment();
       }
       break;
     }
@@ -144,11 +166,12 @@ void Replicator::TryApply(const CommitRecord& record) {
       uint64_t& seq = seen_seq_[record.guid.site];
       if (record.guid.seq > seq) seq = record.guid.seq;
     }
-    applied_.fetch_add(1, std::memory_order_relaxed);
+    applied_total_->Increment();
     RetryPending();
     return;
   }
   if (s.IsUnavailable()) {
+    deferred_total_->Increment();
     std::lock_guard<std::mutex> guard(mu_);
     pending_.push_back(record);
     return;
@@ -175,7 +198,7 @@ void Replicator::RetryPending() {
         std::lock_guard<std::mutex> guard(mu_);
         uint64_t& seq = seen_seq_[record.guid.site];
         if (record.guid.seq > seq) seq = record.guid.seq;
-        applied_.fetch_add(1, std::memory_order_relaxed);
+        applied_total_->Increment();
         applied_now++;
       } else if (s.IsUnavailable()) {
         still_pending.push_back(std::move(record));

@@ -62,7 +62,7 @@ class Replicator {
   void RequestSync();
 
   size_t pending_count() const;
-  uint64_t applied_count() const { return applied_.load(); }
+  uint64_t applied_count() const { return applied_total_->Value(); }
 
  private:
   void OnLocalCommit(const CommitRecord& record);
@@ -91,7 +91,11 @@ class Replicator {
   std::map<uint64_t, PendingCeiling> ceilings_;
   uint64_t ceiling_epoch_ = 0;
 
-  std::atomic<uint64_t> applied_{0};
+  /// Registry counters (live in store_->metrics(); labeled with the site).
+  obs::Counter* applied_total_ = nullptr;
+  obs::Counter* sent_total_ = nullptr;
+  obs::Counter* deferred_total_ = nullptr;
+
   std::thread pump_;
   std::atomic<bool> stop_{true};
 };

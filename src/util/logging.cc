@@ -1,14 +1,35 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstring>
 #include <mutex>
+
+#include "util/clock.h"
 
 namespace tardis {
 
 LogLevel& TardisLogLevel() {
   static LogLevel level = LogLevel::kWarn;
   return level;
+}
+
+namespace {
+
+std::atomic<int> g_log_site{-1};
+
+/// Small dense thread ids (1, 2, 3, ...) beat raw pthread handles for
+/// reading interleaved output.
+unsigned ThreadTag() {
+  static std::atomic<unsigned> next{1};
+  thread_local unsigned tag = next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
+}  // namespace
+
+void SetLogSite(int site) {
+  g_log_site.store(site, std::memory_order_relaxed);
 }
 
 void LogImpl(LogLevel level, const char* file, int line, const char* fmt,
@@ -24,9 +45,27 @@ void LogImpl(LogLevel level, const char* file, int line, const char* fmt,
   vsnprintf(msg, sizeof(msg), fmt, ap);
   va_end(ap);
 
+  // Pre-format the whole line, then emit it with one unbuffered fwrite:
+  // concurrent loggers (and concurrent tardisd processes sharing a
+  // terminal) never tear a line apart.
+  char prefix[64];
+  const int site = g_log_site.load(std::memory_order_relaxed);
+  if (site >= 0) {
+    snprintf(prefix, sizeof(prefix), "%.6f s%d/t%u", NowMicros() / 1e6, site,
+             ThreadTag());
+  } else {
+    snprintf(prefix, sizeof(prefix), "%.6f t%u", NowMicros() / 1e6,
+             ThreadTag());
+  }
+  char out[1200];
+  int n = snprintf(out, sizeof(out), "[%s %s %s:%d] %s\n", prefix,
+                   names[static_cast<int>(level)], base, line, msg);
+  if (n < 0) return;
+  if (static_cast<size_t>(n) >= sizeof(out)) n = sizeof(out) - 1;
+
   std::lock_guard<std::mutex> guard(mu);
-  fprintf(stderr, "[%s %s:%d] %s\n", names[static_cast<int>(level)], base,
-          line, msg);
+  fwrite(out, 1, static_cast<size_t>(n), stderr);
+  fflush(stderr);
 }
 
 }  // namespace tardis

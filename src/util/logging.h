@@ -1,5 +1,11 @@
 // Minimal leveled logger. Off by default above WARN so benchmarks are not
 // perturbed; tests can raise verbosity via TardisLogLevel().
+//
+// Every line carries an absolute monotonic timestamp (seconds, comparable
+// across the processes of one machine — tardisd fleets interleave their
+// stderr meaningfully), the site id when set, and a small per-thread id.
+// Lines are written with a single unbuffered fwrite, so concurrent
+// loggers never interleave mid-line.
 
 #ifndef TARDIS_UTIL_LOGGING_H_
 #define TARDIS_UTIL_LOGGING_H_
@@ -12,6 +18,10 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// Process-wide minimum level actually emitted.
 LogLevel& TardisLogLevel();
+
+/// Tags every subsequent log line with this site id (tardisd calls it at
+/// startup). Negative (the default) omits the tag.
+void SetLogSite(int site);
 
 void LogImpl(LogLevel level, const char* file, int line, const char* fmt,
              ...) __attribute__((format(printf, 4, 5)));

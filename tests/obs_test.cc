@@ -1,0 +1,232 @@
+// Tests for the observability layer: sharded counters under concurrency,
+// registry registration semantics, Prometheus/table/delta rendering, and
+// the per-thread ring-buffer tracer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tardis {
+namespace obs {
+namespace {
+
+// ---- Counter ----------------------------------------------------------------
+
+TEST(CounterTest, SingleThreadExact) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+// The sharded counter must not lose increments under concurrency: every
+// thread lands on some shard's relaxed atomic, and Value() sums them.
+// Run under TSan this also proves the commit-path increment is race-free.
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; i++) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  Gauge g;
+  g.Set(10);
+  g.Add(5);
+  g.Sub(3);
+  EXPECT_EQ(g.Value(), 12);
+}
+
+TEST(HistogramMetricTest, ConcurrentObserveKeepsEverySample) {
+  HistogramMetric h;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; i++) {
+        h.Observe(static_cast<uint64_t>(t) * 100 + i % 100);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Snapshot().count(), kThreads * kPerThread);
+}
+
+// ---- MetricsRegistry --------------------------------------------------------
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter* a = reg.RegisterCounter("c", "help", {{"site", "0"}});
+  Counter* b = reg.RegisterCounter("c", "help", {{"site", "0"}});
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);  // same (name, labels) -> same metric
+  // A different label set is a different series.
+  Counter* other = reg.RegisterCounter("c", "help", {{"site", "1"}});
+  EXPECT_NE(a, other);
+}
+
+TEST(MetricsRegistryTest, KindMismatchReturnsNull) {
+  MetricsRegistry reg;
+  ASSERT_NE(reg.RegisterCounter("m", "h"), nullptr);
+  EXPECT_EQ(reg.RegisterGauge("m", "h"), nullptr);
+  EXPECT_EQ(reg.RegisterHistogram("m", "h"), nullptr);
+}
+
+TEST(MetricsRegistryTest, CollectIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.RegisterCounter("zzz", "h")->Increment(3);
+  reg.RegisterGauge("aaa", "h")->Set(7);
+  reg.RegisterHistogram("mmm", "h")->Observe(5);
+  const std::vector<Sample> samples = reg.Collect();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "aaa");
+  EXPECT_EQ(samples[0].gauge, 7.0);
+  EXPECT_EQ(samples[1].name, "mmm");
+  EXPECT_EQ(samples[1].hist.count(), 1u);
+  EXPECT_EQ(samples[2].name, "zzz");
+  EXPECT_EQ(samples[2].counter, 3u);
+}
+
+TEST(MetricsRegistryTest, CallbackMetricsEvaluateAtCollect) {
+  MetricsRegistry reg;
+  std::atomic<uint64_t> source{5};
+  int owner_token = 0;
+  reg.RegisterCallbackCounter(
+      "cb", "h", [&source] { return source.load(); }, {}, &owner_token);
+  EXPECT_EQ(reg.Collect()[0].counter, 5u);
+  source = 9;
+  EXPECT_EQ(reg.Collect()[0].counter, 9u);
+
+  reg.DropCallbacks(&owner_token);
+  EXPECT_TRUE(reg.Collect().empty());
+}
+
+// ---- Exposition -------------------------------------------------------------
+
+TEST(ExpositionTest, PrometheusGolden) {
+  MetricsRegistry reg;
+  reg.RegisterCounter("tardis_txn_commits_total", "Committed transactions",
+                      {{"site", "0"}})
+      ->Increment(7);
+  reg.RegisterGauge("tardis_dag_leaves", "Branch tips", {{"site", "0"}})
+      ->Set(2);
+  const std::string text = RenderPrometheus(reg.Collect());
+  EXPECT_EQ(text,
+            "# HELP tardis_dag_leaves Branch tips\n"
+            "# TYPE tardis_dag_leaves gauge\n"
+            "tardis_dag_leaves{site=\"0\"} 2\n"
+            "# HELP tardis_txn_commits_total Committed transactions\n"
+            "# TYPE tardis_txn_commits_total counter\n"
+            "tardis_txn_commits_total{site=\"0\"} 7\n");
+}
+
+TEST(ExpositionTest, HistogramRendersAsSummary) {
+  MetricsRegistry reg;
+  HistogramMetric* h = reg.RegisterHistogram("lat_us", "Latency");
+  for (uint64_t i = 1; i <= 100; i++) h->Observe(i);
+  const std::string text = RenderPrometheus(reg.Collect());
+  EXPECT_NE(text.find("# TYPE lat_us summary\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("lat_us{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count 100\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_sum 5050\n"), std::string::npos);
+}
+
+TEST(ExpositionTest, LabelValuesAreEscaped) {
+  MetricsRegistry reg;
+  reg.RegisterCounter("m", "h", {{"k", "a\"b\\c"}})->Increment();
+  const std::string text = RenderPrometheus(reg.Collect());
+  EXPECT_NE(text.find("m{k=\"a\\\"b\\\\c\"} 1\n"), std::string::npos);
+}
+
+TEST(ExpositionTest, TableListsEverySeries) {
+  MetricsRegistry reg;
+  reg.RegisterCounter("c_total", "h", {{"site", "0"}})->Increment(4);
+  reg.RegisterHistogram("h_us", "h")->Observe(10);
+  const std::string table = RenderTable(reg.Collect());
+  EXPECT_NE(table.find("c_total{site=\"0\"}"), std::string::npos);
+  EXPECT_NE(table.find(" 4\n"), std::string::npos);
+  EXPECT_NE(table.find("count=1"), std::string::npos);
+}
+
+TEST(ExpositionTest, DeltaShowsOnlyMovement) {
+  MetricsRegistry reg;
+  Counter* moving = reg.RegisterCounter("moving_total", "h");
+  reg.RegisterCounter("static_total", "h")->Increment(5);
+  Gauge* gauge = reg.RegisterGauge("level", "h");
+  gauge->Set(3);
+  const std::vector<Sample> before = reg.Collect();
+  moving->Increment(12);
+  gauge->Set(8);
+  const std::string delta = RenderDelta(before, reg.Collect());
+  EXPECT_NE(delta.find("moving_total +12\n"), std::string::npos);
+  EXPECT_NE(delta.find("level 3 -> 8\n"), std::string::npos);
+  EXPECT_EQ(delta.find("static_total"), std::string::npos);
+}
+
+// ---- Tracer -----------------------------------------------------------------
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Disable();
+  tracer.Clear();
+  { TARDIS_TRACE_SCOPE("cat", "scope"); }
+  TARDIS_TRACE_INSTANT("cat", "instant");
+  EXPECT_EQ(tracer.EventCount(), 0u);
+}
+
+TEST(TracerTest, RingWrapsKeepingTheMostRecentWindow) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Enable(/*events_per_thread=*/64);
+  for (int i = 0; i < 100; i++) {
+    TARDIS_TRACE_INSTANT("cat", "e");
+  }
+  EXPECT_EQ(tracer.TotalRecorded(), 100u);  // everything was written...
+  EXPECT_EQ(tracer.EventCount(), 64u);      // ...but only the window is kept
+  tracer.Disable();
+  tracer.Clear();
+}
+
+TEST(TracerTest, ScopeEmitsCompleteEventIntoChromeJson) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Enable(64);
+  { TARDIS_TRACE_SCOPE("txn", "commit"); }
+  TARDIS_TRACE_INSTANT("txn", "fork");
+  tracer.Disable();
+  const std::string json = tracer.DumpChromeTrace();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"commit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fork\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  tracer.Clear();
+}
+
+TEST(TracerTest, EventsFromExitedThreadsSurviveToDump) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Enable(64);
+  std::thread worker([] { TARDIS_TRACE_INSTANT("worker", "did_work"); });
+  worker.join();
+  tracer.Disable();
+  EXPECT_NE(tracer.DumpChromeTrace().find("did_work"), std::string::npos);
+  tracer.Clear();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tardis
