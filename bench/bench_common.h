@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,6 +36,29 @@ inline double BenchScale() {
 
 inline uint64_t ScaledMs(uint64_t base_ms) {
   return static_cast<uint64_t>(static_cast<double>(base_ms) * BenchScale());
+}
+
+/// The workload seed for this run. Every driver and workload generator
+/// derives its per-client streams from it, so two runs with the same seed
+/// issue the same transactions. Set with --seed=N (or TARDIS_BENCH_SEED);
+/// PrintHeader echoes it so any run can be reproduced from its output.
+inline uint64_t& BenchSeedRef() {
+  static uint64_t seed = 1234;
+  return seed;
+}
+inline uint64_t BenchSeed() { return BenchSeedRef(); }
+
+/// Parses shared benchmark flags (currently --seed=N). Unrecognized
+/// arguments are left alone for binary-specific handling.
+inline void ParseBenchFlags(int argc, char** argv) {
+  if (const char* env = getenv("TARDIS_BENCH_SEED")) {
+    BenchSeedRef() = strtoull(env, nullptr, 10);
+  }
+  for (int i = 1; i < argc; i++) {
+    if (strncmp(argv[i], "--seed=", 7) == 0) {
+      BenchSeedRef() = strtoull(argv[i] + 7, nullptr, 10);
+    }
+  }
 }
 
 /// Client-server round trip of the paper's testbed (§7.1.1: "ping
@@ -151,6 +175,9 @@ inline void PrintHeader(const char* what, const char* paper_expectation) {
   printf("==================================================================\n");
   printf("%s\n", what);
   printf("paper: %s\n", paper_expectation);
+  printf("seed: %llu (rerun with --seed=%llu to reproduce)\n",
+         static_cast<unsigned long long>(BenchSeed()),
+         static_cast<unsigned long long>(BenchSeed()));
   printf("(set TARDIS_BENCH_SCALE>1 for longer, steadier runs)\n");
   printf("==================================================================\n");
 }

@@ -34,6 +34,7 @@ void RunPanel(const char* label, Mix mix, Distribution dist,
       if (!Preload(sut.store.get(), w).ok()) return;
       sut.EnableRtt();
       DriverOptions d;
+      d.seed = BenchSeed();
       d.num_clients = clients;
       d.duration_ms = ScaledMs(1000);
       if (sut.tardis) d.metrics = sut.tardis->metrics();
@@ -57,7 +58,8 @@ void RunPanel(const char* label, Mix mix, Distribution dist,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   PrintHeader(
       "Figure 10: impact of branching (TARDiS = branch-on-conflict ON)",
       "(a) low contention: TARDiS slightly under BDB; (b) high contention: "

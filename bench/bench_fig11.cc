@@ -12,7 +12,8 @@
 using namespace tardis;
 using namespace tardis::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   PrintHeader(
       "Figure 11: throughput by constraint choice (write-heavy)",
       "Anc-Ser ~1.2x Parent-Ser (leaf-only read-state search, fewer "
@@ -48,6 +49,7 @@ int main() {
     if (!Preload(sut.store.get(), w).ok()) return 1;
     sut.EnableRtt();
     DriverOptions d;
+    d.seed = BenchSeed();
     d.num_clients = 64;
     d.duration_ms = ScaledMs(1500);
     DriverResult r = RunClosedLoop(sut.facade(), w, d);

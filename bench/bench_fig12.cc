@@ -47,6 +47,7 @@ double RunCluster(size_t num_sites, Mix mix) {
 
   // One driver per site, run concurrently; sum committed txns.
   DriverOptions d;
+  d.seed = BenchSeed();
   d.num_clients = 8;
   d.duration_ms = ScaledMs(1000);
   std::vector<DriverResult> results(num_sites);
@@ -66,7 +67,8 @@ double RunCluster(size_t num_sites, Mix mix) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   PrintHeader(
       "Figure 12: aggregate throughput vs number of sites (100 ms WAN)",
       "TARDiS scales linearly with sites: remote transactions are applied "

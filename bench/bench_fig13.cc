@@ -59,6 +59,7 @@ void RunTimeline(bool with_gc) {
   });
 
   DriverOptions d;
+  d.seed = BenchSeed();
   d.num_clients = 16;
   d.warmup_ms = 0;
   d.duration_ms = seconds * 1000;
@@ -80,7 +81,8 @@ void RunTimeline(bool with_gc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   PrintHeader(
       "Figure 13: garbage collection on/off (write-heavy, ceilings "
       "every 1000 txns)",

@@ -345,7 +345,7 @@ OpsResult RunRetwis(TxKvStore* store, TardisStore* tardis,
   constexpr uint32_t kUsers = 100;
   {
     auto setup = app.NewClient();
-    Random rng(7);
+    Random rng(BenchSeed() ^ 7);
     for (uint32_t u = 0; u < kUsers; u++) {
       if (!app.CreateAccount(setup.get(), u).ok()) return {};
     }
@@ -373,7 +373,9 @@ OpsResult RunRetwis(TxKvStore* store, TardisStore* tardis,
   std::vector<std::unique_ptr<retwis::Retwis::Client>> clients;
   for (int t = 0; t < kThreads; t++) clients.push_back(app.NewClient());
   std::vector<Random> rngs;
-  for (int t = 0; t < kThreads; t++) rngs.emplace_back(100 + t);
+  for (int t = 0; t < kThreads; t++) {
+    rngs.emplace_back(BenchSeed() * 977 + 100 + t);
+  }
 
   OpsResult r = RunOps(kThreads, ms, [&](int t, uint64_t i) {
     retwis::Retwis::Client* client = clients[t].get();
@@ -441,7 +443,8 @@ void RetwisThroughput() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   PrintHeader(
       "Figure 14: applications (CRDTs + Retwis) on TARDiS vs flat storage",
       "(a) TARDiS CRDTs ~half the code; (b) 4-8x CRDT speedup; (c) branching "

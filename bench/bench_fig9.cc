@@ -27,6 +27,7 @@ void RunCurve(const char* label, Mix mix) {
       if (!Preload(sut.store.get(), w).ok()) return;
       sut.EnableRtt();
       DriverOptions d;
+      d.seed = BenchSeed();
       d.num_clients = clients;
       d.duration_ms = ScaledMs(1000);
       if (sut.tardis) d.metrics = sut.tardis->metrics();
@@ -43,7 +44,8 @@ void RunCurve(const char* label, Mix mix) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   PrintHeader(
       "Figure 9: TARDiS (no local branching) vs BDB(2PL) vs OCC",
       "TARDiS tracks BDB within ~10% on both mixes (begin/commit overhead); "

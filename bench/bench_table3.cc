@@ -31,6 +31,7 @@ void RunCell(const char* workload, SystemUnderTest sut, Mix mix,
   }
   sut.EnableRtt();
   DriverOptions d;
+  d.seed = BenchSeed();
   d.num_clients = 32;
   d.duration_ms = ScaledMs(1500);
   DriverResult r = RunClosedLoop(sut.facade(), w, d);
@@ -50,7 +51,8 @@ void RunCell(const char* workload, SystemUnderTest sut, Mix mix,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   PrintHeader(
       "Table 3: per-operation latency breakdown (x10^-2 ms)",
       "TARDiS begin+commit dominate (state selection); BDB get/put inflate "

@@ -5,8 +5,9 @@
 namespace tardis {
 
 StatusOr<std::unique_ptr<CommitLog>> CommitLog::Open(const std::string& path,
-                                                     Wal::FlushMode mode) {
-  auto wal = Wal::Open(path, mode);
+                                                     Wal::FlushMode mode,
+                                                     fault::Env* env) {
+  auto wal = Wal::Open(path, mode, env);
   if (!wal.ok()) return wal.status();
   return std::unique_ptr<CommitLog>(new CommitLog(std::move(*wal)));
 }

@@ -29,7 +29,8 @@ struct CommitLogEntry {
 class CommitLog {
  public:
   static StatusOr<std::unique_ptr<CommitLog>> Open(const std::string& path,
-                                                   Wal::FlushMode mode);
+                                                   Wal::FlushMode mode,
+                                                   fault::Env* env = nullptr);
 
   Status Append(const CommitLogEntry& entry);
   /// Replays entries in append (= chronological = id) order. Stops cleanly

@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "fault/env.h"
 #include "obs/metrics.h"
 #include "storage/wal.h"
 
@@ -51,6 +52,12 @@ struct TardisOptions {
   /// committing thread; with FlushMode::kAsync it costs one DAG snapshot
   /// plus a sequential file write.
   uint64_t checkpoint_log_bytes = 0;
+
+  /// File-operations environment for the record store, commit log and
+  /// checkpoint files. Null selects the passthrough POSIX environment;
+  /// tests install a fault::FaultEnv to inject disk errors, short writes
+  /// and crash-restart cycles. Must outlive the store.
+  fault::Env* env = nullptr;
 
   /// Metrics registry this site registers its counters/gauges/histograms
   /// in, labeled with site_id. Null means the store creates a private

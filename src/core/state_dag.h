@@ -73,6 +73,32 @@ class StateDag {
   /// Fresh replication identity for a local commit.
   GlobalStateId NextLocalGuid();
 
+  /// Raises the local sequence counter to at least `seq`. Crash recovery
+  /// replays the durable commit log, which advances the counter past every
+  /// *recovered* commit — but a commit whose log record was lost in the
+  /// crash may already have escaped to peers, and reusing its sequence
+  /// would mint a second, different state under the same guid. A deployment
+  /// that knows an upper bound on the pre-crash sequence (e.g. from an
+  /// out-of-band high-water mark) calls this after recovery to move new
+  /// local guids past the ambiguous range.
+  void AdvanceSeqFloor(uint64_t seq) {
+    uint64_t cur = next_seq_.load();
+    while (cur < seq && !next_seq_.compare_exchange_weak(cur, seq)) {
+    }
+  }
+
+  /// Raises the local state-id counter past `id`. Record B-Tree keys embed
+  /// local ids, and a flushed record can outlive its commit-log entry in a
+  /// crash; if a restarted incarnation reissued such an id for a commit
+  /// whose own record persist then failed, reads would load the stale
+  /// record under the aliased key. Recovery calls this with the largest id
+  /// found in the record store.
+  void AdvanceIdFloor(StateId id) {
+    uint64_t expect = next_id_.load();
+    while (expect <= id && !next_id_.compare_exchange_weak(expect, id + 1)) {
+    }
+  }
+
   /// Lock-held variants of Resolve/ResolveGuid (callers inside the commit
   /// critical section).
   StatePtr ResolveLocked(StateId id) const;

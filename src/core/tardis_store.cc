@@ -1,11 +1,10 @@
 #include "core/tardis_store.h"
 
-#include <sys/stat.h>
-
 #include <algorithm>
-#include <cstdio>
 
 #include "core/record_codec.h"
+#include "fault/fault_points.h"
+#include "fault/fault_registry.h"
 #include "obs/trace.h"
 #include "storage/btree_record_store.h"
 #include "storage/sharded_record_store.h"
@@ -70,6 +69,9 @@ void TardisStore::RegisterMetrics() {
       "Promotion-table entries left behind by DAG compression",
       [this] { return static_cast<double>(dag_.promotion_table_size()); },
       site, this);
+  // Process-wide fault-injection counters (zero unless a test arms
+  // faults); exported here so every site's registry sees them.
+  fault::FaultRegistry::Global().BindMetrics(metrics_.get());
 }
 
 TardisStore::~TardisStore() {
@@ -84,19 +86,20 @@ StatusOr<std::unique_ptr<TardisStore>> TardisStore::Open(
   std::unique_ptr<TardisStore> store(new TardisStore(options));
 
   const bool durable = !options.dir.empty();
+  fault::Env* env = fault::ResolveEnv(options.env);
   if (durable) {
-    ::mkdir(options.dir.c_str(), 0755);
+    TARDIS_RETURN_IF_ERROR(env->CreateDir(options.dir));
   }
 
   if (durable && options.use_btree && options.record_shards > 1) {
     auto rs = ShardedRecordStore::Open(options.dir, options.record_shards,
-                                       options.cache_pages);
+                                       options.cache_pages, env);
     if (!rs.ok()) return rs.status();
     store->record_store_ = std::move(*rs);
   } else if (durable && options.use_btree) {
     auto rs =
         BTreeRecordStore::Open(options.dir + "/" + kRecordsFile,
-                               options.cache_pages);
+                               options.cache_pages, env);
     if (!rs.ok()) return rs.status();
     store->record_store_ = std::move(*rs);
   } else {
@@ -105,7 +108,7 @@ StatusOr<std::unique_ptr<TardisStore>> TardisStore::Open(
 
   if (durable && options.enable_commit_log) {
     auto log = CommitLog::Open(options.dir + "/" + kCommitLogFile,
-                               options.flush_mode);
+                               options.flush_mode, env);
     if (!log.ok()) return log.status();
     store->commit_log_ = std::move(*log);
   }
@@ -332,7 +335,13 @@ Status TardisStore::CommitTxn(Transaction* t, const EndConstraintPtr& ec_in) {
         entry.write_keys.push_back(key);
       }
       Status s = commit_log_->Append(entry);
-      if (!s.ok()) TARDIS_ERROR("commit log append: %s", s.ToString().c_str());
+      if (!s.ok()) {
+        // Availability over durability: the commit stands in memory, but
+        // the on-disk log no longer covers it — degrade so Flush and
+        // Checkpoint stop promising durability (§6.5).
+        commit_log_degraded_.store(true, std::memory_order_relaxed);
+        TARDIS_ERROR("commit log append: %s", s.ToString().c_str());
+      }
     }
   }
 
@@ -341,7 +350,10 @@ Status TardisStore::CommitTxn(Transaction* t, const EndConstraintPtr& ec_in) {
   for (const auto& [key, value] : t->write_cache_) {
     Status s = record_store_->Put(EncodeRecordKey(key, new_state->id()),
                                   *value);
-    if (!s.ok()) TARDIS_ERROR("record persist: %s", s.ToString().c_str());
+    if (!s.ok()) {
+      commit_log_degraded_.store(true, std::memory_order_relaxed);
+      TARDIS_ERROR("record persist: %s", s.ToString().c_str());
+    }
   }
 
   t->session_->last_commit_ = new_state;
@@ -437,13 +449,19 @@ Status TardisStore::ApplyRemote(const CommitRecord& record) {
         entry.write_keys.push_back(key);
       }
       Status s = commit_log_->Append(entry);
-      if (!s.ok()) TARDIS_ERROR("commit log append: %s", s.ToString().c_str());
+      if (!s.ok()) {
+        commit_log_degraded_.store(true, std::memory_order_relaxed);
+        TARDIS_ERROR("commit log append: %s", s.ToString().c_str());
+      }
     }
   }
   for (const auto& [key, value] : record.writes) {
     Status s = record_store_->Put(EncodeRecordKey(key, new_state->id()),
                                   *value);
-    if (!s.ok()) TARDIS_ERROR("record persist: %s", s.ToString().c_str());
+    if (!s.ok()) {
+      commit_log_degraded_.store(true, std::memory_order_relaxed);
+      TARDIS_ERROR("record persist: %s", s.ToString().c_str());
+    }
   }
   remote_applied_total_->Increment();
   if (forked) {
@@ -463,6 +481,11 @@ void TardisStore::PlaceCeiling(ClientSession* session) {
 // ---- durability ----------------------------------------------------------------
 
 Status TardisStore::Flush() {
+  if (commit_log_degraded()) {
+    return Status::IOError(
+        "store is durability-degraded: a commit log append or record "
+        "persist failed; reopen to recover");
+  }
   TARDIS_RETURN_IF_ERROR(record_store_->Sync());
   if (commit_log_) TARDIS_RETURN_IF_ERROR(commit_log_->Sync());
   return Status::OK();
@@ -472,41 +495,31 @@ Status TardisStore::Checkpoint() {
   if (options_.dir.empty()) {
     return Status::NotSupported("checkpoint requires a durable store");
   }
+  if (commit_log_degraded()) {
+    return Status::IOError(
+        "refusing checkpoint while durability-degraded: the snapshot "
+        "would cover states whose records were never persisted");
+  }
   // (i) flush outstanding record writes, (ii) snapshot the DAG, (iii)
   // truncate the commit log it makes redundant (§6.5).
   TARDIS_RETURN_IF_ERROR(record_store_->Sync());
 
-  std::vector<CommitLogEntry> snapshot;
-  {
-    std::lock_guard<std::mutex> guard(dag_.Lock());
-    for (const StatePtr& s : dag_.AllStatesLocked()) {
-      if (s->parents().empty()) continue;  // root is implicit
-      CommitLogEntry entry;
-      entry.id = s->id();
-      entry.guid = s->guid();
-      for (const StatePtr& p : s->parents()) {
-        entry.parent_ids.push_back(p->id());
-      }
-      entry.is_merge = s->is_merge();
-      entry.write_keys = s->write_set().keys();
-      snapshot.push_back(std::move(entry));
-    }
-  }
+  std::vector<CommitLogEntry> snapshot = SnapshotDag();
 
+  fault::Env* env = fault::ResolveEnv(options_.env);
   const std::string tmp = options_.dir + "/" + kCheckpointTmpFile;
   const std::string final_path = options_.dir + "/" + kCheckpointFile;
-  ::remove(tmp.c_str());
+  TARDIS_RETURN_IF_ERROR(env->RemoveFile(tmp));
   {
-    auto ckpt = CommitLog::Open(tmp, Wal::FlushMode::kAsync);
+    auto ckpt = CommitLog::Open(tmp, Wal::FlushMode::kAsync, options_.env);
     if (!ckpt.ok()) return ckpt.status();
     for (const CommitLogEntry& entry : snapshot) {
       TARDIS_RETURN_IF_ERROR((*ckpt)->Append(entry));
     }
     TARDIS_RETURN_IF_ERROR((*ckpt)->Sync());
   }
-  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
-    return Status::IOError("checkpoint rename failed");
-  }
+  TARDIS_FAULT_POINT("store.checkpoint.rename");
+  TARDIS_RETURN_IF_ERROR(env->RenameFile(tmp, final_path));
   if (commit_log_) TARDIS_RETURN_IF_ERROR(commit_log_->Truncate());
   return Status::OK();
 }
@@ -524,6 +537,11 @@ Status TardisStore::RecoverEntry(const CommitLogEntry& entry,
       std::string scratch;
       if (!record_store_->Get(EncodeRecordKey(key, entry.id), &scratch)
                .ok()) {
+        TARDIS_WARN(
+            "recovery: log entry id=%llu guid=%s dropped (record for '%s' "
+            "not persistent); discarding the log suffix",
+            static_cast<unsigned long long>(entry.id),
+            entry.guid.ToString().c_str(), key.c_str());
         *stop = true;
         return Status::OK();
       }
@@ -536,7 +554,12 @@ Status TardisStore::RecoverEntry(const CommitLogEntry& entry,
   for (StateId pid : entry.parent_ids) {
     StatePtr p = dag_.ResolveLocked(pid);
     if (p == nullptr) {
-      // Orphaned suffix (parent discarded): stop replay.
+      TARDIS_WARN(
+          "recovery: log entry id=%llu guid=%s dropped (parent id=%llu "
+          "missing); discarding the log suffix",
+          static_cast<unsigned long long>(entry.id),
+          entry.guid.ToString().c_str(),
+          static_cast<unsigned long long>(pid));
       *stop = true;
       return Status::OK();
     }
@@ -554,12 +577,31 @@ Status TardisStore::RecoverEntry(const CommitLogEntry& entry,
   return Status::OK();
 }
 
+std::vector<CommitLogEntry> TardisStore::SnapshotDag() {
+  std::vector<CommitLogEntry> snapshot;
+  std::lock_guard<std::mutex> guard(dag_.Lock());
+  for (const StatePtr& s : dag_.AllStatesLocked()) {
+    if (s->parents().empty()) continue;  // root is implicit
+    CommitLogEntry entry;
+    entry.id = s->id();
+    entry.guid = s->guid();
+    for (const StatePtr& p : s->parents()) {
+      entry.parent_ids.push_back(p->id());
+    }
+    entry.is_merge = s->is_merge();
+    entry.write_keys = s->write_set().keys();
+    snapshot.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
 Status TardisStore::Recover() {
   bool stop = false;
+  fault::Env* env = fault::ResolveEnv(options_.env);
   const std::string ckpt_path = options_.dir + "/" + kCheckpointFile;
-  struct stat st;
-  if (::stat(ckpt_path.c_str(), &st) == 0) {
-    auto ckpt = CommitLog::Open(ckpt_path, Wal::FlushMode::kAsync);
+  if (env->FileExists(ckpt_path)) {
+    auto ckpt = CommitLog::Open(ckpt_path, Wal::FlushMode::kAsync,
+                                options_.env);
     if (!ckpt.ok()) return ckpt.status();
     TARDIS_RETURN_IF_ERROR(
         (*ckpt)->Replay([this, &stop](const CommitLogEntry& entry) {
@@ -572,6 +614,41 @@ Status TardisStore::Recover() {
         commit_log_->Replay([this, &stop](const CommitLogEntry& entry) {
           return RecoverEntry(entry, /*check_persistence=*/true, &stop);
         }));
+    if (stop) {
+      // A suffix of the log was discarded (records lost in the crash).
+      // Those entries are dead forever, but left in place they would sit
+      // between the valid history and everything appended from now on,
+      // and the *next* recovery would stop at them — silently dropping
+      // commits that were flushed after this reopen. Rewrite the log to
+      // exactly the surviving history.
+      std::vector<CommitLogEntry> snapshot = SnapshotDag();
+      TARDIS_WARN(
+          "recovery: rewriting commit log with the %zu surviving states",
+          snapshot.size());
+      TARDIS_RETURN_IF_ERROR(commit_log_->Truncate());
+      for (const CommitLogEntry& entry : snapshot) {
+        TARDIS_RETURN_IF_ERROR(commit_log_->Append(entry));
+      }
+      TARDIS_RETURN_IF_ERROR(commit_log_->Sync());
+    }
+  }
+  // A flushed record can outlive its commit-log entry (the crash took the
+  // log tail but not the B-Tree pages). Reissuing such a record's state id
+  // would alias its B-Tree key: if the new commit's own record persist
+  // then failed, reads would load the stale value. Move the id counter
+  // past every id the record store still knows.
+  if (record_store_) {
+    StateId max_sid = 0;
+    TARDIS_RETURN_IF_ERROR(record_store_->ForEachKey(
+        [&max_sid](const Slice& record_key) {
+          std::string user_key;
+          StateId sid = 0;
+          if (DecodeRecordKey(record_key, &user_key, &sid) && sid > max_sid) {
+            max_sid = sid;
+          }
+          return Status::OK();
+        }));
+    dag_.AdvanceIdFloor(max_sid);
   }
   return Status::OK();
 }

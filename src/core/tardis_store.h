@@ -127,11 +127,22 @@ class TardisStore {
   Status ApplyRemote(const CommitRecord& record);
 
   // ---- durability ---------------------------------------------------------
-  /// Flushes record store and commit log to stable storage.
+  /// Flushes record store and commit log to stable storage. Fails while
+  /// the store is durability-degraded (see commit_log_degraded()).
   Status Flush();
   /// Non-blocking-style checkpoint (§6.5): persists the DAG snapshot and
-  /// truncates the commit log.
+  /// truncates the commit log. Also refused while degraded: a checkpoint
+  /// taken over missing records would replay as committed state whose
+  /// values are gone (checkpoint replay skips the persistence check).
   Status Checkpoint();
+  /// True once a commit-log append or record persist has failed: commits
+  /// keep succeeding in memory (availability over durability), but the
+  /// on-disk log no longer covers every committed state. Cleared only by
+  /// reopening the store (crash-restart recovery re-derives truth from
+  /// disk).
+  bool commit_log_degraded() const {
+    return commit_log_degraded_.load(std::memory_order_relaxed);
+  }
 
   // ---- introspection -------------------------------------------------------
   StateDag* dag() { return &dag_; }
@@ -154,6 +165,9 @@ class TardisStore {
   Status Recover();
   Status RecoverEntry(const CommitLogEntry& entry, bool check_persistence,
                       bool* stop);
+  /// Every non-root state as a commit-log entry, id order (used by
+  /// Checkpoint and by the post-recovery log rewrite).
+  std::vector<CommitLogEntry> SnapshotDag();
 
   /// Transaction plumbing (called by Transaction).
   Status TxnGet(Transaction* t, const Slice& key, std::string* value);
@@ -188,6 +202,7 @@ class TardisStore {
   obs::HistogramMetric* merge_latency_us_ = nullptr;
 
   std::atomic<bool> checkpoint_running_{false};
+  std::atomic<bool> commit_log_degraded_{false};
 
   BeginConstraintPtr default_begin_;
   EndConstraintPtr default_end_;

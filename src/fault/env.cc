@@ -1,0 +1,143 @@
+#include "fault/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tardis {
+namespace fault {
+
+namespace {
+
+Status ErrnoError(const std::string& what) {
+  return Status::IOError(what + ": " + strerror(errno));
+}
+
+class PosixFile : public File {
+ public:
+  PosixFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const Slice& data) override {
+    size_t done = 0;
+    while (done < data.size()) {
+      const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                                 static_cast<off_t>(size_ + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        // A prefix may have landed; keep Size() honest so the caller can
+        // truncate back to the pre-append length.
+        size_ += done;
+        return ErrnoError("append");
+      }
+      done += static_cast<size_t>(n);
+    }
+    size_ += data.size();
+    return Status::OK();
+  }
+
+  StatusOr<size_t> PRead(uint64_t offset, size_t n, char* scratch) override {
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t r = ::pread(fd_, scratch + done, n - done,
+                                static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoError("pread");
+      }
+      if (r == 0) break;  // end of file
+      done += static_cast<size_t>(r);
+    }
+    return done;
+  }
+
+  Status PWrite(uint64_t offset, const Slice& data) override {
+    size_t done = 0;
+    while (done < data.size()) {
+      const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                                 static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (offset + done > size_) size_ = offset + done;
+        return ErrnoError("pwrite");
+      }
+      done += static_cast<size_t>(n);
+    }
+    if (offset + data.size() > size_) size_ = offset + data.size();
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return ErrnoError("fsync");
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return ErrnoError("ftruncate");
+    }
+    size_ = size;
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> Size() override { return size_; }
+
+ private:
+  int fd_;
+  uint64_t size_;
+};
+
+class PosixEnv : public Env {
+ public:
+  StatusOr<std::unique_ptr<File>> OpenFile(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) return ErrnoError("open " + path);
+    const off_t size = ::lseek(fd, 0, SEEK_END);
+    if (size < 0) {
+      ::close(fd);
+      return ErrnoError("lseek " + path);
+    }
+    return std::unique_ptr<File>(
+        new PosixFile(fd, static_cast<uint64_t>(size)));
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoError("mkdir " + path);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoError("rename " + from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoError("unlink " + path);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+};
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnv* env = new PosixEnv();  // never destroyed
+  return env;
+}
+
+}  // namespace fault
+}  // namespace tardis

@@ -1,0 +1,83 @@
+// Env: the file-operations seam between the storage layer and the OS.
+//
+// Wal, Pager and CommitLog perform every file operation through this
+// interface instead of raw POSIX calls, so a test environment can
+// interpose short writes, ENOSPC, fsync failures, torn tails and whole
+// crash-restart cycles (see fault/fault_env.h) without patching storage
+// code. The default implementation (Env::Posix()) is a thin passthrough
+// that additionally hardens the raw syscalls: partial writes and EINTR
+// are resumed, so a short write from the kernel is never surfaced as
+// data loss.
+//
+// One File object per on-disk file; callers serialize access themselves
+// (Wal and Pager both already hold a mutex around file operations).
+
+#ifndef TARDIS_FAULT_ENV_H_
+#define TARDIS_FAULT_ENV_H_
+
+#include <memory>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tardis {
+namespace fault {
+
+/// An open file. Append maintains its own end-of-file cursor; PRead and
+/// PWrite are positional and do not disturb it.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Writes `data` at the end of the file. Resumes partial writes and
+  /// EINTR internally; on a hard mid-write error the file may contain a
+  /// prefix of `data` (Size() reflects what actually landed).
+  virtual Status Append(const Slice& data) = 0;
+
+  /// Reads up to `n` bytes at `offset` into `scratch`. Returns the byte
+  /// count actually read — short only at end-of-file.
+  virtual StatusOr<size_t> PRead(uint64_t offset, size_t n,
+                                 char* scratch) = 0;
+
+  /// Writes all of `data` at `offset`, extending the file if needed.
+  virtual Status PWrite(uint64_t offset, const Slice& data) = 0;
+
+  /// Forces written data to stable storage.
+  virtual Status Sync() = 0;
+
+  /// Truncates (or extends with zeros) to exactly `size` bytes.
+  virtual Status Truncate(uint64_t size) = 0;
+
+  virtual StatusOr<uint64_t> Size() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` read-write, creating it if absent.
+  virtual StatusOr<std::unique_ptr<File>> OpenFile(const std::string& path) = 0;
+
+  /// Creates a directory; success if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from`.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  /// Deletes a file; success if it does not exist.
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// The process-wide passthrough POSIX environment.
+  static Env* Posix();
+};
+
+/// Resolves a caller-supplied environment: null means Env::Posix().
+inline Env* ResolveEnv(Env* env) { return env != nullptr ? env : Env::Posix(); }
+
+}  // namespace fault
+}  // namespace tardis
+
+#endif  // TARDIS_FAULT_ENV_H_

@@ -1,0 +1,241 @@
+#include "fault/fault_env.h"
+
+#include <utility>
+#include <vector>
+
+#include "fault/fault_points.h"
+#include "fault/fault_registry.h"
+
+namespace tardis {
+namespace fault {
+
+namespace {
+
+Status CrashedError() {
+  return Status::IOError("simulated crash: environment is frozen");
+}
+
+}  // namespace
+
+/// A File that forwards to a base File while (a) refusing every
+/// operation once the owning FaultEnv is crashed, (b) applying the
+/// "env.append" write cap for short-write injection, and (c) recording
+/// the durable image on each successful Sync.
+class FaultyFile : public File {
+ public:
+  FaultyFile(FaultEnv* env, std::string path, std::unique_ptr<File> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(const Slice& data) override {
+    if (env_->crashed()) return CrashedError();
+    if (FaultsArmed()) {
+      const size_t cap =
+          FaultRegistry::Global().WriteCap("env.append", data.size());
+      if (cap < data.size()) {
+        // A hard mid-write failure (e.g. ENOSPC): the capped prefix
+        // lands, then the operation errors out. Size() reflects the
+        // prefix, which is what lets Wal truncate-repair.
+        Status prefix = base_->Append(Slice(data.data(), cap));
+        if (!prefix.ok()) return prefix;
+        return Status::IOError("injected short write at env.append");
+      }
+    }
+    return base_->Append(data);
+  }
+
+  StatusOr<size_t> PRead(uint64_t offset, size_t n, char* scratch) override {
+    if (env_->crashed()) return CrashedError();
+    return base_->PRead(offset, n, scratch);
+  }
+
+  Status PWrite(uint64_t offset, const Slice& data) override {
+    if (env_->crashed()) return CrashedError();
+    return base_->PWrite(offset, data);
+  }
+
+  Status Sync() override {
+    if (env_->crashed()) return CrashedError();
+    Status s = base_->Sync();
+    if (s.ok()) env_->RecordSync(path_, base_.get());
+    return s;
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (env_->crashed()) return CrashedError();
+    return base_->Truncate(size);
+  }
+
+  StatusOr<uint64_t> Size() override {
+    if (env_->crashed()) return CrashedError();
+    return base_->Size();
+  }
+
+ private:
+  FaultEnv* const env_;
+  const std::string path_;
+  std::unique_ptr<File> base_;
+};
+
+FaultEnv::FaultEnv(uint64_t seed, Env* base)
+    : base_(ResolveEnv(base)), rng_(seed) {}
+
+StatusOr<std::unique_ptr<File>> FaultEnv::OpenFile(const std::string& path) {
+  if (crashed()) return CrashedError();
+  auto base_file = base_->OpenFile(path);
+  if (!base_file.ok()) return base_file.status();
+  {
+    // A file (re)opened while healthy starts with its current content as
+    // the durable image: whatever recovery already read back is, by
+    // definition, on disk.
+    std::lock_guard<std::mutex> guard(mu_);
+    if (files_.find(path) == files_.end()) {
+      auto content = ReadThrough(path, base_file->get());
+      if (!content.ok()) return content.status();
+      files_[path].synced = std::move(content.value());
+    }
+  }
+  return StatusOr<std::unique_ptr<File>>(std::unique_ptr<File>(
+      new FaultyFile(this, path, std::move(base_file.value()))));
+}
+
+Status FaultEnv::CreateDir(const std::string& path) {
+  if (crashed()) return CrashedError();
+  return base_->CreateDir(path);
+}
+
+Status FaultEnv::RenameFile(const std::string& from, const std::string& to) {
+  if (crashed()) return CrashedError();
+  Status s = base_->RenameFile(from, to);
+  if (s.ok()) {
+    // rename() is atomic and durable-ish for our purposes: the renamed
+    // file's durable image moves with it.
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = files_.find(from);
+    if (it != files_.end()) {
+      files_[to] = std::move(it->second);
+      files_.erase(it);
+    } else {
+      files_.erase(to);
+    }
+  }
+  return s;
+}
+
+Status FaultEnv::RemoveFile(const std::string& path) {
+  if (crashed()) return CrashedError();
+  Status s = base_->RemoveFile(path);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> guard(mu_);
+    files_.erase(path);
+  }
+  return s;
+}
+
+bool FaultEnv::FileExists(const std::string& path) {
+  if (crashed()) return false;
+  return base_->FileExists(path);
+}
+
+void FaultEnv::RecordSync(const std::string& path, File* file) {
+  auto content = ReadThrough(path, file);
+  if (!content.ok()) return;  // keep the previous durable image
+  std::lock_guard<std::mutex> guard(mu_);
+  files_[path].synced = std::move(content.value());
+}
+
+StatusOr<std::string> FaultEnv::ReadThrough(const std::string& path,
+                                            File* file) {
+  std::unique_ptr<File> opened;
+  if (file == nullptr) {
+    if (!base_->FileExists(path)) return std::string();
+    auto f = base_->OpenFile(path);
+    if (!f.ok()) return f.status();
+    opened = std::move(f.value());
+    file = opened.get();
+  }
+  auto size = file->Size();
+  if (!size.ok()) return size.status();
+  std::string content(static_cast<size_t>(size.value()), '\0');
+  if (!content.empty()) {
+    auto n = file->PRead(0, content.size(), content.data());
+    if (!n.ok()) return n.status();
+    content.resize(n.value());
+  }
+  return content;
+}
+
+Status FaultEnv::ApplyCrash(CrashMode mode) {
+  // Snapshot the plan under the lock, write files outside it.
+  struct Plan {
+    std::string path;
+    std::string content;
+    bool rewound;
+  };
+  std::vector<Plan> plans;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (auto& [path, state] : files_) {
+      // Current on-disk content (reads bypass the crashed flag by going
+      // through the base env directly).
+      auto current_or = ReadThrough(path, nullptr);
+      if (!current_or.ok()) return current_or.status();
+      std::string current = std::move(current_or.value());
+
+      CrashMode eff = mode;
+      if (eff == CrashMode::kSeeded) {
+        switch (rng_.Uniform(3)) {
+          case 0: eff = CrashMode::kLoseUnsynced; break;
+          case 1: eff = CrashMode::kTornTail; break;
+          default: eff = CrashMode::kKeepAll; break;
+        }
+      }
+
+      Plan plan;
+      plan.path = path;
+      switch (eff) {
+        case CrashMode::kKeepAll:
+          plan.content = current;
+          break;
+        case CrashMode::kLoseUnsynced:
+          plan.content = state.synced;
+          break;
+        case CrashMode::kTornTail: {
+          plan.content = state.synced;
+          if (current.size() > state.synced.size()) {
+            // Keep a seeded prefix (possibly zero bytes) of the
+            // unsynced suffix — a torn final record.
+            const uint64_t extra = current.size() - state.synced.size();
+            const uint64_t keep = rng_.Uniform(extra + 1);
+            plan.content.append(current.data() + state.synced.size(),
+                                static_cast<size_t>(keep));
+          }
+          break;
+        }
+        case CrashMode::kSeeded:
+          break;  // unreachable
+      }
+      plan.rewound = plan.content.size() < current.size();
+      // The post-crash content is on disk, hence durable.
+      state.synced = plan.content;
+      plans.push_back(std::move(plan));
+    }
+  }
+
+  for (const Plan& plan : plans) {
+    auto f = base_->OpenFile(plan.path);
+    if (!f.ok()) return f.status();
+    File* file = f->get();
+    TARDIS_RETURN_IF_ERROR(file->Truncate(0));
+    if (!plan.content.empty()) {
+      TARDIS_RETURN_IF_ERROR(file->PWrite(0, Slice(plan.content)));
+    }
+    TARDIS_RETURN_IF_ERROR(file->Sync());
+    if (plan.rewound) files_rewound_.fetch_add(1);
+  }
+
+  crashed_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace fault
+}  // namespace tardis

@@ -1,0 +1,99 @@
+// FaultEnv: an Env decorator that makes crashes, torn tails and short
+// writes injectable.
+//
+// Crash model (the classic fault-injection-Env design): the environment
+// tracks, per file, the content as of the last successful Sync (the
+// "durable image"). MarkCrashed() freezes the environment — every
+// subsequent file operation fails with an IOError, so nothing after the
+// crash instant reaches disk. The driver then destroys the site's
+// objects and calls ApplyCrash(), which rewrites each file with a
+// deterministic, seeded post-crash outcome:
+//
+//   kLoseUnsynced  the durable image (everything unsynced vanishes)
+//   kTornTail      durable image + a prefix of the unsynced suffix cut
+//                  at a seeded byte (torn final record)
+//   kKeepAll       the full content (the unsynced writes happened to
+//                  land) — also a legal crash outcome
+//   kSeeded        one of the above, chosen per file by the PRNG
+//
+// Reopening the store against the same FaultEnv then exercises real
+// recovery against that disk state.
+//
+// Short writes ride the fault registry: FaultyFile::Append consults
+// WriteCap("env.append", n); when a kLimitWrite spec triggers, only the
+// capped prefix lands and the op returns an IOError — exactly what a
+// hard ENOSPC mid-write does, which is what Wal's truncate-repair path
+// must survive.
+
+#ifndef TARDIS_FAULT_FAULT_ENV_H_
+#define TARDIS_FAULT_FAULT_ENV_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "fault/env.h"
+#include "util/random.h"
+
+namespace tardis {
+namespace fault {
+
+enum class CrashMode {
+  kSeeded,        ///< per-file seeded choice among the outcomes below
+  kLoseUnsynced,  ///< revert to the last synced image
+  kTornTail,      ///< synced image + seeded prefix of the unsynced suffix
+  kKeepAll,       ///< keep everything (unsynced writes survived)
+};
+
+class FaultEnv : public Env {
+ public:
+  explicit FaultEnv(uint64_t seed, Env* base = nullptr);
+
+  StatusOr<std::unique_ptr<File>> OpenFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+
+  /// Freezes the environment at the crash instant. All further file
+  /// operations fail with an IOError until ApplyCrash().
+  void MarkCrashed() { crashed_.store(true, std::memory_order_release); }
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  /// Rewrites every tracked file with its seeded post-crash content and
+  /// unfreezes the environment. Call with all File handles closed.
+  Status ApplyCrash(CrashMode mode = CrashMode::kSeeded);
+
+  /// Files whose unsynced tail was (fully or partly) discarded by the
+  /// last ApplyCrash — visibility for tests and the chaos log.
+  uint64_t files_rewound() const { return files_rewound_.load(); }
+
+ private:
+  friend class FaultyFile;
+
+  struct FileState {
+    std::string synced;  ///< content as of the last successful Sync
+  };
+
+  /// Called by FaultyFile after a successful Sync: captures the file's
+  /// current content as its durable image.
+  void RecordSync(const std::string& path, File* file);
+
+  /// Current on-disk content of `path`, read via `file` if non-null,
+  /// else through a fresh base-env handle (empty string if absent).
+  StatusOr<std::string> ReadThrough(const std::string& path, File* file);
+
+  Env* const base_;
+  std::atomic<bool> crashed_{false};
+  std::mutex mu_;
+  std::map<std::string, FileState> files_;
+  Random rng_;
+  std::atomic<uint64_t> files_rewound_{0};
+};
+
+}  // namespace fault
+}  // namespace tardis
+
+#endif  // TARDIS_FAULT_FAULT_ENV_H_

@@ -1,0 +1,195 @@
+#include "fault/fault_registry.h"
+
+#include <chrono>
+#include <thread>
+
+#include "fault/fault_points.h"
+
+namespace tardis {
+namespace fault {
+
+std::atomic<bool> g_faults_armed{false};
+
+Status EvaluatePoint(const char* point) {
+  return FaultRegistry::Global().OnPoint(point);
+}
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();  // never destroyed
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultSpec spec) {
+  if (spec.limit_bytes == 0) spec.limit_bytes = 1;
+  std::lock_guard<std::mutex> guard(mu_);
+  Armed armed;
+  armed.spec = std::move(spec);
+  armed_[point] = std::move(armed);
+  RecomputeArmedFlagLocked();
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> guard(mu_);
+  armed_.erase(point);
+  RecomputeArmedFlagLocked();
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> guard(mu_);
+  armed_.clear();
+  crash_pending_ = false;
+  crash_point_.clear();
+  RecomputeArmedFlagLocked();
+}
+
+void FaultRegistry::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> guard(mu_);
+  rng_ = Random(seed);
+}
+
+void FaultRegistry::RecomputeArmedFlagLocked() {
+  g_faults_armed.store(!armed_.empty(), std::memory_order_relaxed);
+}
+
+bool FaultRegistry::ShouldTrigger(const char* point, FaultSpec* spec) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = armed_.find(point);
+  if (it == armed_.end()) return false;
+  Armed& armed = it->second;
+  points_hit_.fetch_add(1, std::memory_order_relaxed);
+  if (armed.hits++ < armed.spec.skip) return false;
+  if (armed.spec.probability < 1.0 && !rng_.Bernoulli(armed.spec.probability)) {
+    return false;
+  }
+  armed.triggered++;
+  *spec = armed.spec;
+  const bool exhausted =
+      armed.spec.kind == FaultKind::kCrash ||
+      (armed.spec.max_triggers >= 0 &&
+       armed.triggered >= armed.spec.max_triggers);
+  if (exhausted) {
+    armed_.erase(it);
+    RecomputeArmedFlagLocked();
+  }
+  return true;
+}
+
+Status FaultRegistry::OnPoint(const char* point) {
+  FaultSpec spec;
+  if (!ShouldTrigger(point, &spec)) return Status::OK();
+
+  switch (spec.kind) {
+    case FaultKind::kDelay:
+      delays_injected_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(spec.delay_us));
+      return Status::OK();
+
+    case FaultKind::kCrash: {
+      crashes_simulated_.fetch_add(1, std::memory_order_relaxed);
+      std::function<void(const std::string&)> handler;
+      {
+        std::lock_guard<std::mutex> guard(mu_);
+        crash_pending_ = true;
+        crash_point_ = point;
+        handler = crash_handler_;
+      }
+      if (handler) handler(point);
+      return Status::IOError(std::string("injected crash at ") + point);
+    }
+
+    case FaultKind::kLimitWrite:
+      // A write-cap spec armed at a plain fault point has no byte count
+      // to cap; treat it as a no-op rather than an error.
+      return Status::OK();
+
+    case FaultKind::kError:
+      break;
+  }
+
+  errors_injected_.fetch_add(1, std::memory_order_relaxed);
+  std::string msg = std::string("injected fault at ") + point;
+  if (!spec.message.empty()) msg += ": " + spec.message;
+  switch (spec.code) {
+    case Code::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case Code::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case Code::kUnavailable:
+      return Status::Unavailable(std::move(msg));
+    case Code::kBusy:
+      return Status::Busy(std::move(msg));
+    case Code::kAborted:
+      return Status::Aborted(std::move(msg));
+    default:
+      return Status::IOError(std::move(msg));
+  }
+}
+
+size_t FaultRegistry::WriteCap(const char* point, size_t requested) {
+  FaultSpec spec;
+  if (!ShouldTrigger(point, &spec)) return requested;
+  if (spec.kind != FaultKind::kLimitWrite) {
+    // Non-cap specs at a cap site still make sense for delays; errors
+    // cannot be returned from here, so only the delay side effect runs.
+    if (spec.kind == FaultKind::kDelay) {
+      delays_injected_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(spec.delay_us));
+    }
+    return requested;
+  }
+  if (requested <= spec.limit_bytes) return requested;
+  short_writes_.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<size_t>(spec.limit_bytes);
+}
+
+void FaultRegistry::SetCrashHandler(
+    std::function<void(const std::string& point)> handler) {
+  std::lock_guard<std::mutex> guard(mu_);
+  crash_handler_ = std::move(handler);
+}
+
+bool FaultRegistry::ConsumeCrashRequest(std::string* point) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!crash_pending_) return false;
+  if (point != nullptr) *point = crash_point_;
+  crash_pending_ = false;
+  crash_point_.clear();
+  return true;
+}
+
+void FaultRegistry::BindMetrics(obs::MetricsRegistry* registry) {
+  registry->RegisterCallbackCounter(
+      "tardis_fault_points_hit_total",
+      "Fault-point evaluations while the point was armed",
+      [this] { return points_hit(); }, {}, this);
+  registry->RegisterCallbackCounter(
+      "tardis_fault_errors_injected_total",
+      "Error Statuses injected at fault points",
+      [this] { return errors_injected(); }, {}, this);
+  registry->RegisterCallbackCounter(
+      "tardis_fault_delays_injected_total", "Delays injected at fault points",
+      [this] { return delays_injected(); }, {}, this);
+  registry->RegisterCallbackCounter(
+      "tardis_fault_crashes_simulated_total",
+      "Simulated crashes triggered at fault points",
+      [this] { return crashes_simulated(); }, {}, this);
+  registry->RegisterCallbackCounter(
+      "tardis_fault_short_writes_total",
+      "Writes capped below their requested byte count",
+      [this] { return short_writes(); }, {}, this);
+  registry->RegisterCallbackCounter(
+      "tardis_fault_net_frames_dropped_total",
+      "Frames dropped by FaultyTransport fault schedules",
+      [this] { return frames_dropped.load(); }, {}, this);
+  registry->RegisterCallbackCounter(
+      "tardis_fault_net_frames_duplicated_total",
+      "Frames duplicated by FaultyTransport fault schedules",
+      [this] { return frames_duplicated.load(); }, {}, this);
+  registry->RegisterCallbackCounter(
+      "tardis_fault_net_frames_reordered_total",
+      "Frames held back for reordering by FaultyTransport",
+      [this] { return frames_reordered.load(); }, {}, this);
+}
+
+}  // namespace fault
+}  // namespace tardis

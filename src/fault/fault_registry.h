@@ -1,0 +1,152 @@
+// FaultRegistry: process-wide, seeded fault injection at named points.
+//
+// Code under test declares fault points with the TARDIS_FAULT_POINT /
+// TARDIS_FAULT_HIT macros (fault/fault_points.h); a test or the chaos
+// driver arms behaviors at those points:
+//
+//   fault::FaultSpec spec;
+//   spec.kind = fault::FaultKind::kError;
+//   spec.code = Code::kIOError;        // e.g. a simulated ENOSPC
+//   spec.max_triggers = 1;
+//   fault::FaultRegistry::Global().Arm("wal.append.before_write", spec);
+//
+// An armed point can return an error Status (the caller unwinds through
+// normal error handling — never a crash), sleep for a fixed delay,
+// request a simulated crash (a registered handler freezes the site's
+// FaultEnv; the driver then tears the site down and restarts it), or cap
+// the byte count of a write (short-write simulation, consumed by sites
+// that call WriteCap()).
+//
+// Everything is deterministic under a seed: trigger decisions come from
+// a private xorshift PRNG reseeded per schedule, and evaluation order in
+// the single-threaded chaos driver is fixed, so a failing seed replays
+// the identical schedule.
+//
+// Performance: the only cost on hot paths while *nothing* is armed is
+// one relaxed atomic load and a predicted-untaken branch (see
+// fault_points.h); the registry mutex is touched only when armed.
+
+#ifndef TARDIS_FAULT_FAULT_REGISTRY_H_
+#define TARDIS_FAULT_FAULT_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tardis {
+namespace fault {
+
+enum class FaultKind {
+  kError,       ///< the point returns an injected Status
+  kDelay,       ///< the point sleeps for delay_us, then proceeds
+  kCrash,       ///< simulate a crash: freeze the env, return an IOError
+  kLimitWrite,  ///< cap bytes per write at WriteCap() sites (short writes)
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kError;
+  /// kError / kCrash: the Status code injected (crash always uses
+  /// kIOError) and an optional message suffix.
+  Code code = Code::kIOError;
+  std::string message;
+  /// Chance that an eligible hit triggers (evaluated after `skip`).
+  double probability = 1.0;
+  /// The first `skip` hits of the point pass through untriggered.
+  uint64_t skip = 0;
+  /// Total triggers before the spec disarms itself; -1 = unlimited.
+  /// Crash specs always disarm after firing once.
+  int64_t max_triggers = -1;
+  /// kDelay: how long to sleep.
+  uint64_t delay_us = 0;
+  /// kLimitWrite: max bytes a single write may move (>= 1).
+  uint64_t limit_bytes = 1;
+};
+
+class FaultRegistry {
+ public:
+  static FaultRegistry& Global();
+
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  /// Arms (or replaces) the behavior at `point`. Trigger bookkeeping
+  /// (skip/max_triggers) restarts from zero.
+  void Arm(const std::string& point, FaultSpec spec);
+  void Disarm(const std::string& point);
+  /// Disarms every point and clears any pending crash request.
+  void DisarmAll();
+
+  /// Reseeds the trigger PRNG (call once per chaos schedule).
+  void Reseed(uint64_t seed);
+
+  /// Macro entry: evaluates the point, applying whatever is armed.
+  /// Returns OK when nothing triggers.
+  Status OnPoint(const char* point);
+
+  /// Short-write sites: the byte budget for one write of `requested`
+  /// bytes. Returns `requested` unless a kLimitWrite spec triggers.
+  size_t WriteCap(const char* point, size_t requested);
+
+  /// Crash plumbing: the handler runs inside the triggering call (it
+  /// should only flip cheap state, e.g. FaultEnv::MarkCrashed); the
+  /// driver polls ConsumeCrashRequest() after each schedule step to
+  /// learn that — and where — a crash fired.
+  void SetCrashHandler(std::function<void(const std::string& point)> handler);
+  bool ConsumeCrashRequest(std::string* point);
+
+  // ---- counters (cumulative, process lifetime) ---------------------------
+  uint64_t points_hit() const { return points_hit_.load(); }
+  uint64_t errors_injected() const { return errors_injected_.load(); }
+  uint64_t delays_injected() const { return delays_injected_.load(); }
+  uint64_t crashes_simulated() const { return crashes_simulated_.load(); }
+  uint64_t short_writes() const { return short_writes_.load(); }
+
+  // Frame-level counters incremented by FaultyTransport.
+  std::atomic<uint64_t> frames_dropped{0};
+  std::atomic<uint64_t> frames_duplicated{0};
+  std::atomic<uint64_t> frames_reordered{0};
+
+  /// Exports every fault counter into `registry` as callback-backed
+  /// metrics (unlabeled: fault injection is process-wide). Idempotent;
+  /// the registry may die before this singleton, never the reverse.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+ private:
+  FaultRegistry() = default;
+
+  struct Armed {
+    FaultSpec spec;
+    uint64_t hits = 0;      // evaluations since Arm()
+    int64_t triggered = 0;  // times the behavior actually fired
+  };
+
+  /// Decides whether `point` triggers now; fills `spec` when it does.
+  bool ShouldTrigger(const char* point, FaultSpec* spec);
+  void RecomputeArmedFlagLocked();
+
+  mutable std::mutex mu_;
+  std::map<std::string, Armed> armed_;
+  Random rng_{0x7A4D15};
+  std::function<void(const std::string&)> crash_handler_;
+  std::string crash_point_;
+  bool crash_pending_ = false;
+
+  std::atomic<uint64_t> points_hit_{0};
+  std::atomic<uint64_t> errors_injected_{0};
+  std::atomic<uint64_t> delays_injected_{0};
+  std::atomic<uint64_t> crashes_simulated_{0};
+  std::atomic<uint64_t> short_writes_{0};
+};
+
+}  // namespace fault
+}  // namespace tardis
+
+#endif  // TARDIS_FAULT_FAULT_REGISTRY_H_

@@ -13,6 +13,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "fault/fault_points.h"
+#include "fault/fault_registry.h"
 #include "net/wire.h"
 #include "util/logging.h"
 
@@ -275,9 +277,15 @@ void TcpTransport::CloseOutbound(PeerConn* pc, uint64_t now_ms) {
 
 void TcpTransport::FlushWrites(PeerConn* pc, uint64_t now_ms) {
   while (pc->sendbuf_off < pc->sendbuf.size()) {
+    size_t want = pc->sendbuf.size() - pc->sendbuf_off;
+    if (fault::FaultsArmed()) {
+      // Short-write injection: a "net.tcp.send" kLimitWrite spec caps how
+      // many bytes one send() may move, forcing the partial-frame resume
+      // path that real kernels exercise under socket-buffer pressure.
+      want = fault::FaultRegistry::Global().WriteCap("net.tcp.send", want);
+    }
     const ssize_t n =
-        send(pc->fd, pc->sendbuf.data() + pc->sendbuf_off,
-             pc->sendbuf.size() - pc->sendbuf_off, MSG_NOSIGNAL);
+        send(pc->fd, pc->sendbuf.data() + pc->sendbuf_off, want, MSG_NOSIGNAL);
     if (n > 0) {
       bytes_sent_.fetch_add(static_cast<uint64_t>(n),
                             std::memory_order_relaxed);

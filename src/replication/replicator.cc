@@ -1,7 +1,10 @@
 #include "replication/replicator.h"
 
+#include <algorithm>
 #include <chrono>
 
+#include "core/record_codec.h"
+#include "core/state.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -44,20 +47,34 @@ void Replicator::Start() {
   });
 }
 
+void Replicator::StartManual() {
+  if (!stop_.exchange(false)) return;  // already running
+  store_->SetCommitCallback(
+      [this](const CommitRecord& record) { OnLocalCommit(record); });
+}
+
 void Replicator::Stop() {
   if (stop_.exchange(true)) return;
   if (pump_.joinable()) pump_.join();
   store_->SetCommitCallback(nullptr);
 }
 
+void Replicator::NoteSeen(uint32_t origin, uint64_t seq) {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t& floor = seen_floor_[origin];
+  if (seq <= floor) return;
+  std::set<uint64_t>& ahead = seen_ahead_[origin];
+  ahead.insert(seq);
+  while (!ahead.empty() && *ahead.begin() == floor + 1) {
+    ahead.erase(ahead.begin());
+    floor++;
+  }
+}
+
 void Replicator::OnLocalCommit(const CommitRecord& record) {
   TARDIS_TRACE_SCOPE("repl", "broadcast");
   Archive(record);
-  {
-    std::lock_guard<std::mutex> guard(mu_);
-    uint64_t& seq = seen_seq_[record.guid.site];
-    if (record.guid.seq > seq) seq = record.guid.seq;
-  }
+  NoteSeen(record.guid.site, record.guid.seq);
   ReplMessage msg;
   msg.type = ReplMessage::Type::kCommit;
   msg.commit = record;
@@ -67,9 +84,40 @@ void Replicator::OnLocalCommit(const CommitRecord& record) {
 
 void Replicator::Archive(const CommitRecord& record) {
   std::lock_guard<std::mutex> guard(mu_);
-  auto& log = archive_[record.guid.site];
-  if (!log.empty() && log.back().guid.seq >= record.guid.seq) return;
-  log.push_back(record);
+  archive_[record.guid.site].try_emplace(record.guid.seq, record);
+}
+
+void Replicator::ReArchiveFromStore() {
+  std::vector<StatePtr> states;
+  {
+    std::lock_guard<std::mutex> dag_guard(store_->dag()->Lock());
+    states = store_->dag()->AllStatesLocked();
+  }
+  RecordStore* records = store_->record_store();
+  for (const StatePtr& s : states) {
+    if (s->parents().empty()) continue;  // the shared root has no commit
+    CommitRecord r;
+    r.guid = s->guid();
+    r.is_merge = s->is_merge();
+    for (const StatePtr& p : s->parents()) r.parent_guids.push_back(p->guid());
+    bool complete = true;
+    for (const std::string& key : s->write_set().keys()) {
+      std::string value;
+      Status st = records->Get(EncodeRecordKey(key, s->id()), &value);
+      if (!st.ok()) {
+        TARDIS_WARN("re-archive: state (%u,%llu) value for '%s' unreadable: %s",
+                    r.guid.site, static_cast<unsigned long long>(r.guid.seq),
+                    key.c_str(), st.ToString().c_str());
+        complete = false;
+        break;
+      }
+      r.writes.emplace_back(key,
+                            std::make_shared<const std::string>(std::move(value)));
+    }
+    if (!complete) continue;
+    Archive(r);
+    NoteSeen(r.guid.site, r.guid.seq);
+  }
 }
 
 size_t Replicator::PumpOnce() {
@@ -96,8 +144,8 @@ void Replicator::HandleMessage(const ReplMessage& msg) {
         for (const auto& [origin, log] : archive_) {
           const uint64_t their_seen =
               origin < msg.seen_seq.size() ? msg.seen_seq[origin] : 0;
-          for (const CommitRecord& r : log) {
-            if (r.guid.seq > their_seen) replay.push_back(r);
+          for (auto it = log.upper_bound(their_seen); it != log.end(); ++it) {
+            replay.push_back(it->second);
           }
         }
       }
@@ -161,11 +209,7 @@ void Replicator::TryApply(const CommitRecord& record) {
   Status s = store_->ApplyRemote(record);
   if (s.ok()) {
     Archive(record);
-    {
-      std::lock_guard<std::mutex> guard(mu_);
-      uint64_t& seq = seen_seq_[record.guid.site];
-      if (record.guid.seq > seq) seq = record.guid.seq;
-    }
+    NoteSeen(record.guid.site, record.guid.seq);
     applied_total_->Increment();
     RetryPending();
     return;
@@ -195,9 +239,7 @@ void Replicator::RetryPending() {
       Status s = store_->ApplyRemote(record);
       if (s.ok()) {
         Archive(record);
-        std::lock_guard<std::mutex> guard(mu_);
-        uint64_t& seq = seen_seq_[record.guid.site];
-        if (record.guid.seq > seq) seq = record.guid.seq;
+        NoteSeen(record.guid.site, record.guid.seq);
         applied_total_->Increment();
         applied_now++;
       } else if (s.IsUnavailable()) {
@@ -247,9 +289,11 @@ void Replicator::RequestSync() {
   {
     std::lock_guard<std::mutex> guard(mu_);
     uint32_t max_site = 0;
-    for (const auto& [site, seq] : seen_seq_) max_site = std::max(max_site, site);
+    for (const auto& [site, seq] : seen_floor_) {
+      max_site = std::max(max_site, site);
+    }
     req.seen_seq.assign(max_site + 1, 0);
-    for (const auto& [site, seq] : seen_seq_) req.seen_seq[site] = seq;
+    for (const auto& [site, seq] : seen_floor_) req.seen_seq[site] = seq;
   }
   net_->Broadcast(site_id_, std::move(req));
 }

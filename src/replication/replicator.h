@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -48,6 +49,10 @@ class Replicator {
 
   /// Subscribes to the store's commit feed and starts the pump thread.
   void Start();
+  /// Subscribes to the commit feed WITHOUT spawning the pump thread; the
+  /// caller drives delivery with PumpOnce(). This keeps message handling
+  /// fully deterministic for seeded fault-schedule exploration.
+  void StartManual();
   void Stop();
 
   /// Drains due messages on the calling thread (useful in deterministic
@@ -61,6 +66,16 @@ class Replicator {
   /// Broadcasts a recovery sync request for everything this site missed.
   void RequestSync();
 
+  /// Rebuilds the gossip archive from the store's recovered DAG (§6.5).
+  /// A replicator constructed over a store that was just crash-recovered
+  /// starts with an empty in-memory archive, but the recovered DAG may
+  /// hold commits that exist nowhere else (they were durable locally yet
+  /// never reached a peer). Re-archiving them makes the site able to serve
+  /// peers' sync requests for its pre-crash history. Values are reloaded
+  /// from the record store; a state whose values cannot be read back is
+  /// skipped with a warning.
+  void ReArchiveFromStore();
+
   size_t pending_count() const;
   uint64_t applied_count() const { return applied_total_->Value(); }
 
@@ -70,6 +85,9 @@ class Replicator {
   void TryApply(const CommitRecord& record);
   void RetryPending();
   void Archive(const CommitRecord& record);
+  /// Records `seq` as applied for `origin` and advances the contiguous
+  /// floor. Takes mu_.
+  void NoteSeen(uint32_t origin, uint64_t seq);
 
   TardisStore* const store_;
   Transport* const net_;
@@ -80,9 +98,17 @@ class Replicator {
   /// Commits waiting for a missing parent state.
   std::deque<CommitRecord> pending_;
   /// Everything seen (local or remote), per origin site, for sync replies.
-  std::map<uint32_t, std::vector<CommitRecord>> archive_;
-  /// Highest sequence applied per origin site.
-  std::map<uint32_t, uint64_t> seen_seq_;
+  /// Keyed by sequence so out-of-order arrival (the network may reorder)
+  /// still produces a complete, sorted replay log.
+  std::map<uint32_t, std::map<uint64_t, CommitRecord>> archive_;
+  /// Highest *contiguous* sequence applied per origin site. Origins
+  /// allocate seqs 1,2,3,…, so the floor is exact; seqs applied ahead of a
+  /// gap wait in seen_ahead_ until the gap fills. Sync requests advertise
+  /// the floor, which guarantees a commit dropped by the network below an
+  /// applied one is still re-sent by peers (a plain high-water mark would
+  /// mask the hole forever).
+  std::map<uint32_t, uint64_t> seen_floor_;
+  std::map<uint32_t, std::set<uint64_t>> seen_ahead_;
   /// Outstanding pessimistic ceilings: epoch -> (guid, acks needed).
   struct PendingCeiling {
     GlobalStateId guid;

@@ -19,8 +19,10 @@ class BTreeRecordStore : public RecordStore {
  public:
   /// Opens (creating if needed) a store at `path`. `cache_pages` sizes the
   /// buffer pool; the paper's evaluation keeps all requests cache-resident.
+  /// File IO runs through `env` (null = passthrough POSIX).
   static StatusOr<std::unique_ptr<BTreeRecordStore>> Open(
-      const std::string& path, size_t cache_pages = 4096);
+      const std::string& path, size_t cache_pages = 4096,
+      fault::Env* env = nullptr);
 
   Status Put(const Slice& key, const Slice& value) override {
     return tree_->Put(key, value);
@@ -35,6 +37,15 @@ class BTreeRecordStore : public RecordStore {
   }
   uint64_t size() const override { return tree_->size(); }
 
+  Status ForEachKey(
+      const std::function<Status(const Slice& key)>& fn) override {
+    BTree::Iterator it = tree_->NewIterator();
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      TARDIS_RETURN_IF_ERROR(fn(it.key()));
+    }
+    return Status::OK();
+  }
+
   BTree* tree() { return tree_.get(); }
 
  private:
@@ -46,8 +57,8 @@ class BTreeRecordStore : public RecordStore {
 };
 
 inline StatusOr<std::unique_ptr<BTreeRecordStore>> BTreeRecordStore::Open(
-    const std::string& path, size_t cache_pages) {
-  auto pager = Pager::Open(path);
+    const std::string& path, size_t cache_pages, fault::Env* env) {
+  auto pager = Pager::Open(path, env);
   if (!pager.ok()) return pager.status();
   std::unique_ptr<BTreeRecordStore> store(new BTreeRecordStore());
   store->pager_ = std::move(*pager);

@@ -42,6 +42,15 @@ class MemRecordStore : public RecordStore {
     return map_.size();
   }
 
+  Status ForEachKey(
+      const std::function<Status(const Slice& key)>& fn) override {
+    std::shared_lock<std::shared_mutex> guard(rw_);
+    for (const auto& [key, value] : map_) {
+      TARDIS_RETURN_IF_ERROR(fn(Slice(key)));
+    }
+    return Status::OK();
+  }
+
  private:
   mutable std::shared_mutex rw_;
   std::map<std::string, std::string, std::less<>> map_;

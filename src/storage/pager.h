@@ -11,6 +11,7 @@
 #include <mutex>
 #include <string>
 
+#include "fault/env.h"
 #include "storage/page.h"
 #include "util/status.h"
 
@@ -18,8 +19,11 @@ namespace tardis {
 
 class Pager {
  public:
-  /// Opens (creating if absent) the page file at `path`.
-  static StatusOr<std::unique_ptr<Pager>> Open(const std::string& path);
+  /// Opens (creating if absent) the page file at `path`. File IO runs
+  /// through `env` (null = the passthrough POSIX environment), making
+  /// disk faults injectable.
+  static StatusOr<std::unique_ptr<Pager>> Open(const std::string& path,
+                                               fault::Env* env = nullptr);
 
   ~Pager();
 
@@ -46,13 +50,13 @@ class Pager {
   uint64_t page_count() const;
 
  private:
-  explicit Pager(int fd);
+  explicit Pager(std::unique_ptr<fault::File> file);
 
   Status LoadMeta();
   Status FlushMeta();
 
   mutable std::mutex mu_;
-  int fd_;
+  std::unique_ptr<fault::File> file_;
   uint64_t page_count_;   // includes the meta page
   PageId free_head_;      // head of the free list, or kInvalidPageId
   PageId root_;           // user root pointer

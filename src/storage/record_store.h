@@ -6,6 +6,7 @@
 #ifndef TARDIS_STORAGE_RECORD_STORE_H_
 #define TARDIS_STORAGE_RECORD_STORE_H_
 
+#include <functional>
 #include <string>
 
 #include "util/slice.h"
@@ -23,6 +24,11 @@ class RecordStore {
   /// Flushes buffered state to stable storage (no-op for memory stores).
   virtual Status Sync() = 0;
   virtual uint64_t size() const = 0;
+  /// Invokes `fn` for every stored key (order unspecified); stops at the
+  /// first non-OK status and returns it. Recovery scans the surviving keys
+  /// to re-derive the state-id floor (see StateDag::AdvanceIdFloor).
+  virtual Status ForEachKey(
+      const std::function<Status(const Slice& key)>& fn) = 0;
 };
 
 }  // namespace tardis

@@ -31,14 +31,15 @@ uint64_t RouteHash(const Slice& key) {
 }  // namespace
 
 StatusOr<std::unique_ptr<ShardedRecordStore>> ShardedRecordStore::Open(
-    const std::string& dir, size_t num_shards, size_t cache_pages) {
+    const std::string& dir, size_t num_shards, size_t cache_pages,
+    fault::Env* env) {
   if (num_shards == 0) {
     return Status::InvalidArgument("num_shards must be positive");
   }
   std::unique_ptr<ShardedRecordStore> store(new ShardedRecordStore());
   for (size_t i = 0; i < num_shards; i++) {
     auto shard = BTreeRecordStore::Open(
-        dir + "/shard-" + std::to_string(i) + ".db", cache_pages);
+        dir + "/shard-" + std::to_string(i) + ".db", cache_pages, env);
     if (!shard.ok()) return shard.status();
     store->shards_.push_back(std::move(*shard));
   }
@@ -79,6 +80,14 @@ uint64_t ShardedRecordStore::size() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) total += shard->size();
   return total;
+}
+
+Status ShardedRecordStore::ForEachKey(
+    const std::function<Status(const Slice& key)>& fn) {
+  for (auto& shard : shards_) {
+    TARDIS_RETURN_IF_ERROR(shard->ForEachKey(fn));
+  }
+  return Status::OK();
 }
 
 }  // namespace tardis

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/env.h"
 #include "storage/record_store.h"
 #include "util/status.h"
 
@@ -28,9 +29,11 @@ namespace tardis {
 class ShardedRecordStore : public RecordStore {
  public:
   /// Opens `num_shards` disk-backed shards under `dir` (shard-<i>.db).
-  /// `cache_pages` is the buffer-pool budget *per shard*.
+  /// `cache_pages` is the buffer-pool budget *per shard*. File IO runs
+  /// through `env` (null = passthrough POSIX).
   static StatusOr<std::unique_ptr<ShardedRecordStore>> Open(
-      const std::string& dir, size_t num_shards, size_t cache_pages = 1024);
+      const std::string& dir, size_t num_shards, size_t cache_pages = 1024,
+      fault::Env* env = nullptr);
 
   /// Builds a sharded store over caller-supplied backends (used by tests
   /// to mix in-memory shards).
@@ -42,6 +45,8 @@ class ShardedRecordStore : public RecordStore {
   Status Delete(const Slice& key) override;
   Status Sync() override;
   uint64_t size() const override;
+  Status ForEachKey(
+      const std::function<Status(const Slice& key)>& fn) override;
 
   size_t num_shards() const { return shards_.size(); }
   /// The shard a key routes to (exposed for tests and diagnostics).

@@ -1,12 +1,8 @@
 #include "storage/wal.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 #include <vector>
 
+#include "fault/fault_points.h"
 #include "util/coding.h"
 #include "util/crc32.h"
 
@@ -17,19 +13,20 @@ constexpr size_t kFrameHeader = 8;  // u32 masked crc + u32 len
 }
 
 StatusOr<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
-                                         FlushMode mode) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
-  if (fd < 0) {
-    return Status::IOError("open " + path + ": " + strerror(errno));
-  }
-  return std::unique_ptr<Wal>(new Wal(fd, mode, path));
+                                         FlushMode mode, fault::Env* env) {
+  auto file = fault::ResolveEnv(env)->OpenFile(path);
+  if (!file.ok()) return file.status();
+  auto size = file.value()->Size();
+  if (!size.ok()) return size.status();
+  std::unique_ptr<Wal> wal(new Wal(std::move(file.value()), mode, path));
+  // appended_ is the repair boundary for failed appends; an existing log
+  // must never be truncated below its opening length.
+  wal->appended_ = size.value();
+  return wal;
 }
 
 Wal::~Wal() {
-  if (fd_ >= 0) {
-    ::fsync(fd_);
-    ::close(fd_);
-  }
+  if (file_ != nullptr) (void)file_->Sync();
 }
 
 Status Wal::Append(const Slice& payload) {
@@ -43,31 +40,43 @@ Status Wal::Append(const Slice& payload) {
   EncodeFixed32(&frame[0], MaskCrc(crc));
 
   std::lock_guard<std::mutex> guard(mu_);
-  ssize_t n = ::write(fd_, frame.data(), frame.size());
-  if (n != static_cast<ssize_t>(frame.size())) {
-    return Status::IOError("wal append failed");
+  if (poisoned_) {
+    return Status::IOError("wal poisoned by an unrepaired append failure");
   }
+  TARDIS_FAULT_POINT("wal.append.before_write");
+  Status s = file_->Append(frame);
+  if (!s.ok()) {
+    // A prefix of the frame may have landed. Truncate back to the last
+    // good frame boundary so recovery and later appends see a clean log;
+    // if that also fails, poison the log.
+    if (!file_->Truncate(appended_).ok()) poisoned_ = true;
+    return s;
+  }
+  TARDIS_FAULT_POINT("wal.append.after_write");
   appended_ += frame.size();
   if (mode_ == FlushMode::kSync) {
-    if (::fsync(fd_) != 0) return Status::IOError("wal fsync failed");
+    TARDIS_FAULT_POINT("wal.sync");
+    TARDIS_RETURN_IF_ERROR(file_->Sync());
   }
   return Status::OK();
 }
 
 Status Wal::Sync() {
   std::lock_guard<std::mutex> guard(mu_);
-  if (::fsync(fd_) != 0) return Status::IOError("wal fsync failed");
-  return Status::OK();
+  TARDIS_FAULT_POINT("wal.sync");
+  return file_->Sync();
 }
 
 Status Wal::ReadAll(const std::function<Status(const Slice&)>& fn) {
   std::lock_guard<std::mutex> guard(mu_);
-  off_t size = ::lseek(fd_, 0, SEEK_END);
-  if (size < 0) return Status::IOError("wal lseek failed");
-  std::vector<char> buf(static_cast<size_t>(size));
-  if (size > 0) {
-    ssize_t n = ::pread(fd_, buf.data(), buf.size(), 0);
-    if (n != size) return Status::IOError("wal read failed");
+  TARDIS_FAULT_POINT("wal.read");
+  auto size = file_->Size();
+  if (!size.ok()) return size.status();
+  std::vector<char> buf(static_cast<size_t>(size.value()));
+  if (!buf.empty()) {
+    auto n = file_->PRead(0, buf.size(), buf.data());
+    if (!n.ok()) return n.status();
+    if (n.value() != buf.size()) return Status::IOError("wal short read");
   }
 
   size_t off = 0;
@@ -81,14 +90,27 @@ Status Wal::ReadAll(const std::function<Status(const Slice&)>& fn) {
     if (!s.ok()) return s;
     off += kFrameHeader + len;
   }
+  // Salvage: a torn or corrupt tail is discarded *from the file*, not just
+  // skipped. Appends continue at appended_, so garbage left in place would
+  // sit between the valid prefix and every future record, making them
+  // unreachable to the next replay. The truncation is synced: an unsynced
+  // repair could be undone by the next crash, resurrecting a tail the
+  // replay already disowned.
+  if (off < buf.size()) {
+    TARDIS_RETURN_IF_ERROR(file_->Truncate(off));
+    TARDIS_RETURN_IF_ERROR(file_->Sync());
+    appended_ = off;
+    poisoned_ = false;
+  }
   return Status::OK();
 }
 
 Status Wal::Truncate() {
   std::lock_guard<std::mutex> guard(mu_);
-  if (::ftruncate(fd_, 0) != 0) return Status::IOError("wal truncate failed");
-  if (::lseek(fd_, 0, SEEK_SET) < 0) return Status::IOError("wal lseek failed");
+  TARDIS_FAULT_POINT("wal.truncate");
+  TARDIS_RETURN_IF_ERROR(file_->Truncate(0));
   appended_ = 0;
+  poisoned_ = false;
   return Status::OK();
 }
 

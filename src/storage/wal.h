@@ -7,6 +7,12 @@
 //
 // Record framing: [u32 masked crc over len+payload][u32 len][payload].
 // Recovery stops at the first torn/corrupt record.
+//
+// All file IO goes through the fault::Env seam, so tests inject short
+// writes, ENOSPC, fsync failures and crash-truncated tails. A failed
+// append is repaired by truncating back to the last good frame boundary;
+// if even that fails the log is poisoned (every later append refuses)
+// until a successful Truncate().
 
 #ifndef TARDIS_STORAGE_WAL_H_
 #define TARDIS_STORAGE_WAL_H_
@@ -16,6 +22,7 @@
 #include <mutex>
 #include <string>
 
+#include "fault/env.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -29,37 +36,44 @@ class Wal {
   };
 
   static StatusOr<std::unique_ptr<Wal>> Open(const std::string& path,
-                                             FlushMode mode = FlushMode::kAsync);
+                                             FlushMode mode = FlushMode::kAsync,
+                                             fault::Env* env = nullptr);
   ~Wal();
 
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  /// Appends one record; with kSync also fsyncs.
+  /// Appends one record; with kSync also fsyncs. On a failed write the
+  /// partial frame is truncated away so the log stays parseable.
   Status Append(const Slice& payload);
 
   /// Forces everything written so far to stable storage.
   Status Sync();
 
   /// Replays all intact records in append order. Stops (returning OK) at
-  /// the first torn record, mirroring crash-recovery semantics.
+  /// the first torn or corrupt record, mirroring crash-recovery semantics,
+  /// and truncates the file to the valid prefix so subsequent appends
+  /// extend a clean log instead of landing unreachable behind the tear.
   Status ReadAll(const std::function<Status(const Slice&)>& fn);
 
   /// Discards the log contents (after a checkpoint has made them
-  /// redundant).
+  /// redundant). Clears the poisoned flag.
   Status Truncate();
 
   uint64_t appended_bytes() const { return appended_; }
 
  private:
-  Wal(int fd, FlushMode mode, std::string path)
-      : fd_(fd), mode_(mode), path_(std::move(path)) {}
+  Wal(std::unique_ptr<fault::File> file, FlushMode mode, std::string path)
+      : file_(std::move(file)), mode_(mode), path_(std::move(path)) {}
 
   std::mutex mu_;
-  int fd_;
+  std::unique_ptr<fault::File> file_;
   FlushMode mode_;
   std::string path_;
   uint64_t appended_ = 0;
+  /// Set when a failed append could not be repaired: the tail may hold a
+  /// partial frame, so further appends would be unrecoverable.
+  bool poisoned_ = false;
 };
 
 }  // namespace tardis

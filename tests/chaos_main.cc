@@ -1,0 +1,701 @@
+// tardis_chaos: deterministic fault-schedule exploration for the full
+// replicated stack. Each schedule runs a seeded interleaving of client
+// transactions over three durable TARDiS sites connected by a faulty
+// network (drops, duplicates, reorders, partitions) while disk faults and
+// crash-restart cycles fire along the way; every schedule contains at
+// least one crash-restart. After the schedule a healing phase disarms all
+// faults, drains the network, merges the surviving branches and checks
+// four invariants:
+//
+//   1. Convergence: all sites end with identical State DAGs (same guid
+//      set, same single leaf) and identical record contents.
+//   2. Recovery equivalence: a crash-restarted site recovers exactly a
+//      prefix of its pre-crash history — everything flushed before the
+//      crash survives, nothing that never existed appears
+//      (durable ⊆ recovered ⊆ pre-crash).
+//   3. Branch isolation: every read returns a value whose writing state
+//      is an ancestor of (or equal to) the reading state — branches never
+//      leak across the DAG.
+//   4. Error-not-crash: injected disk and network faults surface as
+//      Status returns; the process never dies and the store stays usable.
+//
+// A failing schedule prints its seed and the exact command line that
+// replays it deterministically.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/state.h"
+#include "core/state_dag.h"
+#include "core/tardis_store.h"
+#include "core/transaction.h"
+#include "fault/fault_env.h"
+#include "fault/fault_registry.h"
+#include "fault/faulty_transport.h"
+#include "replication/network.h"
+#include "replication/replicator.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace tardis;
+
+constexpr uint32_t kSites = 3;
+constexpr int kKeys = 8;
+
+std::string KeyName(int k) { return "key" + std::to_string(k); }
+
+/// One replicated site plus its fault plumbing and durability bookkeeping.
+struct Site {
+  std::string dir;
+  std::unique_ptr<fault::FaultEnv> env;
+  std::unique_ptr<TardisStore> store;
+  std::unique_ptr<Replicator> repl;
+  std::unique_ptr<ClientSession> session;
+  /// Highest local sequence ever handed out here (across incarnations);
+  /// re-established as the seq floor after a crash so a lost-but-escaped
+  /// commit's guid is never reissued for different data.
+  uint64_t max_seq_issued = 0;
+  /// Guid set at the last successful Flush/Checkpoint: the lower bound on
+  /// what recovery must bring back.
+  std::set<GlobalStateId> durable_guids;
+};
+
+struct ScheduleStats {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t forks = 0;
+  uint64_t crashes = 0;
+  uint64_t injected_errors = 0;
+  uint64_t reads_checked = 0;
+};
+
+/// Guids of every non-root state at a site.
+std::set<GlobalStateId> GuidSet(TardisStore* store) {
+  std::set<GlobalStateId> out;
+  std::lock_guard<std::mutex> guard(store->dag()->Lock());
+  for (const StatePtr& s : store->dag()->AllStatesLocked()) {
+    if (!s->parents().empty()) out.insert(s->guid());
+  }
+  return out;
+}
+
+bool IsSubset(const std::set<GlobalStateId>& a,
+              const std::set<GlobalStateId>& b) {
+  for (const GlobalStateId& g : a) {
+    if (b.count(g) == 0) return false;
+  }
+  return true;
+}
+
+class Schedule {
+ public:
+  Schedule(uint64_t seed, int steps, bool verbose)
+      : seed_(seed), steps_(steps), verbose_(verbose), rng_(seed) {}
+
+  /// Runs the schedule; returns true iff every invariant held.
+  bool Run();
+
+  const ScheduleStats& stats() const { return stats_; }
+
+ private:
+  bool Fail(const std::string& what) {
+    fprintf(stderr,
+            "SCHEDULE FAILED (seed=%llu): %s\n"
+            "  replay: tardis_chaos --seed=%llu --schedules=1 --steps=%d\n",
+            static_cast<unsigned long long>(seed_), what.c_str(),
+            static_cast<unsigned long long>(seed_), steps_);
+    return false;
+  }
+
+  bool OpenSite(uint32_t i);
+  bool StepTxn(uint32_t site);
+  bool StepForkPair(uint32_t site);
+  bool CrashRestart(uint32_t site);
+  void ArmRandomDiskFault();
+  bool CheckReadIsolation(TardisStore* store, Transaction* txn,
+                          const std::string& value);
+  void RecordCommit(uint32_t site, const std::string& token);
+  /// Pumps every site until the network is quiet. Returns messages moved.
+  size_t DrainNetwork();
+  bool Heal();
+  bool MergeToSingleLeaf();
+  bool CheckConvergence();
+
+  const uint64_t seed_;
+  const int steps_;
+  const bool verbose_;
+  Random rng_;
+  ScheduleStats stats_;
+
+  std::string base_dir_;
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<fault::FaultyTransport> fnet_;
+  Site sites_[kSites];
+  /// Every committed token value -> the guid of the state that wrote it.
+  std::map<std::string, GlobalStateId> token_writer_;
+  uint64_t next_token_ = 0;
+};
+
+bool Schedule::OpenSite(uint32_t i) {
+  Site& s = sites_[i];
+  TardisOptions o;
+  o.dir = s.dir;
+  o.use_btree = true;
+  o.enable_commit_log = true;
+  o.flush_mode = Wal::FlushMode::kAsync;
+  o.cache_pages = 128;
+  o.site_id = i;
+  o.env = s.env.get();
+  auto store = TardisStore::Open(o);
+  if (!store.ok()) {
+    return Fail("site " + std::to_string(i) +
+                " failed to (re)open: " + store.status().ToString());
+  }
+  s.store = std::move(store.value());
+  // A restarted incarnation must never reuse a sequence the previous one
+  // may already have gossiped.
+  s.store->dag()->AdvanceSeqFloor(s.max_seq_issued);
+  s.repl = std::make_unique<Replicator>(s.store.get(), fnet_.get(), i);
+  s.repl->StartManual();
+  s.session = s.store->CreateSession();
+  return true;
+}
+
+void Schedule::RecordCommit(uint32_t site, const std::string& token) {
+  Site& s = sites_[site];
+  stats_.commits++;
+  StatePtr c = s.session->last_commit();
+  if (c == nullptr) return;
+  token_writer_[token] = c->guid();
+  if (c->guid().site == site && c->guid().seq > s.max_seq_issued) {
+    s.max_seq_issued = c->guid().seq;
+  }
+}
+
+bool Schedule::CheckReadIsolation(TardisStore* store, Transaction* txn,
+                                  const std::string& value) {
+  auto it = token_writer_.find(value);
+  if (it == token_writer_.end()) return true;  // pre-seed value
+  stats_.reads_checked++;
+  StatePtr writer = store->dag()->ResolveGuid(it->second);
+  if (writer == nullptr) {
+    std::string dump = "site " + std::to_string(store->site_id()) + " dag:";
+    for (const GlobalStateId& g : GuidSet(store)) dump += " " + g.ToString();
+    fprintf(stderr, "%s\n", dump.c_str());
+    return Fail("read token '" + value + "' but its writing state " +
+                it->second.ToString() + " is unknown at the reading site");
+  }
+  for (StateId sid : txn->parents()) {
+    StatePtr reader = store->dag()->Resolve(sid);
+    if (reader == nullptr) continue;
+    if (reader->guid() == writer->guid()) return true;
+    if (StateDag::DescendantCheck(*writer, *reader)) return true;
+  }
+  return Fail("branch isolation violated: read token '" + value +
+              "' written by " + it->second.ToString() +
+              " which is not an ancestor of the reading state");
+}
+
+bool Schedule::StepTxn(uint32_t site) {
+  Site& s = sites_[site];
+  auto txn = s.store->Begin(s.session.get());
+  if (!txn.ok()) {
+    stats_.injected_errors++;  // must be an error Status, not a crash
+    return true;
+  }
+  Transaction* t = txn.value().get();
+  // Read a random key and check the value's provenance.
+  std::string v;
+  Status rs = t->Get(KeyName(static_cast<int>(rng_.Uniform(kKeys))), &v);
+  if (rs.ok()) {
+    if (!CheckReadIsolation(s.store.get(), t, v)) return false;
+  } else if (!rs.IsNotFound()) {
+    stats_.injected_errors++;
+  }
+  if (rng_.Uniform(10) == 0) {
+    t->Abort();
+    stats_.aborts++;
+    return true;
+  }
+  const std::string token = "s" + std::to_string(site) + ".c" +
+                            std::to_string(next_token_++);
+  Status ps =
+      t->Put(KeyName(static_cast<int>(rng_.Uniform(kKeys))), token);
+  if (!ps.ok()) {
+    stats_.injected_errors++;
+    t->Abort();
+    return true;
+  }
+  Status cs = t->Commit();
+  if (cs.ok()) {
+    RecordCommit(site, token);
+  } else {
+    stats_.aborts++;
+  }
+  return true;
+}
+
+// Two transactions off the same snapshot committing conflicting writes:
+// exercises branch-on-conflict locally (a guaranteed fork).
+bool Schedule::StepForkPair(uint32_t site) {
+  Site& s = sites_[site];
+  auto s2 = s.store->CreateSession();
+  auto t1 = s.store->Begin(s.session.get());
+  auto t2 = s.store->Begin(s2.get());
+  if (!t1.ok() || !t2.ok()) {
+    stats_.injected_errors++;
+    return true;
+  }
+  const int key = static_cast<int>(rng_.Uniform(kKeys));
+  std::string v;
+  (void)t1.value()->Get(KeyName(key), &v);
+  (void)t2.value()->Get(KeyName(key), &v);
+  const std::string tok1 =
+      "s" + std::to_string(site) + ".c" + std::to_string(next_token_++);
+  const std::string tok2 =
+      "s" + std::to_string(site) + ".c" + std::to_string(next_token_++);
+  if (!t1.value()->Put(KeyName(key), tok1).ok() ||
+      !t2.value()->Put(KeyName(key), tok2).ok()) {
+    stats_.injected_errors++;
+    t1.value()->Abort();
+    t2.value()->Abort();
+    return true;
+  }
+  if (t1.value()->Commit().ok()) RecordCommit(site, tok1);
+  if (t2.value()->Commit().ok()) {
+    stats_.commits++;
+    StatePtr c = s2->last_commit();
+    if (c != nullptr) {
+      token_writer_[tok2] = c->guid();
+      if (c->guid().site == site && c->guid().seq > s.max_seq_issued) {
+        s.max_seq_issued = c->guid().seq;
+      }
+      stats_.forks++;
+    }
+  }
+  return true;
+}
+
+void Schedule::ArmRandomDiskFault() {
+  static const char* kPoints[] = {
+      "wal.append.before_write",
+      "wal.sync",
+      "pager.write_page",
+      "pager.read_page",
+  };
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kError;
+  spec.message = "chaos transient";
+  spec.probability = 1.0;
+  spec.max_triggers = 1;
+  fault::FaultRegistry::Global().Arm(
+      kPoints[rng_.Uniform(sizeof(kPoints) / sizeof(kPoints[0]))], spec);
+}
+
+bool Schedule::CrashRestart(uint32_t site) {
+  Site& s = sites_[site];
+  stats_.crashes++;
+  const std::set<GlobalStateId> pre_crash = GuidSet(s.store.get());
+  const std::set<GlobalStateId> durable = s.durable_guids;
+  if (verbose_) {
+    auto render = [](const std::set<GlobalStateId>& s) {
+      std::string out;
+      for (const GlobalStateId& g : s) out += " " + g.ToString();
+      return out;
+    };
+    fprintf(stderr,
+            "  [seed=%llu] crash-restart site %u\n    pre:%s\n    durable:%s\n",
+            static_cast<unsigned long long>(seed_), site,
+            render(pre_crash).c_str(), render(durable).c_str());
+  }
+
+  // The power fails mid-flight: freeze the environment, then tear the
+  // process state down. Destructor-time flushes hit the frozen env and
+  // fail, exactly as buffered writes die with a real process. Armed point
+  // faults die with it too — transient device errors don't survive into
+  // the next boot, and recovery itself must be able to run clean.
+  fault::FaultRegistry::Global().DisarmAll();
+  s.env->MarkCrashed();
+  s.repl->Stop();
+  s.repl.reset();
+  s.session.reset();
+  s.store.reset();
+  Status cs = s.env->ApplyCrash();
+  if (!cs.ok()) {
+    return Fail("ApplyCrash on site " + std::to_string(site) +
+                ": " + cs.ToString());
+  }
+
+  if (!OpenSite(site)) return false;  // recovery itself must succeed
+
+  // Invariant 2: recovery equivalence.
+  const std::set<GlobalStateId> recovered = GuidSet(s.store.get());
+  if (verbose_) {
+    std::string out;
+    for (const GlobalStateId& g : recovered) out += " " + g.ToString();
+    fprintf(stderr, "    recovered:%s\n", out.c_str());
+  }
+  if (!IsSubset(durable, recovered)) {
+    return Fail("recovery lost flushed commits at site " +
+                std::to_string(site) + " (durable " +
+                std::to_string(durable.size()) + ", recovered " +
+                std::to_string(recovered.size()) + ")");
+  }
+  if (!IsSubset(recovered, pre_crash)) {
+    std::string invented;
+    for (const GlobalStateId& g : recovered) {
+      if (pre_crash.count(g) == 0) invented += " " + g.ToString();
+    }
+    return Fail("recovery invented commits at site " + std::to_string(site) +
+                ":" + invented);
+  }
+  // Whatever recovery brought back is on disk now and will survive the
+  // next crash; it is the new durable floor.
+  s.durable_guids = recovered;
+
+  // Make the recovered history servable to peers again (the in-memory
+  // gossip archive died with the old incarnation) and ask the mesh for
+  // everything missed while down.
+  s.repl->ReArchiveFromStore();
+  s.repl->RequestSync();
+  return true;
+}
+
+size_t Schedule::DrainNetwork() {
+  size_t moved = 0;
+  while (true) {
+    size_t round = 0;
+    for (Site& s : sites_) round += s.repl->PumpOnce();
+    moved += round;
+    if (round == 0 && !fnet_->HasInflight()) return moved;
+    if (round == 0) {
+      // Held (reordered) frames release on Receive polls; keep polling.
+      continue;
+    }
+  }
+}
+
+bool Schedule::Heal() {
+  fault::FaultRegistry::Global().DisarmAll();
+  fnet_->HealAll();
+  fnet_->SetLossless(true);
+  // Anti-entropy rounds: sync + drain until every site holds the same
+  // history and nothing is parked waiting for a parent.
+  // Note: pending_count() may legitimately stay nonzero — a commit that
+  // escaped to a peer while its parent was lost forever in the origin's
+  // crash is orphaned and can never apply anywhere. Convergence is about
+  // the applied history, so the check compares DAGs, not queues.
+  for (int round = 0; round < 64; round++) {
+    for (Site& s : sites_) s.repl->RequestSync();
+    DrainNetwork();
+    bool settled = true;
+    const std::set<GlobalStateId> want = GuidSet(sites_[0].store.get());
+    for (uint32_t i = 1; i < kSites; i++) {
+      if (GuidSet(sites_[i].store.get()) != want) settled = false;
+    }
+    if (settled) return true;
+  }
+  std::string detail;
+  for (Site& s : sites_) {
+    detail += " " + std::to_string(GuidSet(s.store.get()).size()) + "/" +
+              std::to_string(s.repl->pending_count());
+  }
+  return Fail("sites failed to converge after healing (states/pending:" +
+              detail + ")");
+}
+
+bool Schedule::MergeToSingleLeaf() {
+  // Merge at site 0 until one branch remains, re-syncing after each merge
+  // so every site tracks the join. Conflicts resolve deterministically to
+  // the lexicographically smallest candidate value.
+  for (int iter = 0; iter < 128; iter++) {
+    if (sites_[0].store->dag()->Leaves().size() <= 1) break;
+    Site& s = sites_[0];
+    auto merger = s.store->CreateSession();
+    auto m = s.store->BeginMerge(merger.get());
+    if (!m.ok()) {
+      return Fail("BeginMerge failed during healing: " +
+                  m.status().ToString());
+    }
+    Transaction* t = m.value().get();
+    auto conflicts = t->FindConflictWrites(t->parents());
+    if (!conflicts.ok()) {
+      return Fail("FindConflictWrites failed: " +
+                  conflicts.status().ToString());
+    }
+    for (const std::string& key : conflicts.value()) {
+      std::string best;
+      bool have = false;
+      for (StateId sid : t->parents()) {
+        std::string v;
+        if (t->GetForId(key, sid, &v).ok() && (!have || v < best)) {
+          best = std::move(v);
+          have = true;
+        }
+      }
+      if (have && !t->Put(key, best).ok()) {
+        return Fail("merge Put failed for '" + key + "'");
+      }
+    }
+    Status cs = t->Commit();
+    if (!cs.ok()) {
+      return Fail("merge commit failed: " + cs.ToString());
+    }
+    stats_.commits++;
+    for (Site& site : sites_) site.repl->RequestSync();
+    DrainNetwork();
+  }
+  for (uint32_t i = 0; i < kSites; i++) {
+    const size_t leaves = sites_[i].store->dag()->Leaves().size();
+    if (leaves != 1) {
+      return Fail("site " + std::to_string(i) + " has " +
+                  std::to_string(leaves) + " leaves after the merge phase");
+    }
+  }
+  return true;
+}
+
+bool Schedule::CheckConvergence() {
+  // Invariant 1, part 1: identical DAGs.
+  const std::set<GlobalStateId> want = GuidSet(sites_[0].store.get());
+  for (uint32_t i = 1; i < kSites; i++) {
+    if (GuidSet(sites_[i].store.get()) != want) {
+      return Fail("guid sets diverge between site 0 and site " +
+                  std::to_string(i));
+    }
+  }
+  const GlobalStateId leaf0 = sites_[0].store->dag()->Leaves()[0]->guid();
+  for (uint32_t i = 1; i < kSites; i++) {
+    if (!(sites_[i].store->dag()->Leaves()[0]->guid() == leaf0)) {
+      return Fail("leaf guid diverges at site " + std::to_string(i));
+    }
+  }
+  // Invariant 1, part 2: identical record contents. For every state and
+  // every key it wrote, the visible value at that state must agree across
+  // sites; and the final value of each key at the single leaf must agree.
+  std::vector<std::map<std::string, std::string>> contents(kSites);
+  for (uint32_t i = 0; i < kSites; i++) {
+    Site& s = sites_[i];
+    auto session = s.store->CreateSession();
+    auto txn = s.store->Begin(session.get());
+    if (!txn.ok()) {
+      return Fail("post-heal Begin failed at site " + std::to_string(i) +
+                  ": " + txn.status().ToString());
+    }
+    Transaction* t = txn.value().get();
+    for (const GlobalStateId& g : want) {
+      StatePtr state = s.store->dag()->ResolveGuid(g);
+      if (state == nullptr) {
+        return Fail("state " + g.ToString() + " vanished at site " +
+                    std::to_string(i));
+      }
+      for (const std::string& key : state->write_set().keys()) {
+        std::string v;
+        Status gs = t->GetForId(key, state->id(), &v);
+        if (!gs.ok()) {
+          return Fail("GetForId(" + key + ", " + g.ToString() +
+                      ") failed at site " + std::to_string(i) + ": " +
+                      gs.ToString());
+        }
+        contents[i][g.ToString() + "/" + key] = v;
+      }
+    }
+    for (int k = 0; k < kKeys; k++) {
+      std::string v;
+      Status gs = t->Get(KeyName(k), &v);
+      if (gs.ok()) {
+        contents[i]["leaf/" + KeyName(k)] = v;
+      } else if (!gs.IsNotFound()) {
+        return Fail("post-heal Get failed at site " + std::to_string(i) +
+                    ": " + gs.ToString());
+      }
+    }
+    t->Abort();
+  }
+  for (uint32_t i = 1; i < kSites; i++) {
+    if (contents[i] != contents[0]) {
+      return Fail("record contents diverge between site 0 and site " +
+                  std::to_string(i));
+    }
+  }
+  return true;
+}
+
+bool Schedule::Run() {
+  fault::FaultRegistry& registry = fault::FaultRegistry::Global();
+  registry.DisarmAll();
+  registry.Reseed(seed_);
+
+  base_dir_ = (std::filesystem::temp_directory_path() /
+               ("tardis_chaos_" + std::to_string(getpid()) + "_" +
+                std::to_string(seed_)))
+                  .string();
+  std::filesystem::remove_all(base_dir_);
+  std::filesystem::create_directories(base_dir_);
+
+  NetworkOptions nopt;
+  nopt.seed = seed_;
+  net_ = std::make_unique<SimNetwork>(kSites, nopt);
+  fault::FaultyTransportOptions fopt;
+  fopt.seed = seed_ * 0x9E3779B9u + 1;
+  fopt.drop_prob = 0.05;
+  fopt.duplicate_prob = 0.05;
+  fopt.reorder_prob = 0.15;
+  fopt.max_hold_polls = 6;
+  fnet_ = std::make_unique<fault::FaultyTransport>(net_.get(), fopt);
+
+  bool ok = true;
+  for (uint32_t i = 0; i < kSites; i++) {
+    sites_[i].dir = base_dir_ + "/site" + std::to_string(i);
+    sites_[i].env = std::make_unique<fault::FaultEnv>(seed_ * kSites + i);
+    if (!OpenSite(i)) {
+      ok = false;
+      break;
+    }
+  }
+
+  // Every schedule performs at least one crash-restart.
+  const int forced_crash_step = static_cast<int>(rng_.Uniform(steps_));
+
+  for (int step = 0; ok && step < steps_; step++) {
+    const uint32_t site = rng_.Uniform(kSites);
+    if (step == forced_crash_step) {
+      ok = CrashRestart(site);
+      continue;
+    }
+    const uint32_t roll = rng_.Uniform(100);
+    if (roll < 35) {
+      ok = StepTxn(site);
+    } else if (roll < 45) {
+      ok = StepForkPair(site);
+    } else if (roll < 70) {
+      sites_[site].repl->PumpOnce();
+    } else if (roll < 75) {
+      const uint32_t other = (site + 1 + rng_.Uniform(kSites - 1)) % kSites;
+      fnet_->Partition(site, other);
+    } else if (roll < 79) {
+      fnet_->HealAll();
+    } else if (roll < 84) {
+      ArmRandomDiskFault();
+    } else if (roll < 90) {
+      // Invariant 4 relies on this never dying: a Flush over an armed
+      // fault point or a degraded commit log returns a Status.
+      if (sites_[site].store->Flush().ok()) {
+        sites_[site].durable_guids = GuidSet(sites_[site].store.get());
+        if (verbose_) {
+          fprintf(stderr, "  [step %d] flush site %u -> durable %zu\n", step,
+                  site, sites_[site].durable_guids.size());
+        }
+      } else {
+        stats_.injected_errors++;
+      }
+    } else if (roll < 93) {
+      if (sites_[site].store->Checkpoint().ok()) {
+        sites_[site].durable_guids = GuidSet(sites_[site].store.get());
+        if (verbose_) {
+          fprintf(stderr, "  [step %d] checkpoint site %u -> durable %zu\n",
+                  step, site, sites_[site].durable_guids.size());
+        }
+      } else {
+        stats_.injected_errors++;
+      }
+    } else if (roll < 96) {
+      sites_[site].repl->RequestSync();
+    } else {
+      ok = CrashRestart(site);
+    }
+  }
+
+  if (ok) ok = Heal();
+  if (ok) ok = MergeToSingleLeaf();
+  if (ok) ok = CheckConvergence();
+
+  // Teardown: replicators before stores (metric callbacks), then wipe the
+  // schedule's directories. A failing schedule keeps its files for triage.
+  registry.DisarmAll();
+  for (Site& s : sites_) {
+    if (s.repl) s.repl->Stop();
+    s.repl.reset();
+    s.session.reset();
+    s.store.reset();
+  }
+  if (ok) {
+    std::filesystem::remove_all(base_dir_);
+  } else {
+    fprintf(stderr, "  site state kept under %s\n", base_dir_.c_str());
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t base_seed = 1;
+  int schedules = 50;
+  int steps = 160;
+  bool verbose = false;
+  for (int i = 1; i < argc; i++) {
+    if (strncmp(argv[i], "--seed=", 7) == 0) {
+      base_seed = strtoull(argv[i] + 7, nullptr, 10);
+    } else if (strncmp(argv[i], "--schedules=", 12) == 0) {
+      schedules = atoi(argv[i] + 12);
+    } else if (strncmp(argv[i], "--steps=", 8) == 0) {
+      steps = atoi(argv[i] + 8);
+    } else if (strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      fprintf(stderr,
+              "usage: %s [--schedules=N] [--seed=S] [--steps=K] [--verbose]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+
+  printf("tardis_chaos: %d schedules x %d steps, seeds %llu..%llu\n",
+         schedules, steps, static_cast<unsigned long long>(base_seed),
+         static_cast<unsigned long long>(base_seed + schedules - 1));
+  ScheduleStats total;
+  std::vector<uint64_t> failed;
+  for (int i = 0; i < schedules; i++) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(i);
+    Schedule schedule(seed, steps, verbose);
+    if (!schedule.Run()) failed.push_back(seed);
+    const ScheduleStats& st = schedule.stats();
+    total.commits += st.commits;
+    total.aborts += st.aborts;
+    total.forks += st.forks;
+    total.crashes += st.crashes;
+    total.injected_errors += st.injected_errors;
+    total.reads_checked += st.reads_checked;
+  }
+
+  printf("tardis_chaos: %llu commits, %llu aborts, %llu forks, "
+         "%llu crash-restarts, %llu injected errors, %llu reads checked\n",
+         static_cast<unsigned long long>(total.commits),
+         static_cast<unsigned long long>(total.aborts),
+         static_cast<unsigned long long>(total.forks),
+         static_cast<unsigned long long>(total.crashes),
+         static_cast<unsigned long long>(total.injected_errors),
+         static_cast<unsigned long long>(total.reads_checked));
+  if (!failed.empty()) {
+    fprintf(stderr, "tardis_chaos: %zu/%d schedules FAILED; seeds:",
+            failed.size(), schedules);
+    for (uint64_t s : failed) {
+      fprintf(stderr, " %llu", static_cast<unsigned long long>(s));
+    }
+    fprintf(stderr, "\n");
+    return 1;
+  }
+  printf("tardis_chaos: all %d schedules passed\n", schedules);
+  return 0;
+}

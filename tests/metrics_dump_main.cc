@@ -34,6 +34,14 @@ const char* kExpectedNames[] = {
     "tardis_gc_versions_promoted_total",
     "tardis_gc_versions_pruned_total",
     "tardis_gc_pass_duration_us",
+    "tardis_fault_points_hit_total",
+    "tardis_fault_errors_injected_total",
+    "tardis_fault_delays_injected_total",
+    "tardis_fault_crashes_simulated_total",
+    "tardis_fault_short_writes_total",
+    "tardis_fault_net_frames_dropped_total",
+    "tardis_fault_net_frames_duplicated_total",
+    "tardis_fault_net_frames_reordered_total",
 };
 
 #define CHECK_OK(expr)                                                  \
