@@ -7,12 +7,22 @@
 // Usage:
 //   tardisd --site=0 --peers=127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
 //           --client-port=8000 [--gc-mode=optimistic|pessimistic]
-//           [--dir=PATH] [--metrics-port=P]
+//           [--dir=PATH] [--metrics-port=P] [--workers=N] [--max-queue=N]
+//           [--request-deadline-ms=MS] [--tick-ms=MS] [--heartbeats=0|1]
+//           [--archive-horizon=N]
 //
 // --peers lists every site's replication endpoint, indexed by site id;
 // entry --site names this daemon's own listen address. With
 // --metrics-port the daemon additionally serves the full metrics registry
 // as Prometheus text over plain HTTP (GET anything on that port).
+//
+// Overload safety: client requests flow through a bounded queue drained
+// by a small worker pool. When the queue is full new requests are shed
+// with "ERR BUSY …" (retryable); a request that waits in the queue past
+// --request-deadline-ms is answered "ERR DEADLINE …" (retryable) without
+// being executed. SIGTERM drains gracefully: stop accepting, finish the
+// queued work, flush the WAL, wait for the transport to push out the last
+// gossip, then exit 0 — locally committed transactions survive restart.
 //
 // Client commands (one per line; single-line replies unless noted):
 //
@@ -23,26 +33,40 @@
 //   leaves                number of branch tips -> LEAVES <n>
 //   states                State DAG size -> STATES <n>
 //   sync                  broadcast a recovery sync request -> OK
-//   peers                 connected outbound peers -> PEERS <n>
+//   peers                 handshaked outbound peers -> PEERS <n>
+//   health                liveness + floors + queue depth, multi-line, "END"
 //   isolate <site>        cut traffic to/from <site> at this endpoint -> OK
 //   heal                  undo all isolates -> OK
 //   metrics [prom|table]  full registry dump, multi-line, terminated "END"
 //   stats                 alias of `metrics table`
 //   trace start|stop      toggle the branch-lifecycle tracer -> OK
 //   trace dump <path>     write captured events as Chrome trace JSON -> OK
+//   sleep <ms>            hold a worker for <ms> (overload testing) -> OK
 //   quit                  close this client connection
-//   shutdown              exit the daemon
+//   shutdown              drain and exit the daemon
+//
+// Retryable errors ("ERR BUSY", "ERR DEADLINE", "ERR SHUTTING_DOWN") mean
+// the request was NOT executed; clients back off and resend (see
+// util/backoff.h and the driver's retry helper).
 
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -57,6 +81,18 @@
 namespace tardis {
 namespace {
 
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 struct DaemonConfig {
   uint32_t site = 0;
   std::vector<TcpPeer> endpoints;  // every site, indexed by site id
@@ -64,6 +100,12 @@ struct DaemonConfig {
   uint16_t metrics_port = 0;  ///< 0 disables the HTTP metrics endpoint
   GcCoordination gc_mode = GcCoordination::kOptimistic;
   std::string dir;
+  uint32_t workers = 4;
+  size_t max_queue = 128;
+  uint64_t request_deadline_ms = 1000;
+  uint64_t tick_ms = 50;
+  bool heartbeats = true;
+  size_t archive_horizon = 4096;
 };
 
 bool ParseEndpoints(const std::string& list, std::vector<TcpPeer>* out) {
@@ -107,6 +149,18 @@ bool ParseFlags(int argc, char** argv, DaemonConfig* config) {
       }
     } else if (const char* v = value("--dir=")) {
       config->dir = v;
+    } else if (const char* v = value("--workers=")) {
+      config->workers = std::max(1, atoi(v));
+    } else if (const char* v = value("--max-queue=")) {
+      config->max_queue = static_cast<size_t>(std::max(1, atoi(v)));
+    } else if (const char* v = value("--request-deadline-ms=")) {
+      config->request_deadline_ms = static_cast<uint64_t>(atoll(v));
+    } else if (const char* v = value("--tick-ms=")) {
+      config->tick_ms = static_cast<uint64_t>(std::max(1, atoi(v)));
+    } else if (const char* v = value("--heartbeats=")) {
+      config->heartbeats = atoi(v) != 0;
+    } else if (const char* v = value("--archive-horizon=")) {
+      config->archive_horizon = static_cast<size_t>(std::max(1, atoi(v)));
     } else {
       fprintf(stderr, "tardisd: unknown flag %s\n", arg.c_str());
       return false;
@@ -170,11 +224,34 @@ std::string DoMerge(TardisStore* store, ClientSession* session,
   return "MERGED " + std::to_string(parents.size());
 }
 
+/// Daemon-wide request-path state shared between the accept loop, the
+/// worker pool and the `health` command.
+struct DaemonShared {
+  std::atomic<uint64_t> queue_depth{0};
+  std::atomic<uint64_t> requests_total{0};
+  std::atomic<uint64_t> shed_total{0};
+  std::atomic<uint64_t> deadline_expired_total{0};
+  std::atomic<bool> draining{false};
+  uint32_t workers = 0;
+};
+
+const char* LivenessName(PeerLiveness s) {
+  switch (s) {
+    case PeerLiveness::kAlive:
+      return "alive";
+    case PeerLiveness::kSuspect:
+      return "suspect";
+    case PeerLiveness::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
 std::string HandleCommand(const std::string& line, TardisStore* store,
                           ClientSession* session, Replicator* replicator,
                           TcpTransport* transport, uint32_t site,
-                          obs::MetricsRegistry* registry, bool* close_conn,
-                          bool* shutdown) {
+                          obs::MetricsRegistry* registry, DaemonShared* shared,
+                          bool* close_conn, bool* shutdown) {
   std::stringstream ss(line);
   std::string cmd;
   ss >> cmd;
@@ -225,6 +302,38 @@ std::string HandleCommand(const std::string& line, TardisStore* store,
     }
     return "PEERS " + std::to_string(connected);
   }
+  if (cmd == "health") {
+    // Machine-readable, one item per line, END-terminated:
+    //   SITE <id> tick=<n> queue=<n> workers=<n> shed=<n> expired=<n>
+    //        draining=<0|1> pending=<n> deferred_gc=<n>
+    //   PEER <id> state=<alive|suspect|dead> connected=<0|1>
+    //        last_heard_tick=<n> flaps=<n>
+    //   FLOOR <origin> <seq>
+    std::string out = "SITE " + std::to_string(site);
+    out += " tick=" + std::to_string(replicator->tick_count());
+    out += " queue=" + std::to_string(shared->queue_depth.load());
+    out += " workers=" + std::to_string(shared->workers);
+    out += " shed=" + std::to_string(shared->shed_total.load());
+    out += " expired=" + std::to_string(shared->deadline_expired_total.load());
+    out += " draining=" + std::to_string(shared->draining.load() ? 1 : 0);
+    out += " pending=" + std::to_string(replicator->pending_count());
+    out += " deferred_gc=" + std::to_string(replicator->deferred_consent_count());
+    out += "\n";
+    for (const Replicator::PeerHealth& p : replicator->PeerStates()) {
+      out += "PEER " + std::to_string(p.site);
+      out += std::string(" state=") + LivenessName(p.state);
+      out += " connected=" +
+             std::to_string(transport->IsConnected(p.site) ? 1 : 0);
+      out += " last_heard_tick=" + std::to_string(p.last_heard_tick);
+      out += " flaps=" + std::to_string(p.flaps);
+      out += "\n";
+    }
+    for (const auto& [origin, seq] : replicator->AppliedFloors()) {
+      out += "FLOOR " + std::to_string(origin) + " " + std::to_string(seq) +
+             "\n";
+    }
+    return out + "END";
+  }
   if (cmd == "isolate") {
     uint32_t peer = 0;
     // Failed extraction zeroes the value; test the stream, not a sentinel.
@@ -270,6 +379,14 @@ std::string HandleCommand(const std::string& line, TardisStore* store,
       return "OK " + std::to_string(obs::Tracer::Get().EventCount());
     }
     return "ERR usage: trace start|stop|dump <path>";
+  }
+  if (cmd == "sleep") {
+    // Test hook: pin a worker for a while so drivers can provoke queue
+    // growth and shedding deterministically.
+    int ms = 0;
+    if (!(ss >> ms) || ms < 0 || ms > 60'000) return "ERR usage: sleep <ms>";
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return "OK";
   }
   if (cmd == "quit") {
     *close_conn = true;
@@ -348,6 +465,43 @@ class MetricsHttpServer {
   std::thread thread_;
 };
 
+// ---- request pipeline -----------------------------------------------------
+
+struct Request {
+  uint64_t conn_id = 0;
+  std::string line;
+  std::shared_ptr<ClientSession> session;
+  uint64_t enqueued_ms = 0;
+};
+
+struct Completion {
+  uint64_t conn_id = 0;
+  std::string reply;
+  bool close_conn = false;
+  bool shutdown = false;
+};
+
+struct ClientConn {
+  int fd = -1;
+  std::string inbuf;
+  std::string outbuf;
+  size_t out_off = 0;
+  std::shared_ptr<ClientSession> session;
+  bool busy = false;         ///< one request in the pipeline (strict order)
+  bool close_after_flush = false;
+};
+
+/// SIGTERM/SIGINT land here; the handler only writes one byte (async-
+/// signal-safe) to wake the poll loop into its drain path.
+int g_signal_pipe_w = -1;
+void OnTermSignal(int) {
+  const char b = 1;
+  if (g_signal_pipe_w >= 0) {
+    ssize_t ignored = write(g_signal_pipe_w, &b, 1);
+    (void)ignored;
+  }
+}
+
 int RunDaemon(const DaemonConfig& config) {
   SetLogSite(static_cast<int>(config.site));
 
@@ -380,10 +534,33 @@ int RunDaemon(const DaemonConfig& config) {
     fprintf(stderr, "tardisd: store: %s\n", store.status().ToString().c_str());
     return 1;
   }
+
+  ReplicatorOptions repl_options(config.gc_mode);
+  repl_options.tick_interval_ms = config.tick_ms;
+  repl_options.heartbeat_every_ticks = config.heartbeats ? 1 : 0;
+  repl_options.archive_horizon = config.archive_horizon;
   Replicator replicator(store->get(), transport->get(), config.site,
-                        config.gc_mode);
+                        repl_options);
+  if (!config.dir.empty()) {
+    // The store may have just crash-recovered; rebuild the gossip archive
+    // so this site can serve anti-entropy for its pre-crash history.
+    replicator.ReArchiveFromStore();
+  }
   replicator.Start();
-  auto session = (*store)->CreateSession();
+
+  DaemonShared shared;
+  shared.workers = config.workers;
+  registry->RegisterCallbackGauge(
+      "tardisd_queue_depth", "Client requests waiting for a worker",
+      [&shared] { return static_cast<int64_t>(shared.queue_depth.load()); },
+      {{"site", std::to_string(config.site)}}, &shared);
+  obs::Counter* shed_counter = registry->RegisterCounter(
+      "tardisd_shed_total", "Client requests rejected because the queue was full",
+      {{"site", std::to_string(config.site)}});
+  obs::Counter* expired_counter = registry->RegisterCounter(
+      "tardisd_deadline_expired_total",
+      "Client requests expired in the queue past the request deadline",
+      {{"site", std::to_string(config.site)}});
 
   const int server_fd = socket(AF_INET, SOCK_STREAM, 0);
   int one = 1;
@@ -393,11 +570,12 @@ int RunDaemon(const DaemonConfig& config) {
   addr.sin_addr.s_addr = INADDR_ANY;
   addr.sin_port = htons(config.client_port);
   if (bind(server_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      listen(server_fd, 16) != 0) {
+      listen(server_fd, 64) != 0) {
     fprintf(stderr, "tardisd: client port %u: %s\n", config.client_port,
             strerror(errno));
     return 1;
   }
+  SetNonBlocking(server_fd);
   std::unique_ptr<MetricsHttpServer> metrics_http;
   if (config.metrics_port != 0) {
     metrics_http =
@@ -405,45 +583,327 @@ int RunDaemon(const DaemonConfig& config) {
     if (!metrics_http->serving()) return 1;
   }
 
+  // Request queue + completion queue.
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  std::deque<Request> queue;
+  bool workers_stop = false;
+
+  std::mutex done_mu;
+  std::deque<Completion> done;
+  int done_pipe[2];
+  if (pipe(done_pipe) != 0) {
+    fprintf(stderr, "tardisd: pipe: %s\n", strerror(errno));
+    return 1;
+  }
+  SetNonBlocking(done_pipe[0]);
+
+  int sig_pipe[2];
+  if (pipe(sig_pipe) != 0) {
+    fprintf(stderr, "tardisd: pipe: %s\n", strerror(errno));
+    return 1;
+  }
+  SetNonBlocking(sig_pipe[0]);
+  g_signal_pipe_w = sig_pipe[1];
+  struct sigaction sa{};
+  sa.sa_handler = OnTermSignal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  auto post_completion = [&](Completion c) {
+    {
+      std::lock_guard<std::mutex> guard(done_mu);
+      done.push_back(std::move(c));
+    }
+    const char b = 1;
+    ssize_t ignored = write(done_pipe[1], &b, 1);
+    (void)ignored;
+  };
+
+  std::vector<std::thread> workers;
+  for (uint32_t w = 0; w < config.workers; w++) {
+    workers.emplace_back([&] {
+      while (true) {
+        Request req;
+        {
+          std::unique_lock<std::mutex> lock(queue_mu);
+          queue_cv.wait(lock, [&] { return workers_stop || !queue.empty(); });
+          if (workers_stop && queue.empty()) return;
+          req = std::move(queue.front());
+          queue.pop_front();
+        }
+        shared.queue_depth.fetch_sub(1);
+        Completion c;
+        c.conn_id = req.conn_id;
+        if (config.request_deadline_ms > 0 &&
+            NowMs() - req.enqueued_ms > config.request_deadline_ms) {
+          // The request aged out while queued; answering it now would just
+          // add latency on top of overload. Tell the client to retry.
+          shared.deadline_expired_total.fetch_add(1);
+          expired_counter->Increment();
+          c.reply = "ERR DEADLINE request expired in queue; retry";
+        } else {
+          c.reply = HandleCommand(req.line, store->get(), req.session.get(),
+                                  &replicator, transport->get(), config.site,
+                                  registry.get(), &shared, &c.close_conn,
+                                  &c.shutdown);
+        }
+        post_completion(std::move(c));
+      }
+    });
+  }
+
   printf("tardisd: site %u serving clients on port %u, replication on %u%s\n",
          config.site, config.client_port, (*transport)->listen_port(),
          config.metrics_port != 0 ? ", metrics via http" : "");
   fflush(stdout);
 
-  bool shutdown = false;
-  while (!shutdown) {
-    const int conn = accept(server_fd, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR) continue;
-      break;
+  std::map<uint64_t, ClientConn> conns;
+  uint64_t next_conn_id = 1;
+  bool listening = true;
+  uint64_t drain_deadline_ms = 0;
+  constexpr size_t kMaxInbuf = 1u << 20;  // a hostile client cannot OOM us
+
+  auto begin_drain = [&] {
+    if (shared.draining.exchange(true)) return;
+    TARDIS_INFO("site %u: draining (listen closed, %zu queued)", config.site,
+                queue.size());
+    if (listening) {
+      close(server_fd);
+      listening = false;
     }
-    std::string buffer;
-    bool close_conn = false;
-    char chunk[4096];
-    while (!close_conn) {
-      const ssize_t n = read(conn, chunk, sizeof(chunk));
-      if (n <= 0) break;
-      buffer.append(chunk, static_cast<size_t>(n));
-      size_t nl;
-      while (!close_conn && (nl = buffer.find('\n')) != std::string::npos) {
-        std::string line = buffer.substr(0, nl);
-        buffer.erase(0, nl + 1);
-        if (!line.empty() && line.back() == '\r') line.pop_back();
-        if (line.empty()) continue;
-        std::string reply =
-            HandleCommand(line, store->get(), session.get(), &replicator,
-                          transport->get(), config.site, registry.get(),
-                          &close_conn, &shutdown);
-        reply.push_back('\n');
-        if (write(conn, reply.data(), reply.size()) < 0) close_conn = true;
+    drain_deadline_ms = NowMs() + 10'000;
+  };
+
+  // Parses complete lines off a connection's inbuf; dispatches at most one
+  // request at a time per connection so replies stay in order.
+  auto pump_conn = [&](uint64_t id, ClientConn& conn) {
+    while (!conn.busy && !conn.close_after_flush) {
+      const size_t nl = conn.inbuf.find('\n');
+      if (nl == std::string::npos) break;
+      std::string line = conn.inbuf.substr(0, nl);
+      conn.inbuf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (shared.draining.load()) {
+        conn.outbuf += "ERR SHUTTING_DOWN site draining; retry elsewhere\n";
+        continue;
+      }
+      bool shed = false;
+      {
+        std::lock_guard<std::mutex> guard(queue_mu);
+        if (queue.size() >= config.max_queue) {
+          shed = true;
+        } else {
+          Request req;
+          req.conn_id = id;
+          req.line = std::move(line);
+          req.session = conn.session;
+          req.enqueued_ms = NowMs();
+          queue.push_back(std::move(req));
+        }
+      }
+      if (shed) {
+        // Load shedding: bounded queue, retryable refusal. The client
+        // backs off and resends instead of the daemon buffering without
+        // limit.
+        shared.shed_total.fetch_add(1);
+        shed_counter->Increment();
+        conn.outbuf += "ERR BUSY queue full; retry\n";
+        continue;
+      }
+      shared.queue_depth.fetch_add(1);
+      shared.requests_total.fetch_add(1);
+      conn.busy = true;
+      queue_cv.notify_one();
+    }
+  };
+
+  bool exiting = false;
+  while (!exiting) {
+    std::vector<pollfd> pfds;
+    std::vector<uint64_t> conn_ids;
+    pfds.push_back({sig_pipe[0], POLLIN, 0});
+    pfds.push_back({done_pipe[0], POLLIN, 0});
+    pfds.push_back({listening ? server_fd : -1, POLLIN, 0});
+    for (auto& [id, conn] : conns) {
+      short events = POLLIN;
+      if (conn.out_off < conn.outbuf.size()) events |= POLLOUT;
+      pfds.push_back({conn.fd, events, 0});
+      conn_ids.push_back(id);
+    }
+
+    const int rc = poll(pfds.data(), pfds.size(), 100);
+    if (rc < 0 && errno != EINTR) {
+      TARDIS_WARN("site %u: poll: %s", config.site, strerror(errno));
+    }
+
+    if (pfds[0].revents & POLLIN) {  // SIGTERM/SIGINT
+      char buf[16];
+      while (read(sig_pipe[0], buf, sizeof(buf)) > 0) {
+      }
+      begin_drain();
+    }
+
+    if (pfds[1].revents & POLLIN) {  // worker completions
+      char buf[64];
+      while (read(done_pipe[0], buf, sizeof(buf)) > 0) {
+      }
+      std::deque<Completion> finished;
+      {
+        std::lock_guard<std::mutex> guard(done_mu);
+        finished.swap(done);
+      }
+      for (Completion& c : finished) {
+        if (c.shutdown) begin_drain();
+        auto it = conns.find(c.conn_id);
+        if (it == conns.end()) continue;  // client went away mid-request
+        ClientConn& conn = it->second;
+        conn.busy = false;
+        conn.outbuf += c.reply;
+        conn.outbuf.push_back('\n');
+        if (c.close_conn) conn.close_after_flush = true;
+        pump_conn(c.conn_id, conn);
       }
     }
-    close(conn);
+
+    if (listening && (pfds[2].revents & POLLIN)) {
+      while (true) {
+        const int fd = accept(server_fd, nullptr, nullptr);
+        if (fd < 0) break;
+        SetNonBlocking(fd);
+        ClientConn conn;
+        conn.fd = fd;
+        conn.session = (*store)->CreateSession();
+        conns.emplace(next_conn_id++, std::move(conn));
+      }
+    }
+
+    std::vector<uint64_t> to_close;
+    for (size_t p = 3; p < pfds.size(); p++) {
+      const uint64_t id = conn_ids[p - 3];
+      auto it = conns.find(id);
+      if (it == conns.end()) continue;
+      ClientConn& conn = it->second;
+      const short revents = pfds[p].revents;
+      if (revents & (POLLERR | POLLHUP)) {
+        // POLLHUP with pending output: try to flush once below anyway.
+        if (conn.out_off >= conn.outbuf.size()) {
+          to_close.push_back(id);
+          continue;
+        }
+      }
+      if (revents & POLLIN) {
+        char chunk[65536];
+        bool eof = false;
+        while (true) {
+          const ssize_t n = read(conn.fd, chunk, sizeof(chunk));
+          if (n > 0) {
+            conn.inbuf.append(chunk, static_cast<size_t>(n));
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          eof = true;
+          break;
+        }
+        if (conn.inbuf.size() > kMaxInbuf) {
+          conn.outbuf += "ERR line too long\n";
+          conn.close_after_flush = true;
+        } else {
+          pump_conn(id, conn);
+        }
+        if (eof && !conn.busy && conn.out_off >= conn.outbuf.size()) {
+          to_close.push_back(id);
+          continue;
+        }
+        if (eof) conn.close_after_flush = true;
+      }
+      if (conn.out_off < conn.outbuf.size()) {
+        while (conn.out_off < conn.outbuf.size()) {
+          const ssize_t n = write(conn.fd, conn.outbuf.data() + conn.out_off,
+                                  conn.outbuf.size() - conn.out_off);
+          if (n > 0) {
+            conn.out_off += static_cast<size_t>(n);
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          to_close.push_back(id);
+          break;
+        }
+        if (conn.out_off >= conn.outbuf.size()) {
+          conn.outbuf.clear();
+          conn.out_off = 0;
+          if (conn.close_after_flush && !conn.busy) to_close.push_back(id);
+        }
+      } else if (conn.close_after_flush && !conn.busy) {
+        to_close.push_back(id);
+      }
+    }
+    for (uint64_t id : to_close) {
+      auto it = conns.find(id);
+      if (it == conns.end()) continue;
+      close(it->second.fd);
+      conns.erase(it);
+    }
+
+    if (shared.draining.load()) {
+      bool queue_empty;
+      {
+        std::lock_guard<std::mutex> guard(queue_mu);
+        queue_empty = queue.empty();
+      }
+      bool anyone_busy = false;
+      bool output_pending = false;
+      for (auto& [id, conn] : conns) {
+        (void)id;
+        if (conn.busy) anyone_busy = true;
+        if (conn.out_off < conn.outbuf.size()) output_pending = true;
+      }
+      if ((queue_empty && !anyone_busy && !output_pending) ||
+          NowMs() >= drain_deadline_ms) {
+        exiting = true;
+      }
+    }
   }
-  close(server_fd);
+
+  // Drain epilogue: stop the workers, persist everything local, and give
+  // the transport a moment to push out the final gossip so peers do not
+  // need anti-entropy for what we already acknowledged.
+  {
+    std::lock_guard<std::mutex> guard(queue_mu);
+    workers_stop = true;
+  }
+  queue_cv.notify_all();
+  for (std::thread& w : workers) w.join();
+  for (auto& [id, conn] : conns) {
+    (void)id;
+    close(conn.fd);
+  }
+  conns.clear();
+  if (listening) close(server_fd);
   metrics_http.reset();
+
+  Status flush_status = (*store)->Flush();
+  if (!flush_status.ok()) {
+    TARDIS_WARN("site %u: final flush: %s", config.site,
+                flush_status.ToString().c_str());
+  }
+  const uint64_t gossip_deadline = NowMs() + 2'000;
+  while ((*transport)->HasInflight() && NowMs() < gossip_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
   replicator.Stop();
   (*transport)->Shutdown();
+  close(done_pipe[0]);
+  close(done_pipe[1]);
+  g_signal_pipe_w = -1;
+  close(sig_pipe[0]);
+  close(sig_pipe[1]);
+  TARDIS_INFO("site %u: drained, exiting", config.site);
   return 0;
 }
 
@@ -456,7 +916,9 @@ int main(int argc, char** argv) {
     fprintf(stderr,
             "usage: tardisd --site=N --peers=host:port,... --client-port=P\n"
             "               [--gc-mode=optimistic|pessimistic] [--dir=PATH]\n"
-            "               [--metrics-port=P]\n"
+            "               [--metrics-port=P] [--workers=N] [--max-queue=N]\n"
+            "               [--request-deadline-ms=MS] [--tick-ms=MS]\n"
+            "               [--heartbeats=0|1] [--archive-horizon=N]\n"
             "--peers is indexed by site id and must name every site,\n"
             "including this one's own replication endpoint.\n");
     return 2;

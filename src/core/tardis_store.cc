@@ -142,15 +142,14 @@ StatusOr<TxnPtr> TardisStore::Begin(ClientSession* session,
   // committed state while that state is still a leaf — no DAG search.
   if (bc->PrefersSessionTip() && session->last_commit_ != nullptr) {
     StatePtr tip = session->last_commit_;
+    // children() is guarded by the DAG lock; an unlocked peek would race
+    // with a concurrent committer appending to the tip.
+    std::lock_guard<std::mutex> guard(dag_.Lock());
     if (tip->children().empty() && !tip->marked.load() &&
         !tip->deleted.load()) {
-      std::lock_guard<std::mutex> guard(dag_.Lock());
-      if (tip->children().empty() && !tip->marked.load() &&
-          !tip->deleted.load()) {
-        tip->PinAsReadState();
-        txn->ctx_.read_states.push_back(std::move(tip));
-        return txn;
-      }
+      tip->PinAsReadState();
+      txn->ctx_.read_states.push_back(std::move(tip));
+      return txn;
     }
   }
 

@@ -47,8 +47,17 @@ TcpTransport::TcpTransport(const TcpTransportOptions& options)
   for (const TcpPeer& peer : options_.peers) {
     PeerConn pc;
     pc.peer = peer;
+    pc.backoff =
+        Backoff(options_.reconnect_initial_ms, options_.reconnect_max_ms);
     outbound_.push_back(std::move(pc));
   }
+}
+
+bool TcpTransport::IsKnownPeer(uint32_t site) const {
+  for (const TcpPeer& peer : options_.peers) {
+    if (peer.site == site) return true;
+  }
+  return false;
 }
 
 TcpTransport::~TcpTransport() { Shutdown(); }
@@ -132,7 +141,7 @@ void TcpTransport::Wake() {
 bool TcpTransport::IsConnected(uint32_t site) const {
   std::lock_guard<std::mutex> guard(mu_);
   for (const PeerConn& pc : outbound_) {
-    if (pc.peer.site == site) return pc.connected;
+    if (pc.peer.site == site) return pc.handshaked;
   }
   return false;
 }
@@ -239,19 +248,25 @@ void TcpTransport::StartConnect(PeerConn* pc, uint64_t now_ms) {
   SetNoDelay(fd);
   const int rc = connect(fd, res->ai_addr, res->ai_addrlen);
   freeaddrinfo(res);
-  if (rc == 0) {
+  if (rc == 0 || errno == EINPROGRESS) {
     pc->fd = fd;
-    pc->connecting = false;
-    pc->connected = true;
-    pc->backoff_ms = 0;
-    if (pc->ever_connected) {
-      reconnects_.fetch_add(1, std::memory_order_relaxed);
-    }
-    pc->ever_connected = true;
-  } else if (errno == EINPROGRESS) {
-    pc->fd = fd;
-    pc->connecting = true;
-    pc->connected = false;
+    pc->connecting = rc != 0;
+    pc->connected = rc == 0;
+    pc->handshaked = false;
+    // The hello MUST be the first frame on the wire. The sendbuf is
+    // guaranteed empty here (CloseOutbound clears it and EnqueueEncoded
+    // drops while fd < 0), so appending is prepending.
+    ReplMessage hello;
+    hello.type = ReplMessage::Type::kHello;
+    hello.from_site = options_.site_id;
+    std::string frame;
+    EncodeFrame(hello, &frame);
+    pc->sendbuf.append(frame);
+    pc->frame_lens.push_back(frame.size());
+    // Note: the backoff is NOT reset here. A TCP connect can succeed
+    // against a port that then rejects the handshake (wrong process, a
+    // proxy, a half-dead peer); resetting on connect would hammer it at
+    // the initial delay forever. Only the peer's kHelloAck resets it.
   } else {
     close(fd);
     CloseOutbound(pc, now_ms);
@@ -263,16 +278,15 @@ void TcpTransport::CloseOutbound(PeerConn* pc, uint64_t now_ms) {
   pc->fd = -1;
   pc->connecting = false;
   pc->connected = false;
+  pc->handshaked = false;
   // Anything still buffered will never reach the peer: gossip tolerates
-  // the loss (RequestSync re-fetches), so count and discard.
+  // the loss (anti-entropy re-fetches), so count and discard.
   dropped_.fetch_add(pc->frame_lens.size(), std::memory_order_relaxed);
   pc->sendbuf.clear();
   pc->sendbuf_off = 0;
   pc->frame_lens.clear();
-  pc->backoff_ms = pc->backoff_ms == 0
-                       ? options_.reconnect_initial_ms
-                       : std::min(pc->backoff_ms * 2, options_.reconnect_max_ms);
-  pc->next_attempt_ms = now_ms + pc->backoff_ms;
+  pc->recvbuf.clear();
+  pc->backoff.Fail(now_ms);
 }
 
 void TcpTransport::FlushWrites(PeerConn* pc, uint64_t now_ms) {
@@ -306,6 +320,42 @@ void TcpTransport::FlushWrites(PeerConn* pc, uint64_t now_ms) {
   }
 }
 
+bool TcpTransport::DrainOutboundHandshake(PeerConn* pc) {
+  size_t off = 0;
+  while (true) {
+    ReplMessage msg;
+    size_t consumed = 0;
+    Status s = DecodeFrame(
+        Slice(pc->recvbuf.data() + off, pc->recvbuf.size() - off), &msg,
+        &consumed);
+    if (!s.ok()) {
+      TARDIS_WARN("site %u: bad handshake bytes from site %u: %s",
+                  options_.site_id, pc->peer.site, s.ToString().c_str());
+      return false;
+    }
+    if (consumed == 0) break;  // incomplete frame, wait for more bytes
+    off += consumed;
+    if (msg.type != ReplMessage::Type::kHelloAck ||
+        msg.from_site != pc->peer.site) {
+      TARDIS_WARN("site %u: unexpected frame on dialed connection to site %u",
+                  options_.site_id, pc->peer.site);
+      return false;
+    }
+    if (!pc->handshaked) {
+      pc->handshaked = true;
+      // This is "the first valid frame from the peer": only now does the
+      // reconnect backoff reset.
+      pc->backoff.Reset();
+      if (pc->ever_handshaked) {
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+      }
+      pc->ever_handshaked = true;
+    }
+  }
+  pc->recvbuf.erase(0, off);
+  return true;
+}
+
 void TcpTransport::DrainInbound(InboundConn* ic) {
   size_t off = 0;
   while (true) {
@@ -326,6 +376,37 @@ void TcpTransport::DrainInbound(InboundConn* ic) {
     }
     if (consumed == 0) break;  // incomplete frame, wait for more bytes
     off += consumed;
+    if (!ic->identified) {
+      // Handshake gate: the first frame must be a kHello from a known
+      // peer; anything else is a stranger and is disconnected before any
+      // payload is accepted.
+      if (msg.type != ReplMessage::Type::kHello ||
+          msg.from_site == options_.site_id || !IsKnownPeer(msg.from_site)) {
+        TARDIS_WARN("site %u: dropping inbound connection: no valid hello",
+                    options_.site_id);
+        close(ic->fd);
+        ic->fd = -1;
+        ic->recvbuf.clear();
+        return;
+      }
+      ic->identified = true;
+      ic->peer_site = msg.from_site;
+      ReplMessage ack;
+      ack.type = ReplMessage::Type::kHelloAck;
+      ack.from_site = options_.site_id;
+      EncodeFrame(ack, &ic->sendbuf);
+      continue;
+    }
+    if (msg.type == ReplMessage::Type::kHello ||
+        msg.type == ReplMessage::Type::kHelloAck ||
+        msg.from_site != ic->peer_site) {
+      TARDIS_WARN("site %u: protocol violation from site %u; disconnecting",
+                  options_.site_id, ic->peer_site);
+      close(ic->fd);
+      ic->fd = -1;
+      ic->recvbuf.clear();
+      return;
+    }
     if (partitioned_.count(msg.from_site) != 0) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -333,6 +414,26 @@ void TcpTransport::DrainInbound(InboundConn* ic) {
     }
   }
   ic->recvbuf.erase(0, off);
+}
+
+void TcpTransport::FlushInboundWrites(InboundConn* ic) {
+  while (ic->sendbuf_off < ic->sendbuf.size()) {
+    const ssize_t n = send(ic->fd, ic->sendbuf.data() + ic->sendbuf_off,
+                           ic->sendbuf.size() - ic->sendbuf_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_sent_.fetch_add(static_cast<uint64_t>(n),
+                            std::memory_order_relaxed);
+      ic->sendbuf_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    close(ic->fd);  // peer went away mid-handshake
+    ic->fd = -1;
+    return;
+  }
+  ic->sendbuf.clear();
+  ic->sendbuf_off = 0;
 }
 
 void TcpTransport::IoLoop() {
@@ -353,9 +454,9 @@ void TcpTransport::IoLoop() {
       for (size_t i = 0; i < outbound_.size(); i++) {
         PeerConn& pc = outbound_[i];
         if (pc.fd < 0) {
-          if (now >= pc.next_attempt_ms) StartConnect(&pc, now);
+          if (pc.backoff.Due(now)) StartConnect(&pc, now);
           if (pc.fd < 0) {
-            const uint64_t wait = pc.next_attempt_ms - now;
+            const uint64_t wait = pc.backoff.RemainingMs(now);
             timeout_ms = std::min<int>(timeout_ms, static_cast<int>(wait) + 1);
             continue;
           }
@@ -368,7 +469,11 @@ void TcpTransport::IoLoop() {
         index.emplace_back(0, i);
       }
       for (size_t i = 0; i < inbound_.size(); i++) {
-        pfds.push_back({inbound_[i].fd, POLLIN, 0});
+        short events = POLLIN;
+        if (inbound_[i].sendbuf_off < inbound_[i].sendbuf.size()) {
+          events |= POLLOUT;  // a kHelloAck is waiting to go out
+        }
+        pfds.push_back({inbound_[i].fd, events, 0});
         index.emplace_back(1, i);
       }
     }
@@ -392,7 +497,9 @@ void TcpTransport::IoLoop() {
         SetNonBlocking(fd);
         SetNoDelay(fd);
         std::lock_guard<std::mutex> guard(mu_);
-        inbound_.push_back(InboundConn{fd, {}});
+        InboundConn ic;
+        ic.fd = fd;
+        inbound_.push_back(std::move(ic));
       }
     }
 
@@ -413,25 +520,38 @@ void TcpTransport::IoLoop() {
             CloseOutbound(&pc, after);
             continue;
           }
+          // TCP is up, but the peer has not vouched for itself yet; the
+          // backoff stays armed until its kHelloAck arrives.
           pc.connecting = false;
           pc.connected = true;
-          pc.backoff_ms = 0;
-          if (pc.ever_connected) {
-            reconnects_.fetch_add(1, std::memory_order_relaxed);
-          }
-          pc.ever_connected = true;
         }
         if (revents & (POLLERR | POLLHUP)) {
           CloseOutbound(&pc, after);
           continue;
         }
         if (revents & POLLIN) {
-          // Peers never send data on connections we dialed; readable
-          // means EOF/reset.
-          char probe[256];
-          const ssize_t n = read(pc.fd, probe, sizeof(probe));
-          if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
-                         errno != EINTR)) {
+          // The only legitimate inbound bytes on a dialed connection are
+          // handshake replies; anything else (or EOF) closes it.
+          bool closed = false;
+          char buf[4096];
+          while (true) {
+            const ssize_t n = read(pc.fd, buf, sizeof(buf));
+            if (n > 0) {
+              bytes_received_.fetch_add(static_cast<uint64_t>(n),
+                                        std::memory_order_relaxed);
+              pc.recvbuf.append(buf, static_cast<size_t>(n));
+              continue;
+            }
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+            if (n < 0 && errno == EINTR) continue;
+            closed = true;
+            break;
+          }
+          if (!pc.recvbuf.empty() && !DrainOutboundHandshake(&pc)) {
+            CloseOutbound(&pc, after);
+            continue;
+          }
+          if (closed) {
             CloseOutbound(&pc, after);
             continue;
           }
@@ -456,6 +576,11 @@ void TcpTransport::IoLoop() {
           break;
         }
         if (!ic.recvbuf.empty()) DrainInbound(&ic);
+        // Push the hello-ack out eagerly (or on POLLOUT if the socket
+        // buffer was full).
+        if (ic.fd >= 0 && ic.sendbuf_off < ic.sendbuf.size()) {
+          FlushInboundWrites(&ic);
+        }
         if (closed && ic.fd >= 0) {
           close(ic.fd);
           ic.fd = -1;

@@ -3,13 +3,17 @@
 // tardisd daemon.
 //
 // Topology: every site listens on one port and dials one outbound
-// connection to each peer. A site *sends* only on the connections it
-// dialed and *receives* only on the connections it accepted, so no
-// identity handshake is needed — every decoded message carries its
-// from_site. Outbound connections that fail or die reconnect with capped
-// exponential backoff; while a peer is down, messages addressed to it are
-// counted as dropped (gossip tolerates loss — RequestSync recovers it),
-// never an error up the stack.
+// connection to each peer. A site *sends* application traffic only on the
+// connections it dialed and *receives* it only on the connections it
+// accepted. The first frame on a dialed connection is a kHello carrying
+// the dialer's site id; the acceptor validates it (first frame, known
+// peer) and answers with a kHelloAck on the same socket — the only bytes
+// that ever flow "backwards". Outbound connections that fail or die
+// reconnect with capped exponential backoff, and the backoff only resets
+// once the peer's kHelloAck arrives (a TCP connect that is later rejected
+// at the handshake keeps backing off). While a peer is down, messages
+// addressed to it are counted as dropped (gossip tolerates loss —
+// anti-entropy recovers it), never an error up the stack.
 //
 // One background thread multiplexes all sockets with poll(2): the listen
 // socket, accepted inbound sockets (read side, frame reassembly +
@@ -32,6 +36,7 @@
 #include <vector>
 
 #include "net/transport.h"
+#include "util/backoff.h"
 #include "util/status.h"
 
 namespace tardis {
@@ -75,7 +80,8 @@ class TcpTransport : public Transport {
   /// Actual bound port (differs from options when listen_port was 0).
   uint16_t listen_port() const { return listen_port_; }
 
-  /// True once the dialed connection to `site` is established.
+  /// True once the dialed connection to `site` completed the hello /
+  /// hello-ack handshake (not merely the TCP connect).
   bool IsConnected(uint32_t site) const;
 
   uint64_t bytes_sent() const {
@@ -84,7 +90,7 @@ class TcpTransport : public Transport {
   uint64_t bytes_received() const {
     return bytes_received_.load(std::memory_order_relaxed);
   }
-  /// Outbound connections established after the first (backoff redials).
+  /// Outbound handshakes completed after the first (backoff redials).
   uint64_t reconnects() const {
     return reconnects_.load(std::memory_order_relaxed);
   }
@@ -111,17 +117,22 @@ class TcpTransport : public Transport {
     TcpPeer peer;
     int fd = -1;
     bool connecting = false;   ///< non-blocking connect in flight
-    bool connected = false;
-    bool ever_connected = false;  ///< distinguishes reconnects from dial #1
+    bool connected = false;    ///< TCP established (hello may be in flight)
+    bool handshaked = false;   ///< peer's kHelloAck received
+    bool ever_handshaked = false;  ///< distinguishes reconnects from dial #1
     std::string sendbuf;       ///< encoded frames awaiting write
     size_t sendbuf_off = 0;    ///< bytes of sendbuf already written
     std::deque<size_t> frame_lens;  ///< frame boundaries, for drop stats
-    uint64_t next_attempt_ms = 0;
-    uint64_t backoff_ms = 0;
+    std::string recvbuf;       ///< hello-ack reassembly
+    Backoff backoff;
   };
   struct InboundConn {
     int fd = -1;
+    bool identified = false;   ///< valid kHello received
+    uint32_t peer_site = 0;    ///< meaningful once identified
     std::string recvbuf;
+    std::string sendbuf;       ///< the kHelloAck awaiting write
+    size_t sendbuf_off = 0;
   };
 
   explicit TcpTransport(const TcpTransportOptions& options);
@@ -132,7 +143,12 @@ class TcpTransport : public Transport {
   void StartConnect(PeerConn* pc, uint64_t now_ms);
   void CloseOutbound(PeerConn* pc, uint64_t now_ms);
   void FlushWrites(PeerConn* pc, uint64_t now_ms);
+  /// Parses handshake replies on a dialed connection. Returns false on a
+  /// protocol violation (caller closes the connection).
+  bool DrainOutboundHandshake(PeerConn* pc);
   void DrainInbound(InboundConn* ic);
+  void FlushInboundWrites(InboundConn* ic);
+  bool IsKnownPeer(uint32_t site) const;
   void EnqueueEncoded(uint32_t to, const std::string& frame);
 
   TcpTransportOptions options_;

@@ -76,6 +76,7 @@ void EncodeReplMessage(const ReplMessage& msg, std::string* out) {
       PutCommitRecord(out, msg.commit);
       break;
     case ReplMessage::Type::kSyncRequest:
+    case ReplMessage::Type::kHeartbeat:
       PutVarint64(out, msg.seen_seq.size());
       for (uint64_t s : msg.seen_seq) PutVarint64(out, s);
       break;
@@ -85,6 +86,15 @@ void EncodeReplMessage(const ReplMessage& msg, std::string* out) {
       PutGuid(out, msg.ceiling);
       PutVarint64(out, msg.ceiling_epoch);
       break;
+    case ReplMessage::Type::kSnapshot:
+      PutVarint64(out, msg.seen_seq.size());
+      for (uint64_t s : msg.seen_seq) PutVarint64(out, s);
+      PutVarint64(out, msg.snapshot.size());
+      for (const CommitRecord& r : msg.snapshot) PutCommitRecord(out, r);
+      break;
+    case ReplMessage::Type::kHello:
+    case ReplMessage::Type::kHelloAck:
+      break;  // identity is the from_site varint every payload carries
   }
 }
 
@@ -97,7 +107,7 @@ Status DecodeReplMessage(Slice payload, ReplMessage* out) {
                               std::to_string(version));
   }
   const uint8_t type_byte = static_cast<uint8_t>(in[1]);
-  if (type_byte > static_cast<uint8_t>(ReplMessage::Type::kCeilingCommit)) {
+  if (type_byte > static_cast<uint8_t>(ReplMessage::Type::kHelloAck)) {
     return Status::Corruption("unknown message type " +
                               std::to_string(type_byte));
   }
@@ -117,7 +127,8 @@ Status DecodeReplMessage(Slice payload, ReplMessage* out) {
         return Status::Corruption("bad commit record");
       }
       break;
-    case ReplMessage::Type::kSyncRequest: {
+    case ReplMessage::Type::kSyncRequest:
+    case ReplMessage::Type::kHeartbeat: {
       uint64_t count = 0;
       if (!GetVarint64(&in, &count) || count > in.size()) {
         return Status::Corruption("bad seen_seq count");
@@ -139,6 +150,34 @@ Status DecodeReplMessage(Slice payload, ReplMessage* out) {
       if (!GetVarint64(&in, &msg.ceiling_epoch)) {
         return Status::Corruption("bad ceiling epoch");
       }
+      break;
+    case ReplMessage::Type::kSnapshot: {
+      uint64_t count = 0;
+      if (!GetVarint64(&in, &count) || count > in.size()) {
+        return Status::Corruption("bad seen_seq count");
+      }
+      msg.seen_seq.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; i++) {
+        uint64_t s = 0;
+        if (!GetVarint64(&in, &s)) return Status::Corruption("bad seen_seq");
+        msg.seen_seq.push_back(s);
+      }
+      uint64_t nrecords = 0;
+      if (!GetVarint64(&in, &nrecords) || nrecords > in.size()) {
+        return Status::Corruption("bad snapshot record count");
+      }
+      msg.snapshot.reserve(static_cast<size_t>(nrecords));
+      for (uint64_t i = 0; i < nrecords; i++) {
+        CommitRecord r;
+        if (!GetCommitRecord(&in, &r)) {
+          return Status::Corruption("bad snapshot record");
+        }
+        msg.snapshot.push_back(std::move(r));
+      }
+      break;
+    }
+    case ReplMessage::Type::kHello:
+    case ReplMessage::Type::kHelloAck:
       break;
   }
   if (!in.empty()) return Status::Corruption("trailing bytes in payload");

@@ -20,10 +20,12 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::Open(
     if (!store.ok()) return store.status();
     cluster->sites_.push_back(std::move(*store));
   }
+  ReplicatorOptions repl = options.repl;
+  repl.gc_mode = options.gc_mode;
   for (size_t i = 0; i < options.num_sites; i++) {
     cluster->replicators_.push_back(std::make_unique<Replicator>(
         cluster->sites_[i].get(), cluster->net_.get(),
-        static_cast<uint32_t>(i), options.gc_mode));
+        static_cast<uint32_t>(i), repl));
   }
   return cluster;
 }

@@ -22,6 +22,12 @@ struct ClusterOptions {
   /// assigned automatically.
   TardisOptions store;
   GcCoordination gc_mode = GcCoordination::kOptimistic;
+  /// Per-site replicator tuning (heartbeat cadence, liveness thresholds,
+  /// archive horizon, …). Heartbeats default off, so WaitQuiescent — which
+  /// means "no in-flight messages" — keeps its meaning; resilience tests
+  /// turn them on explicitly. `repl.gc_mode` is overridden by `gc_mode`
+  /// above.
+  ReplicatorOptions repl;
 };
 
 class Cluster {

@@ -20,6 +20,10 @@ struct ReplMessage {
     kCeilingRequest,  ///< pessimistic GC: ask consent for a ceiling
     kCeilingAck,      ///< consent granted (the state is present here)
     kCeilingCommit,   ///< all consented: place the ceiling
+    kHeartbeat,       ///< liveness beacon + anti-entropy digest (seen_seq)
+    kSnapshot,        ///< bootstrap: topologically ordered commit replay
+    kHello,           ///< transport handshake: first frame on a dialed conn
+    kHelloAck,        ///< transport handshake: acceptor's reply
   };
 
   ReplMessage() = default;
@@ -36,13 +40,21 @@ struct ReplMessage {
 
   CommitRecord commit;  // kCommit
 
-  /// kSyncRequest: last sequence number applied per origin site, indexed
-  /// by site id.
+  /// kSyncRequest / kHeartbeat / kSnapshot: last *contiguous* sequence
+  /// number applied per origin site, indexed by site id. Heartbeats carry
+  /// the sender's digest so every beacon doubles as an anti-entropy probe;
+  /// a snapshot carries the sender's floors so the receiver can adopt them
+  /// after applying the contained records.
   std::vector<uint64_t> seen_seq;
 
   /// Ceiling protocol: the state the ceiling is placed on.
   GlobalStateId ceiling;
   uint64_t ceiling_epoch = 0;
+
+  /// kSnapshot: every commit the sender can replay, in an order where
+  /// parents precede children (local id order satisfies this). Shipped as
+  /// one message so floor adoption is all-or-nothing.
+  std::vector<CommitRecord> snapshot;
 };
 
 }  // namespace tardis

@@ -1,0 +1,58 @@
+// Backoff: capped exponential backoff with explicit state transitions.
+//
+// Shared by the transport layer (outbound reconnect pacing) and by
+// clients of the tardisd line protocol (retrying ERR BUSY / retryable
+// responses). The policy is deliberately time-source agnostic: callers
+// feed in "now" in whatever clock they use (wall ms, ticks), which keeps
+// the deterministic test harnesses deterministic.
+
+#ifndef TARDIS_UTIL_BACKOFF_H_
+#define TARDIS_UTIL_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace tardis {
+
+class Backoff {
+ public:
+  Backoff() = default;
+  Backoff(uint64_t initial_ms, uint64_t max_ms)
+      : initial_ms_(initial_ms), max_ms_(max_ms) {}
+
+  /// Records a failure at time `now_ms`: doubles the current delay
+  /// (starting from `initial_ms`, capped at `max_ms`) and arms the next
+  /// attempt time.
+  void Fail(uint64_t now_ms) {
+    delay_ms_ = delay_ms_ == 0 ? initial_ms_
+                               : std::min(delay_ms_ * 2, max_ms_);
+    next_attempt_ms_ = now_ms + delay_ms_;
+  }
+
+  /// Records a success: the next failure starts over from `initial_ms`.
+  void Reset() {
+    delay_ms_ = 0;
+    next_attempt_ms_ = 0;
+  }
+
+  /// True when a new attempt is allowed at time `now_ms`.
+  bool Due(uint64_t now_ms) const { return now_ms >= next_attempt_ms_; }
+
+  /// Milliseconds until the next attempt is due (0 when already due).
+  uint64_t RemainingMs(uint64_t now_ms) const {
+    return now_ms >= next_attempt_ms_ ? 0 : next_attempt_ms_ - now_ms;
+  }
+
+  uint64_t delay_ms() const { return delay_ms_; }
+  uint64_t next_attempt_ms() const { return next_attempt_ms_; }
+
+ private:
+  uint64_t initial_ms_ = 20;
+  uint64_t max_ms_ = 2000;
+  uint64_t delay_ms_ = 0;  // 0 = no failure since the last Reset
+  uint64_t next_attempt_ms_ = 0;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_UTIL_BACKOFF_H_

@@ -165,7 +165,13 @@ bool Schedule::OpenSite(uint32_t i) {
   // A restarted incarnation must never reuse a sequence the previous one
   // may already have gossiped.
   s.store->dag()->AdvanceSeqFloor(s.max_seq_issued);
-  s.repl = std::make_unique<Replicator>(s.store.get(), fnet_.get(), i);
+  // Heartbeats on: random Tick steps drive the failure detector and
+  // digest anti-entropy under the same fault schedule as the data plane.
+  ReplicatorOptions ropt;
+  ropt.heartbeat_every_ticks = 4;
+  ropt.suspect_after_ticks = 8;
+  ropt.dead_after_ticks = 16;
+  s.repl = std::make_unique<Replicator>(s.store.get(), fnet_.get(), i, ropt);
   s.repl->StartManual();
   s.session = s.store->CreateSession();
   return true;
@@ -389,14 +395,19 @@ bool Schedule::Heal() {
   fault::FaultRegistry::Global().DisarmAll();
   fnet_->HealAll();
   fnet_->SetLossless(true);
-  // Anti-entropy rounds: sync + drain until every site holds the same
-  // history and nothing is parked waiting for a parent.
+  // Anti-entropy rounds: tick + drain until every site holds the same
+  // history and nothing is parked waiting for a parent. No explicit
+  // RequestSync — the heartbeat digests alone must repair everything the
+  // faulty network dropped or reordered.
   // Note: pending_count() may legitimately stay nonzero — a commit that
   // escaped to a peer while its parent was lost forever in the origin's
   // crash is orphaned and can never apply anywhere. Convergence is about
   // the applied history, so the check compares DAGs, not queues.
   for (int round = 0; round < 64; round++) {
-    for (Site& s : sites_) s.repl->RequestSync();
+    for (Site& s : sites_) {
+      // heartbeat_every_ticks is 4: four ticks guarantee a digest each.
+      for (int t = 0; t < 4; t++) s.repl->Tick();
+    }
     DrainNetwork();
     bool settled = true;
     const std::set<GlobalStateId> want = GuidSet(sites_[0].store.get());
@@ -578,7 +589,12 @@ bool Schedule::Run() {
       ok = StepTxn(site);
     } else if (roll < 45) {
       ok = StepForkPair(site);
+    } else if (roll < 60) {
+      sites_[site].repl->PumpOnce();
     } else if (roll < 70) {
+      // A replication time-step: heartbeats, liveness transitions and
+      // deadline sweeps fire under the same seeded interleaving.
+      sites_[site].repl->Tick();
       sites_[site].repl->PumpOnce();
     } else if (roll < 75) {
       const uint32_t other = (site + 1 + rng_.Uniform(kSites - 1)) % kSites;
@@ -637,12 +653,312 @@ bool Schedule::Run() {
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// Resilience schedules. Unlike the main schedule these never call
+// RequestSync: heartbeat-driven anti-entropy and snapshot bootstrap must do
+// every repair on their own.
+// ---------------------------------------------------------------------------
+
+/// A lighter-weight site for the resilience schedules: in-memory store, no
+/// disk-fault plumbing — the adversary here is site death, not bad sectors.
+struct ResilienceSite {
+  std::unique_ptr<TardisStore> store;
+  std::unique_ptr<Replicator> repl;
+  std::unique_ptr<ClientSession> session;
+
+  void Kill() {
+    if (repl) repl->Stop();
+    repl.reset();
+    session.reset();
+    store.reset();
+  }
+};
+
+bool OpenResilienceSite(ResilienceSite* s, uint32_t i, Transport* net,
+                        const ReplicatorOptions& ropt) {
+  TardisOptions o;
+  o.site_id = i;
+  auto store = TardisStore::Open(o);
+  if (!store.ok()) return false;
+  s->store = std::move(store.value());
+  s->repl = std::make_unique<Replicator>(s->store.get(), net, i, ropt);
+  s->repl->StartManual();
+  s->session = s->store->CreateSession();
+  return true;
+}
+
+bool CommitValue(ResilienceSite* s, const std::string& key,
+                 const std::string& value) {
+  auto txn = s->store->Begin(s->session.get());
+  if (!txn.ok()) return false;
+  if (!txn.value()->Put(key, value).ok()) return false;
+  return txn.value()->Commit().ok();
+}
+
+bool ResilienceFail(const char* family, uint64_t seed,
+                    const std::string& what) {
+  fprintf(stderr, "%s SCHEDULE FAILED (seed=%llu): %s\n", family,
+          static_cast<unsigned long long>(seed), what.c_str());
+  return false;
+}
+
+/// One site is killed outright (its store destroyed, its links severed), the
+/// survivors commit far past the gossip archive horizon under a lossy
+/// network, and a blank incarnation of the dead site rejoins. Convergence
+/// must come from heartbeats alone: the survivors bootstrap the newcomer
+/// with a snapshot (replay cannot cover the trimmed history) and
+/// anti-entropy finishes the tail. Finally the rejoined site commits, which
+/// only replicates safely if the snapshot restored its own sequence floor.
+bool RunResilienceSchedule(uint64_t seed, bool verbose) {
+  NetworkOptions nopt;
+  nopt.seed = seed;
+  SimNetwork net(kSites, nopt);
+  fault::FaultyTransportOptions fopt;
+  fopt.seed = seed * 0x9E3779B9u + 17;
+  fopt.drop_prob = 0.10;
+  fopt.duplicate_prob = 0.05;
+  fopt.reorder_prob = 0.10;
+  fopt.max_hold_polls = 4;
+  fault::FaultyTransport fnet(&net, fopt);
+
+  ReplicatorOptions ropt;
+  ropt.heartbeat_every_ticks = 2;
+  ropt.suspect_after_ticks = 4;
+  ropt.dead_after_ticks = 8;
+  ropt.archive_horizon = 64;  // small: forces the snapshot path on rejoin
+  ropt.repair_batch = 32;
+  ropt.snapshot_min_interval_ticks = 4;
+
+  Random rng(seed);
+  ResilienceSite sites[kSites];
+  for (uint32_t i = 0; i < kSites; i++) {
+    if (!OpenResilienceSite(&sites[i], i, &fnet, ropt)) {
+      return ResilienceFail("RESILIENCE", seed, "site failed to open");
+    }
+  }
+  auto fail = [&](const std::string& what) {
+    return ResilienceFail("RESILIENCE", seed, what);
+  };
+  auto pump_live = [&]() {
+    for (int spin = 0; spin < 200; spin++) {
+      size_t moved = 0;
+      for (ResilienceSite& s : sites) {
+        if (s.repl) moved += s.repl->PumpOnce();
+      }
+      if (moved == 0) return;
+    }
+  };
+  uint64_t token = 0;
+  auto commit_at = [&](uint32_t i) {
+    return CommitValue(&sites[i], KeyName(static_cast<int>(rng.Uniform(kKeys))),
+                       "r" + std::to_string(i) + "." + std::to_string(token++));
+  };
+
+  // Phase A: warm-up traffic with everyone alive.
+  for (int step = 0; step < 40; step++) {
+    const uint32_t site = rng.Uniform(kSites);
+    const uint32_t roll = rng.Uniform(100);
+    if (roll < 50) {
+      if (!commit_at(site)) return fail("warm-up commit failed");
+    } else if (roll < 80) {
+      sites[site].repl->Tick();
+      sites[site].repl->PumpOnce();
+    } else {
+      sites[site].repl->PumpOnce();
+    }
+  }
+
+  // Phase B: one site dies. Severing its links models the dead TCP peer:
+  // gossip addressed to it is dropped, not queued for its next life.
+  const uint32_t victim = rng.Uniform(kSites);
+  const uint32_t live[2] = {(victim + 1) % kSites, (victim + 2) % kSites};
+  sites[victim].Kill();
+  fnet.Partition(victim, live[0]);
+  fnet.Partition(victim, live[1]);
+
+  // Survivors commit far past the archive horizon while ticking freely.
+  for (int i = 0; i < 1100; i++) {
+    const uint32_t site = live[rng.Uniform(2)];
+    if (!commit_at(site)) return fail("survivor commit failed");
+    if (rng.Uniform(4) == 0) {
+      sites[site].repl->Tick();
+      sites[site].repl->PumpOnce();
+    }
+  }
+  pump_live();
+  for (uint32_t i : live) {
+    for (const Replicator::PeerHealth& p : sites[i].repl->PeerStates()) {
+      if (p.site == victim && p.state != PeerLiveness::kDead) {
+        return fail("survivor " + std::to_string(i) +
+                    " never declared the dead site dead");
+      }
+    }
+  }
+
+  // Phase C: blank rejoin; converge on ticks alone.
+  fnet.HealAll();
+  if (!OpenResilienceSite(&sites[victim], victim, &fnet, ropt)) {
+    return fail("victim failed to reopen");
+  }
+  bool converged = false;
+  for (int round = 0; round < 600 && !converged; round++) {
+    for (ResilienceSite& s : sites) s.repl->Tick();
+    pump_live();
+    const std::set<GlobalStateId> want = GuidSet(sites[0].store.get());
+    converged = GuidSet(sites[1].store.get()) == want &&
+                GuidSet(sites[2].store.get()) == want;
+  }
+  if (!converged) {
+    std::string detail;
+    for (ResilienceSite& s : sites) {
+      detail += " " + std::to_string(GuidSet(s.store.get()).size());
+    }
+    return fail("blank rejoin failed to converge (states:" + detail + ")");
+  }
+
+  // The rejoined site must be writable and its commit must replicate.
+  if (!CommitValue(&sites[victim], "rejoined", "yes")) {
+    return fail("rejoined site could not commit");
+  }
+  converged = false;
+  for (int round = 0; round < 200 && !converged; round++) {
+    for (ResilienceSite& s : sites) s.repl->Tick();
+    pump_live();
+    const std::set<GlobalStateId> want = GuidSet(sites[victim].store.get());
+    converged = GuidSet(sites[live[0]].store.get()) == want &&
+                GuidSet(sites[live[1]].store.get()) == want;
+  }
+  if (!converged) return fail("post-rejoin commit did not replicate");
+
+  if (verbose) {
+    fprintf(stderr,
+            "  resilience seed %llu: victim %u rejoined at %zu states\n",
+            static_cast<unsigned long long>(seed), victim,
+            GuidSet(sites[victim].store.get()).size());
+  }
+  for (ResilienceSite& s : sites) s.Kill();
+  return true;
+}
+
+/// Pessimistic GC with a dead peer: a ceiling placed while one site is down
+/// must still gain consent (the failure detector excludes the dead peer) so
+/// GC runs on the survivors; when the site returns blank it is repaired,
+/// the ceiling commit is redelivered, and GC completes there too.
+bool RunGcResilienceSchedule(uint64_t seed, bool verbose) {
+  NetworkOptions nopt;
+  nopt.seed = seed;
+  SimNetwork net(kSites, nopt);  // lossless fabric: consent math stays exact
+
+  ReplicatorOptions ropt;
+  ropt.gc_mode = GcCoordination::kPessimistic;
+  ropt.heartbeat_every_ticks = 1;
+  ropt.suspect_after_ticks = 2;
+  ropt.dead_after_ticks = 4;
+  ropt.ceiling_deadline_ticks = 4;
+  ropt.ceiling_max_retries = 1;
+  ropt.deferred_retry_every_ticks = 4;
+
+  Random rng(seed);
+  ResilienceSite sites[kSites];
+  for (uint32_t i = 0; i < kSites; i++) {
+    if (!OpenResilienceSite(&sites[i], i, &net, ropt)) {
+      return ResilienceFail("GC-RESILIENCE", seed, "site failed to open");
+    }
+  }
+  auto fail = [&](const std::string& what) {
+    return ResilienceFail("GC-RESILIENCE", seed, what);
+  };
+  auto pump_all = [&]() {
+    for (int spin = 0; spin < 200; spin++) {
+      size_t moved = 0;
+      for (ResilienceSite& s : sites) {
+        if (s.repl) moved += s.repl->PumpOnce();
+      }
+      if (moved == 0) return;
+    }
+  };
+
+  // A linear chain of commits at site 0, replicated everywhere.
+  const int kChain = 8 + static_cast<int>(rng.Uniform(8));
+  for (int i = 0; i < kChain; i++) {
+    if (!CommitValue(&sites[0], KeyName(i % kKeys),
+                     "g" + std::to_string(i))) {
+      return fail("chain commit failed");
+    }
+  }
+  pump_all();
+
+  // Kill a non-coordinator site and sever its links, then tick the
+  // survivors until the failure detector declares it dead.
+  const uint32_t victim = 1 + rng.Uniform(kSites - 1);
+  const uint32_t other = (victim == 1) ? 2 : 1;
+  sites[victim].Kill();
+  net.Partition(victim, 0);
+  net.Partition(victim, other);
+  for (int t = 0; t < 6; t++) {
+    sites[0].repl->Tick();
+    sites[other].repl->Tick();
+    pump_all();
+  }
+  bool dead_seen = false;
+  for (const Replicator::PeerHealth& p : sites[0].repl->PeerStates()) {
+    if (p.site == victim && p.state == PeerLiveness::kDead) dead_seen = true;
+  }
+  if (!dead_seen) return fail("coordinator never declared the victim dead");
+
+  // Consent must complete within the deadline without the dead peer.
+  sites[0].repl->PlaceCeiling(sites[0].session.get());
+  pump_all();
+  if (sites[0].repl->deferred_consent_count() != 0) {
+    return fail("consent round was deferred despite a live quorum");
+  }
+  if (sites[0].store->RunGarbageCollection().states_deleted == 0) {
+    return fail("coordinator GC deleted nothing after consent");
+  }
+  if (sites[other].store->RunGarbageCollection().states_deleted == 0) {
+    return fail("live peer GC deleted nothing after ceiling commit");
+  }
+
+  // The victim returns blank: repair + ceiling redelivery must let GC
+  // complete there as well, and all DAGs must agree afterwards.
+  net.HealAll();
+  if (!OpenResilienceSite(&sites[victim], victim, &net, ropt)) {
+    return fail("victim failed to reopen");
+  }
+  uint64_t victim_deleted = 0;
+  for (int round = 0; round < 200 && victim_deleted == 0; round++) {
+    for (ResilienceSite& s : sites) s.repl->Tick();
+    pump_all();
+    victim_deleted =
+        sites[victim].store->RunGarbageCollection().states_deleted;
+  }
+  if (victim_deleted == 0) {
+    return fail("returned site never completed GC from redelivered ceiling");
+  }
+  const std::set<GlobalStateId> want = GuidSet(sites[0].store.get());
+  for (uint32_t i = 1; i < kSites; i++) {
+    if (GuidSet(sites[i].store.get()) != want) {
+      return fail("DAGs diverged after GC at site " + std::to_string(i));
+    }
+  }
+  if (verbose) {
+    fprintf(stderr,
+            "  gc-resilience seed %llu: victim %u, chain %d, gc at victim "
+            "deleted %llu\n",
+            static_cast<unsigned long long>(seed), victim, kChain,
+            static_cast<unsigned long long>(victim_deleted));
+  }
+  for (ResilienceSite& s : sites) s.Kill();
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   uint64_t base_seed = 1;
   int schedules = 50;
   int steps = 160;
+  int resilience = 10;
   bool verbose = false;
   for (int i = 1; i < argc; i++) {
     if (strncmp(argv[i], "--seed=", 7) == 0) {
@@ -651,11 +967,14 @@ int main(int argc, char** argv) {
       schedules = atoi(argv[i] + 12);
     } else if (strncmp(argv[i], "--steps=", 8) == 0) {
       steps = atoi(argv[i] + 8);
+    } else if (strncmp(argv[i], "--resilience=", 13) == 0) {
+      resilience = atoi(argv[i] + 13);
     } else if (strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
     } else {
       fprintf(stderr,
-              "usage: %s [--schedules=N] [--seed=S] [--steps=K] [--verbose]\n",
+              "usage: %s [--schedules=N] [--seed=S] [--steps=K] "
+              "[--resilience=N] [--verbose]\n",
               argv[0]);
       return 2;
     }
@@ -687,15 +1006,36 @@ int main(int argc, char** argv) {
          static_cast<unsigned long long>(total.crashes),
          static_cast<unsigned long long>(total.injected_errors),
          static_cast<unsigned long long>(total.reads_checked));
-  if (!failed.empty()) {
-    fprintf(stderr, "tardis_chaos: %zu/%d schedules FAILED; seeds:",
-            failed.size(), schedules);
-    for (uint64_t s : failed) {
-      fprintf(stderr, " %llu", static_cast<unsigned long long>(s));
+  // Resilience families: blank rejoin past the archive horizon, and
+  // pessimistic GC with a dead peer. Seeds offset so they never overlap
+  // with the main schedule's seed range under default flags.
+  int resilience_failed = 0;
+  if (resilience > 0) {
+    printf("tardis_chaos: %d resilience + %d gc-resilience schedules\n",
+           resilience, resilience);
+    for (int i = 0; i < resilience; i++) {
+      const uint64_t seed = base_seed + 100000 + static_cast<uint64_t>(i);
+      if (!RunResilienceSchedule(seed, verbose)) resilience_failed++;
+      if (!RunGcResilienceSchedule(seed, verbose)) resilience_failed++;
     }
-    fprintf(stderr, "\n");
+  }
+
+  if (!failed.empty() || resilience_failed > 0) {
+    if (!failed.empty()) {
+      fprintf(stderr, "tardis_chaos: %zu/%d schedules FAILED; seeds:",
+              failed.size(), schedules);
+      for (uint64_t s : failed) {
+        fprintf(stderr, " %llu", static_cast<unsigned long long>(s));
+      }
+      fprintf(stderr, "\n");
+    }
+    if (resilience_failed > 0) {
+      fprintf(stderr, "tardis_chaos: %d resilience schedules FAILED\n",
+              resilience_failed);
+    }
     return 1;
   }
-  printf("tardis_chaos: all %d schedules passed\n", schedules);
+  printf("tardis_chaos: all %d schedules passed\n",
+         schedules + 2 * resilience);
   return 0;
 }

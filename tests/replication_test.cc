@@ -123,9 +123,16 @@ TEST_F(ClusterTest, ConcurrentRemoteWritesForkEverywhere) {
   Open(2);
   auto s0 = cluster_->site(0)->CreateSession();
   auto s1 = cluster_->site(1)->CreateSession();
-  // Both sites write the same key concurrently (before replication).
+  // Both sites write the same key concurrently. The link is severed for
+  // the two commits: if the first broadcast landed before the second
+  // Begin picked its read state, the histories would linearize and no
+  // fork would form (a real scheduling, but not the one under test).
+  cluster_->network()->Partition(0, 1);
   PutCommit(cluster_->site(0), s0.get(), "page", "from-site-0");
   PutCommit(cluster_->site(1), s1.get(), "page", "from-site-1");
+  cluster_->network()->HealAll();
+  cluster_->replicator(0)->RequestSync();
+  cluster_->replicator(1)->RequestSync();
   ASSERT_TRUE(cluster_->WaitQuiescent());
   // Both sites now hold both branches.
   EXPECT_EQ(cluster_->site(0)->dag()->Leaves().size(), 2u);
@@ -142,8 +149,14 @@ TEST_F(ClusterTest, MergeReplicatesAndConverges) {
   auto s1 = cluster_->site(1)->CreateSession();
   PutCommit(cluster_->site(0), s0.get(), "cnt", "5");
   ASSERT_TRUE(cluster_->WaitQuiescent());
+  // Fork deterministically: sever the link so neither write can reach
+  // the other site before it commits, then heal and recover.
+  cluster_->network()->Partition(0, 1);
   PutCommit(cluster_->site(0), s0.get(), "cnt", "6");
   PutCommit(cluster_->site(1), s1.get(), "cnt", "7");
+  cluster_->network()->HealAll();
+  cluster_->replicator(0)->RequestSync();
+  cluster_->replicator(1)->RequestSync();
   ASSERT_TRUE(cluster_->WaitQuiescent());
 
   // Merge at site 0 using the fork-point delta rule.
@@ -247,6 +260,244 @@ TEST_F(ClusterTest, PessimisticCeilingWaitsForConsent) {
   // Consent needs the remote site to hold the state: re-request.
   cluster_->replicator(0)->PlaceCeiling(s0.get());
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  GcStats after = cluster_->site(0)->RunGarbageCollection();
+  EXPECT_GT(after.states_deleted, 0u);
+}
+
+// Resilience tests drive the replication clock by hand (StartManual +
+// Tick) so heartbeat cadence, suspicion timeouts and consent deadlines
+// are exact tick counts rather than wall-clock races.
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void OpenManual(const ClusterOptions& options) {
+    auto cluster = Cluster::Open(options);
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(*cluster);
+    for (size_t i = 0; i < cluster_->num_sites(); i++) {
+      cluster_->replicator(i)->StartManual();
+    }
+  }
+
+  /// Delivers every in-flight message, repeatedly, until the mesh is idle.
+  void PumpAll() {
+    size_t moved;
+    do {
+      moved = 0;
+      for (size_t i = 0; i < cluster_->num_sites(); i++) {
+        moved += cluster_->replicator(i)->PumpOnce();
+      }
+    } while (moved > 0);
+  }
+
+  /// One replication time-step at every site, then full delivery.
+  void TickAll() {
+    for (size_t i = 0; i < cluster_->num_sites(); i++) {
+      cluster_->replicator(i)->Tick();
+    }
+    PumpAll();
+  }
+
+  Replicator::PeerHealth PeerAt(size_t site, uint32_t peer) {
+    for (const Replicator::PeerHealth& p :
+         cluster_->replicator(site)->PeerStates()) {
+      if (p.site == peer) return p;
+    }
+    ADD_FAILURE() << "peer " << peer << " not tracked at site " << site;
+    return {};
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(ResilienceTest, HeartbeatLivenessTracksDeathAndReturn) {
+  ClusterOptions options;
+  options.num_sites = 2;
+  options.repl.heartbeat_every_ticks = 1;
+  options.repl.suspect_after_ticks = 2;
+  options.repl.dead_after_ticks = 4;
+  OpenManual(options);
+
+  // Heartbeats flowing both ways: everyone stays alive.
+  for (int i = 0; i < 3; i++) TickAll();
+  EXPECT_EQ(PeerAt(0, 1).state, PeerLiveness::kAlive);
+  EXPECT_EQ(PeerAt(1, 0).state, PeerLiveness::kAlive);
+
+  // Site 1 goes silent; site 0's clock keeps running. The silence crosses
+  // the suspect threshold first, then the dead threshold.
+  bool saw_suspect = false;
+  for (int i = 0; i < 6; i++) {
+    cluster_->replicator(0)->Tick();
+    cluster_->replicator(0)->PumpOnce();
+    if (PeerAt(0, 1).state == PeerLiveness::kSuspect) saw_suspect = true;
+  }
+  EXPECT_TRUE(saw_suspect);
+  EXPECT_EQ(PeerAt(0, 1).state, PeerLiveness::kDead);
+
+  // The peer speaks again: back to alive, with the flap recorded and the
+  // next death threshold doubled (exponential suspicion).
+  cluster_->replicator(1)->Tick();
+  cluster_->replicator(0)->PumpOnce();
+  const Replicator::PeerHealth back = PeerAt(0, 1);
+  EXPECT_EQ(back.state, PeerLiveness::kAlive);
+  EXPECT_EQ(back.flaps, 1u);
+  EXPECT_EQ(back.dead_after_ticks, 8u);
+}
+
+TEST_F(ResilienceTest, AntiEntropyRepairsDroppedGossipWithoutSync) {
+  ClusterOptions options;
+  options.num_sites = 2;
+  options.repl.heartbeat_every_ticks = 1;
+  OpenManual(options);
+
+  // Every broadcast during the partition is lost.
+  cluster_->network()->Partition(0, 1);
+  auto s0 = cluster_->site(0)->CreateSession();
+  for (int i = 0; i < 5; i++) {
+    PutCommit(cluster_->site(0), s0.get(), "k", std::to_string(i));
+  }
+  EXPECT_EQ(cluster_->site(1)->dag()->state_count(), 1u);
+
+  // Heal and let the heartbeat digests do the repair — no RequestSync.
+  cluster_->network()->HealAll();
+  for (int i = 0; i < 8 && cluster_->site(1)->dag()->state_count() < 6; i++) {
+    TickAll();
+  }
+  EXPECT_EQ(cluster_->site(1)->dag()->state_count(), 6u);
+  auto s1 = cluster_->site(1)->CreateSession();
+  EXPECT_EQ(MustGet(cluster_->site(1), s1.get(), "k"), "4");
+}
+
+TEST_F(ResilienceTest, SnapshotBootstrapsSiteBehindArchiveHorizon) {
+  ClusterOptions options;
+  options.num_sites = 2;
+  options.repl.heartbeat_every_ticks = 1;
+  options.repl.archive_horizon = 8;  // force the early history out
+  OpenManual(options);
+
+  cluster_->network()->Partition(0, 1);
+  auto s0 = cluster_->site(0)->CreateSession();
+  for (int i = 0; i < 50; i++) {
+    PutCommit(cluster_->site(0), s0.get(), "k", std::to_string(i));
+  }
+  cluster_->network()->HealAll();
+
+  // Site 1's floor (0) is below site 0's trimmed archive: replaying the
+  // log cannot help, a snapshot must be shipped.
+  for (int i = 0; i < 20 && cluster_->site(1)->dag()->state_count() < 51;
+       i++) {
+    TickAll();
+  }
+  EXPECT_EQ(cluster_->site(1)->dag()->state_count(), 51u);
+  auto s1 = cluster_->site(1)->CreateSession();
+  EXPECT_EQ(MustGet(cluster_->site(1), s1.get(), "k"), "49");
+
+  // The bootstrapped site keeps working as a first-class writer: its own
+  // commits replicate back (the snapshot advanced no floors it owns, and
+  // adopted floors protect against guid reuse).
+  PutCommit(cluster_->site(1), s1.get(), "k2", "after-bootstrap");
+  for (int i = 0; i < 4 && cluster_->site(0)->dag()->state_count() < 52; i++) {
+    TickAll();
+  }
+  EXPECT_EQ(cluster_->site(0)->dag()->state_count(), 52u);
+}
+
+TEST_F(ResilienceTest, OrphanCacheIsBounded) {
+  ClusterOptions options;
+  options.num_sites = 2;
+  options.repl.max_pending = 2;
+  OpenManual(options);
+
+  // Four orphan commits whose parent never arrives: the pending cache
+  // must hold only the configured cap, evicting the oldest.
+  for (uint64_t i = 0; i < 4; i++) {
+    ReplMessage msg;
+    msg.type = ReplMessage::Type::kCommit;
+    msg.commit.guid = GlobalStateId{1, 100 + i};
+    msg.commit.parent_guids = {GlobalStateId{1, 99}};  // unknown parent
+    cluster_->network()->Send(1, 0, std::move(msg));
+  }
+  cluster_->replicator(0)->PumpOnce();
+  EXPECT_EQ(cluster_->replicator(0)->pending_count(), 2u);
+}
+
+TEST_F(ResilienceTest, PessimisticConsentExcludesDeadPeerAndRedelivers) {
+  ClusterOptions options;
+  options.num_sites = 3;
+  options.gc_mode = GcCoordination::kPessimistic;
+  options.repl.heartbeat_every_ticks = 1;
+  options.repl.suspect_after_ticks = 2;
+  options.repl.dead_after_ticks = 4;
+  OpenManual(options);
+
+  auto s0 = cluster_->site(0)->CreateSession();
+  for (int i = 0; i < 10; i++) {
+    PutCommit(cluster_->site(0), s0.get(), "k", std::to_string(i));
+  }
+  PumpAll();
+  ASSERT_EQ(cluster_->site(2)->dag()->state_count(), 11u);
+
+  // Site 2 crashes (silent + unreachable).
+  cluster_->network()->Partition(0, 2);
+  cluster_->network()->Partition(1, 2);
+  for (int i = 0; i < 6; i++) {
+    cluster_->replicator(0)->Tick();
+    cluster_->replicator(1)->Tick();
+    cluster_->replicator(0)->PumpOnce();
+    cluster_->replicator(1)->PumpOnce();
+  }
+  ASSERT_EQ(PeerAt(0, 2).state, PeerLiveness::kDead);
+
+  // Consent proceeds with the dead site excluded: only site 1 must answer,
+  // and GC may compress — it never wedges on the crashed peer.
+  cluster_->replicator(0)->PlaceCeiling(s0.get());
+  cluster_->replicator(1)->PumpOnce();  // consent request -> ack
+  cluster_->replicator(0)->PumpOnce();  // ack -> ceiling placed + committed
+  GcStats at0 = cluster_->site(0)->RunGarbageCollection();
+  EXPECT_GT(at0.states_deleted, 0u);
+
+  // The crashed site returns: its first heartbeat flips it alive and the
+  // ceiling committed around it is re-delivered, so its own GC catches up.
+  cluster_->network()->HealAll();
+  cluster_->replicator(2)->Tick();
+  cluster_->replicator(0)->PumpOnce();  // hears site 2 -> redelivers
+  cluster_->replicator(2)->PumpOnce();  // receives the ceiling commit
+  GcStats at2 = cluster_->site(2)->RunGarbageCollection();
+  EXPECT_GT(at2.states_deleted, 0u);
+}
+
+TEST_F(ResilienceTest, ConsentTimeoutDefersAndRetriesCleanly) {
+  ClusterOptions options;
+  options.num_sites = 2;
+  options.gc_mode = GcCoordination::kPessimistic;
+  options.repl.heartbeat_every_ticks = 0;  // no failure detector: the peer
+                                           // is unreachable but not "dead"
+  options.repl.ceiling_deadline_ticks = 3;
+  options.repl.ceiling_max_retries = 0;
+  options.repl.deferred_retry_every_ticks = 8;
+  OpenManual(options);
+
+  auto s0 = cluster_->site(0)->CreateSession();
+  for (int i = 0; i < 5; i++) {
+    PutCommit(cluster_->site(0), s0.get(), "k", std::to_string(i));
+  }
+  PumpAll();
+  cluster_->network()->Partition(0, 1);
+
+  // The consent round cannot complete; at its deadline it parks on the
+  // deferred list instead of wedging, and GC stays pessimistic.
+  cluster_->replicator(0)->PlaceCeiling(s0.get());
+  for (int i = 0; i < 5; i++) cluster_->replicator(0)->Tick();  // ticks 1..5
+  EXPECT_EQ(cluster_->replicator(0)->deferred_consent_count(), 1u);
+  GcStats during = cluster_->site(0)->RunGarbageCollection();
+  EXPECT_EQ(during.states_deleted, 0u);
+
+  // After the heal, the periodic deferred retry re-runs the round and the
+  // ceiling lands.
+  cluster_->network()->HealAll();
+  for (int i = 0; i < 3; i++) cluster_->replicator(0)->Tick();  // ticks 6..8
+  cluster_->replicator(1)->PumpOnce();
+  cluster_->replicator(0)->PumpOnce();
+  EXPECT_EQ(cluster_->replicator(0)->deferred_consent_count(), 0u);
   GcStats after = cluster_->site(0)->RunGarbageCollection();
   EXPECT_GT(after.states_deleted, 0u);
 }

@@ -145,6 +145,63 @@ TEST(TcpTransportTest, KillAndReconnectViaBackoff) {
   EXPECT_EQ(got.ceiling_epoch, 3u);
 }
 
+TEST(TcpTransportTest, BackoffResetsOnHandshakeNotBareTcpConnect) {
+  // Regression: the reconnect backoff used to reset as soon as connect(2)
+  // succeeded. A listener that accepts but never speaks the protocol (a
+  // load balancer health-checking, a half-up peer, a port squatter) made
+  // the dialer hammer it at the initial delay forever. The backoff must
+  // stay armed until the peer's kHelloAck actually arrives.
+  const std::vector<uint16_t> ports = {PickFreePort(), PickFreePort()};
+
+  // An impostor on site 1's port: accepts connections, says nothing.
+  const int lfd = socket(AF_INET, SOCK_STREAM, 0);
+  int one = 1;
+  setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(ports[1]);
+  ASSERT_EQ(bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(listen(lfd, 8), 0);
+  std::atomic<bool> stop{false};
+  std::vector<int> accepted;
+  std::mutex accepted_mu;
+  std::thread impostor([&] {
+    while (!stop.load()) {
+      const int fd = accept(lfd, nullptr, nullptr);
+      if (fd < 0) return;
+      std::lock_guard<std::mutex> guard(accepted_mu);
+      accepted.push_back(fd);
+    }
+  });
+
+  auto t0 = TcpTransport::Open(EndpointOptions(0, ports));
+  ASSERT_TRUE(t0.ok());
+  // TCP connects succeed, but with no kHelloAck the transport must not
+  // consider the peer connected (and must not count reconnects).
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_FALSE((*t0)->IsConnected(1));
+  EXPECT_EQ((*t0)->reconnects(), 0u);
+
+  // The impostor leaves; the real peer takes the port. The dialer's
+  // still-armed backoff redials and completes the handshake.
+  stop.store(true);
+  ::shutdown(lfd, SHUT_RDWR);
+  close(lfd);
+  impostor.join();
+  {
+    std::lock_guard<std::mutex> guard(accepted_mu);
+    for (int fd : accepted) close(fd);
+  }
+  auto t1 = TcpTransport::Open(EndpointOptions(1, ports));
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(WaitFor([&] { return (*t0)->IsConnected(1); }));
+  (*t0)->Send(0, 1, CeilingMsg(4));
+  ReplMessage got;
+  ASSERT_TRUE(WaitFor([&] { return (*t1)->Receive(1, &got); }));
+  EXPECT_EQ(got.ceiling_epoch, 4u);
+}
+
 TEST(TcpTransportTest, GarbageBytesOnWireDoNotCrash) {
   const std::vector<uint16_t> ports = {PickFreePort(), PickFreePort()};
   auto t0 = TcpTransport::Open(EndpointOptions(0, ports));

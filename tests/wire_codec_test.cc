@@ -29,29 +29,44 @@ GlobalStateId RandomGuid(Random* rng) {
   return g;
 }
 
+CommitRecord RandomCommit(Random* rng) {
+  CommitRecord commit;
+  commit.guid = RandomGuid(rng);
+  const size_t nparents = rng->Uniform(4);
+  for (size_t i = 0; i < nparents; i++) {
+    commit.parent_guids.push_back(RandomGuid(rng));
+  }
+  commit.is_merge = rng->Bernoulli(0.3);
+  const size_t nwrites = rng->Uniform(8);
+  for (size_t i = 0; i < nwrites; i++) {
+    commit.writes.emplace_back(
+        RandomBytes(rng, 32),
+        std::make_shared<const std::string>(RandomBytes(rng, 256)));
+  }
+  return commit;
+}
+
 ReplMessage RandomMessage(Random* rng) {
   ReplMessage msg;
-  msg.type = static_cast<ReplMessage::Type>(rng->Uniform(5));
+  msg.type = static_cast<ReplMessage::Type>(rng->Uniform(9));
   msg.from_site = static_cast<uint32_t>(rng->Next());
   switch (msg.type) {
-    case ReplMessage::Type::kCommit: {
-      msg.commit.guid = RandomGuid(rng);
-      const size_t nparents = rng->Uniform(4);
-      for (size_t i = 0; i < nparents; i++) {
-        msg.commit.parent_guids.push_back(RandomGuid(rng));
-      }
-      msg.commit.is_merge = rng->Bernoulli(0.3);
-      const size_t nwrites = rng->Uniform(8);
-      for (size_t i = 0; i < nwrites; i++) {
-        msg.commit.writes.emplace_back(
-            RandomBytes(rng, 32),
-            std::make_shared<const std::string>(RandomBytes(rng, 256)));
-      }
+    case ReplMessage::Type::kCommit:
+      msg.commit = RandomCommit(rng);
       break;
-    }
-    case ReplMessage::Type::kSyncRequest: {
+    case ReplMessage::Type::kSyncRequest:
+    case ReplMessage::Type::kHeartbeat: {
       const size_t n = rng->Uniform(6);
       for (size_t i = 0; i < n; i++) msg.seen_seq.push_back(rng->Next());
+      break;
+    }
+    case ReplMessage::Type::kSnapshot: {
+      const size_t n = rng->Uniform(6);
+      for (size_t i = 0; i < n; i++) msg.seen_seq.push_back(rng->Next());
+      const size_t nrecords = rng->Uniform(5);
+      for (size_t i = 0; i < nrecords; i++) {
+        msg.snapshot.push_back(RandomCommit(rng));
+      }
       break;
     }
     case ReplMessage::Type::kCeilingRequest:
@@ -60,24 +75,35 @@ ReplMessage RandomMessage(Random* rng) {
       msg.ceiling = RandomGuid(rng);
       msg.ceiling_epoch = rng->Next();
       break;
+    case ReplMessage::Type::kHello:
+    case ReplMessage::Type::kHelloAck:
+      break;  // identity-only handshake frames: empty body
   }
   return msg;
+}
+
+void ExpectCommitsEqual(const CommitRecord& a, const CommitRecord& b) {
+  EXPECT_EQ(a.guid, b.guid);
+  EXPECT_EQ(a.parent_guids, b.parent_guids);
+  EXPECT_EQ(a.is_merge, b.is_merge);
+  ASSERT_EQ(a.writes.size(), b.writes.size());
+  for (size_t i = 0; i < a.writes.size(); i++) {
+    EXPECT_EQ(a.writes[i].first, b.writes[i].first);
+    ASSERT_NE(a.writes[i].second, nullptr);
+    ASSERT_NE(b.writes[i].second, nullptr);
+    EXPECT_EQ(*a.writes[i].second, *b.writes[i].second);
+  }
 }
 
 void ExpectMessagesEqual(const ReplMessage& a, const ReplMessage& b) {
   EXPECT_EQ(a.type, b.type);
   EXPECT_EQ(a.from_site, b.from_site);
-  EXPECT_EQ(a.commit.guid, b.commit.guid);
-  EXPECT_EQ(a.commit.parent_guids, b.commit.parent_guids);
-  EXPECT_EQ(a.commit.is_merge, b.commit.is_merge);
-  ASSERT_EQ(a.commit.writes.size(), b.commit.writes.size());
-  for (size_t i = 0; i < a.commit.writes.size(); i++) {
-    EXPECT_EQ(a.commit.writes[i].first, b.commit.writes[i].first);
-    ASSERT_NE(a.commit.writes[i].second, nullptr);
-    ASSERT_NE(b.commit.writes[i].second, nullptr);
-    EXPECT_EQ(*a.commit.writes[i].second, *b.commit.writes[i].second);
-  }
+  ExpectCommitsEqual(a.commit, b.commit);
   EXPECT_EQ(a.seen_seq, b.seen_seq);
+  ASSERT_EQ(a.snapshot.size(), b.snapshot.size());
+  for (size_t i = 0; i < a.snapshot.size(); i++) {
+    ExpectCommitsEqual(a.snapshot[i], b.snapshot[i]);
+  }
   EXPECT_EQ(a.ceiling, b.ceiling);
   EXPECT_EQ(a.ceiling_epoch, b.ceiling_epoch);
 }
