@@ -3,9 +3,17 @@
 // and merge branches by hand. Handy for exploring the branch-and-merge
 // model and for debugging.
 //
-//   $ ./examples/tardis_shell              # interactive
+//   $ ./examples/tardis_shell              # interactive, in-process store
 //   $ echo "help" | ./examples/tardis_shell
 //   $ ./examples/tardis_shell --demo       # scripted self-demo
+//   $ ./examples/tardis_shell --connect host:port   # remote mode
+//
+// With --connect the shell attaches to a running tardisd (client port) or
+// tardis-router instead of an in-process store: lines are sent verbatim
+// over the daemons' line protocol and replies printed, with END-
+// terminated multi-line replies (health, metrics, stats, merge, sync)
+// read to completion. Against a router, `health` therefore shows the
+// aggregated per-partition state (one P<i>-prefixed block per partition).
 //
 // Commands:
 //   session <name>          switch to (or create) a client session
@@ -32,7 +40,13 @@
 #include <string>
 #include <vector>
 
+#include "cluster/framed_client.h"
 #include "core/tardis_store.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 using namespace tardis;
 
@@ -211,6 +225,90 @@ struct Shell {
   }
 };
 
+/// Remote mode: a line-oriented client for tardisd / tardis-router.
+/// Knows which commands produce END-terminated multi-line replies so the
+/// REPL prints them whole instead of one line per prompt.
+struct RemoteShell {
+  int fd = -1;
+  std::string inbuf;
+
+  bool Connect(const std::string& endpoint) {
+    std::string host;
+    uint16_t port = 0;
+    Status s = cluster::ParseEndpoint(endpoint, &host, &port);
+    if (!s.ok()) {
+      fprintf(stderr, "connect: %s\n", s.ToString().c_str());
+      return false;
+    }
+    struct addrinfo hints;
+    memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* res = nullptr;
+    const std::string port_str = std::to_string(port);
+    if (getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0 ||
+        res == nullptr) {
+      fprintf(stderr, "connect: cannot resolve %s\n", host.c_str());
+      return false;
+    }
+    fd = socket(res->ai_family, SOCK_STREAM, 0);
+    if (fd < 0 || connect(fd, res->ai_addr, res->ai_addrlen) != 0) {
+      fprintf(stderr, "connect %s: %s\n", endpoint.c_str(), strerror(errno));
+      freeaddrinfo(res);
+      if (fd >= 0) close(fd);
+      fd = -1;
+      return false;
+    }
+    freeaddrinfo(res);
+    return true;
+  }
+
+  ~RemoteShell() {
+    if (fd >= 0) close(fd);
+  }
+
+  bool ReadLine(std::string* line) {
+    size_t nl;
+    while ((nl = inbuf.find('\n')) == std::string::npos) {
+      char chunk[65536];
+      const ssize_t n = read(fd, chunk, sizeof(chunk));
+      if (n <= 0) return false;
+      inbuf.append(chunk, static_cast<size_t>(n));
+    }
+    *line = inbuf.substr(0, nl);
+    inbuf.erase(0, nl + 1);
+    return true;
+  }
+
+  /// Sends one command, prints the full reply. Returns false once the
+  /// connection is gone.
+  bool Execute(const std::string& line) {
+    std::stringstream ss(line);
+    std::string cmd;
+    if (!(ss >> cmd)) return true;
+    std::string framed = line + "\n";
+    size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = write(fd, framed.data() + off, framed.size() - off);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    const bool multi_line = cmd == "health" || cmd == "metrics" ||
+                            cmd == "stats" || cmd == "merge" || cmd == "sync";
+    std::string reply;
+    if (!ReadLine(&reply)) return false;
+    printf("%s\n", reply.c_str());
+    if (multi_line && reply != "END" &&
+        reply.compare(0, 4, "ERR ") != 0) {
+      while (reply != "END") {
+        if (!ReadLine(&reply)) return false;
+        printf("%s\n", reply.c_str());
+      }
+    }
+    return !(cmd == "quit" || cmd == "shutdown");
+  }
+};
+
 const char* kDemoScript[] = {
     // A shared prefix...
     "session alice", "begin", "put page neutral", "commit",
@@ -233,6 +331,33 @@ const char* kDemoScript[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && strncmp(argv[1], "--connect", 9) == 0) {
+    std::string endpoint;
+    if (strncmp(argv[1], "--connect=", 10) == 0) {
+      endpoint = argv[1] + 10;
+    } else if (argc > 2) {
+      endpoint = argv[2];
+    }
+    if (endpoint.empty()) {
+      fprintf(stderr, "usage: tardis_shell --connect host:port\n");
+      return 2;
+    }
+    RemoteShell remote;
+    if (!remote.Connect(endpoint)) return 1;
+    printf("TARDiS shell — connected to %s (remote line protocol; try "
+           "`health`).\n",
+           endpoint.c_str());
+    std::string line;
+    while (true) {
+      printf("tardis> ");
+      fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      if (line.empty()) continue;
+      if (!remote.Execute(line)) break;
+    }
+    return 0;
+  }
+
   auto store_or = TardisStore::Open(TardisOptions{});
   if (!store_or.ok()) {
     fprintf(stderr, "open failed: %s\n",

@@ -9,7 +9,13 @@
 //           --client-port=8000 [--gc-mode=optimistic|pessimistic]
 //           [--dir=PATH] [--metrics-port=P] [--workers=N] [--max-queue=N]
 //           [--request-deadline-ms=MS] [--tick-ms=MS] [--heartbeats=0|1]
-//           [--archive-horizon=N]
+//           [--archive-horizon=N] [--partition=N] [--coord-port=P]
+//           [--twopc-resolve-ms=MS]
+//
+// With --coord-port the daemon additionally serves the cluster
+// coordination protocol (router fast path + cross-partition 2PC; see
+// src/cluster/ and DESIGN.md §10) on that port; --partition labels which
+// hash range of the cluster's PartitionMap this replica set owns.
 //
 // --peers lists every site's replication endpoint, indexed by site id;
 // entry --site names this daemon's own listen address. With
@@ -72,6 +78,9 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/coord_server.h"
+#include "cluster/framed_client.h"
+#include "cluster/twopc.h"
 #include "net/tcp_transport.h"
 #include "obs/exposition.h"
 #include "obs/trace.h"
@@ -106,6 +115,15 @@ struct DaemonConfig {
   uint64_t tick_ms = 50;
   bool heartbeats = true;
   size_t archive_horizon = 4096;
+  /// Partition-grid membership (see src/cluster/): which partition of the
+  /// cluster's PartitionMap this replica set serves (-1 = unpartitioned),
+  /// and the coordination port the router dials (0 disables it).
+  int64_t partition = -1;
+  uint16_t coord_port = 0;
+  /// Grace before an in-doubt 2PC transaction is resolved cooperatively.
+  /// Must exceed the router's 2PC deadline.
+  uint64_t twopc_resolve_ms = 5000;
+  bool help = false;  ///< --help: print usage, exit 0
 };
 
 bool ParseEndpoints(const std::string& list, std::vector<TcpPeer>* out) {
@@ -161,6 +179,15 @@ bool ParseFlags(int argc, char** argv, DaemonConfig* config) {
       config->heartbeats = atoi(v) != 0;
     } else if (const char* v = value("--archive-horizon=")) {
       config->archive_horizon = static_cast<size_t>(std::max(1, atoi(v)));
+    } else if (const char* v = value("--partition=")) {
+      config->partition = atoll(v);
+    } else if (const char* v = value("--coord-port=")) {
+      config->coord_port = static_cast<uint16_t>(atoi(v));
+    } else if (const char* v = value("--twopc-resolve-ms=")) {
+      config->twopc_resolve_ms = static_cast<uint64_t>(atoll(v));
+    } else if (arg == "--help" || arg == "-h") {
+      config->help = true;
+      return false;  // caller prints the full usage text
     } else {
       fprintf(stderr, "tardisd: unknown flag %s\n", arg.c_str());
       return false;
@@ -233,6 +260,13 @@ struct DaemonShared {
   std::atomic<uint64_t> deadline_expired_total{0};
   std::atomic<bool> draining{false};
   uint32_t workers = 0;
+  // Static configuration surfaced by `health` (grid debugging should not
+  // require reading flags off /proc/cmdline).
+  uint16_t metrics_port = 0;
+  size_t queue_bound = 0;
+  int64_t partition = -1;
+  uint16_t coord_port = 0;  ///< actual bound port, 0 when disabled
+  const cluster::TwoPhaseParticipant* participant = nullptr;
 };
 
 const char* LivenessName(PeerLiveness s) {
@@ -305,7 +339,9 @@ std::string HandleCommand(const std::string& line, TardisStore* store,
   if (cmd == "health") {
     // Machine-readable, one item per line, END-terminated:
     //   SITE <id> tick=<n> queue=<n> workers=<n> shed=<n> expired=<n>
-    //        draining=<0|1> pending=<n> deferred_gc=<n>
+    //        draining=<0|1> pending=<n> deferred_gc=<n> metrics_port=<n>
+    //        queue_bound=<n> partition=<n|-1> coord_port=<n>
+    //        twopc_in_doubt=<n>
     //   PEER <id> state=<alive|suspect|dead> connected=<0|1>
     //        last_heard_tick=<n> flaps=<n>
     //   FLOOR <origin> <seq>
@@ -318,6 +354,15 @@ std::string HandleCommand(const std::string& line, TardisStore* store,
     out += " draining=" + std::to_string(shared->draining.load() ? 1 : 0);
     out += " pending=" + std::to_string(replicator->pending_count());
     out += " deferred_gc=" + std::to_string(replicator->deferred_consent_count());
+    // Appended fields only (drivers match on the prefix fields above).
+    out += " metrics_port=" + std::to_string(shared->metrics_port);
+    out += " queue_bound=" + std::to_string(shared->queue_bound);
+    out += " partition=" + std::to_string(shared->partition);
+    out += " coord_port=" + std::to_string(shared->coord_port);
+    out += " twopc_in_doubt=" +
+           std::to_string(shared->participant != nullptr
+                              ? shared->participant->in_doubt_count()
+                              : 0);
     out += "\n";
     for (const Replicator::PeerHealth& p : replicator->PeerStates()) {
       out += "PEER " + std::to_string(p.site);
@@ -561,6 +606,70 @@ int RunDaemon(const DaemonConfig& config) {
       "tardisd_deadline_expired_total",
       "Client requests expired in the queue past the request deadline",
       {{"site", std::to_string(config.site)}});
+  shared.metrics_port = config.metrics_port;
+  shared.queue_bound = config.max_queue;
+  shared.partition = config.partition;
+
+  // Partition-grid membership: a coordination endpoint (router traffic +
+  // cross-partition 2PC) next to the client port. The participant's
+  // twopc.log lives beside the store's WAL so prepare/decide records
+  // share the store's crash-recovery story.
+  std::unique_ptr<cluster::TwoPhaseParticipant> participant;
+  std::unique_ptr<cluster::CoordServer> coord_server;
+  std::shared_ptr<ClientSession> coord_session;
+  if (config.coord_port != 0) {
+    cluster::TwoPhaseOptions twopc_options;
+    twopc_options.dir = config.dir;
+    twopc_options.self_endpoint =
+        "127.0.0.1:" + std::to_string(config.coord_port);
+    twopc_options.resolve_grace_ms = config.twopc_resolve_ms;
+    twopc_options.query_peer = [](const std::string& endpoint,
+                                  uint64_t txn_id,
+                                  cluster::TwoPhaseDecision* decision) {
+      ReplMessage req;
+      req.type = ReplMessage::Type::kTxnStatus;
+      req.txn_id = txn_id;
+      ReplMessage resp;
+      Status s = cluster::FramedClient::CallOnce(endpoint, req, &resp, 1000);
+      if (!s.ok()) return s;
+      if (resp.type != ReplMessage::Type::kDecideAck) {
+        return Status::Corruption("bad txn-status reply");
+      }
+      *decision = static_cast<cluster::TwoPhaseDecision>(resp.decision);
+      return Status::OK();
+    };
+    participant = std::make_unique<cluster::TwoPhaseParticipant>(
+        store->get(), std::move(twopc_options));
+    Status recover_status = participant->Recover();
+    if (!recover_status.ok()) {
+      fprintf(stderr, "tardisd: twopc recovery: %s\n",
+              recover_status.ToString().c_str());
+      return 1;
+    }
+    shared.participant = participant.get();
+
+    coord_session = (*store)->CreateSession();
+    cluster::CoordServerOptions coord_options;
+    coord_options.port = config.coord_port;
+    coord_options.resolve_interval_ms = 500;
+    coord_options.execute = [&, coord_session](const std::string& line) {
+      bool ignored_close = false;
+      bool ignored_shutdown = false;
+      return HandleCommand(line, store->get(), coord_session.get(),
+                           &replicator, transport->get(), config.site,
+                           registry.get(), &shared, &ignored_close,
+                           &ignored_shutdown);
+    };
+    auto server = cluster::CoordServer::Start(
+        store->get(), participant.get(), std::move(coord_options));
+    if (!server.ok()) {
+      fprintf(stderr, "tardisd: coord server: %s\n",
+              server.status().ToString().c_str());
+      return 1;
+    }
+    coord_server = std::move(*server);
+    shared.coord_port = coord_server->listen_port();
+  }
 
   const int server_fd = socket(AF_INET, SOCK_STREAM, 0);
   int one = 1;
@@ -655,9 +764,19 @@ int RunDaemon(const DaemonConfig& config) {
     });
   }
 
-  printf("tardisd: site %u serving clients on port %u, replication on %u%s\n",
+  printf("tardisd: site %u serving clients on port %u, replication on %u, "
+         "queue bound %zu",
          config.site, config.client_port, (*transport)->listen_port(),
-         config.metrics_port != 0 ? ", metrics via http" : "");
+         config.max_queue);
+  if (config.metrics_port != 0) {
+    printf(", metrics on http port %u", config.metrics_port);
+  }
+  if (coord_server) {
+    printf(", partition %lld coord port %u",
+           static_cast<long long>(config.partition),
+           coord_server->listen_port());
+  }
+  printf("\n");
   fflush(stdout);
 
   std::map<uint64_t, ClientConn> conns;
@@ -886,6 +1005,10 @@ int RunDaemon(const DaemonConfig& config) {
   conns.clear();
   if (listening) close(server_fd);
   metrics_http.reset();
+  // Coord traffic stops before the final flush; staged-but-undecided 2PC
+  // transactions die with the process and are re-resolved from twopc.log
+  // on restart.
+  coord_server.reset();
 
   Status flush_status = (*store)->Flush();
   if (!flush_status.ok()) {
@@ -913,15 +1036,25 @@ int RunDaemon(const DaemonConfig& config) {
 int main(int argc, char** argv) {
   tardis::DaemonConfig config;
   if (!tardis::ParseFlags(argc, argv, &config)) {
-    fprintf(stderr,
+    FILE* out = config.help ? stdout : stderr;
+    fprintf(out,
             "usage: tardisd --site=N --peers=host:port,... --client-port=P\n"
             "               [--gc-mode=optimistic|pessimistic] [--dir=PATH]\n"
             "               [--metrics-port=P] [--workers=N] [--max-queue=N]\n"
             "               [--request-deadline-ms=MS] [--tick-ms=MS]\n"
             "               [--heartbeats=0|1] [--archive-horizon=N]\n"
+            "               [--partition=N] [--coord-port=P]\n"
+            "               [--twopc-resolve-ms=MS] [--help]\n"
             "--peers is indexed by site id and must name every site,\n"
-            "including this one's own replication endpoint.\n");
-    return 2;
+            "including this one's own replication endpoint.\n"
+            "--metrics-port serves the metrics registry as Prometheus text\n"
+            "over HTTP (0 = disabled); --max-queue bounds the client request\n"
+            "queue (requests past the bound are shed with ERR BUSY).\n"
+            "--partition/--coord-port enroll this site in a partitioned\n"
+            "grid behind tardis-router (see DESIGN.md section 10);\n"
+            "--twopc-resolve-ms is the in-doubt cooperative-resolution\n"
+            "grace and must exceed the router's 2PC deadline.\n");
+    return config.help ? 0 : 2;
   }
   return tardis::RunDaemon(config);
 }

@@ -30,6 +30,17 @@
 // cross-process acceptance test and runnable by hand:
 //
 //   tardisd_driver --tardisd=./examples/tardisd [--verbose]
+//
+// With --grid (and --router=PATH) it instead runs the partitioned-
+// cluster acceptance (DESIGN.md §10): a 2-partition × 3-site grid
+// behind a stateless tardis-router — fast-path routing with zero 2PC
+// frames, a cross-partition 2PC commit, a chaos-injected conflict that
+// FORKS the affected partition's DAG and is merged back, and a router
+// SIGKILLed between prepare and decide whose in-doubt transaction the
+// participants resolve cooperatively, with no acknowledged write lost:
+//
+//   tardisd_driver --tardisd=./examples/tardisd
+//                  --router=./examples/tardis_router --grid
 
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -166,6 +177,32 @@ std::string CmdRetry(int fd, const std::string& line,
   }
 }
 
+/// Value of one specific series in a Prometheus text dump, label set and
+/// all: `series` is the full left-hand side, e.g.
+/// `tardis_router_requests{path="fast"}`. -1 when absent.
+long long MetricSeries(const std::string& dump, const std::string& series) {
+  size_t pos = 0;
+  while ((pos = dump.find(series, pos)) != std::string::npos) {
+    const bool line_start = pos == 0 || dump[pos - 1] == '\n';
+    const size_t end = pos + series.size();
+    if (!line_start || end >= dump.size() || dump[end] != ' ') {
+      pos = end;
+      continue;
+    }
+    return atoll(dump.c_str() + end + 1);
+  }
+  return -1;
+}
+
+/// Value of a `field=<n>` token in a health dump (e.g. twopc_in_doubt);
+/// -1 when absent.
+long long HealthField(const std::string& health, const std::string& field) {
+  const std::string needle = " " + field + "=";
+  const size_t pos = health.find(needle);
+  if (pos == std::string::npos) return -1;
+  return atoll(health.c_str() + pos + needle.size());
+}
+
 /// Value of `name{...}` in a Prometheus text dump; -1 when the series is
 /// absent. Matches any label set — the driver only checks one site's dump.
 long long MetricValue(const std::string& dump, const std::string& name) {
@@ -213,6 +250,9 @@ struct Fleet {
   std::vector<uint16_t> metrics_ports;
   std::string peers_flag;          // shared --peers list
   std::vector<std::string> extra_args;
+  // Flags only some sites get (index = site), e.g. the one site per
+  // partition group that serves the coordination port.
+  std::vector<std::vector<std::string>> per_site_extra;
 
   ~Fleet() {
     for (int fd : conns) {
@@ -246,6 +286,11 @@ pid_t SpawnOne(const std::string& tardisd, const Fleet& fleet, size_t site) {
       if (extra.rfind("--dir=", 0) == 0) {
         args.push_back(extra + "/site" + std::to_string(site));
       } else {
+        args.push_back(extra);
+      }
+    }
+    if (site < fleet.per_site_extra.size()) {
+      for (const std::string& extra : fleet.per_site_extra[site]) {
         args.push_back(extra);
       }
     }
@@ -620,33 +665,364 @@ int RunOverloadAndDrain(const std::string& tardisd, const std::string& dir) {
   return 0;
 }
 
+pid_t SpawnRouter(const std::string& router_bin, uint16_t port,
+                  uint16_t metrics_port, const std::string& partitions,
+                  uint64_t txn_deadline_ms) {
+  fflush(stdout);
+  const pid_t pid = fork();
+  if (pid < 0) Die("fork failed");
+  if (pid == 0) {
+    std::vector<std::string> args;
+    args.push_back("tardis-router");
+    args.push_back("--port=" + std::to_string(port));
+    args.push_back("--metrics-port=" + std::to_string(metrics_port));
+    args.push_back("--partitions=" + partitions);
+    args.push_back("--txn-deadline-ms=" + std::to_string(txn_deadline_ms));
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    if (!g_verbose) {
+      freopen("/dev/null", "w", stdout);
+    }
+    execv(router_bin.c_str(), argv.data());
+    fprintf(stderr, "exec %s failed: %s\n", router_bin.c_str(),
+            strerror(errno));
+    _exit(127);
+  }
+  return pid;
+}
+
+/// Send a command to the router without insisting on a reply: used to
+/// launch the 2PC whose decision window the driver SIGKILLs the router
+/// in — the reply may never come.
+void FireAndForget(uint16_t port, const std::string& line) {
+  const int fd = ConnectTo(port, 5'000);
+  if (fd < 0) Die("fire-and-forget connect failed");
+  const std::string out = line + "\n";
+  if (write(fd, out.data(), out.size()) != static_cast<ssize_t>(out.size())) {
+    Die("fire-and-forget write failed");
+  }
+  std::thread([fd] {
+    char buf[4096];
+    while (read(fd, buf, sizeof(buf)) > 0) {
+    }
+    close(fd);
+  }).detach();
+}
+
+/// Grid phase (`--grid`): a 2-partition × 3-site cluster behind a
+/// stateless tardis-router (src/cluster/, DESIGN.md §10).
+///
+///   1. two independent 3-site tardisd groups come up; site 0 of each
+///      serves a coordination port; the router fronts both;
+///   2. single-key and single-partition multi-key commands ride the fast
+///      path — the router's own metrics prove no 2PC frame was sent;
+///   3. a cross-partition mput commits via fork-on-conflict 2PC, the
+///      writes gossip through both partition groups;
+///   4. a conflicting local commit lands inside the held-open decision
+///      window: the affected partition FORKS its DAG instead of
+///      aborting, and a merge through the router converges it;
+///   5. the router is SIGKILLed between prepare and decide: the
+///      participants' cooperative termination presumes abort (nothing
+///      was acknowledged), no previously acknowledged write is lost, and
+///      a replacement router on the same flags commits the retry.
+int RunGrid(const std::string& tardisd, const std::string& router_bin,
+            const std::string& dir) {
+  std::vector<pid_t> all_pids;
+  g_fleet_pids = &all_pids;
+
+  // 1. Each partition group is an independent 3-site replica set with
+  // its own gossip mesh; site 0 of each additionally serves the
+  // coordination port the router dials. --twopc-resolve-ms is the
+  // cooperative-termination grace and must exceed the router's
+  // --txn-deadline-ms (1500 below).
+  Fleet groups[2];
+  const uint16_t coord_ports[2] = {PickFreePort(), PickFreePort()};
+  for (int p = 0; p < 2; p++) {
+    const std::string group_dir = dir + "/p" + std::to_string(p);
+    if (mkdir(group_dir.c_str(), 0755) != 0) {
+      Die("mkdir " + group_dir + " failed");
+    }
+    groups[p].per_site_extra = {{
+        "--partition=" + std::to_string(p),
+        "--coord-port=" + std::to_string(coord_ports[p]),
+        "--twopc-resolve-ms=3000",
+    }};
+    SpawnFleet(tardisd, 3, {"--dir=" + group_dir}, &groups[p]);
+    for (pid_t pid : groups[p].pids) all_pids.push_back(pid);
+    for (size_t i = 0; i < 3; i++) {
+      if (Cmd(groups[p].conns[i], "ping") != "PONG") {
+        Die("grid site did not answer ping");
+      }
+    }
+    const int group = p;
+    if (!WaitFor([&] {
+          for (size_t i = 0; i < 3; i++) {
+            if (Cmd(groups[group].conns[i], "peers") != "PEERS 2") return false;
+          }
+          return true;
+        })) {
+      Die("partition group mesh never connected");
+    }
+  }
+  printf("== grid: 2 partition groups x 3 sites up, meshes connected\n");
+
+  const uint16_t router_port = PickFreePort();
+  const uint16_t router_metrics_port = PickFreePort();
+  const std::string partitions_flag =
+      "127.0.0.1:" + std::to_string(coord_ports[0]) + ",127.0.0.1:" +
+      std::to_string(coord_ports[1]);
+  pid_t router_pid = SpawnRouter(router_bin, router_port, router_metrics_port,
+                                 partitions_flag, 1500);
+  all_pids.push_back(router_pid);
+  int router_fd = ConnectTo(router_port, 10'000);
+  if (router_fd < 0) Die("router never came up");
+  if (Cmd(router_fd, "ping") != "PONG") Die("router did not answer ping");
+  printf("== grid: router up in front of both partitions\n");
+
+  // Keys with a known owner, discovered through the router's own map so
+  // the test cannot drift from the hash function.
+  std::vector<std::string> keys[2];
+  for (int i = 0; keys[0].size() < 6 || keys[1].size() < 6; i++) {
+    if (i >= 512) Die("could not find keys for both partitions");
+    const std::string k = "gk" + std::to_string(i);
+    const std::string r = Cmd(router_fd, "partition " + k);
+    if (r == "PARTITION 0") {
+      keys[0].push_back(k);
+    } else if (r == "PARTITION 1") {
+      keys[1].push_back(k);
+    } else {
+      Die("unexpected partition reply: " + r);
+    }
+  }
+
+  // 2. Fast path: single-key commands and a single-partition multi-key
+  // write each reach exactly one partition as an ordinary local
+  // transaction. The router's metrics must show zero 2PC traffic.
+  if (Cmd(router_fd, "put " + keys[0][0] + " a0") != "OK" ||
+      Cmd(router_fd, "put " + keys[1][0] + " b0") != "OK") {
+    Die("fast-path put through the router failed");
+  }
+  if (Cmd(router_fd, "get " + keys[0][0]) != "VALUE a0" ||
+      Cmd(router_fd, "get " + keys[1][0]) != "VALUE b0") {
+    Die("fast-path get through the router failed");
+  }
+  const std::string sp =
+      Cmd(router_fd, "mput " + keys[0][1] + " a1 " + keys[0][2] + " a2");
+  if (sp != "OK") Die("single-partition mput not on the fast path: " + sp);
+  if (!WaitFor([&] {
+        return Cmd(groups[0].conns[1], "get " + keys[0][1]) == "VALUE a1";
+      })) {
+    Die("fast-path write did not gossip through partition group 0");
+  }
+  std::string rm = CmdMulti(router_fd, "metrics");
+  if (MetricSeries(rm, "tardis_2pc_prepares{role=\"router\"}") > 0 ||
+      MetricSeries(rm, "tardis_router_requests{path=\"2pc\"}") > 0) {
+    Die("fast-path traffic produced 2PC frames:\n" + rm);
+  }
+  if (MetricSeries(rm, "tardis_router_requests{path=\"fast\"}") < 5) {
+    Die("router did not count fast-path requests:\n" + rm);
+  }
+  const std::string rhttp = HttpGetMetrics(router_metrics_port);
+  if (MetricSeries(rhttp, "tardis_router_requests{path=\"fast\"}") < 5) {
+    Die("router HTTP metrics endpoint missing request counter:\n" + rhttp);
+  }
+  printf("== grid: fast path served with zero 2PC frames "
+         "(router metrics, line protocol + HTTP)\n");
+
+  // 3. Cross-partition 2PC commit; both fragments land and gossip
+  // through their groups.
+  const std::string xr = Cmd(
+      router_fd, "mput " + keys[0][3] + " x0 " + keys[1][1] + " x1");
+  if (xr.rfind("OK TXN ", 0) != 0) Die("cross-partition mput failed: " + xr);
+  if (Cmd(router_fd, "get " + keys[0][3]) != "VALUE x0" ||
+      Cmd(router_fd, "get " + keys[1][1]) != "VALUE x1") {
+    Die("cross-partition writes not readable through the router");
+  }
+  if (!WaitFor([&] {
+        return Cmd(groups[0].conns[2], "get " + keys[0][3]) == "VALUE x0" &&
+               Cmd(groups[1].conns[2], "get " + keys[1][1]) == "VALUE x1";
+      })) {
+    Die("2PC writes did not gossip through the partition groups");
+  }
+  rm = CmdMulti(router_fd, "metrics");
+  if (MetricSeries(rm, "tardis_2pc_prepares{role=\"router\"}") != 2 ||
+      MetricSeries(rm, "tardis_router_requests{path=\"2pc\"}") != 1) {
+    Die("router 2PC metrics wrong after cross-partition commit:\n" + rm);
+  }
+  const std::string gh = CmdMulti(router_fd, "health");
+  if (gh.find("ROUTER partitions=2") == std::string::npos ||
+      gh.find("P0 SITE 0") == std::string::npos ||
+      gh.find("P1 SITE 0") == std::string::npos ||
+      gh.find("metrics_port=") == std::string::npos ||
+      gh.find("queue_bound=") == std::string::npos ||
+      gh.find("coord_port=") == std::string::npos) {
+    Die("aggregated health missing per-partition blocks or fields:\n" + gh);
+  }
+  printf("== grid: cross-partition transaction committed via 2PC\n");
+
+  // 4. Conflict inside the decision window: hold the window open via the
+  // router's 2pc_delay test hook, land a conflicting local commit at
+  // partition 0's coordinating site. The staged 2PC transaction then
+  // decide-commits against a moved branch head — TARDiS forks the DAG
+  // instead of aborting, and the router reports FORKED.
+  if (Cmd(router_fd, "2pc_delay 1200") != "OK") Die("2pc_delay failed");
+  const std::string conflict_key = keys[0][0];
+  std::string forked_reply;
+  const int router_fd2 = ConnectTo(router_port, 5'000);
+  if (router_fd2 < 0) Die("second router connection failed");
+  std::thread forker([&] {
+    forked_reply = Cmd(router_fd2, "mput " + conflict_key + " f0 " +
+                                       keys[1][2] + " f1");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  if (Cmd(groups[0].conns[0], "put " + conflict_key + " rogue") != "OK") {
+    Die("conflicting local put failed");
+  }
+  forker.join();
+  close(router_fd2);
+  if (forked_reply.rfind("OK TXN ", 0) != 0 ||
+      forked_reply.find(" FORKED") == std::string::npos) {
+    Die("conflicting 2PC did not fork: " + forked_reply);
+  }
+  if (Cmd(router_fd, "2pc_delay 0") != "OK") Die("2pc_delay reset failed");
+  if (!WaitFor([&] {
+        return Cmd(groups[0].conns[0], "leaves") == "LEAVES 2";
+      })) {
+    Die("conflict did not fork partition 0's DAG");
+  }
+  rm = CmdMulti(router_fd, "metrics");
+  if (MetricSeries(rm, "tardis_2pc_forked_commits{role=\"router\"}") < 1) {
+    Die("router did not count the forked 2PC commit:\n" + rm);
+  }
+  const std::string mm = CmdMulti(router_fd, "merge lww");
+  if (mm.find("P0 MERGED") == std::string::npos) {
+    Die("merge through the router did not merge partition 0:\n" + mm);
+  }
+  if (!WaitFor([&] {
+        for (size_t i = 0; i < 3; i++) {
+          if (Cmd(groups[0].conns[i], "leaves") != "LEAVES 1") return false;
+        }
+        return true;
+      })) {
+    Die("partition 0 did not converge to one leaf after merge");
+  }
+  const std::string cv = Cmd(router_fd, "get " + conflict_key);
+  if (cv.rfind("VALUE ", 0) != 0) {
+    Die("conflict key unreadable after merge: " + cv);
+  }
+  printf("== grid: conflicting 2PC forked partition 0's DAG, "
+         "merge converged it\n");
+
+  // 5. Kill the router between prepare and decide. Both participants
+  // hold a prepared-but-undecided transaction; no decide was ever sent,
+  // so cooperative termination (peer query after --twopc-resolve-ms)
+  // must presume abort — the client never got an OK, so nothing is lost.
+  if (Cmd(router_fd, "2pc_delay 30000") != "OK") Die("2pc_delay failed");
+  const std::string doomed =
+      "mput " + keys[0][4] + " lost0 " + keys[1][3] + " lost1";
+  FireAndForget(router_port, doomed);
+  auto in_doubt_at = [&](int p) {
+    return HealthField(CmdMulti(groups[p].conns[0], "health"),
+                       "twopc_in_doubt");
+  };
+  if (!WaitFor([&] { return in_doubt_at(0) >= 1 && in_doubt_at(1) >= 1; })) {
+    Die("participants never reported the prepared transaction in doubt");
+  }
+  kill(router_pid, SIGKILL);
+  waitpid(router_pid, nullptr, 0);
+  close(router_fd);
+  printf("== grid: router SIGKILLed between prepare and decide\n");
+
+  if (!WaitFor([&] { return in_doubt_at(0) == 0 && in_doubt_at(1) == 0; },
+               20'000)) {
+    Die("in-doubt transactions did not resolve after the router died");
+  }
+  // Atomicity: the unacknowledged write set landed in NEITHER partition.
+  if (Cmd(groups[0].conns[0], "get " + keys[0][4]) != "NOTFOUND" ||
+      Cmd(groups[1].conns[0], "get " + keys[1][3]) != "NOTFOUND") {
+    Die("aborted cross-partition transaction leaked a write");
+  }
+  // ...and every write the dead router DID acknowledge is still there.
+  if (Cmd(groups[0].conns[0], "get " + keys[0][3]) != "VALUE x0" ||
+      Cmd(groups[1].conns[0], "get " + keys[1][1]) != "VALUE x1") {
+    Die("committed write lost across the router crash");
+  }
+  printf("== grid: cooperative termination aborted the in-doubt txn, "
+         "no acknowledged write lost\n");
+
+  // A replacement router on the same flags takes over immediately —
+  // there is no durable router state to recover.
+  router_pid = SpawnRouter(router_bin, router_port, router_metrics_port,
+                           partitions_flag, 1500);
+  all_pids.push_back(router_pid);
+  router_fd = ConnectTo(router_port, 10'000);
+  if (router_fd < 0) Die("replacement router never came up");
+  const std::string retry = Cmd(router_fd, doomed);
+  if (retry.rfind("OK TXN ", 0) != 0) {
+    Die("retried mput after router restart failed: " + retry);
+  }
+  if (Cmd(router_fd, "get " + keys[0][4]) != "VALUE lost0" ||
+      Cmd(router_fd, "get " + keys[1][3]) != "VALUE lost1") {
+    Die("retried transaction not readable after router restart");
+  }
+  printf("== grid: replacement router committed the retried transaction\n");
+
+  kill(router_pid, SIGKILL);
+  waitpid(router_pid, nullptr, 0);
+  close(router_fd);
+  for (int p = 0; p < 2; p++) {
+    for (size_t i = 0; i < 3; i++) Cmd(groups[p].conns[i], "shutdown");
+  }
+  g_fleet_pids = nullptr;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string tardisd;
+  std::string router;
+  bool grid = false;
+  const char usage[] =
+      "usage: tardisd_driver --tardisd=PATH [--router=PATH --grid] "
+      "[--verbose]\n";
   for (int i = 1; i < argc; i++) {
     const std::string arg = argv[i];
     if (arg.rfind("--tardisd=", 0) == 0) {
       tardisd = arg.substr(strlen("--tardisd="));
+    } else if (arg.rfind("--router=", 0) == 0) {
+      router = arg.substr(strlen("--router="));
+    } else if (arg == "--grid") {
+      grid = true;
     } else if (arg == "--verbose") {
       g_verbose = true;
     } else {
-      fprintf(stderr, "usage: tardisd_driver --tardisd=PATH [--verbose]\n");
+      fprintf(stderr, usage);
       return 2;
     }
   }
-  if (tardisd.empty()) {
-    fprintf(stderr, "usage: tardisd_driver --tardisd=PATH [--verbose]\n");
+  if (tardisd.empty() || (grid && router.empty())) {
+    fprintf(stderr, usage);
     return 2;
   }
   signal(SIGPIPE, SIG_IGN);
-  if (RunConvergence(tardisd) != 0) return 1;
   char dir_template[] = "/tmp/tardisd_driver_XXXXXX";
   const char* dir = mkdtemp(dir_template);
   if (dir == nullptr) {
     fprintf(stderr, "tardisd_driver: mkdtemp failed\n");
     return 1;
   }
+  if (grid) {
+    // Partitioned-cluster acceptance: 2 partition groups x 3 sites
+    // behind a stateless tardis-router.
+    if (RunGrid(tardisd, router, dir) != 0) return 1;
+    printf("PASS: partitioned cluster — fast path, cross-partition 2PC, "
+           "fork-on-conflict, router crash recovery\n");
+    return 0;
+  }
+  if (RunConvergence(tardisd) != 0) return 1;
   if (RunOverloadAndDrain(tardisd, dir) != 0) return 1;
   printf("PASS: cross-process branch-and-merge + resilience over TCP\n");
   return 0;

@@ -1,0 +1,210 @@
+#include "cluster/framed_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "net/wire.h"
+#include "util/clock.h"
+
+namespace tardis {
+namespace cluster {
+
+namespace {
+
+int64_t RemainingMs(uint64_t deadline_ms) {
+  const uint64_t now = NowMillis();
+  return now >= deadline_ms ? 0 : static_cast<int64_t>(deadline_ms - now);
+}
+
+/// Polls fd for `events` until the deadline. OK when ready; Unavailable
+/// on deadline; IOError on poll failure or socket error/hangup.
+Status WaitReady(int fd, short events, uint64_t deadline_ms) {
+  for (;;) {
+    const int64_t remain = RemainingMs(deadline_ms);
+    if (remain <= 0) return Status::Unavailable("deadline");
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int n = poll(&pfd, 1, static_cast<int>(remain));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("poll: " + std::string(strerror(errno)));
+    }
+    if (n == 0) continue;  // loop re-checks the deadline
+    if (pfd.revents & (POLLERR | POLLNVAL)) {
+      return Status::IOError("socket error");
+    }
+    // POLLHUP with POLLIN still allows draining buffered bytes.
+    if ((pfd.revents & POLLHUP) && !(pfd.revents & POLLIN)) {
+      return Status::IOError("connection closed");
+    }
+    return Status::OK();
+  }
+}
+
+}  // namespace
+
+Status ParseEndpoint(const std::string& endpoint, std::string* host,
+                     uint16_t* port) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    return Status::InvalidArgument("endpoint must be host:port, got \"" +
+                                   endpoint + "\"");
+  }
+  const std::string port_str = endpoint.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long p = strtoul(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || p == 0 || p > 65535) {
+    return Status::InvalidArgument("bad port in endpoint \"" + endpoint +
+                                   "\"");
+  }
+  *host = endpoint.substr(0, colon);
+  *port = static_cast<uint16_t>(p);
+  return Status::OK();
+}
+
+FramedClient::~FramedClient() { Close(); }
+
+void FramedClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  recvbuf_.clear();
+}
+
+Status FramedClient::Connect(const std::string& endpoint,
+                             uint64_t timeout_ms) {
+  Close();
+  std::string host;
+  uint16_t port = 0;
+  Status s = ParseEndpoint(endpoint, &host, &port);
+  if (!s.ok()) return s;
+
+  struct addrinfo hints;
+  memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    return Status::IOError("cannot resolve " + host);
+  }
+
+  const uint64_t deadline_ms = NowMillis() + timeout_ms;
+  int fd = socket(res->ai_family, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                  0);
+  if (fd < 0) {
+    freeaddrinfo(res);
+    return Status::IOError("socket: " + std::string(strerror(errno)));
+  }
+  int rc = connect(fd, res->ai_addr, res->ai_addrlen);
+  freeaddrinfo(res);
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return Status::IOError("connect: " + std::string(strerror(errno)));
+  }
+  if (rc != 0) {
+    s = WaitReady(fd, POLLOUT, deadline_ms);
+    if (s.ok()) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+        s = Status::IOError("connect: " +
+                            std::string(strerror(err != 0 ? err : errno)));
+      }
+    }
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  endpoint_ = endpoint;
+  return Status::OK();
+}
+
+Status FramedClient::Call(const ReplMessage& req, ReplMessage* resp,
+                          uint64_t timeout_ms) {
+  if (fd_ < 0) return Status::IOError("not connected");
+  const uint64_t deadline_ms = NowMillis() + timeout_ms;
+
+  std::string frame;
+  EncodeFrame(req, &frame);
+  size_t off = 0;
+  while (off < frame.size()) {
+    Status s = WaitReady(fd_, POLLOUT, deadline_ms);
+    if (!s.ok()) {
+      Close();
+      return s;
+    }
+    const ssize_t n =
+        send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      Close();
+      return Status::IOError("send: " + std::string(strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+
+  for (;;) {
+    size_t consumed = 0;
+    Status s = DecodeFrame(Slice(recvbuf_), resp, &consumed);
+    if (!s.ok()) {
+      Close();
+      return s;
+    }
+    if (consumed > 0) {
+      recvbuf_.erase(0, consumed);
+      return Status::OK();
+    }
+    s = WaitReady(fd_, POLLIN, deadline_ms);
+    if (!s.ok()) {
+      Close();
+      return s;
+    }
+    char buf[4096];
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      Close();
+      return Status::IOError("recv: " + std::string(strerror(errno)));
+    }
+    if (n == 0) {
+      Close();
+      return Status::IOError("connection closed by peer");
+    }
+    recvbuf_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Status FramedClient::CallOnce(const std::string& endpoint,
+                              const ReplMessage& req, ReplMessage* resp,
+                              uint64_t timeout_ms) {
+  FramedClient client;
+  const uint64_t start = NowMillis();
+  Status s = client.Connect(endpoint, timeout_ms);
+  if (!s.ok()) return s;
+  const uint64_t elapsed = NowMillis() - start;
+  const uint64_t remain = elapsed >= timeout_ms ? 1 : timeout_ms - elapsed;
+  return client.Call(req, resp, remain);
+}
+
+}  // namespace cluster
+}  // namespace tardis

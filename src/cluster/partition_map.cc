@@ -1,0 +1,96 @@
+#include "cluster/partition_map.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+#include "util/crc32.h"
+
+namespace tardis {
+namespace cluster {
+
+namespace {
+constexpr uint64_t kRingEnd = uint64_t{1} << 32;
+constexpr uint8_t kMapVersion = 1;
+}  // namespace
+
+PartitionMap PartitionMap::Uniform(uint32_t partitions) {
+  if (partitions == 0) partitions = 1;
+  std::vector<uint64_t> bounds;
+  bounds.reserve(partitions + 1);
+  for (uint32_t i = 0; i < partitions; i++) {
+    bounds.push_back(kRingEnd * i / partitions);
+  }
+  bounds.push_back(kRingEnd);
+  return PartitionMap(std::move(bounds));
+}
+
+StatusOr<PartitionMap> PartitionMap::FromSplitPoints(
+    std::vector<uint64_t> splits) {
+  std::vector<uint64_t> bounds;
+  bounds.reserve(splits.size() + 2);
+  bounds.push_back(0);
+  for (uint64_t s : splits) {
+    if (s == 0 || s >= kRingEnd) {
+      return Status::InvalidArgument("split point outside (0, 2^32)");
+    }
+    if (s <= bounds.back()) {
+      return Status::InvalidArgument("split points not strictly ascending");
+    }
+    bounds.push_back(s);
+  }
+  bounds.push_back(kRingEnd);
+  return PartitionMap(std::move(bounds));
+}
+
+uint32_t PartitionMap::HashKey(const Slice& key) {
+  return Crc32c(key.data(), key.size());
+}
+
+uint32_t PartitionMap::PartitionForHash(uint32_t hash) const {
+  // First bound strictly greater than hash; its predecessor's index is
+  // the owning partition. bounds_[0] == 0 <= hash < 2^32 == bounds_.back()
+  // guarantees the iterator lands strictly inside the vector.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(),
+                                   static_cast<uint64_t>(hash));
+  return static_cast<uint32_t>(it - bounds_.begin()) - 1;
+}
+
+std::string PartitionMap::Serialize() const {
+  std::string out;
+  out.push_back(static_cast<char>(kMapVersion));
+  // The interior split points fully determine the map (the outer bounds
+  // are implicit), matching FromSplitPoints.
+  PutVarint64(&out, bounds_.size() - 2);
+  for (size_t i = 1; i + 1 < bounds_.size(); i++) {
+    PutVarint64(&out, bounds_[i]);
+  }
+  return out;
+}
+
+StatusOr<PartitionMap> PartitionMap::Deserialize(Slice in) {
+  if (in.empty()) return Status::Corruption("empty partition map");
+  const uint8_t version = static_cast<uint8_t>(in[0]);
+  if (version != kMapVersion) {
+    return Status::Corruption("unsupported partition map version " +
+                              std::to_string(version));
+  }
+  in.remove_prefix(1);
+  uint64_t nsplits = 0;
+  if (!GetVarint64(&in, &nsplits) || nsplits > in.size()) {
+    return Status::Corruption("bad split count");
+  }
+  std::vector<uint64_t> splits;
+  splits.reserve(static_cast<size_t>(nsplits));
+  for (uint64_t i = 0; i < nsplits; i++) {
+    uint64_t s = 0;
+    if (!GetVarint64(&in, &s)) return Status::Corruption("bad split point");
+    splits.push_back(s);
+  }
+  if (!in.empty()) return Status::Corruption("trailing bytes in map");
+  auto map = FromSplitPoints(std::move(splits));
+  if (!map.ok()) return Status::Corruption(map.status().ToString());
+  return map;
+}
+
+}  // namespace cluster
+}  // namespace tardis

@@ -1,0 +1,81 @@
+// PartitionMap: the static hash-range keyspace partitioning of a TARDiS
+// cluster (§6.4's data-partitioning sketch made real — see DESIGN.md §10).
+//
+// Keys hash with CRC-32C into a 32-bit ring [0, 2^32); the map splits the
+// ring into contiguous, covering, non-overlapping ranges, one per
+// partition group. Each group is a full tardisd replica set with its own
+// State DAG, WAL, commit log and gossip; routing a key is a binary search
+// over the range bounds — no coordination, no per-key state.
+//
+// The map is immutable once built (static partitioning); the stateless
+// router and every daemon hold identical copies, distributed as the
+// serialized form, so routing decisions are stable across processes and
+// restarts. Serialize/Deserialize round-trips bit-exactly: the same map
+// bytes always route the same key to the same partition.
+
+#ifndef TARDIS_CLUSTER_PARTITION_MAP_H_
+#define TARDIS_CLUSTER_PARTITION_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tardis {
+namespace cluster {
+
+class PartitionMap {
+ public:
+  /// A map with `partitions` >= 1 equal-width hash ranges.
+  static PartitionMap Uniform(uint32_t partitions);
+
+  /// A map from explicit ascending split points: partition i covers
+  /// [splits[i-1], splits[i]) with an implicit first bound of 0 and a
+  /// final bound of 2^32. `splits` therefore has partition_count - 1
+  /// entries, each in (0, 2^32), strictly ascending. An empty vector is
+  /// the single-partition map.
+  static StatusOr<PartitionMap> FromSplitPoints(std::vector<uint64_t> splits);
+
+  uint32_t partition_count() const {
+    return static_cast<uint32_t>(bounds_.size()) - 1;
+  }
+
+  /// The ring position of `key` (CRC-32C).
+  static uint32_t HashKey(const Slice& key);
+
+  /// The partition owning ring position `hash`.
+  uint32_t PartitionForHash(uint32_t hash) const;
+
+  uint32_t PartitionForKey(const Slice& key) const {
+    return PartitionForHash(HashKey(key));
+  }
+
+  /// [start, end) of partition `i` on the ring; end is exclusive and may
+  /// be 2^32 (hence uint64_t).
+  std::pair<uint64_t, uint64_t> Range(uint32_t i) const {
+    return {bounds_[i], bounds_[i + 1]};
+  }
+
+  /// Compact binary form (varint-coded bounds). Deserialize(Serialize())
+  /// routes every key identically to the original.
+  std::string Serialize() const;
+  static StatusOr<PartitionMap> Deserialize(Slice in);
+
+  bool operator==(const PartitionMap& o) const { return bounds_ == o.bounds_; }
+
+ private:
+  explicit PartitionMap(std::vector<uint64_t> bounds)
+      : bounds_(std::move(bounds)) {}
+
+  /// Ascending ring bounds; bounds_[0] == 0, bounds_.back() == 2^32,
+  /// partition i owns [bounds_[i], bounds_[i+1]). Size >= 2 always.
+  std::vector<uint64_t> bounds_;
+};
+
+}  // namespace cluster
+}  // namespace tardis
+
+#endif  // TARDIS_CLUSTER_PARTITION_MAP_H_

@@ -1,0 +1,307 @@
+#include "cluster/router.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "fault/fault_points.h"
+#include "cluster/twopc.h"
+#include "obs/exposition.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace tardis {
+namespace cluster {
+
+namespace {
+
+/// Wall-clock microseconds: txn ids must not repeat across router
+/// restarts (a restarted router must never reuse an id a participant
+/// still holds in doubt).
+uint64_t WallClockTxnSeed() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Router::Router(PartitionMap map, RouterOptions options,
+               obs::MetricsRegistry* registry)
+    : map_(std::move(map)),
+      options_(std::move(options)),
+      registry_(registry),
+      next_txn_id_(WallClockTxnSeed()) {
+  clients_.resize(map_.partition_count());
+  for (auto& c : clients_) c = std::make_unique<FramedClient>();
+  requests_fast_ = registry->RegisterCounter(
+      "tardis_router_requests", "Client commands handled by the router",
+      {{"path", "fast"}});
+  requests_2pc_ = registry->RegisterCounter(
+      "tardis_router_requests", "Client commands handled by the router",
+      {{"path", "2pc"}});
+  prepares_ = registry->RegisterCounter(
+      "tardis_2pc_prepares", "Cross-partition prepares sent",
+      {{"role", "router"}});
+  forked_commits_ = registry->RegisterCounter(
+      "tardis_2pc_forked_commits",
+      "2PC decide-commits that forked a participant DAG",
+      {{"role", "router"}});
+}
+
+Router::~Router() = default;
+
+Status Router::CallPartition(uint32_t p, const ReplMessage& msg,
+                             ReplMessage* resp) {
+  FramedClient* client = clients_[p].get();
+  if (!client->connected()) {
+    Status s = client->Connect(options_.coord_endpoints[p],
+                               options_.call_timeout_ms);
+    if (!s.ok()) return s;
+    Status call = client->Call(msg, resp, options_.call_timeout_ms);
+    return call;
+  }
+  Status s = client->Call(msg, resp, options_.call_timeout_ms);
+  if (s.ok()) return s;
+  // The cached connection may have died while idle (daemon restart):
+  // one re-dial before giving up.
+  s = client->Connect(options_.coord_endpoints[p], options_.call_timeout_ms);
+  if (!s.ok()) return s;
+  return client->Call(msg, resp, options_.call_timeout_ms);
+}
+
+std::string Router::ForwardLine(uint32_t partition, const std::string& line) {
+  ReplMessage req;
+  req.type = ReplMessage::Type::kRoute;
+  req.text = line;
+  ReplMessage resp;
+  Status s = CallPartition(partition, req, &resp);
+  if (!s.ok()) return "ERR partition " + std::to_string(partition) + " " +
+                       s.ToString();
+  if (resp.type != ReplMessage::Type::kRouteReply) return "ERR bad reply type";
+  return resp.text;
+}
+
+std::string Router::HandleMultiPut(const std::vector<WriteOp>& writes) {
+  // Group the write set by owning partition, preserving first-seen order.
+  std::vector<uint32_t> partition_ids;
+  std::vector<std::vector<WriteOp>> by_partition;
+  for (const WriteOp& w : writes) {
+    const uint32_t p = map_.PartitionForKey(w.key);
+    size_t slot = partition_ids.size();
+    for (size_t i = 0; i < partition_ids.size(); i++) {
+      if (partition_ids[i] == p) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == partition_ids.size()) {
+      partition_ids.push_back(p);
+      by_partition.emplace_back();
+    }
+    by_partition[slot].push_back(w);
+  }
+
+  if (partition_ids.size() == 1) {
+    // Fast path: one partition, one ordinary local transaction there.
+    requests_fast_->Increment();
+    ReplMessage req;
+    req.type = ReplMessage::Type::kRoute;
+    for (const WriteOp& w : by_partition[0]) {
+      req.commit.writes.emplace_back(
+          w.key, std::make_shared<const std::string>(w.value));
+    }
+    ReplMessage resp;
+    Status s = CallPartition(partition_ids[0], req, &resp);
+    if (!s.ok()) return "ERR " + s.ToString();
+    return resp.text;
+  }
+  requests_2pc_->Increment();
+  return CommitAcrossPartitions(partition_ids, by_partition);
+}
+
+std::string Router::CommitAcrossPartitions(
+    const std::vector<uint32_t>& partition_ids,
+    const std::vector<std::vector<WriteOp>>& by_partition) {
+  const uint64_t txn_id = next_txn_id_++;
+  const uint64_t deadline_ms = NowMillis() + options_.txn_deadline_ms;
+
+  std::vector<std::string> endpoints;
+  for (uint32_t p : partition_ids) {
+    endpoints.push_back(options_.coord_endpoints[p]);
+  }
+
+  // Phase 1: prepare every participant. Any failure or abort vote
+  // aborts the transaction everywhere.
+  std::vector<uint32_t> prepared;
+  Status failure;
+  for (size_t i = 0; i < partition_ids.size() && failure.ok(); i++) {
+    ReplMessage prep;
+    prep.type = ReplMessage::Type::kPrepare;
+    prep.txn_id = txn_id;
+    prep.endpoints = endpoints;
+    for (const WriteOp& w : by_partition[i]) {
+      prep.commit.writes.emplace_back(
+          w.key, std::make_shared<const std::string>(w.value));
+    }
+    prepares_->Increment();
+    ReplMessage ack;
+    Status s = CallPartition(partition_ids[i], prep, &ack);
+    if (!s.ok()) {
+      failure = s;
+    } else if (ack.type != ReplMessage::Type::kPrepareAck ||
+               ack.decision !=
+                   static_cast<uint8_t>(TwoPhaseDecision::kCommit)) {
+      failure = Status::Aborted("partition " +
+                                std::to_string(partition_ids[i]) +
+                                " voted abort");
+    } else {
+      prepared.push_back(partition_ids[i]);
+    }
+  }
+
+  if (!failure.ok()) {
+    // Abort everything we prepared; participants we cannot reach will
+    // presume abort on their own after the grace period.
+    for (uint32_t p : prepared) {
+      ReplMessage decide;
+      decide.type = ReplMessage::Type::kDecide;
+      decide.txn_id = txn_id;
+      decide.decision = static_cast<uint8_t>(TwoPhaseDecision::kAbort);
+      ReplMessage ack;
+      (void)CallPartition(p, decide, &ack);
+    }
+    return "ERR 2PC abort txn " + std::to_string(txn_id) + ": " +
+           failure.ToString();
+  }
+
+  // All votes in: the transaction is committed the moment we start
+  // delivering decides (any participant that receives one will propagate
+  // the outcome to the others through cooperative termination).
+  TARDIS_FAULT_HIT("twopc.router.before_decide");
+  if (decide_delay_ms_ > 0) {
+    // Test hook: hold the decision window open so the grid e2e can kill
+    // the router here or land a conflicting local commit.
+    std::this_thread::sleep_for(std::chrono::milliseconds(decide_delay_ms_));
+  }
+
+  bool any_forked = false;
+  size_t delivered = 0;
+  for (uint32_t p : partition_ids) {
+    ReplMessage decide;
+    decide.type = ReplMessage::Type::kDecide;
+    decide.txn_id = txn_id;
+    decide.decision = static_cast<uint8_t>(TwoPhaseDecision::kCommit);
+    ReplMessage ack;
+    Status s;
+    do {
+      s = CallPartition(p, decide, &ack);
+      if (!s.ok()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    } while (!s.ok() && NowMillis() < deadline_ms);
+    if (s.ok() && ack.type == ReplMessage::Type::kDecideAck) {
+      delivered++;
+      if (ack.forked) {
+        any_forked = true;
+        forked_commits_->Increment();
+      }
+    } else {
+      TARDIS_WARN(
+          "router: decide commit txn %llu undelivered to partition %u "
+          "(%s); peers will resolve it",
+          static_cast<unsigned long long>(txn_id), p, s.ToString().c_str());
+    }
+  }
+  std::string reply = "OK TXN " + std::to_string(txn_id);
+  if (any_forked) reply += " FORKED";
+  if (delivered < partition_ids.size()) {
+    reply += " INDOUBT " + std::to_string(partition_ids.size() - delivered);
+  }
+  return reply;
+}
+
+std::string Router::AggregateHealth() {
+  // One block per partition, every line prefixed "P<i> ", inner ENDs
+  // dropped; unreachable partitions report down=1 instead of failing the
+  // whole command.
+  std::string out = "ROUTER partitions=" +
+                    std::to_string(map_.partition_count()) + "\n";
+  for (uint32_t p = 0; p < map_.partition_count(); p++) {
+    const std::string reply = ForwardLine(p, "health");
+    if (reply.compare(0, 4, "ERR ") == 0) {
+      out += "P" + std::to_string(p) + " down=1 " + reply + "\n";
+      continue;
+    }
+    std::stringstream ss(reply);
+    std::string line;
+    while (std::getline(ss, line)) {
+      if (line == "END" || line.empty()) continue;
+      out += "P" + std::to_string(p) + " " + line + "\n";
+    }
+  }
+  return out + "END";
+}
+
+std::string Router::Handle(const std::string& line, bool* close_conn) {
+  *close_conn = false;
+  std::stringstream ss(line);
+  std::string cmd;
+  ss >> cmd;
+
+  if (cmd == "ping") return "PONG";
+  if (cmd == "quit") {
+    *close_conn = true;
+    return "BYE";
+  }
+  if (cmd == "partition") {
+    std::string key;
+    ss >> key;
+    if (key.empty()) return "ERR usage: partition <key>";
+    return "PARTITION " + std::to_string(map_.PartitionForKey(key));
+  }
+  if (cmd == "get" || cmd == "put") {
+    std::string key;
+    ss >> key;
+    if (key.empty()) return "ERR usage: " + cmd + " <key> ...";
+    requests_fast_->Increment();
+    return ForwardLine(map_.PartitionForKey(key), line);
+  }
+  if (cmd == "mput") {
+    std::vector<WriteOp> writes;
+    WriteOp w;
+    while (ss >> w.key >> w.value) writes.push_back(w);
+    if (writes.empty()) return "ERR usage: mput <key> <value> [...]";
+    return HandleMultiPut(writes);
+  }
+  if (cmd == "merge" || cmd == "sync") {
+    // Partition-local maintenance, fanned out everywhere.
+    requests_fast_->Increment();
+    std::string out;
+    for (uint32_t p = 0; p < map_.partition_count(); p++) {
+      out += "P" + std::to_string(p) + " " + ForwardLine(p, line) + "\n";
+    }
+    return out + "END";
+  }
+  if (cmd == "health") return AggregateHealth();
+  if (cmd == "metrics" || cmd == "stats") {
+    std::string format = cmd == "stats" ? "table" : "prom";
+    ss >> format;
+    const std::vector<obs::Sample> samples = registry_->Collect();
+    std::string body = format == "table" ? obs::RenderTable(samples)
+                                         : obs::RenderPrometheus(samples);
+    if (!body.empty() && body.back() != '\n') body.push_back('\n');
+    return body + "END";
+  }
+  if (cmd == "2pc_delay") {
+    int ms = 0;
+    if (!(ss >> ms) || ms < 0 || ms > 60'000) return "ERR usage: 2pc_delay <ms>";
+    decide_delay_ms_ = static_cast<uint64_t>(ms);
+    return "OK";
+  }
+  return "ERR unknown command '" + cmd + "'";
+}
+
+}  // namespace cluster
+}  // namespace tardis

@@ -1,0 +1,124 @@
+// Router: the stateless front-end of a partitioned TARDiS cluster
+// (DESIGN.md §10). Clients speak the same line protocol as tardisd; the
+// router hashes keys through the PartitionMap and forwards each command
+// to the owning partition's daemon over its coordination port, using the
+// CRC32-framed wire codec.
+//
+// Two paths:
+//
+//  * Fast path — every key of the command lives in one partition. The
+//    command is forwarded as a single kRoute frame and executed there as
+//    an ordinary local transaction: zero extra coordination, no 2PC
+//    frames on the wire (asserted by the grid e2e via the router
+//    metrics).
+//  * 2PC path — a multi-key write spanning partitions. The router runs
+//    two-phase commit (kPrepare/kDecide) against every participant; the
+//    participants stage and fork TARDiS-style (see twopc.h), so the only
+//    abort source is a failed/unreachable prepare.
+//
+// Statelessness: the router persists nothing. Transaction ids are drawn
+// from a wall-clock-seeded counter so they stay unique across router
+// restarts, and a router crash mid-2PC is recovered by the participants'
+// cooperative termination, not by the router. Killing the router at any
+// point loses no acknowledged write.
+//
+// Not thread-safe: the tardis-router binary serializes commands through
+// one handler thread (coordination traffic is not the data hot path —
+// that is the per-partition gossip mesh).
+
+#ifndef TARDIS_CLUSTER_ROUTER_H_
+#define TARDIS_CLUSTER_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/framed_client.h"
+#include "cluster/partition_map.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace tardis {
+namespace cluster {
+
+struct RouterOptions {
+  /// Coordination endpoint ("host:port") of each partition's daemon,
+  /// indexed by partition id; size must equal map.partition_count().
+  std::vector<std::string> coord_endpoints;
+  /// Per-frame call deadline.
+  uint64_t call_timeout_ms = 2000;
+  /// End-to-end budget for one 2PC commit. Keep well below the
+  /// participants' resolve_grace_ms: a participant must never presume
+  /// abort while a live router is still inside its decision window.
+  uint64_t txn_deadline_ms = 4000;
+};
+
+class Router {
+ public:
+  /// Registers the router metrics on `registry` (not owned, must outlive
+  /// the router).
+  Router(PartitionMap map, RouterOptions options,
+         obs::MetricsRegistry* registry);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Executes one line-protocol command and returns the reply (no
+  /// trailing newline; multi-line replies are END-terminated like
+  /// tardisd's). Sets *close_conn for quit.
+  ///
+  /// Commands:
+  ///   ping                      -> PONG (answered locally)
+  ///   get <key> / put <key> <v> -> forwarded to the owning partition
+  ///   mput <k> <v> [<k> <v>]... -> atomic multi-put; fast path when all
+  ///                                keys share a partition, 2PC otherwise
+  ///                                -> OK TXN <id> [FORKED]
+  ///   partition <key>           -> PARTITION <id> (routing introspection)
+  ///   merge [counter|lww]       -> forwarded to every partition
+  ///   health                    -> aggregated per-partition health, END
+  ///   metrics [prom|table]      -> the router's own registry, END
+  ///   2pc_delay <ms>            -> test hook: sleep between prepare and
+  ///                                decide of subsequent 2PC commits
+  ///   quit                      -> BYE
+  std::string Handle(const std::string& line, bool* close_conn);
+
+  const PartitionMap& map() const { return map_; }
+
+ private:
+  struct WriteOp {
+    std::string key;
+    std::string value;
+  };
+
+  /// Sends `msg` to partition `p`, reconnecting once on a dead cached
+  /// connection.
+  Status CallPartition(uint32_t p, const ReplMessage& msg, ReplMessage* resp);
+
+  std::string ForwardLine(uint32_t partition, const std::string& line);
+  std::string HandleMultiPut(const std::vector<WriteOp>& writes);
+  /// The 2PC path; `by_partition[i]` is partition_ids[i]'s write subset.
+  std::string CommitAcrossPartitions(
+      const std::vector<uint32_t>& partition_ids,
+      const std::vector<std::vector<WriteOp>>& by_partition);
+  std::string AggregateHealth();
+
+  const PartitionMap map_;
+  const RouterOptions options_;
+  obs::MetricsRegistry* const registry_;
+  std::vector<std::unique_ptr<FramedClient>> clients_;  // one per partition
+
+  uint64_t next_txn_id_;     ///< wall-clock seeded; unique across restarts
+  uint64_t decide_delay_ms_ = 0;  ///< 2pc_delay test hook
+
+  obs::Counter* requests_fast_ = nullptr;
+  obs::Counter* requests_2pc_ = nullptr;
+  obs::Counter* prepares_ = nullptr;
+  obs::Counter* forked_commits_ = nullptr;
+};
+
+}  // namespace cluster
+}  // namespace tardis
+
+#endif  // TARDIS_CLUSTER_ROUTER_H_

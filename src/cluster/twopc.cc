@@ -1,0 +1,423 @@
+#include "cluster/twopc.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "core/constraints.h"
+#include "fault/fault_points.h"
+#include "net/wire.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace tardis {
+namespace cluster {
+
+namespace {
+
+ReplMessage MakeAck(ReplMessage::Type type, uint64_t txn_id,
+                    TwoPhaseDecision decision, bool forked) {
+  ReplMessage ack;
+  ack.type = type;
+  ack.txn_id = txn_id;
+  ack.decision = static_cast<uint8_t>(decision);
+  ack.forked = forked;
+  return ack;
+}
+
+}  // namespace
+
+const char* TwoPhaseDecisionName(TwoPhaseDecision d) {
+  switch (d) {
+    case TwoPhaseDecision::kUnknown:
+      return "unknown";
+    case TwoPhaseDecision::kCommit:
+      return "commit";
+    case TwoPhaseDecision::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+TwoPhaseParticipant::TwoPhaseParticipant(TardisStore* store,
+                                         TwoPhaseOptions options)
+    : store_(store),
+      options_(std::move(options)),
+      log_path_(options_.dir.empty() ? "" : options_.dir + "/twopc.log") {
+  obs::MetricsRegistry* registry = store_->metrics();
+  prepares_ = registry->RegisterCounter(
+      "tardis_2pc_prepares", "Cross-partition prepares handled",
+      {{"role", "participant"}});
+  forked_commits_ = registry->RegisterCounter(
+      "tardis_2pc_forked_commits",
+      "2PC decide-commits that forked the DAG instead of aborting",
+      {{"role", "participant"}});
+  registry->RegisterCallbackGauge(
+      "tardis_2pc_in_doubt", "Prepared transactions awaiting a decision",
+      [this] {
+        return static_cast<double>(in_doubt_count());
+      },
+      {}, this);
+}
+
+TwoPhaseParticipant::~TwoPhaseParticipant() {
+  store_->metrics()->DropCallbacks(this);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, p] : pending_) {
+    if (p.staged) p.staged->Abort();
+  }
+  if (log_fd_ >= 0) ::close(log_fd_);
+}
+
+Status TwoPhaseParticipant::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_path_.empty()) return Status::OK();
+
+  // Replay whatever log survived the last run.
+  std::string contents;
+  {
+    FILE* f = fopen(log_path_.c_str(), "rb");
+    if (f != nullptr) {
+      char buf[8192];
+      size_t n;
+      while ((n = fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+      fclose(f);
+    }
+  }
+  Slice rest(contents);
+  const uint64_t now = NowMillis();
+  size_t torn = 0;
+  while (!rest.empty()) {
+    ReplMessage msg;
+    size_t consumed = 0;
+    Status s = DecodeFrame(rest, &msg, &consumed);
+    if (!s.ok() || consumed == 0) {
+      // Corrupt or incomplete tail: the crash interrupted an append.
+      // Everything acked is in the complete prefix; drop the tail.
+      torn = rest.size();
+      break;
+    }
+    rest.remove_prefix(consumed);
+    switch (msg.type) {
+      case ReplMessage::Type::kPrepare: {
+        Pending p;
+        p.prepare = std::move(msg);
+        p.prepared_at_ms = now;  // restart the grace clock
+        pending_[p.prepare.txn_id] = std::move(p);
+        break;
+      }
+      case ReplMessage::Type::kDecide:
+        pending_.erase(msg.txn_id);
+        decided_[msg.txn_id] = static_cast<TwoPhaseDecision>(msg.decision);
+        break;
+      default:
+        return Status::Corruption("unexpected frame in twopc.log");
+    }
+  }
+  if (torn > 0) {
+    TARDIS_WARN("twopc: dropping %zu torn trailing bytes of %s", torn,
+                log_path_.c_str());
+  }
+  if (!pending_.empty()) {
+    TARDIS_INFO("twopc: recovered %zu in-doubt transaction(s)",
+                pending_.size());
+  }
+
+  log_fd_ = open(log_path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                 0644);
+  if (log_fd_ < 0) {
+    return Status::IOError("open " + log_path_ + ": " + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status TwoPhaseParticipant::AppendLog(const ReplMessage& msg) {
+  if (log_fd_ < 0) return Status::OK();  // in-memory participant
+  std::string frame;
+  EncodeFrame(msg, &frame);
+  size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::write(log_fd_, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("twopc.log write: " +
+                             std::string(strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (fsync(log_fd_) != 0) {
+    return Status::IOError("twopc.log fsync: " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status TwoPhaseParticipant::HandlePrepare(const ReplMessage& msg,
+                                          ReplMessage* reply) {
+  std::lock_guard<std::mutex> lock(mu_);
+  prepares_->Increment();
+
+  // Duplicate prepare (router retry): re-ack the standing vote.
+  if (pending_.count(msg.txn_id) != 0) {
+    *reply = MakeAck(ReplMessage::Type::kPrepareAck, msg.txn_id,
+                     TwoPhaseDecision::kCommit, false);
+    return Status::OK();
+  }
+  auto decided = decided_.find(msg.txn_id);
+  if (decided != decided_.end()) {
+    // Already decided (late retry after the decide): vote matches fate.
+    *reply = MakeAck(ReplMessage::Type::kPrepareAck, msg.txn_id,
+                     decided->second, false);
+    return Status::OK();
+  }
+
+  // Persist before staging: an acked prepare must survive a crash.
+  Status s = [&] {
+    TARDIS_FAULT_POINT("twopc.prepare.persist");
+    return AppendLog(msg);
+  }();
+  if (!s.ok()) {
+    TARDIS_WARN("twopc: prepare %llu persist failed, voting abort: %s",
+                static_cast<unsigned long long>(msg.txn_id),
+                s.ToString().c_str());
+    decided_[msg.txn_id] = TwoPhaseDecision::kAbort;
+    *reply = MakeAck(ReplMessage::Type::kPrepareAck, msg.txn_id,
+                     TwoPhaseDecision::kAbort, false);
+    return Status::OK();
+  }
+
+  // Stage the write set as an open local transaction. Staging failures
+  // after a persisted prepare are fine: the decide path falls back to a
+  // fresh transaction, exactly like post-crash recovery.
+  Pending p;
+  p.prepare = msg;
+  p.prepared_at_ms = NowMillis();
+  p.session = store_->CreateSession();
+  auto txn = store_->Begin(p.session.get());
+  if (txn.ok()) {
+    bool staged = true;
+    for (const auto& [key, value] : msg.commit.writes) {
+      const Slice v = value ? Slice(*value) : Slice();
+      if (!(*txn)->Put(key, v).ok()) {
+        staged = false;
+        break;
+      }
+    }
+    if (staged) {
+      p.staged = std::move(*txn);
+    } else {
+      (*txn)->Abort();
+    }
+  }
+  pending_[msg.txn_id] = std::move(p);
+
+  *reply = MakeAck(ReplMessage::Type::kPrepareAck, msg.txn_id,
+                   TwoPhaseDecision::kCommit, false);
+  return Status::OK();
+}
+
+Status TwoPhaseParticipant::ApplyDecisionLocked(uint64_t txn_id, Pending* p,
+                                                TwoPhaseDecision decision,
+                                                bool* forked) {
+  *forked = false;
+  if (decision == TwoPhaseDecision::kCommit) {
+    TARDIS_FAULT_POINT("twopc.decide.apply");
+    const uint64_t forks_before = store_->stats().branches_created;
+    // First-committer-wins on the write sets: a commit that landed on our
+    // keys since prepare is a real conflict, and branch-on-conflict means
+    // the decide-commit FORKS the DAG at the pre-conflict state instead
+    // of aborting (SI's StepOk fails, its FinalOk never does). The
+    // default Serializability constraint would silently ripple a
+    // write-only transaction past the conflicting commit.
+    Status s;
+    if (p->staged) {
+      s = p->staged->Commit(SnapshotIsolationEnd());
+      p->staged.reset();
+    } else {
+      // Crash recovery (or staging failed at prepare time): re-apply the
+      // logged write set through a fresh transaction.
+      auto session = store_->CreateSession();
+      auto txn = store_->Begin(session.get());
+      if (!txn.ok()) {
+        s = txn.status();
+      } else {
+        s = Status::OK();
+        for (const auto& [key, value] : p->prepare.commit.writes) {
+          const Slice v = value ? Slice(*value) : Slice();
+          s = (*txn)->Put(key, v);
+          if (!s.ok()) break;
+        }
+        if (s.ok()) {
+          s = (*txn)->Commit(SnapshotIsolationEnd());
+        } else {
+          (*txn)->Abort();
+        }
+      }
+    }
+    if (!s.ok()) {
+      // Leave the transaction in doubt; the router (or the resolver) will
+      // retry the decide. Acking a commit we failed to apply would lose
+      // the write.
+      return s;
+    }
+    *forked = store_->stats().branches_created > forks_before;
+    if (*forked) forked_commits_->Increment();
+  } else {
+    if (p->staged) {
+      p->staged->Abort();
+      p->staged.reset();
+    }
+  }
+
+  // Apply-THEN-log: a crash between the two re-applies the decide on
+  // recovery (idempotent); the reverse order could ack a commit whose
+  // writes never landed.
+  ReplMessage record;
+  record.type = ReplMessage::Type::kDecide;
+  record.txn_id = txn_id;
+  record.decision = static_cast<uint8_t>(decision);
+  Status s = AppendLog(record);
+  if (!s.ok()) {
+    TARDIS_WARN("twopc: decide %llu logged only in memory: %s",
+                static_cast<unsigned long long>(txn_id),
+                s.ToString().c_str());
+    // The apply landed; keep serving the decision from memory. A crash
+    // now re-enters in-doubt and cooperative termination re-resolves it.
+  }
+  decided_[txn_id] = decision;
+  pending_.erase(txn_id);
+  return Status::OK();
+}
+
+Status TwoPhaseParticipant::HandleDecide(const ReplMessage& msg,
+                                         ReplMessage* reply) {
+  const auto decision = static_cast<TwoPhaseDecision>(msg.decision);
+  if (decision != TwoPhaseDecision::kCommit &&
+      decision != TwoPhaseDecision::kAbort) {
+    return Status::InvalidArgument("decide carries no decision");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+
+  auto decided = decided_.find(msg.txn_id);
+  if (decided != decided_.end()) {
+    // Duplicate decide: idempotent re-ack.
+    *reply = MakeAck(ReplMessage::Type::kDecideAck, msg.txn_id,
+                     decided->second, false);
+    return Status::OK();
+  }
+  auto it = pending_.find(msg.txn_id);
+  if (it == pending_.end()) {
+    // Never prepared here (or already presumed aborted and forgotten).
+    // Answer abort for aborts; a commit for an unknown txn is a protocol
+    // violation worth surfacing.
+    if (decision == TwoPhaseDecision::kAbort) {
+      *reply = MakeAck(ReplMessage::Type::kDecideAck, msg.txn_id,
+                       TwoPhaseDecision::kAbort, false);
+      return Status::OK();
+    }
+    return Status::InvalidArgument("decide-commit for unprepared txn");
+  }
+
+  bool forked = false;
+  Status s = ApplyDecisionLocked(msg.txn_id, &it->second, decision, &forked);
+  if (!s.ok()) return s;
+  *reply = MakeAck(ReplMessage::Type::kDecideAck, msg.txn_id, decision,
+                   forked);
+  return Status::OK();
+}
+
+Status TwoPhaseParticipant::HandleTxnStatus(const ReplMessage& msg,
+                                            ReplMessage* reply) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TwoPhaseDecision d;
+  auto decided = decided_.find(msg.txn_id);
+  if (decided != decided_.end()) {
+    d = decided->second;
+  } else if (pending_.count(msg.txn_id) != 0) {
+    d = TwoPhaseDecision::kUnknown;  // in doubt here too
+  } else {
+    d = TwoPhaseDecision::kAbort;  // presumed abort: no trace of it
+  }
+  *reply = MakeAck(ReplMessage::Type::kDecideAck, msg.txn_id, d, false);
+  return Status::OK();
+}
+
+size_t TwoPhaseParticipant::ResolveInDoubt() {
+  // Snapshot the overdue transactions, then query peers without holding
+  // mu_ (query_peer does network IO; handlers must stay responsive).
+  struct Overdue {
+    uint64_t txn_id;
+    std::vector<std::string> peers;
+  };
+  std::vector<Overdue> overdue;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t now = NowMillis();
+    for (const auto& [id, p] : pending_) {
+      if (now - p.prepared_at_ms < options_.resolve_grace_ms) continue;
+      Overdue o;
+      o.txn_id = id;
+      for (const std::string& ep : p.prepare.endpoints) {
+        if (ep != options_.self_endpoint) o.peers.push_back(ep);
+      }
+      overdue.push_back(std::move(o));
+    }
+  }
+  if (overdue.empty() || !options_.query_peer) return 0;
+
+  size_t resolved = 0;
+  for (const Overdue& o : overdue) {
+    TwoPhaseDecision outcome = TwoPhaseDecision::kUnknown;
+    bool all_reachable = true;
+    for (const std::string& peer : o.peers) {
+      TwoPhaseDecision d = TwoPhaseDecision::kUnknown;
+      Status s = options_.query_peer(peer, o.txn_id, &d);
+      if (!s.ok()) {
+        all_reachable = false;
+        continue;
+      }
+      if (d == TwoPhaseDecision::kCommit || d == TwoPhaseDecision::kAbort) {
+        outcome = d;
+        break;  // any decided peer is authoritative
+      }
+    }
+    if (outcome == TwoPhaseDecision::kUnknown) {
+      if (!all_reachable) continue;  // stay in doubt, retry later
+      // Every peer reachable and none saw a decide: the router cannot
+      // have decided commit (it needs all our acks first, and a commit
+      // decision reaches at least one participant before the router can
+      // consider the txn done). Presume abort.
+      outcome = TwoPhaseDecision::kAbort;
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(o.txn_id);
+    if (it == pending_.end()) continue;  // raced with a live decide
+    bool forked = false;
+    if (ApplyDecisionLocked(o.txn_id, &it->second, outcome, &forked).ok()) {
+      TARDIS_INFO("twopc: resolved in-doubt txn %llu -> %s%s",
+                  static_cast<unsigned long long>(o.txn_id),
+                  TwoPhaseDecisionName(outcome), forked ? " (forked)" : "");
+      resolved++;
+    }
+  }
+  return resolved;
+}
+
+size_t TwoPhaseParticipant::in_doubt_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+TwoPhaseDecision TwoPhaseParticipant::DecisionFor(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = decided_.find(txn_id);
+  return it == decided_.end() ? TwoPhaseDecision::kUnknown : it->second;
+}
+
+}  // namespace cluster
+}  // namespace tardis

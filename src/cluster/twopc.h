@@ -1,0 +1,157 @@
+// TwoPhaseParticipant: one partition's side of the cross-partition commit
+// protocol (DESIGN.md §10).
+//
+// Classic 2PC aborts a prepared transaction whenever anything conflicts.
+// TARDiS does not need to: a participant votes yes by *staging* the write
+// set as an open local transaction, and on decide-commit simply commits
+// it — if a concurrent local commit landed in between, branch-on-conflict
+// forks the State DAG instead of aborting, and the fork is merged later
+// like any other branch. The only abort votes are resource/persistence
+// failures, so a prepared cross-partition transaction is never lost to a
+// read-write race.
+//
+// Durability: every prepare and decide is appended (as a CRC32-framed
+// ReplMessage, the same codec as the wire) to <dir>/twopc.log and fsynced
+// before it is acknowledged — except the decide *apply* happens before
+// the decide record is logged. Re-applying a decide after a crash is
+// benign (idempotent by txn id); a logged decide whose apply never
+// happened would lose a committed write, which is not.
+//
+// Recovery and the stateless router: the router keeps no durable state,
+// so a participant left in doubt (prepared, no decide) resolves
+// cooperatively. The prepare record carries every participant's
+// coordination endpoint; after `resolve_grace_ms`, ResolveInDoubt()
+// queries the peers — any peer that saw decide-commit → commit, any that
+// saw abort → abort, and if every peer is reachable and also in doubt,
+// presume abort (safe: the router only decides commit after collecting
+// *all* prepare acks, so "nobody saw a decide" implies no one committed).
+// The grace period must exceed the router's end-to-end 2PC deadline so a
+// live-but-slow router cannot race the presumption.
+
+#ifndef TARDIS_CLUSTER_TWOPC_H_
+#define TARDIS_CLUSTER_TWOPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/tardis_store.h"
+#include "obs/metrics.h"
+#include "replication/message.h"
+#include "util/status.h"
+
+namespace tardis {
+namespace cluster {
+
+enum class TwoPhaseDecision : uint8_t {
+  kUnknown = 0,  ///< prepared, outcome not yet known
+  kCommit = 1,
+  kAbort = 2,
+};
+
+const char* TwoPhaseDecisionName(TwoPhaseDecision d);
+
+struct TwoPhaseOptions {
+  /// Directory for twopc.log. Empty = no durability (in-memory stores /
+  /// unit tests); recovery then starts empty.
+  std::string dir;
+  /// This participant's own coordination endpoint ("host:port"), as it
+  /// appears in the prepare record's endpoint list; skipped when
+  /// querying peers.
+  std::string self_endpoint;
+  /// How long a prepared transaction may sit undecided before
+  /// ResolveInDoubt starts querying peers. Must exceed the router's 2PC
+  /// deadline (see file comment).
+  uint64_t resolve_grace_ms = 5000;
+  /// Queries one peer for its decision on txn_id. Injected so tests and
+  /// the in-process chaos harness can answer without sockets; tardisd
+  /// wires this to a FramedClient kTxnStatus call. An error return means
+  /// "unreachable" (the txn stays in doubt).
+  std::function<Status(const std::string& endpoint, uint64_t txn_id,
+                       TwoPhaseDecision* decision)>
+      query_peer;
+};
+
+class TwoPhaseParticipant {
+ public:
+  /// Registers the 2PC metrics on the store's registry. Call Recover()
+  /// before serving traffic.
+  TwoPhaseParticipant(TardisStore* store, TwoPhaseOptions options);
+  ~TwoPhaseParticipant();
+
+  TwoPhaseParticipant(const TwoPhaseParticipant&) = delete;
+  TwoPhaseParticipant& operator=(const TwoPhaseParticipant&) = delete;
+
+  /// Replays twopc.log: prepares without a matching decide become
+  /// in-doubt transactions (their write sets come from the log; the
+  /// staged local transaction did not survive the crash, so a later
+  /// decide-commit re-applies them through a fresh transaction). A torn
+  /// final record — the crash hit mid-append — is tolerated and dropped.
+  Status Recover();
+
+  /// kPrepare -> kPrepareAck. Stages the write set, persists the prepare
+  /// record, votes commit; votes abort when persistence fails (fault
+  /// point "twopc.prepare.persist"). Duplicate prepares re-ack the
+  /// original vote.
+  Status HandlePrepare(const ReplMessage& msg, ReplMessage* reply);
+
+  /// kDecide -> kDecideAck. Applies the decision (commit may fork — see
+  /// file comment; fault point "twopc.decide.apply"), then logs it.
+  /// Idempotent: a repeated decide re-acks without re-applying.
+  Status HandleDecide(const ReplMessage& msg, ReplMessage* reply);
+
+  /// kTxnStatus -> kDecideAck carrying this participant's view: the
+  /// logged decision, kUnknown while prepared-undecided, and kAbort for
+  /// transactions never seen (presumed abort).
+  Status HandleTxnStatus(const ReplMessage& msg, ReplMessage* reply);
+
+  /// One cooperative-termination pass over transactions in doubt longer
+  /// than resolve_grace_ms. Returns the number resolved. Driven by the
+  /// daemon's resolver thread (or directly by tests).
+  size_t ResolveInDoubt();
+
+  size_t in_doubt_count() const;
+
+  /// Test/introspection: this participant's decision for txn_id
+  /// (kUnknown when prepared-undecided OR never seen; pair with
+  /// in_doubt_count to distinguish).
+  TwoPhaseDecision DecisionFor(uint64_t txn_id) const;
+
+ private:
+  struct Pending {
+    ReplMessage prepare;      ///< the full prepare record (writes, peers)
+    TxnPtr staged;            ///< open local txn; null after crash recovery
+    std::unique_ptr<ClientSession> session;  ///< owns staged's session
+    uint64_t prepared_at_ms = 0;
+  };
+
+  /// Appends one framed record to twopc.log and fsyncs. No-op without a
+  /// log directory.
+  Status AppendLog(const ReplMessage& msg);
+  /// Commits or aborts a pending transaction, logs the decide, moves it
+  /// to decided_. Caller holds mu_. Sets *forked when the commit created
+  /// a new branch.
+  Status ApplyDecisionLocked(uint64_t txn_id, Pending* p,
+                             TwoPhaseDecision decision, bool* forked);
+
+  TardisStore* const store_;
+  const TwoPhaseOptions options_;
+  const std::string log_path_;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Pending> pending_;
+  std::map<uint64_t, TwoPhaseDecision> decided_;
+  int log_fd_ = -1;
+
+  obs::Counter* prepares_ = nullptr;
+  obs::Counter* forked_commits_ = nullptr;
+};
+
+}  // namespace cluster
+}  // namespace tardis
+
+#endif  // TARDIS_CLUSTER_TWOPC_H_

@@ -25,6 +25,11 @@
 //   store.checkpoint.rename   before the checkpoint rename-into-place
 //   env.append                FaultEnv short-write cap (kLimitWrite)
 //   net.tcp.send              TcpTransport send() byte cap (kLimitWrite)
+//   twopc.prepare.persist     before a prepare record is logged (an
+//                             injected error turns the vote into abort)
+//   twopc.decide.apply        before a decide-commit is applied locally
+//   twopc.router.before_decide router, between collecting all prepare
+//                             acks and sending the first decide
 
 #ifndef TARDIS_FAULT_FAULT_POINTS_H_
 #define TARDIS_FAULT_FAULT_POINTS_H_

@@ -22,16 +22,39 @@ bool GetGuid(Slice* in, GlobalStateId* g) {
   return true;
 }
 
+using WriteSet =
+    std::vector<std::pair<std::string, std::shared_ptr<const std::string>>>;
+
+void PutWrites(std::string* out, const WriteSet& writes) {
+  PutVarint64(out, writes.size());
+  for (const auto& [key, value] : writes) {
+    PutLengthPrefixed(out, Slice(key));
+    PutLengthPrefixed(out, value ? Slice(*value) : Slice());
+  }
+}
+
+bool GetWrites(Slice* in, WriteSet* writes) {
+  uint64_t nwrites = 0;
+  if (!GetVarint64(in, &nwrites)) return false;
+  if (nwrites > in->size()) return false;
+  writes->clear();
+  writes->reserve(static_cast<size_t>(nwrites));
+  for (uint64_t i = 0; i < nwrites; i++) {
+    Slice key, value;
+    if (!GetLengthPrefixed(in, &key)) return false;
+    if (!GetLengthPrefixed(in, &value)) return false;
+    writes->emplace_back(key.ToString(),
+                         std::make_shared<const std::string>(value.ToString()));
+  }
+  return true;
+}
+
 void PutCommitRecord(std::string* out, const CommitRecord& r) {
   PutGuid(out, r.guid);
   PutVarint64(out, r.parent_guids.size());
   for (const GlobalStateId& p : r.parent_guids) PutGuid(out, p);
   out->push_back(r.is_merge ? 1 : 0);
-  PutVarint64(out, r.writes.size());
-  for (const auto& [key, value] : r.writes) {
-    PutLengthPrefixed(out, Slice(key));
-    PutLengthPrefixed(out, value ? Slice(*value) : Slice());
-  }
+  PutWrites(out, r.writes);
 }
 
 bool GetCommitRecord(Slice* in, CommitRecord* r) {
@@ -50,19 +73,7 @@ bool GetCommitRecord(Slice* in, CommitRecord* r) {
   if (in->empty()) return false;
   r->is_merge = (*in)[0] != 0;
   in->remove_prefix(1);
-  uint64_t nwrites = 0;
-  if (!GetVarint64(in, &nwrites)) return false;
-  if (nwrites > in->size()) return false;
-  r->writes.clear();
-  r->writes.reserve(static_cast<size_t>(nwrites));
-  for (uint64_t i = 0; i < nwrites; i++) {
-    Slice key, value;
-    if (!GetLengthPrefixed(in, &key)) return false;
-    if (!GetLengthPrefixed(in, &value)) return false;
-    r->writes.emplace_back(key.ToString(),
-                           std::make_shared<const std::string>(value.ToString()));
-  }
-  return true;
+  return GetWrites(in, &r->writes);
 }
 
 }  // namespace
@@ -95,6 +106,36 @@ void EncodeReplMessage(const ReplMessage& msg, std::string* out) {
     case ReplMessage::Type::kHello:
     case ReplMessage::Type::kHelloAck:
       break;  // identity is the from_site varint every payload carries
+    case ReplMessage::Type::kRoute:
+      PutVarint64(out, msg.txn_id);
+      PutLengthPrefixed(out, Slice(msg.text));
+      PutWrites(out, msg.commit.writes);
+      break;
+    case ReplMessage::Type::kRouteReply:
+      PutVarint64(out, msg.txn_id);
+      PutLengthPrefixed(out, Slice(msg.text));
+      break;
+    case ReplMessage::Type::kPrepare:
+      PutVarint64(out, msg.txn_id);
+      PutWrites(out, msg.commit.writes);
+      PutVarint64(out, msg.endpoints.size());
+      for (const std::string& ep : msg.endpoints) {
+        PutLengthPrefixed(out, Slice(ep));
+      }
+      break;
+    case ReplMessage::Type::kPrepareAck:
+    case ReplMessage::Type::kDecide:
+      PutVarint64(out, msg.txn_id);
+      out->push_back(static_cast<char>(msg.decision));
+      break;
+    case ReplMessage::Type::kDecideAck:
+      PutVarint64(out, msg.txn_id);
+      out->push_back(static_cast<char>(msg.decision));
+      out->push_back(msg.forked ? 1 : 0);
+      break;
+    case ReplMessage::Type::kTxnStatus:
+      PutVarint64(out, msg.txn_id);
+      break;
   }
 }
 
@@ -107,7 +148,7 @@ Status DecodeReplMessage(Slice payload, ReplMessage* out) {
                               std::to_string(version));
   }
   const uint8_t type_byte = static_cast<uint8_t>(in[1]);
-  if (type_byte > static_cast<uint8_t>(ReplMessage::Type::kHelloAck)) {
+  if (type_byte > static_cast<uint8_t>(ReplMessage::Type::kTxnStatus)) {
     return Status::Corruption("unknown message type " +
                               std::to_string(type_byte));
   }
@@ -178,6 +219,75 @@ Status DecodeReplMessage(Slice payload, ReplMessage* out) {
     }
     case ReplMessage::Type::kHello:
     case ReplMessage::Type::kHelloAck:
+      break;
+    case ReplMessage::Type::kRoute: {
+      if (!GetVarint64(&in, &msg.txn_id)) {
+        return Status::Corruption("bad txn id");
+      }
+      Slice text;
+      if (!GetLengthPrefixed(&in, &text)) {
+        return Status::Corruption("bad route command");
+      }
+      msg.text = text.ToString();
+      if (!GetWrites(&in, &msg.commit.writes)) {
+        return Status::Corruption("bad route write set");
+      }
+      break;
+    }
+    case ReplMessage::Type::kRouteReply: {
+      if (!GetVarint64(&in, &msg.txn_id)) {
+        return Status::Corruption("bad txn id");
+      }
+      Slice text;
+      if (!GetLengthPrefixed(&in, &text)) {
+        return Status::Corruption("bad route reply");
+      }
+      msg.text = text.ToString();
+      break;
+    }
+    case ReplMessage::Type::kPrepare: {
+      if (!GetVarint64(&in, &msg.txn_id)) {
+        return Status::Corruption("bad txn id");
+      }
+      if (!GetWrites(&in, &msg.commit.writes)) {
+        return Status::Corruption("bad prepare write set");
+      }
+      uint64_t neps = 0;
+      if (!GetVarint64(&in, &neps) || neps > in.size()) {
+        return Status::Corruption("bad endpoint count");
+      }
+      msg.endpoints.reserve(static_cast<size_t>(neps));
+      for (uint64_t i = 0; i < neps; i++) {
+        Slice ep;
+        if (!GetLengthPrefixed(&in, &ep)) {
+          return Status::Corruption("bad endpoint");
+        }
+        msg.endpoints.push_back(ep.ToString());
+      }
+      break;
+    }
+    case ReplMessage::Type::kPrepareAck:
+    case ReplMessage::Type::kDecide:
+      if (!GetVarint64(&in, &msg.txn_id)) {
+        return Status::Corruption("bad txn id");
+      }
+      if (in.empty()) return Status::Corruption("missing decision byte");
+      msg.decision = static_cast<uint8_t>(in[0]);
+      in.remove_prefix(1);
+      break;
+    case ReplMessage::Type::kDecideAck:
+      if (!GetVarint64(&in, &msg.txn_id)) {
+        return Status::Corruption("bad txn id");
+      }
+      if (in.size() < 2) return Status::Corruption("short decide ack");
+      msg.decision = static_cast<uint8_t>(in[0]);
+      msg.forked = in[1] != 0;
+      in.remove_prefix(2);
+      break;
+    case ReplMessage::Type::kTxnStatus:
+      if (!GetVarint64(&in, &msg.txn_id)) {
+        return Status::Corruption("bad txn id");
+      }
       break;
   }
   if (!in.empty()) return Status::Corruption("trailing bytes in payload");

@@ -3,6 +3,12 @@
 // (§6.4); we use a hand-rolled length-prefixed framing in the same
 // varint/length-prefix style as the commit log and WAL.
 //
+// The same framing carries the cluster coordination traffic: the
+// stateless tardis-router and the partition daemons exchange
+// kRoute/kRouteReply (fast-path execution) and kPrepare/kPrepareAck/
+// kDecide/kDecideAck/kTxnStatus (cross-partition two-phase commit) frames
+// over a daemon's --coord-port (see src/cluster/ and DESIGN.md §10).
+//
 // Frame layout (all fixed-width fields little-endian):
 //
 //   offset  size  field

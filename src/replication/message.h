@@ -24,6 +24,14 @@ struct ReplMessage {
     kSnapshot,        ///< bootstrap: topologically ordered commit replay
     kHello,           ///< transport handshake: first frame on a dialed conn
     kHelloAck,        ///< transport handshake: acceptor's reply
+    // Coordination frames (router <-> partition daemon; see src/cluster/).
+    kRoute,           ///< router: execute a command / write set, fast path
+    kRouteReply,      ///< daemon: reply to kRoute (text body)
+    kPrepare,         ///< 2PC phase 1: stage a partition's write set
+    kPrepareAck,      ///< participant vote (decision: commit/abort)
+    kDecide,          ///< 2PC phase 2: decision; also the kTxnStatus answer
+    kDecideAck,       ///< decision applied (forked = DAG forked on apply)
+    kTxnStatus,       ///< recovery: ask a participant for its decision
   };
 
   ReplMessage() = default;
@@ -55,6 +63,31 @@ struct ReplMessage {
   /// parents precede children (local id order satisfies this). Shipped as
   /// one message so floor adoption is all-or-nothing.
   std::vector<CommitRecord> snapshot;
+
+  // ---- coordination (kRoute*/kPrepare*/kDecide*/kTxnStatus) ---------------
+
+  /// Distributed transaction id, unique per router-coordinated commit.
+  uint64_t txn_id = 0;
+
+  /// kPrepareAck: the participant's vote; kDecide/kDecideAck: the
+  /// coordinator's decision (or kUnknown when answering kTxnStatus for a
+  /// still-in-doubt transaction). Values match cluster::TwoPhaseDecision:
+  /// 0 = unknown, 1 = commit, 2 = abort.
+  uint8_t decision = 0;
+
+  /// kDecideAck: applying the decision forked the participant's State DAG
+  /// (branch-on-conflict instead of abort).
+  bool forked = false;
+
+  /// kRoute: the line-protocol command to execute (empty when the route
+  /// carries a write set in commit.writes); kRouteReply: the reply body.
+  std::string text;
+
+  /// kPrepare: coordination endpoints ("host:port") of every participant
+  /// daemon of this transaction, self included — persisted with the
+  /// prepare record so an in-doubt participant can run cooperative
+  /// termination after a coordinator crash.
+  std::vector<std::string> endpoints;
 };
 
 }  // namespace tardis

@@ -34,6 +34,7 @@
 
 #include <unistd.h>
 
+#include "cluster/twopc.h"
 #include "core/state.h"
 #include "core/state_dag.h"
 #include "core/tardis_store.h"
@@ -952,6 +953,212 @@ bool RunGcResilienceSchedule(uint64_t seed, bool verbose) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Cross-partition 2PC schedules (src/cluster/). The adversary is a router
+// and/or one participant dying between prepare and decide; the invariants
+// are the protocol's: both participants reach the SAME decision via
+// cooperative termination, an aborted transaction leaves no write in
+// either partition, a committed one is readable in both, and a concurrent
+// conflicting commit forks the DAG instead of killing the transaction.
+// ---------------------------------------------------------------------------
+
+/// Reads `key` at the store's current leaf; sentinels for miss/error.
+std::string ReadKey(TardisStore* store, const std::string& key) {
+  auto session = store->CreateSession();
+  auto txn = store->Begin(session.get());
+  if (!txn.ok()) return "<begin-error>";
+  std::string v;
+  Status s = txn.value()->Get(key, &v);
+  txn.value()->Abort();
+  if (s.IsNotFound()) return "<notfound>";
+  return s.ok() ? v : "<error>";
+}
+
+/// One seeded 2PC crash schedule over two single-site "partitions" wired
+/// together in process (query_peer is a direct call, no sockets, grace 0
+/// so cooperative termination is immediate and deterministic). Cases:
+///
+///   0: the router dies after both prepares, before any decide
+///      -> all-reachable-unknown, both presume abort;
+///   1: decide-commit reaches partition 0 only, then the router dies
+///      -> partition 1 learns commit from its peer;
+///   2: participant 1 crashes after prepare and recovers from twopc.log,
+///      router dies -> in-doubt survives the crash, then aborts;
+///   3: both decides land, then participant 1 crashes and recovers
+///      -> the logged decide keeps it out of doubt, nothing re-applies.
+///
+/// An independent coin lands a conflicting local commit on partition 0's
+/// 2PC key inside the window; if the decision ends commit, the DAG there
+/// must fork (branch-on-conflict), never abort.
+bool RunTwoPcSchedule(uint64_t seed, bool verbose) {
+  auto fail = [&](const std::string& what) {
+    return ResilienceFail("TWOPC", seed, what);
+  };
+  Random rng(seed);
+  const std::string base =
+      (std::filesystem::temp_directory_path() /
+       ("tardis_chaos_twopc_" + std::to_string(seed)))
+          .string();
+  std::filesystem::remove_all(base);
+
+  std::unique_ptr<TardisStore> stores[2];
+  std::unique_ptr<cluster::TwoPhaseParticipant> parts[2];
+  auto open_participant = [&](int p) -> bool {
+    cluster::TwoPhaseOptions o;
+    o.dir = base + "/p" + std::to_string(p);
+    std::filesystem::create_directories(o.dir);
+    o.self_endpoint = "p" + std::to_string(p);
+    o.resolve_grace_ms = 0;  // the schedule drives ResolveInDoubt by hand
+    o.query_peer = [&parts](const std::string& endpoint, uint64_t txn_id,
+                            cluster::TwoPhaseDecision* decision) {
+      const int peer = endpoint == "p0" ? 0 : 1;
+      if (!parts[peer]) return Status::Unavailable("peer down");
+      ReplMessage req;
+      req.type = ReplMessage::Type::kTxnStatus;
+      req.txn_id = txn_id;
+      ReplMessage resp;
+      Status s = parts[peer]->HandleTxnStatus(req, &resp);
+      if (!s.ok()) return s;
+      *decision = static_cast<cluster::TwoPhaseDecision>(resp.decision);
+      return Status::OK();
+    };
+    parts[p] = std::make_unique<cluster::TwoPhaseParticipant>(
+        stores[p].get(), std::move(o));
+    return parts[p]->Recover().ok();
+  };
+  for (int p = 0; p < 2; p++) {
+    TardisOptions o;
+    o.site_id = static_cast<uint32_t>(p);
+    auto store = TardisStore::Open(o);
+    if (!store.ok()) return fail("store failed to open");
+    stores[p] = std::move(store.value());
+    if (!open_participant(p)) return fail("participant failed to open");
+  }
+
+  // The "router": prepare both participants.
+  const uint64_t txn_id = 0xC0FFEE00000000ull + seed;
+  const std::string value = "twopc." + std::to_string(seed);
+  for (int p = 0; p < 2; p++) {
+    ReplMessage prep;
+    prep.type = ReplMessage::Type::kPrepare;
+    prep.txn_id = txn_id;
+    prep.endpoints = {"p0", "p1"};
+    prep.commit.writes.emplace_back(
+        "x" + std::to_string(p), std::make_shared<const std::string>(value));
+    ReplMessage ack;
+    if (!parts[p]->HandlePrepare(prep, &ack).ok() ||
+        ack.decision !=
+            static_cast<uint8_t>(cluster::TwoPhaseDecision::kCommit)) {
+      return fail("participant did not vote commit at prepare");
+    }
+  }
+
+  // Maybe a conflicting local commit lands on partition 0's 2PC key
+  // inside the decision window.
+  const bool conflict = rng.Uniform(2) == 0;
+  const uint64_t forks_before = stores[0]->stats().branches_created;
+  if (conflict) {
+    auto session = stores[0]->CreateSession();
+    auto txn = stores[0]->Begin(session.get());
+    if (!txn.ok() || !txn.value()->Put("x0", "rogue").ok() ||
+        !txn.value()->Commit().ok()) {
+      return fail("conflicting local commit failed");
+    }
+  }
+
+  const uint32_t scenario = rng.Uniform(4);
+  auto decide = [&](int p) -> bool {
+    ReplMessage msg;
+    msg.type = ReplMessage::Type::kDecide;
+    msg.txn_id = txn_id;
+    msg.decision = static_cast<uint8_t>(cluster::TwoPhaseDecision::kCommit);
+    ReplMessage ack;
+    return parts[p]->HandleDecide(msg, &ack).ok() &&
+           ack.decision ==
+               static_cast<uint8_t>(cluster::TwoPhaseDecision::kCommit);
+  };
+  auto crash_participant = [&](int p) -> bool {
+    parts[p].reset();  // aborts any staged txn, closes the log
+    return open_participant(p);
+  };
+  switch (scenario) {
+    case 0:
+      break;  // router dies before any decide
+    case 1:
+      if (!decide(0)) return fail("decide at partition 0 failed");
+      if (!decide(0)) return fail("duplicate decide was not idempotent");
+      break;
+    case 2:
+      if (!crash_participant(1)) return fail("participant 1 crash-restart");
+      if (parts[1]->in_doubt_count() != 1) {
+        return fail("recovery lost the in-doubt prepare");
+      }
+      break;
+    case 3:
+      if (!decide(0) || !decide(1)) return fail("decide failed");
+      if (!crash_participant(1)) return fail("participant 1 crash-restart");
+      if (parts[1]->in_doubt_count() != 0) {
+        return fail("logged decide came back in doubt after recovery");
+      }
+      break;
+  }
+
+  // Cooperative termination: grace 0 means every pending transaction is
+  // immediately overdue. Two passes settle any order.
+  for (int round = 0;
+       round < 4 && (parts[0]->in_doubt_count() + parts[1]->in_doubt_count());
+       round++) {
+    parts[0]->ResolveInDoubt();
+    parts[1]->ResolveInDoubt();
+  }
+  if (parts[0]->in_doubt_count() != 0 || parts[1]->in_doubt_count() != 0) {
+    return fail("in-doubt transactions never resolved");
+  }
+
+  // Invariant: one decision, the right one, on both sides.
+  const cluster::TwoPhaseDecision d0 = parts[0]->DecisionFor(txn_id);
+  const cluster::TwoPhaseDecision d1 = parts[1]->DecisionFor(txn_id);
+  if (d0 != d1) return fail("participants disagree on the outcome");
+  const bool committed = d0 == cluster::TwoPhaseDecision::kCommit;
+  const bool expect_commit = scenario == 1 || scenario == 3;
+  if (committed != expect_commit) {
+    return fail(std::string("scenario ") + std::to_string(scenario) +
+                " ended in " + cluster::TwoPhaseDecisionName(d0));
+  }
+
+  // Invariant: atomicity of the write set.
+  const std::string x0 = ReadKey(stores[0].get(), "x0");
+  const std::string x1 = ReadKey(stores[1].get(), "x1");
+  if (committed) {
+    if (x1 != value) return fail("committed write missing at partition 1");
+    if (!conflict && x0 != value) {
+      return fail("committed write missing at partition 0");
+    }
+    // Under a conflict the decide-commit must FORK partition 0's DAG
+    // (branch-on-conflict), never abort; either branch tip may be the
+    // one the read lands on.
+    if (conflict &&
+        stores[0]->stats().branches_created <= forks_before) {
+      return fail("conflicting decide-commit did not fork the DAG");
+    }
+  } else {
+    if (x1 != "<notfound>") return fail("aborted write leaked at partition 1");
+    const std::string expect0 = conflict ? "rogue" : "<notfound>";
+    if (x0 != expect0) return fail("aborted write leaked at partition 0");
+  }
+
+  if (verbose) {
+    fprintf(stderr,
+            "  twopc seed %llu: scenario %u conflict=%d -> %s\n",
+            static_cast<unsigned long long>(seed), scenario, conflict ? 1 : 0,
+            cluster::TwoPhaseDecisionName(d0));
+  }
+  parts[0].reset();
+  parts[1].reset();
+  std::filesystem::remove_all(base);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1006,17 +1213,24 @@ int main(int argc, char** argv) {
          static_cast<unsigned long long>(total.crashes),
          static_cast<unsigned long long>(total.injected_errors),
          static_cast<unsigned long long>(total.reads_checked));
-  // Resilience families: blank rejoin past the archive horizon, and
-  // pessimistic GC with a dead peer. Seeds offset so they never overlap
-  // with the main schedule's seed range under default flags.
+  // Resilience families: blank rejoin past the archive horizon,
+  // pessimistic GC with a dead peer, and cross-partition 2PC with the
+  // router and a participant crashing between prepare and decide. Seeds
+  // offset so they never overlap with the main schedule's seed range
+  // under default flags.
   int resilience_failed = 0;
   if (resilience > 0) {
-    printf("tardis_chaos: %d resilience + %d gc-resilience schedules\n",
-           resilience, resilience);
+    printf("tardis_chaos: %d resilience + %d gc-resilience + %d twopc "
+           "schedules\n",
+           resilience, resilience, resilience);
     for (int i = 0; i < resilience; i++) {
       const uint64_t seed = base_seed + 100000 + static_cast<uint64_t>(i);
       if (!RunResilienceSchedule(seed, verbose)) resilience_failed++;
       if (!RunGcResilienceSchedule(seed, verbose)) resilience_failed++;
+    }
+    for (int i = 0; i < resilience; i++) {
+      const uint64_t seed = base_seed + 200000 + static_cast<uint64_t>(i);
+      if (!RunTwoPcSchedule(seed, verbose)) resilience_failed++;
     }
   }
 
@@ -1036,6 +1250,6 @@ int main(int argc, char** argv) {
     return 1;
   }
   printf("tardis_chaos: all %d schedules passed\n",
-         schedules + 2 * resilience);
+         schedules + 3 * resilience);
   return 0;
 }

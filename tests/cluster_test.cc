@@ -1,0 +1,385 @@
+// Unit tests for the partitioning subsystem (src/cluster/): PartitionMap
+// hash-range routing and serialization, and the TwoPhaseParticipant's
+// prepare/decide/recovery state machine including fork-on-conflict.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cluster/framed_client.h"
+#include "cluster/partition_map.h"
+#include "cluster/twopc.h"
+#include "core/tardis_store.h"
+#include "core/transaction.h"
+#include "fault/fault_registry.h"
+#include "replication/message.h"
+
+namespace tardis {
+namespace cluster {
+namespace {
+
+constexpr uint64_t kRingEnd = 1ull << 32;
+
+// ---- PartitionMap ----------------------------------------------------------
+
+TEST(PartitionMapTest, SinglePartitionOwnsTheWholeRing) {
+  const PartitionMap map = PartitionMap::Uniform(1);
+  EXPECT_EQ(map.partition_count(), 1u);
+  EXPECT_EQ(map.Range(0), std::make_pair(uint64_t{0}, kRingEnd));
+  EXPECT_EQ(map.PartitionForHash(0), 0u);
+  EXPECT_EQ(map.PartitionForHash(0xFFFFFFFFu), 0u);
+  EXPECT_EQ(map.PartitionForKey("anything"), 0u);
+}
+
+TEST(PartitionMapTest, UniformRangesCoverAndPartition) {
+  const PartitionMap map = PartitionMap::Uniform(4);
+  EXPECT_EQ(map.partition_count(), 4u);
+  // Contiguous, covering, non-overlapping.
+  uint64_t expect_start = 0;
+  for (uint32_t i = 0; i < 4; i++) {
+    const auto [start, end] = map.Range(i);
+    EXPECT_EQ(start, expect_start);
+    EXPECT_LT(start, end);
+    expect_start = end;
+  }
+  EXPECT_EQ(expect_start, kRingEnd);
+  // Boundary hashes: the first position of each range belongs to it, the
+  // position just below belongs to the previous range.
+  for (uint32_t i = 0; i < 4; i++) {
+    const auto [start, end] = map.Range(i);
+    EXPECT_EQ(map.PartitionForHash(static_cast<uint32_t>(start)), i);
+    EXPECT_EQ(map.PartitionForHash(static_cast<uint32_t>(end - 1)), i);
+    if (i > 0) {
+      EXPECT_EQ(map.PartitionForHash(static_cast<uint32_t>(start - 1)), i - 1);
+    }
+  }
+}
+
+TEST(PartitionMapTest, FromSplitPointsValidation) {
+  // Empty split list = single partition.
+  auto single = PartitionMap::FromSplitPoints({});
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->partition_count(), 1u);
+
+  auto two = PartitionMap::FromSplitPoints({kRingEnd / 2});
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(two->partition_count(), 2u);
+  EXPECT_EQ(two->PartitionForHash(0), 0u);
+  EXPECT_EQ(two->PartitionForHash(0x80000000u), 1u);
+
+  EXPECT_FALSE(PartitionMap::FromSplitPoints({0}).ok());         // not in (0, 2^32)
+  EXPECT_FALSE(PartitionMap::FromSplitPoints({kRingEnd}).ok());  // not in (0, 2^32)
+  EXPECT_FALSE(PartitionMap::FromSplitPoints({10, 10}).ok());    // not ascending
+  EXPECT_FALSE(PartitionMap::FromSplitPoints({20, 10}).ok());    // not ascending
+}
+
+TEST(PartitionMapTest, RoutingIsStableUnderReSerialization) {
+  auto original = PartitionMap::FromSplitPoints({1000, 0x40000000u, kRingEnd - 1});
+  ASSERT_TRUE(original.ok());
+  const std::string bytes = original->Serialize();
+  auto copy = PartitionMap::Deserialize(bytes);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_TRUE(*copy == *original);
+  // Every sampled key routes identically through the copy — the property
+  // the router and the daemons rely on to agree without coordination.
+  for (int i = 0; i < 1000; i++) {
+    const std::string key = "key" + std::to_string(i * 7919);
+    EXPECT_EQ(original->PartitionForKey(key), copy->PartitionForKey(key));
+  }
+  // And a second round trip is bit-exact.
+  EXPECT_EQ(copy->Serialize(), bytes);
+}
+
+TEST(PartitionMapTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(PartitionMap::Deserialize("").ok());
+  EXPECT_FALSE(PartitionMap::Deserialize("\xff\xff\xff").ok());
+  const std::string good = PartitionMap::Uniform(3).Serialize();
+  // Truncations and trailing bytes are corruption, not maps.
+  for (size_t n = 0; n < good.size(); n++) {
+    EXPECT_FALSE(PartitionMap::Deserialize(good.substr(0, n)).ok());
+  }
+  EXPECT_FALSE(PartitionMap::Deserialize(good + "x").ok());
+}
+
+TEST(PartitionMapTest, HashIsDeterministic) {
+  EXPECT_EQ(PartitionMap::HashKey("alpha"), PartitionMap::HashKey("alpha"));
+  EXPECT_NE(PartitionMap::HashKey("alpha"), PartitionMap::HashKey("beta"));
+}
+
+TEST(ParseEndpointTest, HostPortForms) {
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(ParseEndpoint("127.0.0.1:9000", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 9000);
+  EXPECT_FALSE(ParseEndpoint("no-port", &host, &port).ok());
+  EXPECT_FALSE(ParseEndpoint("host:", &host, &port).ok());
+  EXPECT_FALSE(ParseEndpoint("host:99999", &host, &port).ok());
+}
+
+// ---- TwoPhaseParticipant ---------------------------------------------------
+
+class TwoPcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tardis_cluster_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this))))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    OpenStore();
+    OpenParticipant();
+  }
+
+  void TearDown() override {
+    participant_.reset();
+    store_.reset();
+    fault::FaultRegistry::Global().DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void OpenStore() {
+    TardisOptions o;
+    o.site_id = 0;
+    auto store = TardisStore::Open(o);
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(store.value());
+  }
+
+  void OpenParticipant() {
+    TwoPhaseOptions o;
+    o.dir = dir_;
+    o.self_endpoint = "self";
+    o.resolve_grace_ms = 0;
+    o.query_peer = [this](const std::string&, uint64_t,
+                          TwoPhaseDecision* decision) {
+      *decision = peer_answer_;
+      return peer_reachable_ ? Status::OK()
+                             : Status::Unavailable("peer down");
+    };
+    participant_ =
+        std::make_unique<TwoPhaseParticipant>(store_.get(), std::move(o));
+    ASSERT_TRUE(participant_->Recover().ok());
+  }
+
+  ReplMessage MakePrepare(uint64_t txn_id, const std::string& key,
+                          const std::string& value) {
+    ReplMessage m;
+    m.type = ReplMessage::Type::kPrepare;
+    m.txn_id = txn_id;
+    m.endpoints = {"self", "peer"};
+    m.commit.writes.emplace_back(key,
+                                 std::make_shared<const std::string>(value));
+    return m;
+  }
+
+  ReplMessage MakeDecide(uint64_t txn_id, TwoPhaseDecision d) {
+    ReplMessage m;
+    m.type = ReplMessage::Type::kDecide;
+    m.txn_id = txn_id;
+    m.decision = static_cast<uint8_t>(d);
+    return m;
+  }
+
+  std::string Read(const std::string& key) {
+    auto session = store_->CreateSession();
+    auto txn = store_->Begin(session.get());
+    if (!txn.ok()) return "<begin-error>";
+    std::string v;
+    Status s = txn.value()->Get(key, &v);
+    txn.value()->Abort();
+    if (s.IsNotFound()) return "<notfound>";
+    return s.ok() ? v : "<error>";
+  }
+
+  void CommitLocal(const std::string& key, const std::string& value) {
+    auto session = store_->CreateSession();
+    auto txn = store_->Begin(session.get());
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(txn.value()->Put(key, value).ok());
+    ASSERT_TRUE(txn.value()->Commit().ok());
+  }
+
+  std::string dir_;
+  std::unique_ptr<TardisStore> store_;
+  std::unique_ptr<TwoPhaseParticipant> participant_;
+  TwoPhaseDecision peer_answer_ = TwoPhaseDecision::kUnknown;
+  bool peer_reachable_ = true;
+};
+
+TEST_F(TwoPcTest, PrepareThenCommit) {
+  ReplMessage ack;
+  ASSERT_TRUE(participant_->HandlePrepare(MakePrepare(7, "k", "v"), &ack).ok());
+  EXPECT_EQ(ack.type, ReplMessage::Type::kPrepareAck);
+  EXPECT_EQ(ack.decision, static_cast<uint8_t>(TwoPhaseDecision::kCommit));
+  EXPECT_EQ(participant_->in_doubt_count(), 1u);
+  // Staged, not committed: the write is not visible yet.
+  EXPECT_EQ(Read("k"), "<notfound>");
+
+  ASSERT_TRUE(
+      participant_->HandleDecide(MakeDecide(7, TwoPhaseDecision::kCommit), &ack)
+          .ok());
+  EXPECT_EQ(ack.type, ReplMessage::Type::kDecideAck);
+  EXPECT_FALSE(ack.forked);
+  EXPECT_EQ(participant_->in_doubt_count(), 0u);
+  EXPECT_EQ(participant_->DecisionFor(7), TwoPhaseDecision::kCommit);
+  EXPECT_EQ(Read("k"), "v");
+}
+
+TEST_F(TwoPcTest, PrepareThenAbortLeavesNothing) {
+  ReplMessage ack;
+  ASSERT_TRUE(participant_->HandlePrepare(MakePrepare(8, "k", "v"), &ack).ok());
+  ASSERT_TRUE(
+      participant_->HandleDecide(MakeDecide(8, TwoPhaseDecision::kAbort), &ack)
+          .ok());
+  EXPECT_EQ(participant_->DecisionFor(8), TwoPhaseDecision::kAbort);
+  EXPECT_EQ(participant_->in_doubt_count(), 0u);
+  EXPECT_EQ(Read("k"), "<notfound>");
+}
+
+TEST_F(TwoPcTest, DuplicatePrepareAndDecideAreIdempotent) {
+  ReplMessage ack;
+  ASSERT_TRUE(participant_->HandlePrepare(MakePrepare(9, "k", "v"), &ack).ok());
+  ASSERT_TRUE(participant_->HandlePrepare(MakePrepare(9, "k", "v"), &ack).ok());
+  EXPECT_EQ(ack.decision, static_cast<uint8_t>(TwoPhaseDecision::kCommit));
+  EXPECT_EQ(participant_->in_doubt_count(), 1u);
+
+  const uint64_t commits_before = store_->stats().commits;
+  ASSERT_TRUE(
+      participant_->HandleDecide(MakeDecide(9, TwoPhaseDecision::kCommit), &ack)
+          .ok());
+  ASSERT_TRUE(
+      participant_->HandleDecide(MakeDecide(9, TwoPhaseDecision::kCommit), &ack)
+          .ok());
+  EXPECT_EQ(ack.decision, static_cast<uint8_t>(TwoPhaseDecision::kCommit));
+  // The second decide re-acked without committing again.
+  EXPECT_EQ(store_->stats().commits, commits_before + 1);
+}
+
+TEST_F(TwoPcTest, DecideForUnknownTxn) {
+  // Abort for a transaction never prepared here is fine (presumed abort);
+  // commit is a protocol violation — the router cannot have collected our
+  // ack.
+  ReplMessage ack;
+  EXPECT_TRUE(
+      participant_->HandleDecide(MakeDecide(99, TwoPhaseDecision::kAbort), &ack)
+          .ok());
+  EXPECT_EQ(ack.decision, static_cast<uint8_t>(TwoPhaseDecision::kAbort));
+  EXPECT_FALSE(participant_
+                   ->HandleDecide(MakeDecide(98, TwoPhaseDecision::kCommit),
+                                  &ack)
+                   .ok());
+}
+
+TEST_F(TwoPcTest, TxnStatusViews) {
+  ReplMessage ack;
+  ASSERT_TRUE(
+      participant_->HandlePrepare(MakePrepare(10, "k", "v"), &ack).ok());
+  ReplMessage status_req;
+  status_req.type = ReplMessage::Type::kTxnStatus;
+  status_req.txn_id = 10;
+  ReplMessage resp;
+  ASSERT_TRUE(participant_->HandleTxnStatus(status_req, &resp).ok());
+  EXPECT_EQ(resp.decision, static_cast<uint8_t>(TwoPhaseDecision::kUnknown));
+
+  ASSERT_TRUE(participant_
+                  ->HandleDecide(MakeDecide(10, TwoPhaseDecision::kCommit),
+                                 &ack)
+                  .ok());
+  ASSERT_TRUE(participant_->HandleTxnStatus(status_req, &resp).ok());
+  EXPECT_EQ(resp.decision, static_cast<uint8_t>(TwoPhaseDecision::kCommit));
+
+  status_req.txn_id = 12345;  // never seen: presumed abort
+  ASSERT_TRUE(participant_->HandleTxnStatus(status_req, &resp).ok());
+  EXPECT_EQ(resp.decision, static_cast<uint8_t>(TwoPhaseDecision::kAbort));
+}
+
+TEST_F(TwoPcTest, ForkOnConflictInsteadOfAbort) {
+  ReplMessage ack;
+  ASSERT_TRUE(
+      participant_->HandlePrepare(MakePrepare(11, "k", "twopc"), &ack).ok());
+  // A concurrent local commit takes the same key inside the window.
+  CommitLocal("k", "rogue");
+  const uint64_t forks_before = store_->stats().branches_created;
+  ASSERT_TRUE(participant_
+                  ->HandleDecide(MakeDecide(11, TwoPhaseDecision::kCommit),
+                                 &ack)
+                  .ok());
+  EXPECT_EQ(ack.decision, static_cast<uint8_t>(TwoPhaseDecision::kCommit));
+  EXPECT_TRUE(ack.forked);
+  EXPECT_EQ(store_->stats().branches_created, forks_before + 1);
+}
+
+TEST_F(TwoPcTest, RecoveryBringsBackInDoubtPrepares) {
+  ReplMessage ack;
+  ASSERT_TRUE(
+      participant_->HandlePrepare(MakePrepare(20, "r", "v20"), &ack).ok());
+  ASSERT_TRUE(
+      participant_->HandlePrepare(MakePrepare(21, "r2", "v21"), &ack).ok());
+  ASSERT_TRUE(participant_
+                  ->HandleDecide(MakeDecide(21, TwoPhaseDecision::kCommit),
+                                 &ack)
+                  .ok());
+
+  // Crash: the participant dies (staged txn lost), the log survives.
+  participant_.reset();
+  OpenParticipant();
+  EXPECT_EQ(participant_->in_doubt_count(), 1u);  // txn 20 only
+  EXPECT_EQ(participant_->DecisionFor(21), TwoPhaseDecision::kCommit);
+
+  // A decide-commit after recovery re-applies the logged write set.
+  ASSERT_TRUE(participant_
+                  ->HandleDecide(MakeDecide(20, TwoPhaseDecision::kCommit),
+                                 &ack)
+                  .ok());
+  EXPECT_EQ(Read("r"), "v20");
+}
+
+TEST_F(TwoPcTest, ResolvePresumesAbortWhenAllPeersUnknown) {
+  ReplMessage ack;
+  ASSERT_TRUE(
+      participant_->HandlePrepare(MakePrepare(30, "k", "v"), &ack).ok());
+  peer_answer_ = TwoPhaseDecision::kUnknown;
+  peer_reachable_ = true;
+  EXPECT_EQ(participant_->ResolveInDoubt(), 1u);
+  EXPECT_EQ(participant_->DecisionFor(30), TwoPhaseDecision::kAbort);
+  EXPECT_EQ(Read("k"), "<notfound>");
+}
+
+TEST_F(TwoPcTest, ResolveAdoptsPeerDecisionAndWaitsWhileUnreachable) {
+  ReplMessage ack;
+  ASSERT_TRUE(
+      participant_->HandlePrepare(MakePrepare(31, "k", "v"), &ack).ok());
+  // Unreachable peer: stay in doubt, never presume.
+  peer_reachable_ = false;
+  EXPECT_EQ(participant_->ResolveInDoubt(), 0u);
+  EXPECT_EQ(participant_->in_doubt_count(), 1u);
+  // Peer comes back knowing the commit: adopt it.
+  peer_reachable_ = true;
+  peer_answer_ = TwoPhaseDecision::kCommit;
+  EXPECT_EQ(participant_->ResolveInDoubt(), 1u);
+  EXPECT_EQ(participant_->DecisionFor(31), TwoPhaseDecision::kCommit);
+  EXPECT_EQ(Read("k"), "v");
+}
+
+TEST_F(TwoPcTest, PersistFailureTurnsVoteIntoAbort) {
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kError;
+  spec.message = "injected log failure";
+  spec.probability = 1.0;
+  spec.max_triggers = 1;
+  fault::FaultRegistry::Global().Arm("twopc.prepare.persist", spec);
+  ReplMessage ack;
+  ASSERT_TRUE(
+      participant_->HandlePrepare(MakePrepare(40, "k", "v"), &ack).ok());
+  EXPECT_EQ(ack.decision, static_cast<uint8_t>(TwoPhaseDecision::kAbort));
+  EXPECT_EQ(participant_->in_doubt_count(), 0u);
+  EXPECT_EQ(Read("k"), "<notfound>");
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace tardis

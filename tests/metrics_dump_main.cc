@@ -10,6 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "cluster/partition_map.h"
+#include "cluster/router.h"
+#include "cluster/twopc.h"
 #include "core/tardis_store.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
@@ -42,6 +45,14 @@ const char* kExpectedNames[] = {
     "tardis_fault_net_frames_dropped_total",
     "tardis_fault_net_frames_duplicated_total",
     "tardis_fault_net_frames_reordered_total",
+    // Partitioning / 2PC (src/cluster/, DESIGN.md §10). The participant
+    // registers on the store's registry; the router series are checked
+    // here too because both sides share the tardis_2pc_* names
+    // (distinguished by the role label).
+    "tardis_router_requests",
+    "tardis_2pc_prepares",
+    "tardis_2pc_forked_commits",
+    "tardis_2pc_in_doubt",
 };
 
 #define CHECK_OK(expr)                                                  \
@@ -103,6 +114,19 @@ int main() {
   // One GC pass so the gc_* counters exist with real traffic behind them.
   store->PlaceCeiling(merger.get());
   store->RunGarbageCollection();
+
+  // The partitioning subsystem's series (DESIGN.md §10): a 2PC
+  // participant on this store, and a router sharing the registry so the
+  // catalog covers both roles of the shared tardis_2pc_* names. Neither
+  // dials anything — construction alone must register every series.
+  cluster::TwoPhaseOptions popt;
+  popt.self_endpoint = "self";
+  cluster::TwoPhaseParticipant participant(store.get(), std::move(popt));
+  CHECK_OK(participant.Recover());
+  cluster::RouterOptions ropt;
+  ropt.coord_endpoints = {"127.0.0.1:1", "127.0.0.1:2"};
+  cluster::Router router(cluster::PartitionMap::Uniform(2), std::move(ropt),
+                         store->metrics());
 
   // Diff the exposed name set against the catalog.
   std::set<std::string> expected(std::begin(kExpectedNames),
