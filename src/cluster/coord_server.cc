@@ -179,7 +179,10 @@ void CoordServer::Serve() {
     }
 
     std::vector<size_t> dead;
-    for (size_t i = 0; i < conns.size(); i++) {
+    // pfds was built before this round's accepts, so only the first
+    // pfds.size()-1 connections have poll results; connections accepted
+    // above are picked up by the next poll.
+    for (size_t i = 0; i + 1 < pfds.size(); i++) {
       Conn& c = conns[i];
       const short revents = pfds[i + 1].revents;
       if (revents & (POLLERR | POLLNVAL)) {

@@ -1,6 +1,8 @@
 #include "cluster/router.h"
 
+#include <algorithm>
 #include <chrono>
+#include <random>
 #include <sstream>
 #include <thread>
 
@@ -15,14 +17,24 @@ namespace cluster {
 
 namespace {
 
-/// Wall-clock microseconds: txn ids must not repeat across router
-/// restarts (a restarted router must never reuse an id a participant
-/// still holds in doubt).
-uint64_t WallClockTxnSeed() {
-  return static_cast<uint64_t>(
+/// Txn ids must not repeat across router instances or restarts (a
+/// participant may still hold an old id in pending_/decided_ and would
+/// answer a new transaction with the stale decision). Wall-clock seeds
+/// alone collide — two routers started in the same microsecond, or a
+/// restart landing inside a predecessor's id range — so the high 32
+/// bits are random per instance and the low 32 bits count transactions.
+uint64_t TxnIdSeed() {
+  std::random_device rd;
+  const uint64_t now_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::system_clock::now().time_since_epoch())
           .count());
+  // Fold the clock in as well in case random_device is weak on this
+  // platform; only the high half seeds, the low half stays a counter.
+  const uint64_t hi =
+      (static_cast<uint64_t>(rd()) ^ (now_us * 0x9e3779b97f4a7c15ULL)) &
+      0xffffffffULL;
+  return hi << 32;
 }
 
 }  // namespace
@@ -32,7 +44,7 @@ Router::Router(PartitionMap map, RouterOptions options,
     : map_(std::move(map)),
       options_(std::move(options)),
       registry_(registry),
-      next_txn_id_(WallClockTxnSeed()) {
+      next_txn_id_(TxnIdSeed()) {
   clients_.resize(map_.partition_count());
   for (auto& c : clients_) c = std::make_unique<FramedClient>();
   requests_fast_ = registry->RegisterCounter(
@@ -53,22 +65,39 @@ Router::Router(PartitionMap map, RouterOptions options,
 Router::~Router() = default;
 
 Status Router::CallPartition(uint32_t p, const ReplMessage& msg,
-                             ReplMessage* resp) {
+                             ReplMessage* resp, uint64_t deadline_ms) {
+  // Each wire operation (dial or call) gets at most the per-call timeout,
+  // clipped to whatever remains of the caller's deadline: a CallPartition
+  // that could block for several full timeouts (connect + call + re-dial
+  // + call) would otherwise let the prepare phase outlive the
+  // participants' presumed-abort grace period.
+  const auto op_timeout = [&]() -> uint64_t {
+    if (deadline_ms == 0) return options_.call_timeout_ms;
+    const uint64_t now = NowMillis();
+    if (now >= deadline_ms) return 0;
+    return std::min<uint64_t>(options_.call_timeout_ms, deadline_ms - now);
+  };
+  const Status overdue = Status::Aborted("2pc deadline exceeded");
+
   FramedClient* client = clients_[p].get();
+  uint64_t t;
   if (!client->connected()) {
-    Status s = client->Connect(options_.coord_endpoints[p],
-                               options_.call_timeout_ms);
+    if ((t = op_timeout()) == 0) return overdue;
+    Status s = client->Connect(options_.coord_endpoints[p], t);
     if (!s.ok()) return s;
-    Status call = client->Call(msg, resp, options_.call_timeout_ms);
-    return call;
+    if ((t = op_timeout()) == 0) return overdue;
+    return client->Call(msg, resp, t);
   }
-  Status s = client->Call(msg, resp, options_.call_timeout_ms);
+  if ((t = op_timeout()) == 0) return overdue;
+  Status s = client->Call(msg, resp, t);
   if (s.ok()) return s;
   // The cached connection may have died while idle (daemon restart):
   // one re-dial before giving up.
-  s = client->Connect(options_.coord_endpoints[p], options_.call_timeout_ms);
+  if ((t = op_timeout()) == 0) return overdue;
+  s = client->Connect(options_.coord_endpoints[p], t);
   if (!s.ok()) return s;
-  return client->Call(msg, resp, options_.call_timeout_ms);
+  if ((t = op_timeout()) == 0) return overdue;
+  return client->Call(msg, resp, t);
 }
 
 std::string Router::ForwardLine(uint32_t partition, const std::string& line) {
@@ -132,11 +161,19 @@ std::string Router::CommitAcrossPartitions(
     endpoints.push_back(options_.coord_endpoints[p]);
   }
 
-  // Phase 1: prepare every participant. Any failure or abort vote
-  // aborts the transaction everywhere.
+  // Phase 1: prepare every participant, under the end-to-end deadline.
+  // Any failure, abort vote, or blown deadline aborts the transaction
+  // everywhere. The deadline must hold strictly below the participants'
+  // resolve_grace_ms: a participant that prepared early in a slow phase 1
+  // starts presuming abort after its grace period, and collecting its
+  // vote after that point would commit a transaction it already buried.
   std::vector<uint32_t> prepared;
   Status failure;
   for (size_t i = 0; i < partition_ids.size() && failure.ok(); i++) {
+    if (NowMillis() >= deadline_ms) {
+      failure = Status::Aborted("prepare phase exceeded txn deadline");
+      break;
+    }
     ReplMessage prep;
     prep.type = ReplMessage::Type::kPrepare;
     prep.txn_id = txn_id;
@@ -147,7 +184,7 @@ std::string Router::CommitAcrossPartitions(
     }
     prepares_->Increment();
     ReplMessage ack;
-    Status s = CallPartition(partition_ids[i], prep, &ack);
+    Status s = CallPartition(partition_ids[i], prep, &ack, deadline_ms);
     if (!s.ok()) {
       failure = s;
     } else if (ack.type != ReplMessage::Type::kPrepareAck ||
@@ -201,18 +238,38 @@ std::string Router::CommitAcrossPartitions(
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
       }
     } while (!s.ok() && NowMillis() < deadline_ms);
-    if (s.ok() && ack.type == ReplMessage::Type::kDecideAck) {
+    // A decide-commit only counts as delivered when the participant
+    // acked *commit*. An ack carrying abort means it already presumed
+    // abort and buried the transaction — re-acking its recorded decision
+    // — and treating that as success would report a commit the
+    // participant will never apply.
+    if (s.ok() && ack.type == ReplMessage::Type::kDecideAck &&
+        ack.decision == static_cast<uint8_t>(TwoPhaseDecision::kCommit)) {
       delivered++;
       if (ack.forked) {
         any_forked = true;
         forked_commits_->Increment();
       }
+    } else if (s.ok() && ack.type == ReplMessage::Type::kDecideAck) {
+      TARDIS_WARN(
+          "router: partition %u answered decide-commit txn %llu with %s; "
+          "treating as undelivered",
+          p, static_cast<unsigned long long>(txn_id),
+          TwoPhaseDecisionName(static_cast<TwoPhaseDecision>(ack.decision)));
     } else {
       TARDIS_WARN(
           "router: decide commit txn %llu undelivered to partition %u "
           "(%s); peers will resolve it",
           static_cast<unsigned long long>(txn_id), p, s.ToString().c_str());
     }
+  }
+  if (delivered == 0) {
+    // No participant holds the commit decision, so cooperative
+    // termination may legitimately resolve this transaction to abort
+    // (presumed abort needs every peer in doubt — true here). Claiming
+    // success would ack a write that can vanish.
+    return "ERR 2PC txn " + std::to_string(txn_id) +
+           " in doubt: decision delivered to no participant";
   }
   std::string reply = "OK TXN " + std::to_string(txn_id);
   if (any_forked) reply += " FORKED";

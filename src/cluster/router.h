@@ -16,11 +16,12 @@
 //    participants stage and fork TARDiS-style (see twopc.h), so the only
 //    abort source is a failed/unreachable prepare.
 //
-// Statelessness: the router persists nothing. Transaction ids are drawn
-// from a wall-clock-seeded counter so they stay unique across router
-// restarts, and a router crash mid-2PC is recovered by the participants'
-// cooperative termination, not by the router. Killing the router at any
-// point loses no acknowledged write.
+// Statelessness: the router persists nothing. Transaction ids carry a
+// per-instance random high half over a counter low half so they stay
+// unique across router restarts and concurrent router instances, and a
+// router crash mid-2PC is recovered by the participants' cooperative
+// termination, not by the router. Killing the router at any point loses
+// no acknowledged write.
 //
 // Not thread-safe: the tardis-router binary serializes commands through
 // one handler thread (coordination traffic is not the data hot path —
@@ -93,8 +94,12 @@ class Router {
   };
 
   /// Sends `msg` to partition `p`, reconnecting once on a dead cached
-  /// connection.
-  Status CallPartition(uint32_t p, const ReplMessage& msg, ReplMessage* resp);
+  /// connection. When deadline_ms is non-zero every wire operation's
+  /// timeout is clipped to the remaining budget and the call fails fast
+  /// once it is spent (the 2PC prepare phase must end strictly before
+  /// the participants' presumed-abort grace period).
+  Status CallPartition(uint32_t p, const ReplMessage& msg, ReplMessage* resp,
+                       uint64_t deadline_ms = 0);
 
   std::string ForwardLine(uint32_t partition, const std::string& line);
   std::string HandleMultiPut(const std::vector<WriteOp>& writes);
@@ -109,7 +114,7 @@ class Router {
   obs::MetricsRegistry* const registry_;
   std::vector<std::unique_ptr<FramedClient>> clients_;  // one per partition
 
-  uint64_t next_txn_id_;     ///< wall-clock seeded; unique across restarts
+  uint64_t next_txn_id_;  ///< random high half, counter low half (TxnIdSeed)
   uint64_t decide_delay_ms_ = 0;  ///< 2pc_delay test hook
 
   obs::Counter* requests_fast_ = nullptr;

@@ -112,15 +112,25 @@ Status TwoPhaseParticipant::Recover() {
       }
       case ReplMessage::Type::kDecide:
         pending_.erase(msg.txn_id);
-        decided_[msg.txn_id] = static_cast<TwoPhaseDecision>(msg.decision);
+        decided_[msg.txn_id] = {static_cast<TwoPhaseDecision>(msg.decision),
+                                now};
         break;
       default:
         return Status::Corruption("unexpected frame in twopc.log");
     }
   }
   if (torn > 0) {
-    TARDIS_WARN("twopc: dropping %zu torn trailing bytes of %s", torn,
+    // Truncate the torn bytes away, not just skip them in memory: with
+    // O_APPEND the next record would land *after* the corrupt frame, and
+    // the following recovery would stop there — silently dropping every
+    // acked record written since.
+    TARDIS_WARN("twopc: truncating %zu torn trailing bytes of %s", torn,
                 log_path_.c_str());
+    if (::truncate(log_path_.c_str(),
+                   static_cast<off_t>(contents.size() - torn)) != 0) {
+      return Status::IOError("truncate " + log_path_ + ": " +
+                             strerror(errno));
+    }
   }
   if (!pending_.empty()) {
     TARDIS_INFO("twopc: recovered %zu in-doubt transaction(s)",
@@ -171,7 +181,7 @@ Status TwoPhaseParticipant::HandlePrepare(const ReplMessage& msg,
   if (decided != decided_.end()) {
     // Already decided (late retry after the decide): vote matches fate.
     *reply = MakeAck(ReplMessage::Type::kPrepareAck, msg.txn_id,
-                     decided->second, false);
+                     decided->second.decision, false);
     return Status::OK();
   }
 
@@ -184,7 +194,7 @@ Status TwoPhaseParticipant::HandlePrepare(const ReplMessage& msg,
     TARDIS_WARN("twopc: prepare %llu persist failed, voting abort: %s",
                 static_cast<unsigned long long>(msg.txn_id),
                 s.ToString().c_str());
-    decided_[msg.txn_id] = TwoPhaseDecision::kAbort;
+    decided_[msg.txn_id] = {TwoPhaseDecision::kAbort, NowMillis()};
     *reply = MakeAck(ReplMessage::Type::kPrepareAck, msg.txn_id,
                      TwoPhaseDecision::kAbort, false);
     return Status::OK();
@@ -276,20 +286,28 @@ Status TwoPhaseParticipant::ApplyDecisionLocked(uint64_t txn_id, Pending* p,
   // Apply-THEN-log: a crash between the two re-applies the decide on
   // recovery (idempotent); the reverse order could ack a commit whose
   // writes never landed.
-  ReplMessage record;
-  record.type = ReplMessage::Type::kDecide;
-  record.txn_id = txn_id;
-  record.decision = static_cast<uint8_t>(decision);
-  Status s = AppendLog(record);
+  Status s = RecordDecisionLocked(txn_id, decision);
   if (!s.ok()) {
     TARDIS_WARN("twopc: decide %llu logged only in memory: %s",
                 static_cast<unsigned long long>(txn_id),
                 s.ToString().c_str());
     // The apply landed; keep serving the decision from memory. A crash
     // now re-enters in-doubt and cooperative termination re-resolves it.
+    decided_[txn_id] = {decision, NowMillis()};
   }
-  decided_[txn_id] = decision;
   pending_.erase(txn_id);
+  return Status::OK();
+}
+
+Status TwoPhaseParticipant::RecordDecisionLocked(uint64_t txn_id,
+                                                 TwoPhaseDecision decision) {
+  ReplMessage record;
+  record.type = ReplMessage::Type::kDecide;
+  record.txn_id = txn_id;
+  record.decision = static_cast<uint8_t>(decision);
+  Status s = AppendLog(record);
+  if (!s.ok()) return s;
+  decided_[txn_id] = {decision, NowMillis()};
   return Status::OK();
 }
 
@@ -306,7 +324,7 @@ Status TwoPhaseParticipant::HandleDecide(const ReplMessage& msg,
   if (decided != decided_.end()) {
     // Duplicate decide: idempotent re-ack.
     *reply = MakeAck(ReplMessage::Type::kDecideAck, msg.txn_id,
-                     decided->second, false);
+                     decided->second.decision, false);
     return Status::OK();
   }
   auto it = pending_.find(msg.txn_id);
@@ -336,11 +354,25 @@ Status TwoPhaseParticipant::HandleTxnStatus(const ReplMessage& msg,
   TwoPhaseDecision d;
   auto decided = decided_.find(msg.txn_id);
   if (decided != decided_.end()) {
-    d = decided->second;
+    d = decided->second.decision;
   } else if (pending_.count(msg.txn_id) != 0) {
     d = TwoPhaseDecision::kUnknown;  // in doubt here too
   } else {
-    d = TwoPhaseDecision::kAbort;  // presumed abort: no trace of it
+    // Presumed abort: no trace of it. The querying peer will act on this
+    // answer (abort its prepared transaction), so the presumption must
+    // be binding BEFORE it leaves this process — a router whose prepare
+    // arrives here afterwards must be voted abort, not commit, or the
+    // peer's abort and our commit split the transaction. If we cannot
+    // persist the presumption, answer kUnknown instead: the peer simply
+    // stays in doubt and retries.
+    d = TwoPhaseDecision::kAbort;
+    Status s = RecordDecisionLocked(msg.txn_id, TwoPhaseDecision::kAbort);
+    if (!s.ok()) {
+      TARDIS_WARN("twopc: cannot persist presumed abort for txn %llu: %s",
+                  static_cast<unsigned long long>(msg.txn_id),
+                  s.ToString().c_str());
+      d = TwoPhaseDecision::kUnknown;
+    }
   }
   *reply = MakeAck(ReplMessage::Type::kDecideAck, msg.txn_id, d, false);
   return Status::OK();
@@ -357,6 +389,7 @@ size_t TwoPhaseParticipant::ResolveInDoubt() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     const uint64_t now = NowMillis();
+    GcDecidedLocked(now);
     for (const auto& [id, p] : pending_) {
       if (now - p.prepared_at_ms < options_.resolve_grace_ms) continue;
       Overdue o;
@@ -408,6 +441,71 @@ size_t TwoPhaseParticipant::ResolveInDoubt() {
   return resolved;
 }
 
+void TwoPhaseParticipant::GcDecidedLocked(uint64_t now_ms) {
+  size_t dropped = 0;
+  for (auto it = decided_.begin(); it != decided_.end();) {
+    if (now_ms - it->second.decided_at_ms > options_.decided_retention_ms) {
+      it = decided_.erase(it);
+      dropped++;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped == 0 || log_fd_ < 0) return;
+  Status s = CompactLogLocked();
+  if (!s.ok()) {
+    TARDIS_WARN("twopc: log compaction failed: %s", s.ToString().c_str());
+    return;
+  }
+  TARDIS_INFO("twopc: dropped %zu decided record(s), compacted %s", dropped,
+              log_path_.c_str());
+}
+
+Status TwoPhaseParticipant::CompactLogLocked() {
+  const std::string tmp_path = log_path_ + ".tmp";
+  std::string image;
+  for (const auto& [id, p] : pending_) EncodeFrame(p.prepare, &image);
+  for (const auto& [id, d] : decided_) {
+    ReplMessage record;
+    record.type = ReplMessage::Type::kDecide;
+    record.txn_id = id;
+    record.decision = static_cast<uint8_t>(d.decision);
+    EncodeFrame(record, &image);
+  }
+
+  const int tmp_fd =
+      open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp_fd < 0) {
+    return Status::IOError("open " + tmp_path + ": " + strerror(errno));
+  }
+  size_t off = 0;
+  while (off < image.size()) {
+    const ssize_t n = ::write(tmp_fd, image.data() + off, image.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Status::IOError("write " + tmp_path + ": " +
+                                 std::string(strerror(errno)));
+      ::close(tmp_fd);
+      ::unlink(tmp_path.c_str());
+      return s;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (fsync(tmp_fd) != 0 ||
+      rename(tmp_path.c_str(), log_path_.c_str()) != 0) {
+    Status s = Status::IOError("compact " + log_path_ + ": " +
+                               std::string(strerror(errno)));
+    ::close(tmp_fd);
+    ::unlink(tmp_path.c_str());
+    return s;
+  }
+  // The old fd now points at the unlinked file; switch appends over to
+  // the compacted one.
+  ::close(log_fd_);
+  log_fd_ = tmp_fd;
+  return Status::OK();
+}
+
 size_t TwoPhaseParticipant::in_doubt_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pending_.size();
@@ -416,7 +514,8 @@ size_t TwoPhaseParticipant::in_doubt_count() const {
 TwoPhaseDecision TwoPhaseParticipant::DecisionFor(uint64_t txn_id) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = decided_.find(txn_id);
-  return it == decided_.end() ? TwoPhaseDecision::kUnknown : it->second;
+  return it == decided_.end() ? TwoPhaseDecision::kUnknown
+                              : it->second.decision;
 }
 
 }  // namespace cluster

@@ -25,8 +25,12 @@
 // saw abort → abort, and if every peer is reachable and also in doubt,
 // presume abort (safe: the router only decides commit after collecting
 // *all* prepare acks, so "nobody saw a decide" implies no one committed).
-// The grace period must exceed the router's end-to-end 2PC deadline so a
-// live-but-slow router cannot race the presumption.
+// A queried peer with *no trace* of the transaction durably records the
+// abort it answers with, so a prepare arriving from a slow router
+// afterwards is voted abort rather than resurrecting a buried
+// transaction; the router in turn bounds its whole prepare phase by
+// txn_deadline_ms, kept strictly below resolve_grace_ms, so a live
+// router cannot race the presumption.
 
 #ifndef TARDIS_CLUSTER_TWOPC_H_
 #define TARDIS_CLUSTER_TWOPC_H_
@@ -67,6 +71,16 @@ struct TwoPhaseOptions {
   /// ResolveInDoubt starts querying peers. Must exceed the router's 2PC
   /// deadline (see file comment).
   uint64_t resolve_grace_ms = 5000;
+  /// How long a decided transaction's outcome is remembered (and kept in
+  /// twopc.log). Entries older than this are garbage-collected by
+  /// ResolveInDoubt and the log is compacted, so a long-lived daemon
+  /// does not accumulate every transaction it ever coordinated. After
+  /// collection the transaction falls back to presumed abort, so this
+  /// must comfortably exceed both the router's retry window and the
+  /// longest coordination-plane partition worth tolerating (a peer in
+  /// doubt longer than this would adopt the presumption instead of a
+  /// collected commit).
+  uint64_t decided_retention_ms = 600'000;
   /// Queries one peer for its decision on txn_id. Injected so tests and
   /// the in-process chaos harness can answer without sockets; tardisd
   /// wires this to a FramedClient kTxnStatus call. An error return means
@@ -90,7 +104,9 @@ class TwoPhaseParticipant {
   /// in-doubt transactions (their write sets come from the log; the
   /// staged local transaction did not survive the crash, so a later
   /// decide-commit re-applies them through a fresh transaction). A torn
-  /// final record — the crash hit mid-append — is tolerated and dropped.
+  /// final record — the crash hit mid-append — is truncated away, so
+  /// later appends extend a valid prefix instead of hiding behind the
+  /// corrupt frame.
   Status Recover();
 
   /// kPrepare -> kPrepareAck. Stages the write set, persists the prepare
@@ -106,12 +122,17 @@ class TwoPhaseParticipant {
 
   /// kTxnStatus -> kDecideAck carrying this participant's view: the
   /// logged decision, kUnknown while prepared-undecided, and kAbort for
-  /// transactions never seen (presumed abort).
+  /// transactions never seen (presumed abort). The presumption is made
+  /// durable before it is answered — the querying peer acts on it, so a
+  /// later prepare or decide for the same txn must see the same fate; if
+  /// it cannot be persisted the answer degrades to kUnknown.
   Status HandleTxnStatus(const ReplMessage& msg, ReplMessage* reply);
 
   /// One cooperative-termination pass over transactions in doubt longer
-  /// than resolve_grace_ms. Returns the number resolved. Driven by the
-  /// daemon's resolver thread (or directly by tests).
+  /// than resolve_grace_ms, plus garbage collection of decided entries
+  /// older than decided_retention_ms (compacting twopc.log when any are
+  /// dropped). Returns the number of in-doubt transactions resolved.
+  /// Driven by the daemon's resolver thread (or directly by tests).
   size_t ResolveInDoubt();
 
   size_t in_doubt_count() const;
@@ -128,10 +149,24 @@ class TwoPhaseParticipant {
     std::unique_ptr<ClientSession> session;  ///< owns staged's session
     uint64_t prepared_at_ms = 0;
   };
+  struct Decided {
+    TwoPhaseDecision decision = TwoPhaseDecision::kUnknown;
+    uint64_t decided_at_ms = 0;  ///< retention clock for GC
+  };
 
   /// Appends one framed record to twopc.log and fsyncs. No-op without a
   /// log directory.
   Status AppendLog(const ReplMessage& msg);
+  /// Durably records `decision` for txn_id and remembers it in decided_.
+  /// Caller holds mu_.
+  Status RecordDecisionLocked(uint64_t txn_id, TwoPhaseDecision decision);
+  /// Drops decided entries older than decided_retention_ms and, when any
+  /// were dropped, rewrites twopc.log to just the live pending/decided
+  /// records. Caller holds mu_.
+  void GcDecidedLocked(uint64_t now_ms);
+  /// Rewrites twopc.log from pending_ + decided_ (write temp, fsync,
+  /// rename, reopen). Caller holds mu_.
+  Status CompactLogLocked();
   /// Commits or aborts a pending transaction, logs the decide, moves it
   /// to decided_. Caller holds mu_. Sets *forked when the commit created
   /// a new branch.
@@ -144,7 +179,7 @@ class TwoPhaseParticipant {
 
   mutable std::mutex mu_;
   std::map<uint64_t, Pending> pending_;
-  std::map<uint64_t, TwoPhaseDecision> decided_;
+  std::map<uint64_t, Decided> decided_;
   int log_fd_ = -1;
 
   obs::Counter* prepares_ = nullptr;

@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/framed_client.h"
@@ -154,6 +157,7 @@ class TwoPcTest : public ::testing::Test {
     o.dir = dir_;
     o.self_endpoint = "self";
     o.resolve_grace_ms = 0;
+    o.decided_retention_ms = decided_retention_ms_;
     o.query_peer = [this](const std::string&, uint64_t,
                           TwoPhaseDecision* decision) {
       *decision = peer_answer_;
@@ -208,6 +212,7 @@ class TwoPcTest : public ::testing::Test {
   std::unique_ptr<TwoPhaseParticipant> participant_;
   TwoPhaseDecision peer_answer_ = TwoPhaseDecision::kUnknown;
   bool peer_reachable_ = true;
+  uint64_t decided_retention_ms_ = 600'000;
 };
 
 TEST_F(TwoPcTest, PrepareThenCommit) {
@@ -363,6 +368,99 @@ TEST_F(TwoPcTest, ResolveAdoptsPeerDecisionAndWaitsWhileUnreachable) {
   EXPECT_EQ(participant_->ResolveInDoubt(), 1u);
   EXPECT_EQ(participant_->DecisionFor(31), TwoPhaseDecision::kCommit);
   EXPECT_EQ(Read("k"), "v");
+}
+
+TEST_F(TwoPcTest, TornLogTailIsTruncatedNotBuried) {
+  ReplMessage ack;
+  ASSERT_TRUE(
+      participant_->HandlePrepare(MakePrepare(50, "t", "v50"), &ack).ok());
+  participant_.reset();
+  // Crash mid-append: garbage after the last complete frame.
+  {
+    std::ofstream f(dir_ + "/twopc.log",
+                    std::ios::binary | std::ios::app);
+    f << "torn-partial-frame";
+  }
+  OpenParticipant();
+  EXPECT_EQ(participant_->in_doubt_count(), 1u);
+
+  // Recovery must have truncated the torn bytes, not just skipped them:
+  // with O_APPEND the next records would land behind the corrupt frame
+  // and the following recovery would silently stop before them.
+  ASSERT_TRUE(
+      participant_->HandlePrepare(MakePrepare(51, "t2", "v51"), &ack).ok());
+  ASSERT_TRUE(participant_
+                  ->HandleDecide(MakeDecide(50, TwoPhaseDecision::kCommit),
+                                 &ack)
+                  .ok());
+  participant_.reset();
+  OpenParticipant();
+  EXPECT_EQ(participant_->in_doubt_count(), 1u);  // txn 51
+  EXPECT_EQ(participant_->DecisionFor(50), TwoPhaseDecision::kCommit);
+}
+
+TEST_F(TwoPcTest, TxnStatusPresumedAbortIsBinding) {
+  ReplMessage status_req;
+  status_req.type = ReplMessage::Type::kTxnStatus;
+  status_req.txn_id = 60;
+  ReplMessage resp;
+  ASSERT_TRUE(participant_->HandleTxnStatus(status_req, &resp).ok());
+  EXPECT_EQ(resp.decision, static_cast<uint8_t>(TwoPhaseDecision::kAbort));
+
+  // The querying peer aborted on our answer, so a prepare from a
+  // still-live slow router arriving afterwards must be voted abort —
+  // voting commit would split the transaction's outcome.
+  ReplMessage ack;
+  ASSERT_TRUE(
+      participant_->HandlePrepare(MakePrepare(60, "k", "v"), &ack).ok());
+  EXPECT_EQ(ack.decision, static_cast<uint8_t>(TwoPhaseDecision::kAbort));
+  EXPECT_EQ(participant_->in_doubt_count(), 0u);
+  EXPECT_EQ(Read("k"), "<notfound>");
+
+  // And the presumption survives a crash.
+  participant_.reset();
+  OpenParticipant();
+  EXPECT_EQ(participant_->DecisionFor(60), TwoPhaseDecision::kAbort);
+}
+
+TEST_F(TwoPcTest, DecidedEntriesAgeOutAndLogCompacts) {
+  ReplMessage ack;
+  ASSERT_TRUE(
+      participant_->HandlePrepare(MakePrepare(70, "g", "v70"), &ack).ok());
+  ASSERT_TRUE(participant_
+                  ->HandleDecide(MakeDecide(70, TwoPhaseDecision::kCommit),
+                                 &ack)
+                  .ok());
+  ASSERT_TRUE(
+      participant_->HandlePrepare(MakePrepare(71, "g2", "v71"), &ack).ok());
+
+  // Reopen with zero retention: the resolver pass ages the decided entry
+  // out and compacts the log down to the live prepare.
+  participant_.reset();
+  decided_retention_ms_ = 0;
+  OpenParticipant();
+  const auto size_before = std::filesystem::file_size(dir_ + "/twopc.log");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  peer_reachable_ = false;  // txn 71 stays in doubt through the pass
+  participant_->ResolveInDoubt();
+  EXPECT_EQ(participant_->DecisionFor(70), TwoPhaseDecision::kUnknown);
+  EXPECT_EQ(participant_->in_doubt_count(), 1u);
+  EXPECT_LT(std::filesystem::file_size(dir_ + "/twopc.log"), size_before);
+
+  // The compacted log is a valid image: recovery still finds the
+  // in-doubt prepare, and appends keep working.
+  participant_.reset();
+  decided_retention_ms_ = 600'000;
+  OpenParticipant();
+  EXPECT_EQ(participant_->in_doubt_count(), 1u);
+  ASSERT_TRUE(participant_
+                  ->HandleDecide(MakeDecide(71, TwoPhaseDecision::kCommit),
+                                 &ack)
+                  .ok());
+  participant_.reset();
+  OpenParticipant();
+  EXPECT_EQ(participant_->DecisionFor(71), TwoPhaseDecision::kCommit);
+  EXPECT_EQ(Read("g2"), "v71");
 }
 
 TEST_F(TwoPcTest, PersistFailureTurnsVoteIntoAbort) {
