@@ -8,7 +8,8 @@
 // Usage:
 //   tardis-router --port=P --partitions=host:port,host:port,...
 //                 [--splits=S1,S2,...] [--metrics-port=P]
-//                 [--call-timeout-ms=MS] [--txn-deadline-ms=MS] [--help]
+//                 [--call-timeout-ms=MS] [--txn-deadline-ms=MS]
+//                 [--trace-sample=N] [--help]
 //
 // --partitions lists one coordination endpoint per partition, indexed by
 // partition id (each endpoint is a tardisd started with --coord-port).
@@ -38,8 +39,9 @@
 #include <vector>
 
 #include "cluster/router.h"
-#include "obs/exposition.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tardis {
 namespace {
@@ -51,6 +53,9 @@ struct RouterConfig {
   std::vector<uint64_t> splits;
   uint64_t call_timeout_ms = 2000;
   uint64_t txn_deadline_ms = 4000;
+  /// Head-based sampling: every Nth client request without its own trace
+  /// header starts a new sampled trace (0 = off).
+  uint64_t trace_sample = 0;
   bool help = false;
 };
 
@@ -79,6 +84,8 @@ bool ParseFlags(int argc, char** argv, RouterConfig* config) {
       config->call_timeout_ms = static_cast<uint64_t>(atoll(v));
     } else if (const char* v = value("--txn-deadline-ms=")) {
       config->txn_deadline_ms = static_cast<uint64_t>(atoll(v));
+    } else if (const char* v = value("--trace-sample=")) {
+      config->trace_sample = static_cast<uint64_t>(atoll(v));
     } else if (arg == "--help" || arg == "-h") {
       config->help = true;
       return false;
@@ -90,71 +97,9 @@ bool ParseFlags(int argc, char** argv, RouterConfig* config) {
   return config->port != 0 && !config->partitions.empty();
 }
 
-/// Same minimal plaintext-metrics HTTP endpoint tardisd serves, so a
-/// driver or Prometheus can scrape the router's counters.
-class MetricsHttpServer {
- public:
-  MetricsHttpServer(uint16_t port, obs::MetricsRegistry* registry)
-      : registry_(registry) {
-    fd_ = socket(AF_INET, SOCK_STREAM, 0);
-    int one = 1;
-    setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = INADDR_ANY;
-    addr.sin_port = htons(port);
-    if (bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-        listen(fd_, 8) != 0) {
-      fprintf(stderr, "tardis-router: metrics port %u: %s\n", port,
-              strerror(errno));
-      close(fd_);
-      fd_ = -1;
-      return;
-    }
-    serving_ = true;
-    thread_ = std::thread([this] { Serve(); });
-  }
-
-  ~MetricsHttpServer() {
-    stop_.store(true);
-    if (fd_ >= 0) {
-      ::shutdown(fd_, SHUT_RDWR);
-      close(fd_);
-    }
-    if (thread_.joinable()) thread_.join();
-  }
-
-  bool serving() const { return serving_; }
-
- private:
-  void Serve() {
-    while (!stop_.load()) {
-      const int conn = accept(fd_, nullptr, nullptr);
-      if (conn < 0) {
-        if (errno == EINTR) continue;
-        return;
-      }
-      char buf[4096];
-      (void)read(conn, buf, sizeof(buf));
-      const std::string body = obs::RenderPrometheus(registry_->Collect());
-      std::string resp =
-          "HTTP/1.0 200 OK\r\n"
-          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-          "Content-Length: " +
-          std::to_string(body.size()) + "\r\n\r\n" + body;
-      (void)write(conn, resp.data(), resp.size());
-      close(conn);
-    }
-  }
-
-  obs::MetricsRegistry* registry_;
-  int fd_ = -1;
-  bool serving_ = false;
-  std::atomic<bool> stop_{false};
-  std::thread thread_;
-};
-
 int RunRouter(const RouterConfig& config) {
+  // Label this process's rows in a stitched cross-process Chrome trace.
+  obs::Tracer::Get().SetProcessLabel("tardis-router");
   obs::MetricsRegistry registry;
 
   cluster::PartitionMap map = cluster::PartitionMap::Uniform(
@@ -181,13 +126,14 @@ int RunRouter(const RouterConfig& config) {
   router_options.coord_endpoints = config.partitions;
   router_options.call_timeout_ms = config.call_timeout_ms;
   router_options.txn_deadline_ms = config.txn_deadline_ms;
+  router_options.trace_sample = config.trace_sample;
   cluster::Router router(std::move(map), std::move(router_options),
                          &registry);
 
-  std::unique_ptr<MetricsHttpServer> metrics_http;
+  std::unique_ptr<obs::MetricsHttpExporter> metrics_http;
   if (config.metrics_port != 0) {
-    metrics_http =
-        std::make_unique<MetricsHttpServer>(config.metrics_port, &registry);
+    metrics_http = std::make_unique<obs::MetricsHttpExporter>(
+        config.metrics_port, &registry, "tardis-router");
     if (!metrics_http->serving()) return 1;
   }
 
@@ -279,12 +225,15 @@ int main(int argc, char** argv) {
             "usage: tardis-router --port=P --partitions=host:port,...\n"
             "                     [--splits=S1,S2,...] [--metrics-port=P]\n"
             "                     [--call-timeout-ms=MS]\n"
-            "                     [--txn-deadline-ms=MS] [--help]\n"
+            "                     [--txn-deadline-ms=MS] [--trace-sample=N]\n"
+            "                     [--help]\n"
             "--partitions names each partition's tardisd coordination\n"
             "endpoint (--coord-port), indexed by partition id; --splits\n"
             "optionally sets explicit hash-ring split points (N-1 values\n"
             "for N partitions; default uniform). --txn-deadline-ms must\n"
-            "stay below every participant's --twopc-resolve-ms.\n");
+            "stay below every participant's --twopc-resolve-ms.\n"
+            "--trace-sample samples every Nth request into the tracer once\n"
+            "`trace start` has enabled it (0 = off).\n");
     return config.help ? 0 : 2;
   }
   return tardis::RunRouter(config);

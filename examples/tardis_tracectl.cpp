@@ -1,0 +1,240 @@
+// tardis-tracectl: collects and validates cluster-wide distributed
+// traces (DESIGN.md §7).
+//
+//   tardis-tracectl collect --sites=host:port,... [--out=PATH]
+//   tardis-tracectl validate --in=PATH [--expect-trace=HEX]
+//                            [--min-processes=N]
+//
+// `collect` speaks the line protocol ("trace json") to every listed
+// endpoint — tardisd client ports and/or a tardis-router port — and
+// stitches the per-process Chrome trace rings into one document (each
+// process contributes its own pid and process_name metadata, so
+// Perfetto/chrome://tracing shows one row group per process). `validate`
+// parses a stitched document and checks it is well-formed: every event
+// carries name/ph/pid, per-(pid,tid) tracks are time-ordered, and — with
+// --expect-trace — spans tagged with that trace id came from at least
+// --min-processes distinct processes. Exit 0 on success, 1 on failure,
+// so CI can gate on it directly.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_stitch.h"
+#include "util/status.h"
+
+namespace tardis {
+namespace {
+
+int ConnectTo(const std::string& host, uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return -1;
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// One "trace json" round trip: returns the body up to (excluding) the
+/// "END" terminator line, or an error.
+StatusOr<std::string> FetchTraceJson(const std::string& endpoint) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("bad endpoint " + endpoint);
+  }
+  const int port = atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in " + endpoint);
+  }
+  const int fd =
+      ConnectTo(endpoint.substr(0, colon), static_cast<uint16_t>(port));
+  if (fd < 0) {
+    return Status::Unavailable("connect " + endpoint + ": " +
+                               strerror(errno));
+  }
+  const char req[] = "trace json\n";
+  if (write(fd, req, sizeof(req) - 1) !=
+      static_cast<ssize_t>(sizeof(req) - 1)) {
+    close(fd);
+    return Status::IOError("short write to " + endpoint);
+  }
+  std::string body, cur;
+  char buf[65536];
+  bool done = false;
+  while (!done) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      close(fd);
+      return Status::IOError(endpoint + " closed before END");
+    }
+    for (ssize_t i = 0; i < n; i++) {
+      const char c = buf[i];
+      if (c != '\n') {
+        cur.push_back(c);
+        continue;
+      }
+      if (cur == "END") {
+        done = true;
+        break;
+      }
+      if (cur.rfind("ERR ", 0) == 0) {
+        close(fd);
+        return Status::InvalidArgument(endpoint + ": " + cur);
+      }
+      body += cur;
+      body.push_back('\n');
+      cur.clear();
+    }
+  }
+  close(fd);
+  return body;
+}
+
+int RunCollect(const std::string& sites, const std::string& out_path) {
+  std::vector<std::string> docs;
+  std::stringstream ss(sites);
+  std::string endpoint;
+  size_t fetched = 0;
+  while (std::getline(ss, endpoint, ',')) {
+    auto doc = FetchTraceJson(endpoint);
+    if (!doc.ok()) {
+      fprintf(stderr, "tardis-tracectl: %s: %s\n", endpoint.c_str(),
+              doc.status().ToString().c_str());
+      return 1;
+    }
+    docs.push_back(std::move(*doc));
+    fetched++;
+  }
+  if (fetched == 0) {
+    fprintf(stderr, "tardis-tracectl: --sites named no endpoints\n");
+    return 1;
+  }
+  const std::string merged = obs::StitchChromeTraces(docs);
+  if (out_path.empty()) {
+    fwrite(merged.data(), 1, merged.size(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      fprintf(stderr, "tardis-tracectl: cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out << merged;
+  }
+  fprintf(stderr, "tardis-tracectl: stitched %zu process dump(s)\n", fetched);
+  return 0;
+}
+
+int RunValidate(const std::string& in_path, const std::string& expect_trace,
+                size_t min_processes) {
+  std::ifstream in(in_path);
+  if (!in) {
+    fprintf(stderr, "tardis-tracectl: cannot open %s\n", in_path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  obs::TraceValidation v;
+  Status s = obs::ValidateChromeTrace(buf.str(), &v);
+  if (!s.ok()) {
+    fprintf(stderr, "tardis-tracectl: %s: %s\n", in_path.c_str(),
+            s.ToString().c_str());
+    return 1;
+  }
+  fprintf(stderr, "tardis-tracectl: %zu event(s) across %zu process(es)\n",
+          v.event_count, v.process_count);
+  if (v.event_count == 0) {
+    fprintf(stderr, "tardis-tracectl: trace is empty\n");
+    return 1;
+  }
+  if (!expect_trace.empty()) {
+    auto it = v.processes_by_trace.find(expect_trace);
+    const size_t procs = it == v.processes_by_trace.end() ? 0
+                                                          : it->second.size();
+    if (procs < min_processes) {
+      fprintf(stderr,
+              "tardis-tracectl: trace %s spans %zu process(es), "
+              "expected >= %zu\n",
+              expect_trace.c_str(), procs, min_processes);
+      return 1;
+    }
+    fprintf(stderr, "tardis-tracectl: trace %s spans %zu process(es)\n",
+            expect_trace.c_str(), procs);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tardis
+
+int main(int argc, char** argv) {
+  std::string mode;
+  std::string sites, out_path, in_path, expect_trace;
+  size_t min_processes = 1;
+  bool help = false;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (i == 1 && (arg == "collect" || arg == "validate")) {
+      mode = arg;
+    } else if (const char* v = value("--sites=")) {
+      sites = v;
+    } else if (const char* v = value("--out=")) {
+      out_path = v;
+    } else if (const char* v = value("--in=")) {
+      in_path = v;
+    } else if (const char* v = value("--expect-trace=")) {
+      expect_trace = v;
+    } else if (const char* v = value("--min-processes=")) {
+      min_processes = static_cast<size_t>(std::max(1, atoi(v)));
+    } else if (arg == "--help" || arg == "-h") {
+      help = true;
+      break;
+    } else {
+      fprintf(stderr, "tardis-tracectl: unknown argument %s\n", arg.c_str());
+      mode.clear();
+      break;
+    }
+  }
+  if (help || mode.empty() || (mode == "collect" && sites.empty()) ||
+      (mode == "validate" && in_path.empty())) {
+    FILE* out = help ? stdout : stderr;
+    fprintf(out,
+            "usage: tardis-tracectl collect --sites=host:port,... "
+            "[--out=PATH]\n"
+            "       tardis-tracectl validate --in=PATH "
+            "[--expect-trace=HEX] [--min-processes=N]\n"
+            "collect fans `trace json` out to every endpoint (tardisd\n"
+            "client ports, tardis-router port) and stitches the rings\n"
+            "into one Chrome/Perfetto trace; validate checks a stitched\n"
+            "document is well-formed and (with --expect-trace) that the\n"
+            "trace id spans at least --min-processes processes.\n");
+    return help ? 0 : 2;
+  }
+  return mode == "collect"
+             ? tardis::RunCollect(sites, out_path)
+             : tardis::RunValidate(in_path, expect_trace, min_processes);
+}

@@ -10,7 +10,7 @@
 //           [--dir=PATH] [--metrics-port=P] [--workers=N] [--max-queue=N]
 //           [--request-deadline-ms=MS] [--tick-ms=MS] [--heartbeats=0|1]
 //           [--archive-horizon=N] [--partition=N] [--coord-port=P]
-//           [--twopc-resolve-ms=MS]
+//           [--twopc-resolve-ms=MS] [--slow-ms=MS]
 //
 // With --coord-port the daemon additionally serves the cluster
 // coordination protocol (router fast path + cross-partition 2PC; see
@@ -47,6 +47,7 @@
 //   stats                 alias of `metrics table`
 //   trace start|stop      toggle the branch-lifecycle tracer -> OK
 //   trace dump <path>     write captured events as Chrome trace JSON -> OK
+//   trace json            stream the Chrome trace JSON inline, ends "END"
 //   sleep <ms>            hold a worker for <ms> (overload testing) -> OK
 //   quit                  close this client connection
 //   shutdown              drain and exit the daemon
@@ -54,6 +55,12 @@
 // Retryable errors ("ERR BUSY", "ERR DEADLINE", "ERR SHUTTING_DOWN") mean
 // the request was NOT executed; clients back off and resend (see
 // util/backoff.h and the driver's retry helper).
+//
+// Any command line may carry a leading "*T<trace>/<span>/<flags>" header
+// (obs::StripTraceHeader): the worker binds that distributed-trace
+// context for the request, so the daemon's spans join the caller's
+// trace. --slow-ms=MS logs a structured warning for any request slower
+// than MS, with the trace id and the per-stage latency breakdown.
 
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -83,8 +90,11 @@
 #include "cluster/twopc.h"
 #include "net/tcp_transport.h"
 #include "obs/exposition.h"
+#include "obs/http_exporter.h"
+#include "obs/stage.h"
 #include "obs/trace.h"
 #include "replication/replicator.h"
+#include "util/clock.h"
 #include "util/logging.h"
 
 namespace tardis {
@@ -123,6 +133,9 @@ struct DaemonConfig {
   /// Grace before an in-doubt 2PC transaction is resolved cooperatively.
   /// Must exceed the router's 2PC deadline.
   uint64_t twopc_resolve_ms = 5000;
+  /// Requests slower than this log a structured slow-request warning with
+  /// the trace id and per-stage breakdown (0 = off).
+  uint64_t slow_ms = 0;
   bool help = false;  ///< --help: print usage, exit 0
 };
 
@@ -185,6 +198,8 @@ bool ParseFlags(int argc, char** argv, DaemonConfig* config) {
       config->coord_port = static_cast<uint16_t>(atoi(v));
     } else if (const char* v = value("--twopc-resolve-ms=")) {
       config->twopc_resolve_ms = static_cast<uint64_t>(atoll(v));
+    } else if (const char* v = value("--slow-ms=")) {
+      config->slow_ms = static_cast<uint64_t>(atoll(v));
     } else if (arg == "--help" || arg == "-h") {
       config->help = true;
       return false;  // caller prints the full usage text
@@ -423,7 +438,14 @@ std::string HandleCommand(const std::string& line, TardisStore* store,
       out << obs::Tracer::Get().DumpChromeTrace();
       return "OK " + std::to_string(obs::Tracer::Get().EventCount());
     }
-    return "ERR usage: trace start|stop|dump <path>";
+    if (sub == "json") {
+      // Inline dump for remote collectors (tardis-tracectl, the router's
+      // `trace collect`): no shared filesystem required.
+      std::string body = obs::Tracer::Get().DumpChromeTrace();
+      if (!body.empty() && body.back() != '\n') body.push_back('\n');
+      return body + "END";
+    }
+    return "ERR usage: trace start|stop|json|dump <path>";
   }
   if (cmd == "sleep") {
     // Test hook: pin a worker for a while so drivers can provoke queue
@@ -445,71 +467,6 @@ std::string HandleCommand(const std::string& line, TardisStore* store,
   return "ERR unknown command '" + cmd + "'";
 }
 
-/// Minimal plaintext-metrics HTTP server: accept, read (and ignore) the
-/// request, answer one 200 with the current Prometheus rendering, close.
-/// Enough for `curl` and a Prometheus scrape config.
-class MetricsHttpServer {
- public:
-  MetricsHttpServer(uint16_t port, std::shared_ptr<obs::MetricsRegistry> reg)
-      : registry_(std::move(reg)) {
-    fd_ = socket(AF_INET, SOCK_STREAM, 0);
-    int one = 1;
-    setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = INADDR_ANY;
-    addr.sin_port = htons(port);
-    if (bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-        listen(fd_, 8) != 0) {
-      fprintf(stderr, "tardisd: metrics port %u: %s\n", port, strerror(errno));
-      close(fd_);
-      fd_ = -1;
-      return;
-    }
-    serving_ = true;
-    thread_ = std::thread([this] { Serve(); });
-  }
-
-  ~MetricsHttpServer() {
-    stop_.store(true);
-    if (fd_ >= 0) {
-      // shutdown() unblocks the accept; some platforms need the close too.
-      ::shutdown(fd_, SHUT_RDWR);
-      close(fd_);
-    }
-    if (thread_.joinable()) thread_.join();
-  }
-
-  bool serving() const { return serving_; }
-
- private:
-  void Serve() {
-    while (!stop_.load()) {
-      const int conn = accept(fd_, nullptr, nullptr);
-      if (conn < 0) {
-        if (errno == EINTR) continue;
-        return;  // listen socket closed: shutting down
-      }
-      char buf[4096];
-      (void)read(conn, buf, sizeof(buf));  // request line + headers, ignored
-      const std::string body = obs::RenderPrometheus(registry_->Collect());
-      std::string resp =
-          "HTTP/1.0 200 OK\r\n"
-          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-          "Content-Length: " +
-          std::to_string(body.size()) + "\r\n\r\n" + body;
-      (void)write(conn, resp.data(), resp.size());
-      close(conn);
-    }
-  }
-
-  std::shared_ptr<obs::MetricsRegistry> registry_;
-  int fd_ = -1;
-  bool serving_ = false;
-  std::atomic<bool> stop_{false};
-  std::thread thread_;
-};
-
 // ---- request pipeline -----------------------------------------------------
 
 struct Request {
@@ -517,6 +474,7 @@ struct Request {
   std::string line;
   std::shared_ptr<ClientSession> session;
   uint64_t enqueued_ms = 0;
+  uint64_t enqueued_us = 0;  ///< NowMicros() twin for the queue_wait stage
 };
 
 struct Completion {
@@ -549,6 +507,12 @@ void OnTermSignal(int) {
 
 int RunDaemon(const DaemonConfig& config) {
   SetLogSite(static_cast<int>(config.site));
+  // Label this process's rows in a stitched cross-process Chrome trace.
+  obs::Tracer::Get().SetProcessLabel(
+      config.partition >= 0
+          ? "tardisd-p" + std::to_string(config.partition) + "-site" +
+                std::to_string(config.site)
+          : "tardisd-site" + std::to_string(config.site));
 
   // One registry for the whole process: store, GC, replicator and
   // transport all register here, so `metrics` and --metrics-port expose
@@ -606,6 +570,8 @@ int RunDaemon(const DaemonConfig& config) {
       "tardisd_deadline_expired_total",
       "Client requests expired in the queue past the request deadline",
       {{"site", std::to_string(config.site)}});
+  obs::HistogramMetric* queue_wait_stage =
+      obs::RegisterStageHistogram(registry.get(), "queue_wait");
   shared.metrics_port = config.metrics_port;
   shared.queue_bound = config.max_queue;
   shared.partition = config.partition;
@@ -685,10 +651,11 @@ int RunDaemon(const DaemonConfig& config) {
     return 1;
   }
   SetNonBlocking(server_fd);
-  std::unique_ptr<MetricsHttpServer> metrics_http;
+  std::unique_ptr<obs::MetricsHttpExporter> metrics_http;
   if (config.metrics_port != 0) {
-    metrics_http =
-        std::make_unique<MetricsHttpServer>(config.metrics_port, registry);
+    // registry outlives the exporter (reset before the final flush below).
+    metrics_http = std::make_unique<obs::MetricsHttpExporter>(
+        config.metrics_port, registry.get(), "tardisd");
     if (!metrics_http->serving()) return 1;
   }
 
@@ -754,10 +721,41 @@ int RunDaemon(const DaemonConfig& config) {
           expired_counter->Increment();
           c.reply = "ERR DEADLINE request expired in queue; retry";
         } else {
-          c.reply = HandleCommand(req.line, store->get(), req.session.get(),
-                                  &replicator, transport->get(), config.site,
-                                  registry.get(), &shared, &c.close_conn,
-                                  &c.shutdown);
+          // A leading "*T..." token is the caller's distributed-trace
+          // context: bind it so every span and stage below joins that
+          // trace. A corrupt header is stripped and the request runs
+          // untraced.
+          obs::TraceContext ctx;
+          obs::StripTraceHeader(&req.line, &ctx);
+          obs::TraceContextScope bind_trace(ctx);
+          obs::StageBreakdown breakdown;
+          obs::StageCollectorScope collect(&breakdown);
+          const uint64_t start_us = NowMicros();
+          const uint64_t wait_us =
+              start_us >= req.enqueued_us ? start_us - req.enqueued_us : 0;
+          queue_wait_stage->Observe(wait_us);
+          breakdown.Note("queue_wait", wait_us);
+          obs::TraceSpan::Emit("stage", "queue_wait", req.enqueued_us,
+                               wait_us);
+          {
+            TARDIS_TRACE_SPAN("daemon", "request");
+            c.reply = HandleCommand(req.line, store->get(), req.session.get(),
+                                    &replicator, transport->get(), config.site,
+                                    registry.get(), &shared, &c.close_conn,
+                                    &c.shutdown);
+          }
+          const uint64_t total_us = NowMicros() - start_us;
+          if (config.slow_ms > 0 && total_us >= config.slow_ms * 1000) {
+            const std::string cmd = req.line.substr(0, req.line.find(' '));
+            TARDIS_WARN(
+                "site %u: slow request cmd=%s trace=%016llx total=%lluus "
+                "queue_wait=%lluus stages: %s",
+                config.site, cmd.c_str(),
+                static_cast<unsigned long long>(ctx.trace_id),
+                static_cast<unsigned long long>(total_us),
+                static_cast<unsigned long long>(wait_us),
+                breakdown.Format().c_str());
+          }
         }
         post_completion(std::move(c));
       }
@@ -821,6 +819,7 @@ int RunDaemon(const DaemonConfig& config) {
           req.line = std::move(line);
           req.session = conn.session;
           req.enqueued_ms = NowMs();
+          req.enqueued_us = NowMicros();
           queue.push_back(std::move(req));
         }
       }
@@ -1044,7 +1043,7 @@ int main(int argc, char** argv) {
             "               [--request-deadline-ms=MS] [--tick-ms=MS]\n"
             "               [--heartbeats=0|1] [--archive-horizon=N]\n"
             "               [--partition=N] [--coord-port=P]\n"
-            "               [--twopc-resolve-ms=MS] [--help]\n"
+            "               [--twopc-resolve-ms=MS] [--slow-ms=MS] [--help]\n"
             "--peers is indexed by site id and must name every site,\n"
             "including this one's own replication endpoint.\n"
             "--metrics-port serves the metrics registry as Prometheus text\n"
@@ -1053,7 +1052,9 @@ int main(int argc, char** argv) {
             "--partition/--coord-port enroll this site in a partitioned\n"
             "grid behind tardis-router (see DESIGN.md section 10);\n"
             "--twopc-resolve-ms is the in-doubt cooperative-resolution\n"
-            "grace and must exceed the router's 2PC deadline.\n");
+            "grace and must exceed the router's 2PC deadline.\n"
+            "--slow-ms logs requests slower than MS with their trace id\n"
+            "and per-stage latency breakdown (0 = disabled).\n");
     return config.help ? 0 : 2;
   }
   return tardis::RunDaemon(config);

@@ -41,6 +41,18 @@
 //
 //   tardisd_driver --tardisd=./examples/tardisd
 //                  --router=./examples/tardis_router --grid
+//
+// With --trace (plus --router and --tracectl=PATH) it runs the
+// distributed-tracing acceptance (DESIGN.md §7): trace start/sample
+// through the router, a cross-partition mput under a driver-chosen
+// trace id, a stitched Chrome trace — via the router's `trace collect`
+// AND tardis-tracectl — in which that id spans at least 3 processes,
+// and a `metrics cluster` merge carrying every process's stage
+// histograms:
+//
+//   tardisd_driver --tardisd=./examples/tardisd
+//                  --router=./examples/tardis_router
+//                  --tracectl=./examples/tardis_tracectl --trace
 
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -979,23 +991,193 @@ int RunGrid(const std::string& tardisd, const std::string& router_bin,
   return 0;
 }
 
+/// Trace phase (`--trace`): distributed tracing across the grid
+/// (DESIGN.md §7). A 2-partition × 2-site cluster behind the router:
+///
+///   1. `trace start` through the router enables the tracer on every
+///      process; `trace sample 1` turns on head sampling for requests
+///      without their own header;
+///   2. a cross-partition mput carries a driver-chosen trace header; the
+///      router and both participants log their spans under that id;
+///   3. `trace collect` (router-side stitch) and tardis-tracectl
+///      (client-side collect + validate) both produce one well-formed
+///      Chrome trace in which the chosen trace id spans >= 3 processes;
+///   4. `metrics cluster` returns the merged exposition: summed
+///      counters and the tardis_stage_micros bucket series from every
+///      partition plus the router's own prepare_rtt stage.
+int RunTraceGrid(const std::string& tardisd, const std::string& router_bin,
+                 const std::string& tracectl, const std::string& dir) {
+  std::vector<pid_t> all_pids;
+  g_fleet_pids = &all_pids;
+
+  Fleet groups[2];
+  const uint16_t coord_ports[2] = {PickFreePort(), PickFreePort()};
+  for (int p = 0; p < 2; p++) {
+    const std::string group_dir = dir + "/tp" + std::to_string(p);
+    if (mkdir(group_dir.c_str(), 0755) != 0) {
+      Die("mkdir " + group_dir + " failed");
+    }
+    groups[p].per_site_extra = {{
+        "--partition=" + std::to_string(p),
+        "--coord-port=" + std::to_string(coord_ports[p]),
+        "--twopc-resolve-ms=3000",
+        "--slow-ms=1",  // every traced request also exercises the slow log
+    }};
+    SpawnFleet(tardisd, 2, {"--dir=" + group_dir}, &groups[p]);
+    for (pid_t pid : groups[p].pids) all_pids.push_back(pid);
+  }
+  const uint16_t router_port = PickFreePort();
+  const uint16_t router_metrics_port = PickFreePort();
+  const std::string partitions_flag =
+      "127.0.0.1:" + std::to_string(coord_ports[0]) + ",127.0.0.1:" +
+      std::to_string(coord_ports[1]);
+  pid_t router_pid = SpawnRouter(router_bin, router_port, router_metrics_port,
+                                 partitions_flag, 1500);
+  all_pids.push_back(router_pid);
+  int router_fd = ConnectTo(router_port, 10'000);
+  if (router_fd < 0) Die("router never came up");
+  if (Cmd(router_fd, "ping") != "PONG") Die("router did not answer ping");
+  printf("== trace: 2 partitions x 2 sites + router up\n");
+
+  // 1. One command arms the tracer cluster-wide.
+  const std::string ts = CmdMulti(router_fd, "trace start");
+  if (ts.find("ROUTER OK") == std::string::npos ||
+      ts.find("P0 OK") == std::string::npos ||
+      ts.find("P1 OK") == std::string::npos) {
+    Die("trace start did not reach every process:\n" + ts);
+  }
+  if (Cmd(router_fd, "trace sample 1") != "OK") Die("trace sample failed");
+
+  std::string key0, key1;
+  for (int i = 0; key0.empty() || key1.empty(); i++) {
+    if (i >= 512) Die("could not find keys for both partitions");
+    const std::string k = "tk" + std::to_string(i);
+    const std::string r = Cmd(router_fd, "partition " + k);
+    if (r == "PARTITION 0" && key0.empty()) key0 = k;
+    if (r == "PARTITION 1" && key1.empty()) key1 = k;
+  }
+
+  // 2. The traced request: a cross-partition 2PC mput under a trace id
+  // the driver chose, plus a self-sampled fast-path pair.
+  const uint64_t trace_id = 0x7a9d15000000c0deULL;  // "tardis...code"
+  char hdr[40];
+  snprintf(hdr, sizeof(hdr), "*T%016llx/0/1",
+           static_cast<unsigned long long>(trace_id));
+  const std::string xr = Cmd(
+      router_fd, std::string(hdr) + " mput " + key0 + " t0 " + key1 + " t1");
+  if (xr.rfind("OK TXN ", 0) != 0) {
+    Die("traced cross-partition mput failed: " + xr);
+  }
+  if (Cmd(router_fd, "put " + key0 + " t2") != "OK" ||
+      Cmd(router_fd, "get " + key1) != "VALUE t1") {
+    Die("fast-path requests through the router failed");
+  }
+
+  char expect[24];
+  snprintf(expect, sizeof(expect), "%016llx",
+           static_cast<unsigned long long>(trace_id));
+
+  // 3a. Router-side stitch: `trace collect` fans out `trace json` to
+  // every partition and merges the rings with its own.
+  const std::string collected = CmdMulti(router_fd, "trace collect");
+  if (collected.find("traceEvents") == std::string::npos ||
+      collected.find(expect) == std::string::npos) {
+    Die("trace collect did not return a stitched trace containing " +
+        std::string(expect));
+  }
+  printf("== trace: router-side `trace collect` stitched the rings\n");
+
+  // 3b. Client-side: tardis-tracectl collects from the router and both
+  // coordinating sites, then validates the merged document.
+  auto run_tracectl = [&](std::vector<std::string> args) {
+    fflush(stdout);
+    const pid_t pid = fork();
+    if (pid < 0) Die("fork failed");
+    if (pid == 0) {
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      execv(tracectl.c_str(), argv.data());
+      fprintf(stderr, "exec %s failed: %s\n", tracectl.c_str(),
+              strerror(errno));
+      _exit(127);
+    }
+    int status = 0;
+    waitpid(pid, &status, 0);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  };
+  const std::string trace_path = dir + "/cluster_trace.json";
+  const std::string sites_flag =
+      "127.0.0.1:" + std::to_string(router_port) + ",127.0.0.1:" +
+      std::to_string(groups[0].client_ports[0]) + ",127.0.0.1:" +
+      std::to_string(groups[1].client_ports[0]);
+  if (run_tracectl({"tardis-tracectl", "collect", "--sites=" + sites_flag,
+                    "--out=" + trace_path}) != 0) {
+    Die("tardis-tracectl collect failed");
+  }
+  if (run_tracectl({"tardis-tracectl", "validate", "--in=" + trace_path,
+                    "--expect-trace=" + std::string(expect),
+                    "--min-processes=3"}) != 0) {
+    Die("tardis-tracectl validate failed: trace " + std::string(expect) +
+        " should span router + both participants");
+  }
+  printf("== trace: one trace id spans >= 3 processes in the stitched "
+         "Chrome trace\n");
+
+  // 4. Cluster-wide telemetry: the merged exposition carries both the
+  // participants' stage histograms (wal_fsync, decide_apply, ...) and
+  // the router's own (prepare_rtt), as native _bucket series.
+  const std::string cm = CmdMulti(router_fd, "metrics cluster");
+  if (cm.find("tardis_stage_micros_bucket") == std::string::npos) {
+    Die("metrics cluster missing stage histogram buckets:\n" + cm);
+  }
+  if (cm.find("stage=\"prepare_rtt\"") == std::string::npos ||
+      cm.find("stage=\"wal_fsync\"") == std::string::npos) {
+    Die("metrics cluster missing router/participant stages:\n" + cm);
+  }
+  if (MetricValue(cm, "tardis_txn_commits_total") < 1) {
+    Die("metrics cluster lost the partitions' commit counters:\n" + cm);
+  }
+  if (MetricSeries(cm, "tardis_router_requests{path=\"2pc\"}") < 1) {
+    Die("metrics cluster lost the router's own series:\n" + cm);
+  }
+  printf("== trace: metrics cluster merged router + partition "
+         "expositions\n");
+
+  kill(router_pid, SIGKILL);
+  waitpid(router_pid, nullptr, 0);
+  close(router_fd);
+  for (int p = 0; p < 2; p++) {
+    for (size_t i = 0; i < 2; i++) Cmd(groups[p].conns[i], "shutdown");
+  }
+  g_fleet_pids = nullptr;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string tardisd;
   std::string router;
+  std::string tracectl;
   bool grid = false;
+  bool trace = false;
   const char usage[] =
       "usage: tardisd_driver --tardisd=PATH [--router=PATH --grid] "
-      "[--verbose]\n";
+      "[--router=PATH --tracectl=PATH --trace] [--verbose]\n";
   for (int i = 1; i < argc; i++) {
     const std::string arg = argv[i];
     if (arg.rfind("--tardisd=", 0) == 0) {
       tardisd = arg.substr(strlen("--tardisd="));
     } else if (arg.rfind("--router=", 0) == 0) {
       router = arg.substr(strlen("--router="));
+    } else if (arg.rfind("--tracectl=", 0) == 0) {
+      tracectl = arg.substr(strlen("--tracectl="));
     } else if (arg == "--grid") {
       grid = true;
+    } else if (arg == "--trace") {
+      trace = true;
     } else if (arg == "--verbose") {
       g_verbose = true;
     } else {
@@ -1003,7 +1185,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (tardisd.empty() || (grid && router.empty())) {
+  if (tardisd.empty() || (grid && router.empty()) ||
+      (trace && (router.empty() || tracectl.empty()))) {
     fprintf(stderr, usage);
     return 2;
   }
@@ -1013,6 +1196,14 @@ int main(int argc, char** argv) {
   if (dir == nullptr) {
     fprintf(stderr, "tardisd_driver: mkdtemp failed\n");
     return 1;
+  }
+  if (trace) {
+    // Distributed-tracing acceptance: one trace id across the whole
+    // grid, stitched and validated end to end.
+    if (RunTraceGrid(tardisd, router, tracectl, dir) != 0) return 1;
+    printf("PASS: distributed tracing — wire-propagated context, stitched "
+           "cluster trace, merged cluster metrics\n");
+    return 0;
   }
   if (grid) {
     // Partitioned-cluster acceptance: 2 partition groups x 3 sites

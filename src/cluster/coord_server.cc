@@ -12,6 +12,7 @@
 #include <algorithm>
 
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "util/clock.h"
 #include "util/logging.h"
 
@@ -110,9 +111,15 @@ std::string CoordServer::ApplyWriteSet(const ReplMessage& req) {
 
 void CoordServer::Dispatch(const ReplMessage& req, ReplMessage* reply) {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  // Adopt the frame's trace context for the whole dispatch: the store /
+  // 2PC / replication work below runs on this thread, so its spans (and
+  // any frames it sends onward) join the router's trace.
+  obs::TraceContext ctx{req.trace_id, req.trace_span, req.trace_sampled};
+  obs::TraceContextScope bind(ctx);
   Status s;
   switch (req.type) {
-    case ReplMessage::Type::kRoute:
+    case ReplMessage::Type::kRoute: {
+      TARDIS_TRACE_SPAN("coord", "route");
       reply->type = ReplMessage::Type::kRouteReply;
       reply->txn_id = req.txn_id;
       if (!req.commit.writes.empty()) {
@@ -123,12 +130,17 @@ void CoordServer::Dispatch(const ReplMessage& req, ReplMessage* reply) {
         reply->text = "ERR no command executor";
       }
       return;
-    case ReplMessage::Type::kPrepare:
+    }
+    case ReplMessage::Type::kPrepare: {
+      TARDIS_TRACE_SPAN("coord", "prepare");
       s = participant_->HandlePrepare(req, reply);
       break;
-    case ReplMessage::Type::kDecide:
+    }
+    case ReplMessage::Type::kDecide: {
+      TARDIS_TRACE_SPAN("coord", "decide");
       s = participant_->HandleDecide(req, reply);
       break;
+    }
     case ReplMessage::Type::kTxnStatus:
       s = participant_->HandleTxnStatus(req, reply);
       break;

@@ -9,6 +9,8 @@
 #include "fault/fault_points.h"
 #include "cluster/twopc.h"
 #include "obs/exposition.h"
+#include "obs/stage.h"
+#include "obs/trace_stitch.h"
 #include "util/clock.h"
 #include "util/logging.h"
 
@@ -16,6 +18,25 @@ namespace tardis {
 namespace cluster {
 
 namespace {
+
+/// Stamps the thread's current trace context onto an outgoing
+/// coordination frame, so the receiving daemon's spans join this trace.
+void AttachTrace(ReplMessage* msg) {
+  const obs::TraceContext& ctx = obs::CurrentTraceContext();
+  msg->trace_id = ctx.trace_id;
+  msg->trace_span = ctx.span_id;
+  msg->trace_sampled = ctx.sampled;
+}
+
+/// Multi-line daemon replies arrive END-terminated; the fan-out
+/// aggregators re-terminate themselves.
+std::string StripEndMarker(std::string body) {
+  if (body == "END") return "";
+  const size_t n = body.size();
+  if (n >= 4 && body.compare(n - 4, 4, "\nEND") == 0) body.erase(n - 4);
+  if (!body.empty() && body.back() != '\n') body.push_back('\n');
+  return body;
+}
 
 /// Txn ids must not repeat across router instances or restarts (a
 /// participant may still hold an old id in pending_/decided_ and would
@@ -44,7 +65,8 @@ Router::Router(PartitionMap map, RouterOptions options,
     : map_(std::move(map)),
       options_(std::move(options)),
       registry_(registry),
-      next_txn_id_(TxnIdSeed()) {
+      next_txn_id_(TxnIdSeed()),
+      sample_every_(options_.trace_sample) {
   clients_.resize(map_.partition_count());
   for (auto& c : clients_) c = std::make_unique<FramedClient>();
   requests_fast_ = registry->RegisterCounter(
@@ -60,6 +82,7 @@ Router::Router(PartitionMap map, RouterOptions options,
       "tardis_2pc_forked_commits",
       "2PC decide-commits that forked a participant DAG",
       {{"role", "router"}});
+  prepare_rtt_us_ = obs::RegisterStageHistogram(registry, "prepare_rtt");
 }
 
 Router::~Router() = default;
@@ -104,6 +127,7 @@ std::string Router::ForwardLine(uint32_t partition, const std::string& line) {
   ReplMessage req;
   req.type = ReplMessage::Type::kRoute;
   req.text = line;
+  AttachTrace(&req);
   ReplMessage resp;
   Status s = CallPartition(partition, req, &resp);
   if (!s.ok()) return "ERR partition " + std::to_string(partition) + " " +
@@ -137,6 +161,7 @@ std::string Router::HandleMultiPut(const std::vector<WriteOp>& writes) {
     requests_fast_->Increment();
     ReplMessage req;
     req.type = ReplMessage::Type::kRoute;
+    AttachTrace(&req);
     for (const WriteOp& w : by_partition[0]) {
       req.commit.writes.emplace_back(
           w.key, std::make_shared<const std::string>(w.value));
@@ -178,13 +203,18 @@ std::string Router::CommitAcrossPartitions(
     prep.type = ReplMessage::Type::kPrepare;
     prep.txn_id = txn_id;
     prep.endpoints = endpoints;
+    AttachTrace(&prep);
     for (const WriteOp& w : by_partition[i]) {
       prep.commit.writes.emplace_back(
           w.key, std::make_shared<const std::string>(w.value));
     }
     prepares_->Increment();
     ReplMessage ack;
-    Status s = CallPartition(partition_ids[i], prep, &ack, deadline_ms);
+    Status s;
+    {
+      obs::StageTimer timer(prepare_rtt_us_, "prepare_rtt");
+      s = CallPartition(partition_ids[i], prep, &ack, deadline_ms);
+    }
     if (!s.ok()) {
       failure = s;
     } else if (ack.type != ReplMessage::Type::kPrepareAck ||
@@ -206,6 +236,7 @@ std::string Router::CommitAcrossPartitions(
       decide.type = ReplMessage::Type::kDecide;
       decide.txn_id = txn_id;
       decide.decision = static_cast<uint8_t>(TwoPhaseDecision::kAbort);
+      AttachTrace(&decide);
       ReplMessage ack;
       (void)CallPartition(p, decide, &ack);
     }
@@ -230,6 +261,7 @@ std::string Router::CommitAcrossPartitions(
     decide.type = ReplMessage::Type::kDecide;
     decide.txn_id = txn_id;
     decide.decision = static_cast<uint8_t>(TwoPhaseDecision::kCommit);
+    AttachTrace(&decide);
     ReplMessage ack;
     Status s;
     do {
@@ -301,8 +333,82 @@ std::string Router::AggregateHealth() {
   return out + "END";
 }
 
+std::string Router::HandleTraceCommand(const std::string& sub) {
+  // Cluster-wide tracing switch: flip the router's own tracer and fan the
+  // same command out to every partition daemon, one status line each.
+  if (sub == "start") {
+    obs::Tracer::Get().Enable();
+  } else {
+    obs::Tracer::Get().Disable();
+  }
+  std::string out = "ROUTER OK\n";
+  for (uint32_t p = 0; p < map_.partition_count(); p++) {
+    out += "P" + std::to_string(p) + " " + ForwardLine(p, "trace " + sub) +
+           "\n";
+  }
+  return out + "END";
+}
+
+std::string Router::CollectClusterTraces() {
+  // One Chrome trace for the whole grid: every partition's ring dump plus
+  // the router's own, stitched textually (each document carries its real
+  // OS pid and a process_name metadata record, and all share the
+  // machine's monotonic-clock origin, so events pass through verbatim).
+  std::vector<std::string> docs;
+  for (uint32_t p = 0; p < map_.partition_count(); p++) {
+    const std::string reply = ForwardLine(p, "trace json");
+    if (reply.compare(0, 4, "ERR ") == 0) {
+      TARDIS_WARN("router: trace collect: partition %u: %s", p,
+                  reply.c_str());
+      continue;  // stitch what is reachable rather than failing the dump
+    }
+    docs.push_back(StripEndMarker(reply));
+  }
+  docs.push_back(obs::Tracer::Get().DumpChromeTrace());
+  return obs::StitchChromeTraces(docs) + "END";
+}
+
+std::string Router::ClusterMetrics() {
+  // Cluster-wide telemetry: every partition's Prometheus exposition plus
+  // the router's own, merged into one (identical series summed, quantile
+  // summaries dropped in favour of the mergeable _bucket series).
+  std::vector<std::string> expositions;
+  for (uint32_t p = 0; p < map_.partition_count(); p++) {
+    const std::string reply = ForwardLine(p, "metrics prom");
+    if (reply.compare(0, 4, "ERR ") == 0) {
+      TARDIS_WARN("router: metrics cluster: partition %u: %s", p,
+                  reply.c_str());
+      continue;
+    }
+    expositions.push_back(StripEndMarker(reply));
+  }
+  expositions.push_back(obs::RenderPrometheus(registry_->Collect()));
+  std::string body = obs::MergePrometheus(expositions);
+  if (!body.empty() && body.back() != '\n') body.push_back('\n');
+  return body + "END";
+}
+
 std::string Router::Handle(const std::string& line, bool* close_conn) {
   *close_conn = false;
+  // An explicit client trace header wins; otherwise 1-in-N self-sampling
+  // starts a fresh trace at the cluster's front door. Either way the
+  // context is bound for the whole dispatch, so every span this thread
+  // records — and every coordination frame AttachTrace stamps — carries
+  // the same trace id across the grid.
+  std::string cmd_line = line;
+  obs::TraceContext ctx;
+  obs::StripTraceHeader(&cmd_line, &ctx);
+  if (!ctx.active() && sample_every_ > 0 && obs::Tracer::Get().enabled() &&
+      ++sample_counter_ % sample_every_ == 0) {
+    ctx.trace_id = obs::NewTraceId();
+    ctx.sampled = true;
+  }
+  obs::TraceContextScope bind(ctx);
+  TARDIS_TRACE_SPAN("router", "request");
+  return Dispatch(cmd_line, close_conn);
+}
+
+std::string Router::Dispatch(const std::string& line, bool* close_conn) {
   std::stringstream ss(line);
   std::string cmd;
   ss >> cmd;
@@ -345,11 +451,29 @@ std::string Router::Handle(const std::string& line, bool* close_conn) {
   if (cmd == "metrics" || cmd == "stats") {
     std::string format = cmd == "stats" ? "table" : "prom";
     ss >> format;
+    if (format == "cluster") return ClusterMetrics();
     const std::vector<obs::Sample> samples = registry_->Collect();
     std::string body = format == "table" ? obs::RenderTable(samples)
                                          : obs::RenderPrometheus(samples);
     if (!body.empty() && body.back() != '\n') body.push_back('\n');
     return body + "END";
+  }
+  if (cmd == "trace") {
+    std::string sub;
+    ss >> sub;
+    if (sub == "sample") {
+      uint64_t n = 0;
+      if (!(ss >> n)) return "ERR usage: trace sample <n>";
+      sample_every_ = n;
+      sample_counter_ = 0;
+      return "OK";
+    }
+    if (sub == "json") {
+      return obs::Tracer::Get().DumpChromeTrace() + "END";
+    }
+    if (sub == "collect") return CollectClusterTraces();
+    if (sub == "start" || sub == "stop") return HandleTraceCommand(sub);
+    return "ERR usage: trace start|stop|sample <n>|json|collect";
   }
   if (cmd == "2pc_delay") {
     int ms = 0;

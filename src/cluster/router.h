@@ -38,6 +38,7 @@
 #include "cluster/framed_client.h"
 #include "cluster/partition_map.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace tardis {
@@ -53,6 +54,11 @@ struct RouterOptions {
   /// participants' resolve_grace_ms: a participant must never presume
   /// abort while a live router is still inside its decision window.
   uint64_t txn_deadline_ms = 4000;
+  /// Head-based trace sampling: every Nth client request without its own
+  /// trace header starts a new sampled trace (0 = off). Only effective
+  /// while the tracer is enabled; also settable at runtime via
+  /// `trace sample <n>`.
+  uint64_t trace_sample = 0;
 };
 
 class Router {
@@ -80,9 +86,23 @@ class Router {
   ///   merge [counter|lww]       -> forwarded to every partition
   ///   health                    -> aggregated per-partition health, END
   ///   metrics [prom|table]      -> the router's own registry, END
+  ///   metrics cluster           -> every partition's exposition + the
+  ///                                router's, merged (counters summed,
+  ///                                histogram buckets merged), END
+  ///   trace start|stop          -> enable/disable tracing here and on
+  ///                                every partition, END
+  ///   trace sample <n>          -> sample every Nth request (0 = off)
+  ///   trace json                -> the router's own ring dump, END
+  ///   trace collect             -> fan out `trace json` and stitch all
+  ///                                rings into one Chrome trace, END
   ///   2pc_delay <ms>            -> test hook: sleep between prepare and
   ///                                decide of subsequent 2PC commits
   ///   quit                      -> BYE
+  ///
+  /// A request may carry a leading trace-context header token
+  /// ("*T<trace>/<span>/<flags>", obs::StripTraceHeader); the router then
+  /// logs its spans under that trace and propagates the context on every
+  /// coordination frame it sends.
   std::string Handle(const std::string& line, bool* close_conn);
 
   const PartitionMap& map() const { return map_; }
@@ -108,6 +128,12 @@ class Router {
       const std::vector<uint32_t>& partition_ids,
       const std::vector<std::vector<WriteOp>>& by_partition);
   std::string AggregateHealth();
+  /// The dispatch body behind Handle, running inside the request's trace
+  /// context/span.
+  std::string Dispatch(const std::string& line, bool* close_conn);
+  std::string HandleTraceCommand(const std::string& sub);
+  std::string CollectClusterTraces();
+  std::string ClusterMetrics();
 
   const PartitionMap map_;
   const RouterOptions options_;
@@ -116,11 +142,14 @@ class Router {
 
   uint64_t next_txn_id_;  ///< random high half, counter low half (TxnIdSeed)
   uint64_t decide_delay_ms_ = 0;  ///< 2pc_delay test hook
+  uint64_t sample_every_ = 0;     ///< trace 1-in-N sampling (0 = off)
+  uint64_t sample_counter_ = 0;
 
   obs::Counter* requests_fast_ = nullptr;
   obs::Counter* requests_2pc_ = nullptr;
   obs::Counter* prepares_ = nullptr;
   obs::Counter* forked_commits_ = nullptr;
+  obs::HistogramMetric* prepare_rtt_us_ = nullptr;
 };
 
 }  // namespace cluster

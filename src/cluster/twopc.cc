@@ -11,6 +11,7 @@
 #include "core/constraints.h"
 #include "fault/fault_points.h"
 #include "net/wire.h"
+#include "obs/stage.h"
 #include "util/clock.h"
 #include "util/logging.h"
 
@@ -62,6 +63,9 @@ TwoPhaseParticipant::TwoPhaseParticipant(TardisStore* store,
         return static_cast<double>(in_doubt_count());
       },
       {}, this);
+  stage_wal_fsync_us_ = obs::RegisterStageHistogram(registry, "wal_fsync");
+  stage_decide_apply_us_ =
+      obs::RegisterStageHistogram(registry, "decide_apply");
 }
 
 TwoPhaseParticipant::~TwoPhaseParticipant() {
@@ -147,6 +151,7 @@ Status TwoPhaseParticipant::Recover() {
 
 Status TwoPhaseParticipant::AppendLog(const ReplMessage& msg) {
   if (log_fd_ < 0) return Status::OK();  // in-memory participant
+  obs::StageTimer timer(stage_wal_fsync_us_, "wal_fsync");
   std::string frame;
   EncodeFrame(msg, &frame);
   size_t off = 0;
@@ -233,6 +238,7 @@ Status TwoPhaseParticipant::HandlePrepare(const ReplMessage& msg,
 Status TwoPhaseParticipant::ApplyDecisionLocked(uint64_t txn_id, Pending* p,
                                                 TwoPhaseDecision decision,
                                                 bool* forked) {
+  obs::StageTimer stage(stage_decide_apply_us_, "decide_apply");
   *forked = false;
   if (decision == TwoPhaseDecision::kCommit) {
     TARDIS_FAULT_POINT("twopc.decide.apply");

@@ -184,6 +184,8 @@ class TwoPhaseParticipant {
 
   obs::Counter* prepares_ = nullptr;
   obs::Counter* forked_commits_ = nullptr;
+  obs::HistogramMetric* stage_wal_fsync_us_ = nullptr;
+  obs::HistogramMetric* stage_decide_apply_us_ = nullptr;
 };
 
 }  // namespace cluster

@@ -5,6 +5,7 @@
 #include "core/record_codec.h"
 #include "fault/fault_points.h"
 #include "fault/fault_registry.h"
+#include "obs/stage.h"
 #include "obs/trace.h"
 #include "storage/btree_record_store.h"
 #include "storage/sharded_record_store.h"
@@ -56,6 +57,13 @@ void TardisStore::RegisterMetrics() {
   merge_latency_us_ = metrics_->RegisterHistogram(
       "tardis_merge_latency_us",
       "Merge transaction commit latency, microseconds", site);
+  // Stage histograms for the request-latency breakdown (DESIGN.md §7):
+  // labelled only by stage so `metrics cluster` can sum them across
+  // sites and partitions.
+  stage_commit_select_us_ = obs::RegisterStageHistogram(metrics_.get(),
+                                                        "commit_select");
+  stage_wal_fsync_us_ = obs::RegisterStageHistogram(metrics_.get(),
+                                                    "wal_fsync");
   // DAG shape gauges read the live structures at collect time; no shadow
   // counters to keep in sync.
   metrics_->RegisterCallbackGauge(
@@ -280,35 +288,39 @@ Status TardisStore::CommitTxn(Transaction* t, const EndConstraintPtr& ec_in) {
     // concurrently committed states that the end constraint tolerates;
     // stop before the first one it does not.
     std::vector<StatePtr> parents;
-    for (const StatePtr& read_state : t->ctx_.read_states) {
-      StatePtr cand = read_state;
-      while (true) {
-        StatePtr next;
-        for (const StatePtr& child : cand->children()) {
-          if (ec->StepOk(t->ctx_, *child)) {
-            next = child;
-            break;
+    {
+      obs::StageTimer select_stage(stage_commit_select_us_, "commit_select");
+      for (const StatePtr& read_state : t->ctx_.read_states) {
+        StatePtr cand = read_state;
+        while (true) {
+          StatePtr next;
+          for (const StatePtr& child : cand->children()) {
+            if (ec->StepOk(t->ctx_, *child)) {
+              next = child;
+              break;
+            }
           }
+          if (next == nullptr) break;
+          cand = std::move(next);
         }
-        if (next == nullptr) break;
-        cand = std::move(next);
+        if (!ec->FinalOk(t->ctx_, *cand)) {
+          // The structural part of the constraint is unsatisfiable: abort.
+          // (Counter increments are lock-free, so doing this inside the
+          // commit critical section costs one relaxed fetch_add.)
+          AbortTxn(t);
+          return Status::Aborted("end constraint " + ec->name() +
+                                 " unsatisfiable at state " +
+                                 std::to_string(cand->id()));
+        }
+        if (std::find(parents.begin(), parents.end(), cand) ==
+            parents.end()) {
+          parents.push_back(std::move(cand));
+        }
       }
-      if (!ec->FinalOk(t->ctx_, *cand)) {
-        // The structural part of the constraint is unsatisfiable: abort.
-        // (Counter increments are lock-free, so doing this inside the
-        // commit critical section costs one relaxed fetch_add.)
-        AbortTxn(t);
-        return Status::Aborted("end constraint " + ec->name() +
-                               " unsatisfiable at state " +
-                               std::to_string(cand->id()));
-      }
-      if (std::find(parents.begin(), parents.end(), cand) == parents.end()) {
-        parents.push_back(std::move(cand));
-      }
-    }
 
-    for (const StatePtr& p : parents) {
-      if (!p->children().empty()) forked = true;
+      for (const StatePtr& p : parents) {
+        if (!p->children().empty()) forked = true;
+      }
     }
 
     const bool is_merge = parents.size() > 1;
@@ -333,6 +345,7 @@ Status TardisStore::CommitTxn(Transaction* t, const EndConstraintPtr& ec_in) {
       for (const auto& [key, value] : t->write_cache_) {
         entry.write_keys.push_back(key);
       }
+      obs::StageTimer fsync_stage(stage_wal_fsync_us_, "wal_fsync");
       Status s = commit_log_->Append(entry);
       if (!s.ok()) {
         // Availability over durability: the commit stands in memory, but
@@ -447,6 +460,7 @@ Status TardisStore::ApplyRemote(const CommitRecord& record) {
       for (const auto& [key, value] : record.writes) {
         entry.write_keys.push_back(key);
       }
+      obs::StageTimer fsync_stage(stage_wal_fsync_us_, "wal_fsync");
       Status s = commit_log_->Append(entry);
       if (!s.ok()) {
         commit_log_degraded_.store(true, std::memory_order_relaxed);

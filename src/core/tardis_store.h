@@ -200,6 +200,8 @@ class TardisStore {
   obs::Counter* merges_total_ = nullptr;
   obs::HistogramMetric* commit_latency_us_ = nullptr;
   obs::HistogramMetric* merge_latency_us_ = nullptr;
+  obs::HistogramMetric* stage_commit_select_us_ = nullptr;
+  obs::HistogramMetric* stage_wal_fsync_us_ = nullptr;
 
   std::atomic<bool> checkpoint_running_{false};
   std::atomic<bool> commit_log_degraded_{false};

@@ -49,6 +49,25 @@ bool GetWrites(Slice* in, WriteSet* writes) {
   return true;
 }
 
+/// Trace context carried by the coordination frames a request fans out
+/// through (kRoute/kPrepare/kDecide), so every hop logs spans under the
+/// originating trace id. Encoded unconditionally — three bytes when
+/// untraced.
+void PutTrace(std::string* out, const ReplMessage& msg) {
+  PutVarint64(out, msg.trace_id);
+  PutVarint64(out, msg.trace_span);
+  out->push_back(msg.trace_sampled ? 1 : 0);
+}
+
+bool GetTrace(Slice* in, ReplMessage* msg) {
+  if (!GetVarint64(in, &msg->trace_id)) return false;
+  if (!GetVarint64(in, &msg->trace_span)) return false;
+  if (in->empty()) return false;
+  msg->trace_sampled = (*in)[0] != 0;
+  in->remove_prefix(1);
+  return true;
+}
+
 void PutCommitRecord(std::string* out, const CommitRecord& r) {
   PutGuid(out, r.guid);
   PutVarint64(out, r.parent_guids.size());
@@ -110,6 +129,7 @@ void EncodeReplMessage(const ReplMessage& msg, std::string* out) {
       PutVarint64(out, msg.txn_id);
       PutLengthPrefixed(out, Slice(msg.text));
       PutWrites(out, msg.commit.writes);
+      PutTrace(out, msg);
       break;
     case ReplMessage::Type::kRouteReply:
       PutVarint64(out, msg.txn_id);
@@ -122,11 +142,16 @@ void EncodeReplMessage(const ReplMessage& msg, std::string* out) {
       for (const std::string& ep : msg.endpoints) {
         PutLengthPrefixed(out, Slice(ep));
       }
+      PutTrace(out, msg);
       break;
     case ReplMessage::Type::kPrepareAck:
+      PutVarint64(out, msg.txn_id);
+      out->push_back(static_cast<char>(msg.decision));
+      break;
     case ReplMessage::Type::kDecide:
       PutVarint64(out, msg.txn_id);
       out->push_back(static_cast<char>(msg.decision));
+      PutTrace(out, msg);
       break;
     case ReplMessage::Type::kDecideAck:
       PutVarint64(out, msg.txn_id);
@@ -232,6 +257,9 @@ Status DecodeReplMessage(Slice payload, ReplMessage* out) {
       if (!GetWrites(&in, &msg.commit.writes)) {
         return Status::Corruption("bad route write set");
       }
+      if (!GetTrace(&in, &msg)) {
+        return Status::Corruption("bad route trace context");
+      }
       break;
     }
     case ReplMessage::Type::kRouteReply: {
@@ -264,9 +292,19 @@ Status DecodeReplMessage(Slice payload, ReplMessage* out) {
         }
         msg.endpoints.push_back(ep.ToString());
       }
+      if (!GetTrace(&in, &msg)) {
+        return Status::Corruption("bad prepare trace context");
+      }
       break;
     }
     case ReplMessage::Type::kPrepareAck:
+      if (!GetVarint64(&in, &msg.txn_id)) {
+        return Status::Corruption("bad txn id");
+      }
+      if (in.empty()) return Status::Corruption("missing decision byte");
+      msg.decision = static_cast<uint8_t>(in[0]);
+      in.remove_prefix(1);
+      break;
     case ReplMessage::Type::kDecide:
       if (!GetVarint64(&in, &msg.txn_id)) {
         return Status::Corruption("bad txn id");
@@ -274,6 +312,9 @@ Status DecodeReplMessage(Slice payload, ReplMessage* out) {
       if (in.empty()) return Status::Corruption("missing decision byte");
       msg.decision = static_cast<uint8_t>(in[0]);
       in.remove_prefix(1);
+      if (!GetTrace(&in, &msg)) {
+        return Status::Corruption("bad decide trace context");
+      }
       break;
     case ReplMessage::Type::kDecideAck:
       if (!GetVarint64(&in, &msg.txn_id)) {

@@ -43,7 +43,9 @@
 namespace tardis {
 
 /// Current wire format version. Bump on incompatible payload changes.
-inline constexpr uint8_t kWireVersion = 1;
+/// v2: kRoute/kPrepare/kDecide carry a trailing distributed-trace
+/// context (trace_id, trace_span, sampled) — see DESIGN.md §7.
+inline constexpr uint8_t kWireVersion = 2;
 
 /// Frame header: u32 length + u32 masked CRC.
 inline constexpr size_t kWireHeaderBytes = 8;

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 namespace tardis {
@@ -104,9 +105,28 @@ std::string RenderPrometheus(const std::vector<Sample>& samples) {
           out += s.name + FormatLabels(s.labels, &extra) + " " +
                  FormatDouble(s.hist.Percentile(q)) + "\n";
         }
+        // Native cumulative buckets alongside the quantiles: quantiles
+        // cannot be aggregated across sites, _bucket series can (see
+        // MergePrometheus / `metrics cluster`). Only buckets that change
+        // the cumulative count are emitted — 154 log buckets per series
+        // would swamp the exposition — plus the mandatory +Inf bucket
+        // (the last bucket limit is UINT64_MAX, i.e. +Inf).
+        uint64_t cumulative = 0;
+        for (int i = 0; i < Histogram::bucket_count(); i++) {
+          const uint64_t in_bucket = s.hist.bucket_value(i);
+          if (in_bucket == 0) continue;
+          cumulative += in_bucket;
+          if (i + 1 == Histogram::bucket_count()) break;  // folded into +Inf
+          const std::pair<std::string, std::string> le{
+              "le", FormatDouble(static_cast<double>(Histogram::BucketLimit(i)))};
+          out += s.name + "_bucket" + FormatLabels(s.labels, &le) + " " +
+                 FormatDouble(static_cast<double>(cumulative)) + "\n";
+        }
+        const std::pair<std::string, std::string> inf{"le", "+Inf"};
+        snprintf(buf, sizeof(buf), " %" PRIu64 "\n", s.hist.count());
+        out += s.name + "_bucket" + FormatLabels(s.labels, &inf) + buf;
         const double sum = s.hist.mean() * static_cast<double>(s.hist.count());
         out += s.name + "_sum" + labels + " " + FormatDouble(sum) + "\n";
-        snprintf(buf, sizeof(buf), " %" PRIu64 "\n", s.hist.count());
         out += s.name + "_count" + labels + buf;
         break;
       }
@@ -184,6 +204,89 @@ std::string RenderDelta(const std::vector<Sample>& before,
         out += line;
         break;
       }
+    }
+  }
+  return out;
+}
+
+std::string MergePrometheus(const std::vector<std::string>& expositions) {
+  // Series identity is the full "name{labels}" prefix of a sample line;
+  // values are summed as doubles (every TARDiS series is additive once
+  // quantile summaries are excluded). First appearance fixes both the
+  // family order and each family's series order, so merging one
+  // exposition with itself doubles every value but changes no line.
+  struct Family {
+    std::vector<std::string> meta;   ///< HELP/TYPE lines, first seen
+    std::vector<std::string> order;  ///< series keys, first seen
+    std::map<std::string, double> series;
+  };
+  std::vector<std::string> family_order;
+  std::map<std::string, Family> families;
+
+  auto family_of = [](const std::string& series_key) {
+    // name{...} -> name; strip _bucket/_sum/_count so a histogram's
+    // series group under one family like RenderPrometheus emits them.
+    std::string name = series_key.substr(0, series_key.find('{'));
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const size_t n = std::string(suffix).size();
+      if (name.size() > n && name.compare(name.size() - n, n, suffix) == 0) {
+        return name.substr(0, name.size() - n);
+      }
+    }
+    return name;
+  };
+
+  for (const std::string& text : expositions) {
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      const std::string line = text.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+      if (line[0] == '#') {
+        // "# HELP <name> ..." / "# TYPE <name> ..." — keyed by name.
+        const size_t kind_end = line.find(' ', 2);
+        if (kind_end == std::string::npos) continue;
+        size_t name_end = line.find(' ', kind_end + 1);
+        if (name_end == std::string::npos) name_end = line.size();
+        const std::string name =
+            line.substr(kind_end + 1, name_end - kind_end - 1);
+        Family& fam = families[name];
+        if (fam.meta.empty() && fam.order.empty()) family_order.push_back(name);
+        // Keep the first exposition's HELP/TYPE only.
+        bool have = false;
+        for (const std::string& m : fam.meta) {
+          if (m.compare(0, kind_end, line, 0, kind_end) == 0) have = true;
+        }
+        if (!have) fam.meta.push_back(line);
+        continue;
+      }
+      // Sample line: "<name>{labels} <value>" (no timestamps emitted here).
+      const size_t sep = line.rfind(' ');
+      if (sep == std::string::npos) continue;
+      const std::string key = line.substr(0, sep);
+      if (key.find("quantile=\"") != std::string::npos) continue;
+      const std::string value_str = line.substr(sep + 1);
+      char* endp = nullptr;
+      const double value = strtod(value_str.c_str(), &endp);
+      if (endp == value_str.c_str()) continue;
+      const std::string fam_name = family_of(key);
+      Family& fam = families[fam_name];
+      if (fam.meta.empty() && fam.order.empty())
+        family_order.push_back(fam_name);
+      auto [it, inserted] = fam.series.try_emplace(key, 0.0);
+      if (inserted) fam.order.push_back(key);
+      it->second += value;
+    }
+  }
+
+  std::string out;
+  for (const std::string& fam_name : family_order) {
+    const Family& fam = families[fam_name];
+    for (const std::string& m : fam.meta) out += m + "\n";
+    for (const std::string& key : fam.order) {
+      out += key + " " + FormatDouble(fam.series.at(key)) + "\n";
     }
   }
   return out;

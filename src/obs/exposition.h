@@ -31,6 +31,15 @@ std::string RenderTable(const std::vector<Sample>& samples);
 std::string RenderDelta(const std::vector<Sample>& before,
                         const std::vector<Sample>& after);
 
+/// Merges several Prometheus text expositions (each a RenderPrometheus
+/// output, e.g. one per partition) into one: identical series are summed
+/// — counters, gauges, and histogram _bucket/_sum/_count series are all
+/// additive across sites — while quantile-labeled summary series are
+/// dropped (quantiles cannot be aggregated; the merged _bucket series
+/// carry the distribution instead). Family order and HELP/TYPE lines
+/// follow first appearance. Serves the router's `metrics cluster`.
+std::string MergePrometheus(const std::vector<std::string>& expositions);
+
 }  // namespace obs
 }  // namespace tardis
 

@@ -1,0 +1,70 @@
+#include "obs/http_exporter.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "obs/exposition.h"
+
+namespace tardis {
+namespace obs {
+
+MetricsHttpExporter::MetricsHttpExporter(uint16_t port,
+                                         const MetricsRegistry* registry,
+                                         const std::string& who)
+    : registry_(registry) {
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  int one = 1;
+  setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = INADDR_ANY;
+  addr.sin_port = htons(port);
+  if (bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd_, 8) != 0) {
+    fprintf(stderr, "%s: metrics port %u: %s\n", who.c_str(), port,
+            strerror(errno));
+    close(fd_);
+    fd_ = -1;
+    return;
+  }
+  serving_ = true;
+  thread_ = std::thread([this] { Serve(); });
+}
+
+MetricsHttpExporter::~MetricsHttpExporter() {
+  stop_.store(true);
+  if (fd_ >= 0) {
+    // shutdown() unblocks the accept; some platforms need the close too.
+    ::shutdown(fd_, SHUT_RDWR);
+    close(fd_);
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsHttpExporter::Serve() {
+  while (!stop_.load()) {
+    const int conn = accept(fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed: shutting down
+    }
+    char buf[4096];
+    (void)read(conn, buf, sizeof(buf));  // request line + headers, ignored
+    const std::string body = RenderPrometheus(registry_->Collect());
+    std::string resp =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    (void)write(conn, resp.data(), resp.size());
+    close(conn);
+  }
+}
+
+}  // namespace obs
+}  // namespace tardis

@@ -1,0 +1,47 @@
+// Minimal plaintext-metrics HTTP endpoint: accept, read (and ignore) the
+// request, answer one 200 with the registry's current Prometheus
+// rendering, close. Enough for `curl` and a Prometheus scrape config.
+// One copy shared by tardisd and tardis-router (each used to carry its
+// own).
+
+#ifndef TARDIS_OBS_HTTP_EXPORTER_H_
+#define TARDIS_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace tardis {
+namespace obs {
+
+class MetricsHttpExporter {
+ public:
+  /// Binds and starts serving immediately; check serving() for failure
+  /// (the error is logged to stderr prefixed with `who`). `registry`
+  /// must outlive the exporter.
+  MetricsHttpExporter(uint16_t port, const MetricsRegistry* registry,
+                      const std::string& who);
+  ~MetricsHttpExporter();
+
+  MetricsHttpExporter(const MetricsHttpExporter&) = delete;
+  MetricsHttpExporter& operator=(const MetricsHttpExporter&) = delete;
+
+  bool serving() const { return serving_; }
+
+ private:
+  void Serve();
+
+  const MetricsRegistry* const registry_;
+  int fd_ = -1;
+  bool serving_ = false;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace tardis
+
+#endif  // TARDIS_OBS_HTTP_EXPORTER_H_

@@ -1,0 +1,43 @@
+#include "obs/stage.h"
+
+#include <cstdio>
+
+namespace tardis {
+namespace obs {
+
+namespace {
+thread_local StageBreakdown* tls_breakdown = nullptr;
+}  // namespace
+
+std::string StageBreakdown::Format() const {
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < count_; i++) {
+    snprintf(buf, sizeof(buf), "%s%s=%lluus", i == 0 ? "" : " ",
+             stages_[i].stage,
+             static_cast<unsigned long long>(stages_[i].micros));
+    out += buf;
+  }
+  return out;
+}
+
+StageBreakdown* CurrentStageBreakdown() { return tls_breakdown; }
+
+StageCollectorScope::StageCollectorScope(StageBreakdown* b)
+    : saved_(tls_breakdown) {
+  if (b != nullptr) b->Reset();
+  tls_breakdown = b;
+}
+
+StageCollectorScope::~StageCollectorScope() { tls_breakdown = saved_; }
+
+HistogramMetric* RegisterStageHistogram(MetricsRegistry* registry,
+                                        const char* stage) {
+  return registry->RegisterHistogram(
+      "tardis_stage_micros",
+      "Per-stage request latency breakdown in microseconds",
+      {{"stage", stage}});
+}
+
+}  // namespace obs
+}  // namespace tardis

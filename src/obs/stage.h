@@ -1,0 +1,117 @@
+// Per-request latency breakdown: where did one request's time go?
+//
+// Every interesting stage of the request path (queue wait, commit-state
+// selection, WAL fsync, 2PC prepare RTT, decide apply, replication send)
+// is wrapped in a StageTimer. Each timer always feeds the stage's
+// histogram — `tardis_stage_micros{stage=...}`, the per-stage latency
+// substrate the hot-path ROADMAP item needs, labeled by stage ONLY so
+// `metrics cluster` can sum one family across every site — and, when the
+// serving thread has a StageBreakdown bound (the tardisd worker binds one
+// per request), also notes (stage, micros) into it so a `--slow-ms`
+// overrun can log exactly where the time went. When the tracer is
+// enabled the stage additionally becomes a trace event parented under
+// the current span.
+//
+// Budget: the breakdown pointer is thread-local and checked only after
+// the histogram Observe (which is the always-on cost, one uncontended
+// spinlock — the same price the commit path already pays for
+// commit_latency_us); the trace event costs the tracer's one relaxed
+// load when disabled.
+
+#ifndef TARDIS_OBS_STAGE_H_
+#define TARDIS_OBS_STAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/clock.h"
+
+namespace tardis {
+namespace obs {
+
+/// Fixed-size (stage, micros) record of one request. Stages repeat when
+/// a request hits the same stage twice (e.g. one prepare RTT per 2PC
+/// participant).
+class StageBreakdown {
+ public:
+  static constexpr size_t kMaxStages = 16;
+
+  void Note(const char* stage, uint64_t micros) {
+    if (count_ < kMaxStages) {
+      stages_[count_] = {stage, micros};
+      count_++;
+    }
+  }
+  void Reset() { count_ = 0; }
+  size_t count() const { return count_; }
+
+  /// "queue_wait=12us commit_select=340us wal_fsync=900us" — the slow-log
+  /// payload.
+  std::string Format() const;
+
+ private:
+  struct Entry {
+    const char* stage;
+    uint64_t micros;
+  };
+  Entry stages_[kMaxStages];
+  size_t count_ = 0;
+};
+
+/// The breakdown bound to the calling thread (nullptr when none).
+StageBreakdown* CurrentStageBreakdown();
+
+/// Binds `b` as the thread's breakdown collector for the scope (resets it
+/// on entry). The tardisd worker wraps each request in one of these; the
+/// store/2PC/replication stages it calls into on the same thread land in
+/// the bound breakdown.
+class StageCollectorScope {
+ public:
+  explicit StageCollectorScope(StageBreakdown* b);
+  ~StageCollectorScope();
+
+  StageCollectorScope(const StageCollectorScope&) = delete;
+  StageCollectorScope& operator=(const StageCollectorScope&) = delete;
+
+ private:
+  StageBreakdown* saved_;
+};
+
+/// Registers (idempotently) the shared per-stage histogram family for
+/// one stage and returns its series. Components register their stages at
+/// construction, not per request.
+HistogramMetric* RegisterStageHistogram(MetricsRegistry* registry,
+                                        const char* stage);
+
+/// Times one stage: on destruction observes the elapsed micros into the
+/// stage histogram, notes it into the thread's bound StageBreakdown (if
+/// any), and records a trace event (if tracing is on). `hist` may be
+/// null (stage then feeds only the breakdown/trace).
+class StageTimer {
+ public:
+  StageTimer(HistogramMetric* hist, const char* stage)
+      : hist_(hist), stage_(stage), start_us_(NowMicros()) {}
+  ~StageTimer() {
+    const uint64_t start = start_us_;
+    const uint64_t dur = NowMicros() - start;
+    if (hist_ != nullptr) hist_->Observe(dur);
+    StageBreakdown* b = CurrentStageBreakdown();
+    if (b != nullptr) b->Note(stage_, dur);
+    TraceSpan::Emit("stage", stage_, start, dur);
+  }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  HistogramMetric* const hist_;
+  const char* const stage_;
+  const uint64_t start_us_;
+};
+
+}  // namespace obs
+}  // namespace tardis
+
+#endif  // TARDIS_OBS_STAGE_H_

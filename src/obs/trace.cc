@@ -4,9 +4,82 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <random>
+
+#include "util/random.h"
 
 namespace tardis {
 namespace obs {
+
+namespace {
+
+thread_local TraceContext tls_ctx;
+
+/// Per-thread id generator. Seeded from std::random_device once per
+/// thread — ids must not collide across the many processes of a grid,
+/// so a fixed or clock-only seed is not enough.
+uint64_t NextId() {
+  thread_local Random rng = [] {
+    std::random_device rd;
+    const uint64_t seed = (static_cast<uint64_t>(rd()) << 32) ^ rd() ^
+                          NowNanos() * 0x9e3779b97f4a7c15ULL;
+    return Random(seed);
+  }();
+  uint64_t id = rng.Next();
+  while (id == 0) id = rng.Next();
+  return id;
+}
+
+}  // namespace
+
+uint64_t NewTraceId() { return NextId(); }
+uint64_t NewSpanId() { return NextId(); }
+
+const TraceContext& CurrentTraceContext() { return tls_ctx; }
+
+TraceContextScope::TraceContextScope(const TraceContext& ctx) {
+  if (ctx.active() || tls_ctx.active()) {
+    saved_ = tls_ctx;
+    tls_ctx = ctx;
+    bound_ = true;
+  }
+}
+
+TraceContextScope::~TraceContextScope() {
+  if (bound_) tls_ctx = saved_;
+}
+
+TraceSpan::TraceSpan(const char* cat, const char* name)
+    : armed_(Tracer::Get().enabled()), cat_(cat), name_(name) {
+  if (!armed_) return;
+  start_us_ = NowMicros();
+  if (tls_ctx.active()) {
+    saved_ = tls_ctx;
+    parent_span_ = tls_ctx.span_id;
+    ctx_ = tls_ctx;
+    ctx_.span_id = NewSpanId();
+    tls_ctx = ctx_;
+    bound_ = true;
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  if (bound_) tls_ctx = saved_;
+  Tracer::Get().Record(cat_, name_, 'X', start_us_, NowMicros() - start_us_,
+                       ctx_.trace_id, ctx_.span_id, parent_span_);
+}
+
+void TraceSpan::Emit(const char* cat, const char* name, uint64_t start_us,
+                     uint64_t dur_us) {
+  Tracer& tracer = Tracer::Get();
+  if (!tracer.enabled()) return;
+  // An after-the-fact stage is a leaf: child of the current span, no id
+  // of its own worth propagating.
+  const TraceContext& ctx = tls_ctx;
+  tracer.Record(cat, name, 'X', start_us, dur_us, ctx.trace_id,
+                ctx.active() ? NewSpanId() : 0, ctx.span_id);
+}
 
 Tracer& Tracer::Get() {
   static Tracer* tracer = new Tracer();  // never destroyed: threads may
@@ -41,8 +114,14 @@ void Tracer::Enable(size_t events_per_thread) {
 
 void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
 
+void Tracer::SetProcessLabel(const std::string& label) {
+  std::lock_guard<std::mutex> guard(mu_);
+  process_label_ = label;
+}
+
 void Tracer::Record(const char* cat, const char* name, char phase,
-                    uint64_t ts_us, uint64_t dur_us) {
+                    uint64_t ts_us, uint64_t dur_us, uint64_t trace_id,
+                    uint64_t span_id, uint64_t parent_span) {
   if (!enabled()) return;
   Ring* ring = ThreadRing();
   std::lock_guard<SpinLock> guard(ring->mu);
@@ -52,6 +131,9 @@ void Tracer::Record(const char* cat, const char* name, char phase,
   slot.ts_us = ts_us;
   slot.dur_us = dur_us;
   slot.phase = phase;
+  slot.trace_id = trace_id;
+  slot.span_id = span_id;
+  slot.parent_span = parent_span;
   ring->total++;
 }
 
@@ -89,8 +171,10 @@ std::string Tracer::DumpChromeTrace() const {
     uint32_t tid;
   };
   std::vector<Tagged> events;
+  std::string label;
   {
     std::lock_guard<std::mutex> guard(mu_);
+    label = process_label_;
     for (const auto& ring : rings_) {
       std::lock_guard<SpinLock> rg(ring->mu);
       const size_t cap = ring->events.size();
@@ -108,30 +192,124 @@ std::string Tracer::DumpChromeTrace() const {
             });
 
   std::string out = "{\"traceEvents\":[\n";
-  char buf[256];
+  char buf[384];
   const int pid = static_cast<int>(getpid());
   bool first = true;
+  if (!label.empty()) {
+    // Metadata record naming this process in merged/stitched views. The
+    // label comes from --site/--partition flags (no quotes to escape).
+    snprintf(buf, sizeof(buf),
+             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+             "\"args\":{\"name\":\"%s\"}}",
+             pid, label.c_str());
+    out += buf;
+    first = false;
+  }
   for (const Tagged& t : events) {
     if (!first) out += ",\n";
     first = false;
+    char args[160];
+    if (t.ev.trace_id != 0) {
+      snprintf(args, sizeof(args),
+               ",\"args\":{\"trace\":\"%016llx\",\"span\":\"%016llx\","
+               "\"parent\":\"%016llx\"}",
+               static_cast<unsigned long long>(t.ev.trace_id),
+               static_cast<unsigned long long>(t.ev.span_id),
+               static_cast<unsigned long long>(t.ev.parent_span));
+    } else {
+      args[0] = '\0';
+    }
     if (t.ev.phase == 'X') {
       snprintf(buf, sizeof(buf),
                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%llu,"
-               "\"dur\":%llu,\"pid\":%d,\"tid\":%u}",
+               "\"dur\":%llu,\"pid\":%d,\"tid\":%u%s}",
                t.ev.name, t.ev.cat,
                static_cast<unsigned long long>(t.ev.ts_us),
-               static_cast<unsigned long long>(t.ev.dur_us), pid, t.tid);
+               static_cast<unsigned long long>(t.ev.dur_us), pid, t.tid,
+               args);
     } else {
       snprintf(buf, sizeof(buf),
                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
-               "\"ts\":%llu,\"pid\":%d,\"tid\":%u}",
+               "\"ts\":%llu,\"pid\":%d,\"tid\":%u%s}",
                t.ev.name, t.ev.cat,
-               static_cast<unsigned long long>(t.ev.ts_us), pid, t.tid);
+               static_cast<unsigned long long>(t.ev.ts_us), pid, t.tid, args);
     }
     out += buf;
   }
   out += "\n]}\n";
   return out;
+}
+
+// ---- line-protocol header ---------------------------------------------------
+
+std::string FormatTraceHeader(const TraceContext& ctx) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "*T%llx/%llx/%u",
+           static_cast<unsigned long long>(ctx.trace_id),
+           static_cast<unsigned long long>(ctx.span_id),
+           ctx.sampled ? 1u : 0u);
+  return buf;
+}
+
+namespace {
+
+/// Parses [begin,end) as lowercase/uppercase hex into *out. Rejects
+/// empty input and anything longer than 16 digits.
+bool ParseHex(const char* begin, const char* end, uint64_t* out) {
+  if (begin == end || end - begin > 16) return false;
+  uint64_t v = 0;
+  for (const char* p = begin; p != end; p++) {
+    char c = *p;
+    uint64_t d;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      d = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | d;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool ParseTraceHeader(const std::string& token, TraceContext* ctx) {
+  if (token.size() < 3 || token[0] != '*' || token[1] != 'T') return false;
+  const size_t slash1 = token.find('/', 2);
+  if (slash1 == std::string::npos) return false;
+  const size_t slash2 = token.find('/', slash1 + 1);
+  if (slash2 == std::string::npos) return false;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t flags = 0;
+  const char* s = token.data();
+  if (!ParseHex(s + 2, s + slash1, &trace_id)) return false;
+  if (!ParseHex(s + slash1 + 1, s + slash2, &span_id)) return false;
+  if (!ParseHex(s + slash2 + 1, s + token.size(), &flags)) return false;
+  if (trace_id == 0) return false;
+  ctx->trace_id = trace_id;
+  ctx->span_id = span_id;
+  ctx->sampled = (flags & 1) != 0;
+  return true;
+}
+
+bool StripTraceHeader(std::string* line, TraceContext* ctx) {
+  size_t start = line->find_first_not_of(" \t");
+  if (start == std::string::npos) return false;
+  if (line->compare(start, 2, "*T") != 0) return false;
+  size_t end = line->find_first_of(" \t", start);
+  if (end == std::string::npos) end = line->size();
+  const std::string token = line->substr(start, end - start);
+  const bool parsed = ParseTraceHeader(token, ctx);
+  size_t rest = line->find_first_not_of(" \t", end);
+  if (rest == std::string::npos) rest = line->size();
+  line->erase(0, rest);
+  return parsed;
 }
 
 }  // namespace obs

@@ -1,6 +1,6 @@
-// Branch-lifecycle event tracer: fixed-size per-thread ring buffers of
-// timestamped events, dumpable as Chrome trace_event JSON (load the dump
-// in chrome://tracing or https://ui.perfetto.dev).
+// Branch-lifecycle and request tracer: fixed-size per-thread ring buffers
+// of timestamped events, dumpable as Chrome trace_event JSON (load the
+// dump in chrome://tracing or https://ui.perfetto.dev).
 //
 // Design constraints, in order:
 //  1. Disabled cost ~0 — one relaxed atomic load per instrumentation
@@ -16,9 +16,18 @@
 // Event names/categories are `const char*` and must be string literals
 // (the ring stores the pointer, not a copy).
 //
+// Distributed tracing (DESIGN.md §7): a TraceContext carries a cluster-
+// wide trace id, the current span id, and the sampled bit. It is bound
+// thread-locally (TraceContextScope), crossed between processes as an
+// optional line-protocol header token ("*T<trace>/<span>/<flags>",
+// Format/Strip below) or as fields on the coordination wire frames, and
+// every TraceSpan recorded while a context is bound tags its event with
+// (trace_id, span_id, parent_span) so rings collected from several
+// processes can be stitched into one trace keyed by trace_id.
+//
 // Usage:
 //   obs::Tracer::Get().Enable();
-//   ... run traffic; hot paths hit TARDIS_TRACE_SCOPE("txn", "commit") ...
+//   ... run traffic; hot paths hit TARDIS_TRACE_SPAN("txn", "commit") ...
 //   std::string json = obs::Tracer::Get().DumpChromeTrace();
 
 #ifndef TARDIS_OBS_TRACE_H_
@@ -37,12 +46,54 @@
 namespace tardis {
 namespace obs {
 
+// ---- distributed trace context ---------------------------------------------
+
+/// The per-request identity that crosses process boundaries. trace_id 0
+/// means "no trace": spans recorded without a bound context are plain
+/// local events.
+struct TraceContext {
+  uint64_t trace_id = 0;  ///< one id for the whole distributed request
+  uint64_t span_id = 0;   ///< the innermost open span (0 at the root)
+  bool sampled = false;   ///< propagated sampling decision
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// Fresh non-zero random ids (per-thread xorshift; no locks).
+uint64_t NewTraceId();
+uint64_t NewSpanId();
+
+/// The calling thread's bound context ({0,0,false} when none).
+const TraceContext& CurrentTraceContext();
+
+/// RAII binder: installs `ctx` as the thread's current context and
+/// restores the previous one on destruction. Binding an inactive context
+/// over an inactive one is free (no thread-local store).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& ctx);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+  bool bound_ = false;
+};
+
+// ---- events and the tracer --------------------------------------------------
+
 struct TraceEvent {
   const char* cat = nullptr;
   const char* name = nullptr;
   uint64_t ts_us = 0;   ///< monotonic microseconds (NowMicros origin)
   uint64_t dur_us = 0;  ///< complete ('X') events only
   char phase = 'X';     ///< 'X' complete, 'i' instant
+  // Distributed-trace tags; all zero for events outside any trace.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span = 0;
 };
 
 class Tracer {
@@ -59,13 +110,21 @@ class Tracer {
 
   /// Appends to the calling thread's ring (wrapping). No-op if disabled.
   void Record(const char* cat, const char* name, char phase, uint64_t ts_us,
-              uint64_t dur_us);
+              uint64_t dur_us, uint64_t trace_id = 0, uint64_t span_id = 0,
+              uint64_t parent_span = 0);
 
   void RecordInstant(const char* cat, const char* name) {
     if (enabled()) Record(cat, name, 'i', NowMicros(), 0);
   }
 
+  /// Names this process in stitched traces: DumpChromeTrace emits a
+  /// process_name metadata record when a label is set (e.g. "tardisd-p0-
+  /// site1", "tardis-router").
+  void SetProcessLabel(const std::string& label);
+
   /// All retained events from every ring, as Chrome trace_event JSON.
+  /// Events inside a distributed trace carry args {trace, span, parent}
+  /// as zero-padded hex strings.
   std::string DumpChromeTrace() const;
 
   /// Events currently retained across all rings (post-wrap: capacity-capped).
@@ -87,9 +146,10 @@ class Tracer {
   Ring* ThreadRing();
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;  ///< guards rings_ registration and capacity_
+  mutable std::mutex mu_;  ///< guards rings_ registration, capacity_, label
   std::vector<std::shared_ptr<Ring>> rings_;
   size_t capacity_ = kDefaultRingCapacity;
+  std::string process_label_;
 };
 
 /// Records one complete ('X') event spanning its lifetime. Arming is
@@ -118,6 +178,59 @@ class TraceScope {
   uint64_t start_us_ = 0;
 };
 
+/// TraceScope plus distributed-trace parenting: when a TraceContext is
+/// bound, the span allocates a span id, becomes the thread's current
+/// context for its lifetime (so nested spans and cross-process calls see
+/// it as their parent), and tags its event with the trace/span/parent
+/// ids. Without a bound context it degrades to a plain TraceScope. The
+/// disabled cost is the single relaxed enabled() load — the thread-local
+/// context is not even read.
+class TraceSpan {
+ public:
+  TraceSpan(const char* cat, const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// The context this span established ({0,...} when unarmed/unbound);
+  /// what a caller attaches to an outgoing wire frame.
+  const TraceContext& context() const { return ctx_; }
+
+  /// Records one already-measured complete event as a child of the
+  /// current context (used for stages timed before a span could be
+  /// opened, e.g. queue wait measured at dequeue).
+  static void Emit(const char* cat, const char* name, uint64_t start_us,
+                   uint64_t dur_us);
+
+ private:
+  const bool armed_;
+  bool bound_ = false;
+  const char* const cat_;
+  const char* const name_;
+  uint64_t start_us_ = 0;
+  uint64_t parent_span_ = 0;
+  TraceContext ctx_;
+  TraceContext saved_;
+};
+
+// ---- line-protocol header ---------------------------------------------------
+
+/// "*T<trace_hex>/<span_hex>/<flags>" — the optional first token of a
+/// tardisd/router line-protocol request. flags bit 0 = sampled.
+std::string FormatTraceHeader(const TraceContext& ctx);
+
+/// Parses one header token (no surrounding whitespace). Returns false —
+/// leaving *ctx untouched — unless the token is a well-formed header with
+/// a non-zero trace id.
+bool ParseTraceHeader(const std::string& token, TraceContext* ctx);
+
+/// Removes a leading header token (anything starting "*T", valid or not)
+/// plus the whitespace after it from *line. Returns true and fills *ctx
+/// only when the token parsed; a corrupt header is stripped and ignored
+/// so the command still executes, just untraced.
+bool StripTraceHeader(std::string* line, TraceContext* ctx);
+
 }  // namespace obs
 }  // namespace tardis
 
@@ -128,6 +241,12 @@ class TraceScope {
 #define TARDIS_TRACE_SCOPE(cat, name) \
   ::tardis::obs::TraceScope TARDIS_TRACE_NAME_(_tardis_trace_, \
                                                __COUNTER__)(cat, name)
+
+/// Like TARDIS_TRACE_SCOPE but participates in distributed-trace
+/// parenting (see TraceSpan).
+#define TARDIS_TRACE_SPAN(cat, name) \
+  ::tardis::obs::TraceSpan TARDIS_TRACE_NAME_(_tardis_trace_, \
+                                              __COUNTER__)(cat, name)
 
 /// Zero-duration marker event.
 #define TARDIS_TRACE_INSTANT(cat, name) \

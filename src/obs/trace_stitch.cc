@@ -1,0 +1,324 @@
+#include "obs/trace_stitch.h"
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+namespace tardis {
+namespace obs {
+
+namespace {
+
+/// Finds the inner content of the top-level "traceEvents":[ ... ] array,
+/// honouring strings/escapes so a bracket inside an event name cannot
+/// derail the scan. Returns false when the document has no such array.
+bool ExtractTraceEvents(const std::string& doc, std::string* inner) {
+  const size_t key = doc.find("\"traceEvents\"");
+  if (key == std::string::npos) return false;
+  size_t open = doc.find('[', key);
+  if (open == std::string::npos) return false;
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = open; i < doc.size(); i++) {
+    const char c = doc[i];
+    if (in_string) {
+      if (c == '\\') {
+        i++;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '[') {
+      depth++;
+    } else if (c == ']') {
+      depth--;
+      if (depth == 0) {
+        *inner = doc.substr(open + 1, i - open - 1);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Trims leading/trailing JSON whitespace.
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// ---- minimal JSON parser ----------------------------------------------------
+//
+// Just enough JSON for Chrome trace documents (objects, arrays, strings
+// with the common escapes, numbers, true/false/null). Recursive descent
+// over a cursor; no external dependency is available in-container.
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == text_.size();  // trailing garbage is a parse failure
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    pos_++;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            // \uXXXX — tracer output never emits these, but accept and
+            // pass the raw escape through rather than failing.
+            if (pos_ + 4 > text_.size()) return false;
+            out->append("\\u");
+            out->append(text_, pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::kBool;
+      out->b = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::kBool;
+      out->b = false;
+      return Literal("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::kNull;
+      return Literal("null");
+    }
+    // number
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = strtod(start, &end);
+    if (end == start) return false;
+    out->kind = JsonValue::kNumber;
+    out->num = v;
+    pos_ += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::kArray;
+    pos_++;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->arr.push_back(std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::kObject;
+    pos_++;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      pos_++;
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->obj.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string StitchChromeTraces(const std::vector<std::string>& docs) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const std::string& doc : docs) {
+    std::string inner;
+    if (!ExtractTraceEvents(doc, &inner)) continue;
+    inner = Trim(inner);
+    if (inner.empty()) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += inner;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status ValidateChromeTrace(const std::string& doc, TraceValidation* out) {
+  *out = TraceValidation{};
+  JsonValue root;
+  if (!JsonParser(doc).Parse(&root)) {
+    return Status::Corruption("trace document is not valid JSON");
+  }
+  if (root.kind != JsonValue::kObject) {
+    return Status::Corruption("trace document is not a JSON object");
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::kArray) {
+    return Status::Corruption("missing traceEvents array");
+  }
+
+  std::set<int> pids;
+  std::map<std::pair<int, double>, double> last_ts;  // (pid, tid) -> ts
+  for (const JsonValue& ev : events->arr) {
+    if (ev.kind != JsonValue::kObject) {
+      return Status::Corruption("traceEvents entry is not an object");
+    }
+    const JsonValue* ph = ev.Find("ph");
+    const JsonValue* name = ev.Find("name");
+    const JsonValue* pid = ev.Find("pid");
+    if (ph == nullptr || ph->kind != JsonValue::kString || name == nullptr ||
+        name->kind != JsonValue::kString || pid == nullptr ||
+        pid->kind != JsonValue::kNumber) {
+      return Status::Corruption("event missing name/ph/pid");
+    }
+    pids.insert(static_cast<int>(pid->num));
+    if (ph->str == "M") continue;  // metadata records carry no ts/tid
+
+    const JsonValue* ts = ev.Find("ts");
+    const JsonValue* tid = ev.Find("tid");
+    if (ts == nullptr || ts->kind != JsonValue::kNumber || tid == nullptr ||
+        tid->kind != JsonValue::kNumber) {
+      return Status::Corruption("event '" + name->str + "' missing ts/tid");
+    }
+    if (ph->str == "X") {
+      const JsonValue* dur = ev.Find("dur");
+      if (dur == nullptr || dur->kind != JsonValue::kNumber) {
+        return Status::Corruption("complete event '" + name->str +
+                                  "' has no dur");
+      }
+    }
+    const std::pair<int, double> track{static_cast<int>(pid->num), tid->num};
+    auto [it, inserted] = last_ts.try_emplace(track, ts->num);
+    if (!inserted) {
+      if (ts->num < it->second) {
+        return Status::Corruption("timestamps not monotonic on track of '" +
+                                  name->str + "'");
+      }
+      it->second = ts->num;
+    }
+    out->event_count++;
+
+    const JsonValue* args = ev.Find("args");
+    if (args != nullptr && args->kind == JsonValue::kObject) {
+      const JsonValue* trace = args->Find("trace");
+      if (trace != nullptr && trace->kind == JsonValue::kString) {
+        out->processes_by_trace[trace->str].insert(static_cast<int>(pid->num));
+      }
+    }
+  }
+  out->process_count = pids.size();
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace tardis

@@ -1,0 +1,55 @@
+// Stitching and validation of Chrome trace_event JSON documents — the
+// offline half of distributed tracing (DESIGN.md §7).
+//
+// Every tardisd/router process dumps its own rings as one Chrome trace
+// document ({"traceEvents":[...]}). Because each process embeds its real
+// OS pid plus a process_name metadata record, and NowMicros shares one
+// monotonic origin per machine, stitching is purely textual: concatenate
+// every document's traceEvents arrays into one. tardis-tracectl uses
+// StitchChromeTraces after fanning `trace json` out to a grid, and
+// ValidateChromeTrace in --validate mode (also the trace e2e's check
+// that the merged output is a well-formed trace: parses, per-track
+// monotonic timestamps, complete events carry durations).
+
+#ifndef TARDIS_OBS_TRACE_STITCH_H_
+#define TARDIS_OBS_TRACE_STITCH_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tardis {
+namespace obs {
+
+/// Concatenates the traceEvents arrays of several Chrome trace documents
+/// into one document. Documents that do not contain a traceEvents array
+/// are skipped (a site with tracing off dumps an empty array, which is
+/// fine). String-level: events pass through byte-identical.
+std::string StitchChromeTraces(const std::vector<std::string>& docs);
+
+/// What ValidateChromeTrace learned about a (stitched) document.
+struct TraceValidation {
+  size_t event_count = 0;    ///< non-metadata events
+  size_t process_count = 0;  ///< distinct pids seen
+  /// trace id (16-digit hex, the event's args.trace) -> pids that logged
+  /// at least one span of that trace. The e2e asserts one trace id maps
+  /// to >= 3 pids.
+  std::map<std::string, std::set<int>> processes_by_trace;
+};
+
+/// Structural validation of one Chrome trace document:
+///  * the whole document parses as JSON with a traceEvents array;
+///  * every event has name/ph/ts/pid/tid, and 'X' events a dur;
+///  * per (pid, tid) track, timestamps are monotone non-decreasing
+///    (each process dumps its ring time-sorted, so a violation means
+///    stitching corrupted an event stream).
+Status ValidateChromeTrace(const std::string& doc, TraceValidation* out);
+
+}  // namespace obs
+}  // namespace tardis
+
+#endif  // TARDIS_OBS_TRACE_STITCH_H_

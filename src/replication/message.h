@@ -88,6 +88,14 @@ struct ReplMessage {
   /// prepare record so an in-doubt participant can run cooperative
   /// termination after a coordinator crash.
   std::vector<std::string> endpoints;
+
+  /// kRoute/kPrepare/kDecide: distributed trace context (DESIGN.md §7).
+  /// trace_id 0 = untraced; otherwise the receiver binds the context so
+  /// its spans land under the same trace as the sender's. trace_span is
+  /// the sender's span (the receiver's parent).
+  uint64_t trace_id = 0;
+  uint64_t trace_span = 0;
+  bool trace_sampled = false;
 };
 
 }  // namespace tardis

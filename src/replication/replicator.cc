@@ -6,6 +6,7 @@
 
 #include "core/record_codec.h"
 #include "core/state.h"
+#include "obs/stage.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -62,6 +63,7 @@ Replicator::Replicator(TardisStore* store, Transport* net, uint32_t site_id,
   peer_deaths_total_ = registry->RegisterCounter(
       "tardis_repl_peer_deaths_total",
       "Peers declared dead by the failure detector", site);
+  stage_repl_send_us_ = obs::RegisterStageHistogram(registry, "repl_send");
   registry->RegisterCallbackGauge(
       "tardis_repl_pending", "Commits currently waiting for a parent",
       [this] { return static_cast<int64_t>(pending_count()); }, site, this);
@@ -174,7 +176,9 @@ void Replicator::NoteHeard(uint32_t site) {
 }
 
 void Replicator::OnLocalCommit(const CommitRecord& record) {
-  TARDIS_TRACE_SCOPE("repl", "broadcast");
+  // repl_send covers archive + broadcast: the full cost a local commit
+  // pays on the replication path before returning to the client.
+  obs::StageTimer stage(stage_repl_send_us_, "repl_send");
   Archive(record);
   NoteSeen(record.guid.site, record.guid.seq);
   ReplMessage msg;

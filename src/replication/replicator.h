@@ -275,6 +275,7 @@ class Replicator {
   obs::Counter* orphans_evicted_total_ = nullptr;
   obs::Counter* ceiling_timeouts_total_ = nullptr;
   obs::Counter* peer_deaths_total_ = nullptr;
+  obs::HistogramMetric* stage_repl_send_us_ = nullptr;
 
   std::thread pump_;
   std::atomic<bool> stop_{true};

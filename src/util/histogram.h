@@ -29,6 +29,14 @@ class Histogram {
 
   std::string Summary() const;
 
+  /// Bucket introspection for native Prometheus histogram exposition.
+  /// Bucket i holds samples with kBucketLimits[i-1] < v <= BucketLimit(i)
+  /// — exactly Prometheus `le` semantics; the last limit is UINT64_MAX
+  /// (the +Inf bucket).
+  static int bucket_count() { return kNumBuckets; }
+  static uint64_t BucketLimit(int i) { return kBucketLimits[i]; }
+  uint64_t bucket_value(int i) const { return buckets_[i]; }
+
  private:
   static constexpr int kNumBuckets = 154;
   static const uint64_t kBucketLimits[kNumBuckets];

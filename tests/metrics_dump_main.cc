@@ -53,6 +53,11 @@ const char* kExpectedNames[] = {
     "tardis_2pc_prepares",
     "tardis_2pc_forked_commits",
     "tardis_2pc_in_doubt",
+    // Per-request latency breakdown (src/obs/stage.h, DESIGN.md §7): one
+    // family labeled only by stage so `metrics cluster` can sum it across
+    // sites. Store, 2PC, router, and replicator each register their
+    // stages into it.
+    "tardis_stage_micros",
 };
 
 #define CHECK_OK(expr)                                                  \

@@ -10,7 +10,9 @@
 
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/stage.h"
 #include "obs/trace.h"
+#include "obs/trace_stitch.h"
 
 namespace tardis {
 namespace obs {
@@ -225,6 +227,245 @@ TEST(TracerTest, EventsFromExitedThreadsSurviveToDump) {
   tracer.Disable();
   EXPECT_NE(tracer.DumpChromeTrace().find("did_work"), std::string::npos);
   tracer.Clear();
+}
+
+// ---- Distributed trace context ----------------------------------------------
+
+TEST(TraceHeaderTest, FormatParseRoundTrip) {
+  TraceContext ctx;
+  ctx.trace_id = 0x7a9d15c0deULL;
+  ctx.span_id = 0x42;
+  ctx.sampled = true;
+  TraceContext parsed;
+  ASSERT_TRUE(ParseTraceHeader(FormatTraceHeader(ctx), &parsed));
+  EXPECT_EQ(parsed.trace_id, ctx.trace_id);
+  EXPECT_EQ(parsed.span_id, ctx.span_id);
+  EXPECT_TRUE(parsed.sampled);
+
+  ctx.sampled = false;
+  ASSERT_TRUE(ParseTraceHeader(FormatTraceHeader(ctx), &parsed));
+  EXPECT_FALSE(parsed.sampled);
+
+  // A zero trace id means "no trace" and must not parse as one.
+  TraceContext zero;
+  EXPECT_FALSE(ParseTraceHeader("*T0/0/1", &zero));
+  EXPECT_FALSE(ParseTraceHeader("not-a-header", &zero));
+}
+
+TEST(TraceHeaderTest, StripPresentHeaderFillsContext) {
+  std::string line = "*T1a2b/3c/1 mput k0 a k1 b";
+  TraceContext ctx;
+  EXPECT_TRUE(StripTraceHeader(&line, &ctx));
+  EXPECT_EQ(line, "mput k0 a k1 b");
+  EXPECT_EQ(ctx.trace_id, 0x1a2bu);
+  EXPECT_EQ(ctx.span_id, 0x3cu);
+  EXPECT_TRUE(ctx.sampled);
+}
+
+TEST(TraceHeaderTest, StripAbsentHeaderLeavesLineUntouched) {
+  std::string line = "get key";
+  TraceContext ctx;
+  EXPECT_FALSE(StripTraceHeader(&line, &ctx));
+  EXPECT_EQ(line, "get key");
+  EXPECT_FALSE(ctx.active());
+}
+
+// A corrupt header must not break the command: the token is stripped so
+// the request still executes, just untraced.
+TEST(TraceHeaderTest, StripCorruptHeaderDiscardsTokenOnly) {
+  std::string line = "*Tzzzz/0/1 get key";
+  TraceContext ctx;
+  EXPECT_FALSE(StripTraceHeader(&line, &ctx));
+  EXPECT_EQ(line, "get key");
+  EXPECT_FALSE(ctx.active());
+}
+
+namespace {
+/// args.<key> of the dumped event named `name` ("" when absent) — ids are
+/// always rendered as 16 hex digits.
+std::string EventArg(const std::string& json, const std::string& name,
+                     const std::string& key) {
+  const size_t at = json.find("\"name\":\"" + name + "\"");
+  if (at == std::string::npos) return "";
+  const size_t args = json.find("\"args\"", at);
+  if (args == std::string::npos) return "";
+  const size_t end = json.find('}', args);
+  const size_t k = json.find("\"" + key + "\":\"", args);
+  if (k == std::string::npos || k > end) return "";
+  return json.substr(k + key.size() + 4, 16);
+}
+}  // namespace
+
+TEST(TraceSpanTest, NestedSpansShareTraceAndChainParents) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Enable(64);
+  TraceContext root;
+  root.trace_id = 0xabcdef01u;
+  root.span_id = 0;
+  root.sampled = true;
+  {
+    TraceContextScope bind(root);
+    TraceSpan outer("test", "outer_span");
+    EXPECT_EQ(CurrentTraceContext().trace_id, root.trace_id);
+    EXPECT_NE(CurrentTraceContext().span_id, 0u);
+    const uint64_t outer_span = CurrentTraceContext().span_id;
+    {
+      TraceSpan inner("test", "inner_span");
+      EXPECT_EQ(CurrentTraceContext().trace_id, root.trace_id);
+      EXPECT_NE(CurrentTraceContext().span_id, outer_span);
+    }
+    // Inner span closed: the outer context is restored.
+    EXPECT_EQ(CurrentTraceContext().span_id, outer_span);
+  }
+  EXPECT_FALSE(CurrentTraceContext().active());
+  tracer.Disable();
+
+  const std::string json = tracer.DumpChromeTrace();
+  EXPECT_NE(json.find("\"trace\":\"00000000abcdef01\""), std::string::npos);
+  // Parenting chain in the dump: inner.parent == outer.span, and outer's
+  // own parent is the root (span id 0).
+  const std::string outer_span = EventArg(json, "outer_span", "span");
+  ASSERT_EQ(outer_span.size(), 16u);
+  EXPECT_EQ(EventArg(json, "inner_span", "parent"), outer_span);
+  EXPECT_EQ(EventArg(json, "outer_span", "parent"),
+            std::string("0000000000000000"));
+  tracer.Clear();
+}
+
+TEST(TraceSpanTest, EmitRecordsChildOfCurrentContext) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Enable(64);
+  TraceContext root;
+  root.trace_id = 0x5151u;
+  root.sampled = true;
+  {
+    TraceContextScope bind(root);
+    TraceSpan span("test", "parent_span");
+    TraceSpan::Emit("stage", "queue_wait", NowMicros(), 7);
+  }
+  tracer.Disable();
+  const std::string json = tracer.DumpChromeTrace();
+  EXPECT_EQ(EventArg(json, "queue_wait", "parent"),
+            EventArg(json, "parent_span", "span"));
+  tracer.Clear();
+}
+
+// ---- Stage breakdown --------------------------------------------------------
+
+TEST(StageTest, StageTimerFeedsHistogramBreakdownAndFormat) {
+  MetricsRegistry reg;
+  HistogramMetric* h = RegisterStageHistogram(&reg, "wal_fsync");
+  ASSERT_NE(h, nullptr);
+  // Same stage registers idempotently to the same series.
+  EXPECT_EQ(RegisterStageHistogram(&reg, "wal_fsync"), h);
+
+  StageBreakdown breakdown;
+  {
+    StageCollectorScope collect(&breakdown);
+    { StageTimer t(h, "wal_fsync"); }
+    { StageTimer t(nullptr, "prepare_rtt"); }  // breakdown-only stage
+  }
+  EXPECT_EQ(h->Snapshot().count(), 1u);
+  ASSERT_EQ(breakdown.count(), 2u);
+  const std::string formatted = breakdown.Format();
+  EXPECT_NE(formatted.find("wal_fsync="), std::string::npos);
+  EXPECT_NE(formatted.find("prepare_rtt="), std::string::npos);
+  EXPECT_NE(formatted.find("us"), std::string::npos);
+
+  // Outside the scope nothing collects.
+  { StageTimer t(h, "wal_fsync"); }
+  EXPECT_EQ(breakdown.count(), 2u);
+  EXPECT_EQ(h->Snapshot().count(), 2u);
+  EXPECT_EQ(CurrentStageBreakdown(), nullptr);
+}
+
+// ---- Prometheus buckets and cluster merge -----------------------------------
+
+TEST(ExpositionTest, HistogramEmitsCumulativeBucketSeries) {
+  MetricsRegistry reg;
+  HistogramMetric* h = reg.RegisterHistogram("lat_us", "h");
+  h->Observe(1);
+  h->Observe(1);
+  h->Observe(1);
+  const std::string text = RenderPrometheus(reg.Collect());
+  // At least one finite-le bucket plus the mandatory +Inf bucket, both
+  // carrying the full cumulative count.
+  EXPECT_NE(text.find("lat_us_bucket{le=\""), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_sum 3\n"), std::string::npos);
+}
+
+TEST(ExpositionTest, StageHistogramBucketsKeepStageLabel) {
+  MetricsRegistry reg;
+  RegisterStageHistogram(&reg, "prepare_rtt")->Observe(5);
+  const std::string text = RenderPrometheus(reg.Collect());
+  EXPECT_NE(text.find(
+                "tardis_stage_micros_bucket{stage=\"prepare_rtt\",le=\"+Inf\"} 1"),
+            std::string::npos);
+}
+
+TEST(ExpositionTest, MergePrometheusSumsSeriesAndDropsQuantiles) {
+  MetricsRegistry a, b;
+  a.RegisterCounter("c_total", "h", {{"site", "0"}})->Increment(3);
+  b.RegisterCounter("c_total", "h", {{"site", "0"}})->Increment(4);
+  b.RegisterCounter("only_b_total", "h")->Increment(9);
+  a.RegisterHistogram("lat_us", "h")->Observe(5);
+  b.RegisterHistogram("lat_us", "h")->Observe(7);
+  const std::string merged = MergePrometheus(
+      {RenderPrometheus(a.Collect()), RenderPrometheus(b.Collect())});
+  // Identical series summed; series unique to one site pass through.
+  EXPECT_NE(merged.find("c_total{site=\"0\"} 7\n"), std::string::npos);
+  EXPECT_NE(merged.find("only_b_total 9\n"), std::string::npos);
+  // Histogram _bucket/_sum/_count are additive across sites...
+  EXPECT_NE(merged.find("lat_us_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(merged.find("lat_us_sum 12\n"), std::string::npos);
+  EXPECT_NE(merged.find("lat_us_count 2\n"), std::string::npos);
+  // ...while per-site quantiles cannot be merged and are dropped.
+  EXPECT_EQ(merged.find("quantile"), std::string::npos);
+  // HELP/TYPE once per family even though both inputs carried them.
+  EXPECT_EQ(merged.find("# TYPE c_total counter"),
+            merged.rfind("# TYPE c_total counter"));
+}
+
+// ---- Trace stitching --------------------------------------------------------
+
+TEST(TraceStitchTest, StitchedDumpValidatesAndMapsTraceToProcess) {
+  Tracer& tracer = Tracer::Get();
+  tracer.SetProcessLabel("obs_test");
+  tracer.Enable(64);
+  TraceContext root;
+  root.trace_id = 0x77u;
+  root.sampled = true;
+  {
+    TraceContextScope bind(root);
+    TraceSpan span("test", "stitched_span");
+  }
+  tracer.Disable();
+  const std::string doc = tracer.DumpChromeTrace();
+
+  // An empty document and one with no traceEvents are skipped, not fatal.
+  const std::string merged =
+      StitchChromeTraces({doc, "{}", std::string()});
+  TraceValidation v;
+  ASSERT_TRUE(ValidateChromeTrace(merged, &v).ok());
+  EXPECT_GE(v.event_count, 1u);
+  EXPECT_EQ(v.process_count, 1u);
+  auto it = v.processes_by_trace.find("0000000000000077");
+  ASSERT_NE(it, v.processes_by_trace.end());
+  EXPECT_EQ(it->second.size(), 1u);
+  EXPECT_NE(merged.find("obs_test"), std::string::npos);
+  tracer.Clear();
+}
+
+TEST(TraceStitchTest, ValidateRejectsMalformedEvents) {
+  TraceValidation v;
+  EXPECT_FALSE(ValidateChromeTrace("not json", &v).ok());
+  // Event missing pid/tid/ts.
+  EXPECT_FALSE(
+      ValidateChromeTrace("{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"x\"}]}",
+                          &v)
+          .ok());
 }
 
 }  // namespace

@@ -46,6 +46,15 @@ CommitRecord RandomCommit(Random* rng) {
   return commit;
 }
 
+/// Half the traced frame types get a live trace context (trace_id 0, the
+/// untraced case, is the other half of the coverage).
+void RandomTrace(Random* rng, ReplMessage* msg) {
+  if (rng->Bernoulli(0.5)) return;
+  msg->trace_id = rng->Next() | 1;  // non-zero
+  msg->trace_span = rng->Next();
+  msg->trace_sampled = rng->Bernoulli(0.5);
+}
+
 ReplMessage RandomMessage(Random* rng) {
   ReplMessage msg;
   msg.type = static_cast<ReplMessage::Type>(rng->Uniform(16));
@@ -82,6 +91,7 @@ ReplMessage RandomMessage(Random* rng) {
       msg.txn_id = rng->Next();
       msg.text = RandomBytes(rng, 64);
       msg.commit.writes = RandomCommit(rng).writes;
+      RandomTrace(rng, &msg);
       break;
     case ReplMessage::Type::kRouteReply:
       msg.txn_id = rng->Next();
@@ -95,12 +105,17 @@ ReplMessage RandomMessage(Random* rng) {
         msg.endpoints.push_back("127.0.0.1:" +
                                 std::to_string(rng->Uniform(65536)));
       }
+      RandomTrace(rng, &msg);
       break;
     }
     case ReplMessage::Type::kPrepareAck:
+      msg.txn_id = rng->Next();
+      msg.decision = static_cast<uint8_t>(rng->Uniform(3));
+      break;
     case ReplMessage::Type::kDecide:
       msg.txn_id = rng->Next();
       msg.decision = static_cast<uint8_t>(rng->Uniform(3));
+      RandomTrace(rng, &msg);
       break;
     case ReplMessage::Type::kDecideAck:
       msg.txn_id = rng->Next();
@@ -143,6 +158,9 @@ void ExpectMessagesEqual(const ReplMessage& a, const ReplMessage& b) {
   EXPECT_EQ(a.forked, b.forked);
   EXPECT_EQ(a.text, b.text);
   EXPECT_EQ(a.endpoints, b.endpoints);
+  EXPECT_EQ(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.trace_span, b.trace_span);
+  EXPECT_EQ(a.trace_sampled, b.trace_sampled);
 }
 
 TEST(WireCodecTest, RoundTripProperty) {
