@@ -48,15 +48,46 @@ inline uint64_t& BenchSeedRef() {
 }
 inline uint64_t BenchSeed() { return BenchSeedRef(); }
 
-/// Parses shared benchmark flags (currently --seed=N). Unrecognized
-/// arguments are left alone for binary-specific handling.
+/// The record backend every TARDiS store in this run opens with. Set with
+/// --backend=mem|btree|trie (or TARDIS_BENCH_BACKEND); defaults to mem,
+/// the paper's all-requests-cached configuration.
+inline RecordBackend& BenchBackendRef() {
+  static RecordBackend backend = RecordBackend::kMem;
+  return backend;
+}
+inline RecordBackend BenchBackend() { return BenchBackendRef(); }
+inline const char* BenchBackendName() {
+  return RecordBackendName(BenchBackend());
+}
+
+/// TardisOptions preconfigured with the run's backend; drivers that build
+/// stores by hand start from this instead of a default-constructed one.
+inline TardisOptions BenchStoreOptions() {
+  TardisOptions options;  // in-memory: no directory even for btree
+  options.backend = BenchBackend();
+  return options;
+}
+
+/// Parses shared benchmark flags (--seed=N, --backend=mem|btree|trie).
+/// Unrecognized arguments are left alone for binary-specific handling.
 inline void ParseBenchFlags(int argc, char** argv) {
   if (const char* env = getenv("TARDIS_BENCH_SEED")) {
     BenchSeedRef() = strtoull(env, nullptr, 10);
   }
+  if (const char* env = getenv("TARDIS_BENCH_BACKEND")) {
+    BenchBackendRef() = ParseRecordBackend(env);
+  }
   for (int i = 1; i < argc; i++) {
     if (strncmp(argv[i], "--seed=", 7) == 0) {
       BenchSeedRef() = strtoull(argv[i] + 7, nullptr, 10);
+    } else if (strncmp(argv[i], "--backend=", 10) == 0) {
+      const RecordBackend parsed = ParseRecordBackend(argv[i] + 10);
+      if (parsed == RecordBackend::kDefault) {
+        fprintf(stderr, "unknown --backend=%s (want mem|btree|trie)\n",
+                argv[i] + 10);
+        exit(2);
+      }
+      BenchBackendRef() = parsed;
     }
   }
 }
@@ -91,7 +122,8 @@ struct SystemUnderTest {
 inline SystemUnderTest MakeTardisBranching(bool with_gc = true) {
   SystemUnderTest sut;
   sut.name = "TARDiS";
-  TardisOptions options;  // in-memory: the paper keeps all requests cached
+  // In-memory: the paper keeps all requests cached.
+  TardisOptions options = BenchStoreOptions();
   auto store = TardisStore::Open(options);
   sut.tardis = std::move(*store);
   sut.store = std::make_unique<TardisTxKv>(
@@ -107,7 +139,7 @@ inline SystemUnderTest MakeTardisBranching(bool with_gc = true) {
 inline SystemUnderTest MakeTardisSequential(bool with_gc = true) {
   SystemUnderTest sut;
   sut.name = "TARDiS";
-  TardisOptions options;
+  TardisOptions options = BenchStoreOptions();
   auto store = TardisStore::Open(options);
   sut.tardis = std::move(*store);
   sut.store = std::make_unique<TardisTxKv>(
@@ -124,7 +156,7 @@ inline SystemUnderTest MakeTardisWith(BeginConstraintPtr begin,
                                       const std::string& label) {
   SystemUnderTest sut;
   sut.name = label;
-  TardisOptions options;
+  TardisOptions options = BenchStoreOptions();
   auto store = TardisStore::Open(options);
   sut.tardis = std::move(*store);
   sut.store = std::make_unique<TardisTxKv>(sut.tardis.get(), std::move(begin),
@@ -178,6 +210,8 @@ inline void PrintHeader(const char* what, const char* paper_expectation) {
   printf("seed: %llu (rerun with --seed=%llu to reproduce)\n",
          static_cast<unsigned long long>(BenchSeed()),
          static_cast<unsigned long long>(BenchSeed()));
+  printf("backend: %s (choose with --backend=mem|btree|trie)\n",
+         BenchBackendName());
   printf("(set TARDIS_BENCH_SCALE>1 for longer, steadier runs)\n");
   printf("==================================================================\n");
 }

@@ -23,7 +23,7 @@ void RunTimeline(bool with_gc) {
                                  : "TAR-NoGC (compression off)");
   SystemUnderTest sut;
   {
-    TardisOptions options;
+    TardisOptions options = BenchStoreOptions();
     auto store = TardisStore::Open(options);
     sut.tardis = std::move(*store);
     sut.store = std::make_unique<TardisTxKv>(

@@ -119,7 +119,7 @@ void RttSleep(int round_trips) {
 template <typename MakeOp>
 OpsResult RunTardisCrdt(MakeOp make_op, uint64_t ms,
                         const std::function<void(TardisStore*)>& merge_fn) {
-  TardisOptions options;
+  TardisOptions options = BenchStoreOptions();
   auto store_or = TardisStore::Open(options);
   TardisStore* store = store_or->get();
   store->StartGcThread(100);
@@ -410,7 +410,7 @@ void RetwisThroughput() {
   const uint64_t ms = ScaledMs(1200);
   for (const RetwisMix& mix : mixes) {
     {
-      TardisOptions options;
+      TardisOptions options = BenchStoreOptions();
       auto store_or = TardisStore::Open(options);
       TardisStore* tardis = store_or->get();
       tardis->StartGcThread(100);

@@ -1,0 +1,141 @@
+// Fork latency vs store size (DESIGN.md §12): the claim behind the
+// fork-native backend is that forking a branch costs O(1) regardless of
+// how much data the branch holds, whereas a flat backend has to
+// materialize an independent snapshot — O(n) in the store size.
+//
+// For each store size this driver measures:
+//   * trie fork      — CowTrie::Fork (one refcount bump), median over many
+//                      fork/release pairs;
+//   * trie 1st write — the first Put after a fork, i.e. the path-copy a
+//                      real branch pays on its first divergence (O(key));
+//   * mem snapshot   — copying every record of a MemRecordStore into a
+//                      fresh one (what an independent branch costs without
+//                      structural sharing);
+//   * btree snapshot — the same copy through the disk-backed B-tree.
+//
+// Usage: bench_fork_latency [--max-keys=N] [--backend=...]
+// --max-keys caps the largest store size (default 1,000,000; the ctest
+// smoke entry uses 10,000 to stay fast). The expected shape: the trie
+// columns stay flat while the snapshot columns grow linearly.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "storage/btree_record_store.h"
+#include "storage/cowtrie/cow_trie.h"
+#include "storage/memstore.h"
+#include "util/clock.h"
+
+using namespace tardis;
+using namespace tardis::bench;
+
+namespace {
+
+std::string KeyOf(uint64_t i) { return "key/" + std::to_string(i); }
+
+uint64_t MedianUs(std::vector<uint64_t>* samples) {
+  std::sort(samples->begin(), samples->end());
+  return (*samples)[samples->size() / 2];
+}
+
+/// Median latency of CowTrie::Fork on a branch holding `n` keys, plus the
+/// first post-fork write (the path-copy).
+void TrieNumbers(uint64_t n, uint64_t* fork_us, uint64_t* first_write_us) {
+  CowTrie trie;
+  (void)trie.CreateBranch(1);
+  auto value = std::make_shared<const std::string>(std::string(64, 'v'));
+  for (uint64_t i = 0; i < n; i++) {
+    (void)trie.Put(1, KeyOf(i), value, i + 1);
+  }
+  constexpr int kIters = 201;
+  std::vector<uint64_t> forks, writes;
+  forks.reserve(kIters);
+  writes.reserve(kIters);
+  for (int it = 0; it < kIters; it++) {
+    const BranchStore::BranchId child = 1000 + it;
+    uint64_t t0 = NowMicros();
+    (void)trie.Fork(1, child);
+    forks.push_back(NowMicros() - t0);
+    t0 = NowMicros();
+    (void)trie.Put(child, KeyOf(it % n), value, n + it + 2);
+    writes.push_back(NowMicros() - t0);
+    (void)trie.Release(child);
+  }
+  *fork_us = MedianUs(&forks);
+  *first_write_us = MedianUs(&writes);
+}
+
+/// Wall time of materializing an independent copy of `store` (n keys)
+/// into `fresh` — the flat-backend equivalent of a divergent branch.
+uint64_t SnapshotCopyUs(RecordStore* store, RecordStore* fresh) {
+  const uint64_t t0 = NowMicros();
+  (void)store->ForEachKey([&](const Slice& key) {
+    std::string value;
+    (void)store->Get(key, &value);
+    return fresh->Put(key, value);
+  });
+  return NowMicros() - t0;
+}
+
+uint64_t MemSnapshotUs(uint64_t n) {
+  MemRecordStore store;
+  const std::string value(64, 'v');
+  for (uint64_t i = 0; i < n; i++) (void)store.Put(KeyOf(i), value);
+  MemRecordStore fresh;
+  return SnapshotCopyUs(&store, &fresh);
+}
+
+uint64_t BTreeSnapshotUs(uint64_t n) {
+  const std::string dir = "/tmp/tardis_fork_latency_bench";
+  const std::string src_path = dir + "_src.db";
+  const std::string dst_path = dir + "_dst.db";
+  ::remove(src_path.c_str());
+  ::remove(dst_path.c_str());
+  auto src = BTreeRecordStore::Open(src_path);
+  auto dst = BTreeRecordStore::Open(dst_path);
+  if (!src.ok() || !dst.ok()) return 0;
+  const std::string value(64, 'v');
+  for (uint64_t i = 0; i < n; i++) (void)(*src)->Put(KeyOf(i), value);
+  const uint64_t us = SnapshotCopyUs(src->get(), dst->get());
+  src->reset();
+  dst->reset();
+  ::remove(src_path.c_str());
+  ::remove(dst_path.c_str());
+  return us;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
+  uint64_t max_keys = 1'000'000;
+  for (int i = 1; i < argc; i++) {
+    if (strncmp(argv[i], "--max-keys=", 11) == 0) {
+      max_keys = strtoull(argv[i] + 11, nullptr, 10);
+    }
+  }
+  PrintHeader("Fork latency vs store size (fork-native storage, §12)",
+              "O(1) fork: trie fork latency is flat in the store size; a "
+              "flat backend pays O(n) to materialize a divergent branch");
+
+  printf("%10s %14s %16s %16s %16s\n", "keys", "trie fork(us)",
+         "trie 1st put(us)", "mem snap(us)", "btree snap(us)");
+  for (uint64_t n = 1'000; n <= max_keys; n *= 10) {
+    uint64_t fork_us = 0, write_us = 0;
+    TrieNumbers(n, &fork_us, &write_us);
+    const uint64_t mem_us = MemSnapshotUs(n);
+    const uint64_t btree_us = BTreeSnapshotUs(n);
+    printf("%10llu %14llu %16llu %16llu %16llu\n",
+           static_cast<unsigned long long>(n),
+           static_cast<unsigned long long>(fork_us),
+           static_cast<unsigned long long>(write_us),
+           static_cast<unsigned long long>(mem_us),
+           static_cast<unsigned long long>(btree_us));
+  }
+  return 0;
+}

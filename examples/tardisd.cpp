@@ -119,6 +119,9 @@ struct DaemonConfig {
   uint16_t metrics_port = 0;  ///< 0 disables the HTTP metrics endpoint
   GcCoordination gc_mode = GcCoordination::kOptimistic;
   std::string dir;
+  /// Record backend (--backend=mem|btree|trie); kDefault keeps the
+  /// historical choice: btree when --dir is set, mem otherwise.
+  RecordBackend backend = RecordBackend::kDefault;
   uint32_t workers = 4;
   size_t max_queue = 128;
   uint64_t request_deadline_ms = 1000;
@@ -180,6 +183,13 @@ bool ParseFlags(int argc, char** argv, DaemonConfig* config) {
       }
     } else if (const char* v = value("--dir=")) {
       config->dir = v;
+    } else if (const char* v = value("--backend=")) {
+      config->backend = ParseRecordBackend(v);
+      if (config->backend == RecordBackend::kDefault) {
+        fprintf(stderr, "tardisd: unknown --backend=%s (want mem|btree|trie)\n",
+                v);
+        return false;
+      }
     } else if (const char* v = value("--workers=")) {
       config->workers = std::max(1, atoi(v));
     } else if (const char* v = value("--max-queue=")) {
@@ -378,6 +388,7 @@ std::string HandleCommand(const std::string& line, TardisStore* store,
            std::to_string(shared->participant != nullptr
                               ? shared->participant->in_doubt_count()
                               : 0);
+    out += std::string(" backend=") + store->backend_name();
     out += "\n";
     for (const Replicator::PeerHealth& p : replicator->PeerStates()) {
       out += "PEER " + std::to_string(p.site);
@@ -537,6 +548,7 @@ int RunDaemon(const DaemonConfig& config) {
   TardisOptions store_options;
   store_options.site_id = config.site;
   store_options.dir = config.dir;
+  store_options.backend = config.backend;
   store_options.metrics_registry = registry;
   auto store = TardisStore::Open(store_options);
   if (!store.ok()) {
@@ -1039,6 +1051,7 @@ int main(int argc, char** argv) {
     fprintf(out,
             "usage: tardisd --site=N --peers=host:port,... --client-port=P\n"
             "               [--gc-mode=optimistic|pessimistic] [--dir=PATH]\n"
+            "               [--backend=mem|btree|trie]\n"
             "               [--metrics-port=P] [--workers=N] [--max-queue=N]\n"
             "               [--request-deadline-ms=MS] [--tick-ms=MS]\n"
             "               [--heartbeats=0|1] [--archive-horizon=N]\n"
@@ -1046,6 +1059,9 @@ int main(int argc, char** argv) {
             "               [--twopc-resolve-ms=MS] [--slow-ms=MS] [--help]\n"
             "--peers is indexed by site id and must name every site,\n"
             "including this one's own replication endpoint.\n"
+            "--backend picks the record storage: mem (default without\n"
+            "--dir), btree (default with --dir), or trie — the fork-native\n"
+            "copy-on-write backend (DESIGN.md section 12).\n"
             "--metrics-port serves the metrics registry as Prometheus text\n"
             "over HTTP (0 = disabled); --max-queue bounds the client request\n"
             "queue (requests past the bound are shed with ERR BUSY).\n"

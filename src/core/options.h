@@ -13,6 +13,37 @@
 
 namespace tardis {
 
+/// Record storage backend of a site (DESIGN.md §12).
+enum class RecordBackend {
+  kDefault,  ///< derive from use_btree + dir (backwards compatible)
+  kMem,      ///< std::map in memory (the TARDiS-MDB analogue)
+  kBTree,    ///< disk-backed B+Tree (the TARDiS-BDB analogue); needs a dir
+  kTrie,     ///< copy-on-write trie (fork-native, in-memory)
+};
+
+/// "mem" / "btree" / "trie" (kDefault resolves before naming).
+inline const char* RecordBackendName(RecordBackend backend) {
+  switch (backend) {
+    case RecordBackend::kMem:
+      return "mem";
+    case RecordBackend::kBTree:
+      return "btree";
+    case RecordBackend::kTrie:
+      return "trie";
+    case RecordBackend::kDefault:
+      break;
+  }
+  return "default";
+}
+
+/// Parses a backend name; kDefault on unknown input.
+inline RecordBackend ParseRecordBackend(const std::string& name) {
+  if (name == "mem") return RecordBackend::kMem;
+  if (name == "btree") return RecordBackend::kBTree;
+  if (name == "trie") return RecordBackend::kTrie;
+  return RecordBackend::kDefault;
+}
+
 struct TardisOptions {
   /// Directory for the record store and commit log. Empty means fully
   /// in-memory and non-durable (handy for tests and benchmarks).
@@ -21,7 +52,15 @@ struct TardisOptions {
   /// Record persistence backend: true selects the disk-backed B+Tree
   /// (the TARDiS-BDB configuration); false the in-memory store (the
   /// TARDiS-MDB configuration). Ignored (forced false) when dir is empty.
+  /// Superseded by `backend` when that is not kDefault.
   bool use_btree = true;
+
+  /// Record backend selection. kDefault keeps the historical use_btree
+  /// semantics; kTrie selects the copy-on-write trie, which additionally
+  /// serves O(1) branch forks and O(diff) 3-way merges to the core when
+  /// the store is fully in-memory (dir empty). kBTree without a dir
+  /// degrades to kMem, mirroring use_btree.
+  RecordBackend backend = RecordBackend::kDefault;
 
   /// Write the commit log (required for recovery). Needs a non-empty dir.
   bool enable_commit_log = true;

@@ -202,11 +202,18 @@ StatePtr StateDag::BfsFromLeaves(
 StatePtr StateDag::FindForkPoint(const std::vector<StatePtr>& states) const {
   if (states.empty()) return nullptr;
   if (states.size() == 1) return states[0];
+  std::lock_guard<std::mutex> guard(mu_);
+  return FindForkPointLocked(states);
+}
+
+StatePtr StateDag::FindForkPointLocked(
+    const std::vector<StatePtr>& states) const {
+  if (states.empty()) return nullptr;
+  if (states.size() == 1) return states[0];
 
   // Walk ancestors of each tip, collecting reachable sets; the deepest
   // common ancestor is the common state with the largest id. The walk is
   // bounded by the (compressed) DAG size.
-  std::lock_guard<std::mutex> guard(mu_);
   std::unordered_map<State*, size_t> reach_count;
   std::unordered_map<State*, StatePtr> ptr_of;
   for (const StatePtr& tip : states) {

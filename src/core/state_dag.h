@@ -131,6 +131,9 @@ class StateDag {
   /// findForkPoints (§6.2). For states on the same branch returns the
   /// shallower one.
   StatePtr FindForkPoint(const std::vector<StatePtr>& states) const;
+  /// As FindForkPoint, for callers already inside the commit critical
+  /// section (e.g. the trie fast path picking a merge base).
+  StatePtr FindForkPointLocked(const std::vector<StatePtr>& states) const;
 
   /// The *structured* set of fork points (Table 2): the deepest common
   /// ancestor of every pair of `states`, deduplicated and ordered deepest

@@ -37,6 +37,7 @@
 #include "core/state_dag.h"
 #include "core/transaction.h"
 #include "obs/metrics.h"
+#include "storage/cowtrie/cow_trie.h"
 #include "storage/record_store.h"
 #include "util/status.h"
 
@@ -149,6 +150,20 @@ class TardisStore {
   KeyVersionMap* kvmap() { return &kvmap_; }
   GarbageCollector* gc() { return gc_.get(); }
   RecordStore* record_store() { return record_store_.get(); }
+  /// The fork-native branch store, or null when the backend is not the
+  /// trie (DESIGN.md §12).
+  BranchStore* branch_store() { return trie_.get(); }
+  /// The record backend this store resolved at Open ("mem", "btree",
+  /// "trie").
+  const char* backend_name() const {
+    return RecordBackendName(resolved_backend_);
+  }
+  /// True while per-state reads and merge construction route through the
+  /// trie's branches instead of the key-version map (trie backend, fully
+  /// in-memory store, no fast-path error so far).
+  bool trie_fast_path() const {
+    return trie_fast_path_.load(std::memory_order_relaxed);
+  }
   const TardisOptions& options() const { return options_; }
   /// The registry holding every metric of this site (txn counters, DAG
   /// gauges, GC counters; the replicator and transport register here too
@@ -181,9 +196,30 @@ class TardisStore {
   Status LoadValue(const Slice& key, const VersionEntry& entry,
                    std::string* value);
 
+  /// Builds the trie branch of a freshly created state: fork from a
+  /// single parent, or a fold of 3-way merges for merge states, then the
+  /// transaction's writes tagged with the new state id. Caller holds the
+  /// commit lock. Non-OK permanently disables the fast path (reads fall
+  /// back to the key-version map, which is maintained regardless).
+  Status TrieCommitLocked(
+      const StatePtr& new_state, const std::vector<StatePtr>& parents,
+      const std::map<std::string, std::shared_ptr<const std::string>>&
+          writes);
+  void DisableTrieFastPath(const char* what, const Status& s);
+  /// Trie fast path of Table 2 findConflictWrites: one O(diff) trie diff
+  /// per tip against the fork point instead of a DAG walk. Returns false
+  /// (fall back to the DAG) when the fast path is off or a branch is
+  /// missing.
+  bool TrieConflictWrites(const StatePtr& fork,
+                          const std::vector<StatePtr>& tips,
+                          std::vector<std::string>* out);
+
   TardisOptions options_;
+  RecordBackend resolved_backend_ = RecordBackend::kMem;
   StateDag dag_;
   KeyVersionMap kvmap_;
+  std::shared_ptr<CowTrie> trie_;  // null unless backend is kTrie
+  std::atomic<bool> trie_fast_path_{false};
   std::unique_ptr<RecordStore> record_store_;
   std::unique_ptr<CommitLog> commit_log_;
   std::unique_ptr<GarbageCollector> gc_;

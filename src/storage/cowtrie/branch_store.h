@@ -1,0 +1,119 @@
+// BranchStore: the fork-native storage interface (DESIGN.md §12).
+//
+// Where RecordStore models a single flat keyspace, a BranchStore models a
+// *family* of keyspaces — branches — with three structural operations the
+// TARDiS core otherwise has to emulate on top of flat storage:
+//
+//   * Fork(parent, child)       O(1): the child branch shares the parent's
+//                               snapshot until either writes.
+//   * Put/Get/Delete(branch)    O(key): a branch read needs no DAG
+//                               descendant checks — the branch *is* the
+//                               visibility set.
+//   * Merge(base, src, dest)    O(diff): three-way reconciliation that
+//                               recurses only where src and dest diverge
+//                               from base; identical subtrees are skipped
+//                               by pointer comparison.
+//
+// Every value carries a caller-chosen `tag` (the TARDiS core passes the
+// writing state's id). Tags serve two purposes: Diff treats a key as
+// "changed since base" iff its tag differs (so rewriting the same bytes
+// still counts as a write, matching the DAG's write-set semantics), and
+// an untagged merge resolves a conflict by keeping the value with the
+// larger tag — exactly the version the key-version map's descending-id
+// scan would have surfaced. Key-level conflicts that need application
+// semantics are surfaced through the ConflictFn instead.
+
+#ifndef TARDIS_STORAGE_COWTRIE_BRANCH_STORE_H_
+#define TARDIS_STORAGE_COWTRIE_BRANCH_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tardis {
+
+class BranchStore {
+ public:
+  using BranchId = uint64_t;
+
+  /// One side of a key during diff/merge. `present` distinguishes "absent
+  /// on this side" from an empty value.
+  struct Version {
+    bool present = false;
+    std::shared_ptr<const std::string> value;
+    uint64_t tag = 0;
+  };
+
+  struct MergeStats {
+    /// Keys reconciled individually: positions where src and dest both
+    /// diverged from base along the key's path. Subtrees changed on only
+    /// one side are adopted wholesale by pointer (O(1)) without being
+    /// walked, so this measures the per-key work the merge actually did —
+    /// it stays small even when one branch rewrote half the store.
+    uint64_t diff_keys = 0;
+    uint64_t conflicts = 0;   ///< keys changed on both sides since base
+  };
+
+  /// Resolves a key changed on both sides since base. Returning a Version
+  /// with present=false deletes the key from the merged branch.
+  using ConflictFn = std::function<Version(
+      const Slice& key, const Version& base, const Version& src,
+      const Version& dest)>;
+
+  /// Diff visitor: `after` is the branch-side version, `before` the
+  /// base-side one (at least one of the two tags differs).
+  using DiffFn = std::function<void(const Slice& key, const Version& before,
+                                    const Version& after)>;
+
+  virtual ~BranchStore() = default;
+
+  /// Creates an empty branch. InvalidArgument if the id is taken.
+  virtual Status CreateBranch(BranchId id) = 0;
+  /// O(1) fork: `child` starts as a structurally shared snapshot of
+  /// `parent`. NotFound if parent is unknown, InvalidArgument if child
+  /// exists.
+  virtual Status Fork(BranchId parent, BranchId child) = 0;
+  /// Drops a branch; shared nodes survive as long as any branch uses them.
+  virtual Status Release(BranchId id) = 0;
+  virtual bool HasBranch(BranchId id) const = 0;
+
+  virtual Status Put(BranchId branch, const Slice& key,
+                     std::shared_ptr<const std::string> value,
+                     uint64_t tag) = 0;
+  virtual Status Get(BranchId branch, const Slice& key,
+                     std::string* value) const = 0;
+  virtual Status Delete(BranchId branch, const Slice& key) = 0;
+  /// Number of keys on the branch (0 for unknown branches).
+  virtual uint64_t BranchSize(BranchId branch) const = 0;
+
+  /// Three-way merge: writes into branch `out` (created or replaced) the
+  /// reconciliation of `src` and `dest` against their common ancestor
+  /// snapshot `base`. Keys changed on one side take that side; keys
+  /// changed on both go through `resolve` (null = larger tag wins).
+  /// `out` may equal `dest` (in-place merge).
+  virtual StatusOr<MergeStats> Merge(BranchId base, BranchId src,
+                                     BranchId dest, BranchId out,
+                                     const ConflictFn& resolve) = 0;
+
+  /// Invokes `fn` for every key whose tag differs between `base` and
+  /// `branch` — the keys written (or deleted) on the branch since base.
+  /// Skips structurally shared subtrees, so the cost is O(diff).
+  virtual Status Diff(BranchId base, BranchId branch,
+                      const DiffFn& fn) const = 0;
+
+  /// Iterates the branch in key order; stops at the first non-OK status
+  /// and returns it.
+  virtual Status ForEach(
+      BranchId branch,
+      const std::function<Status(const Slice& key, const std::string& value)>&
+          fn) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_STORAGE_COWTRIE_BRANCH_STORE_H_

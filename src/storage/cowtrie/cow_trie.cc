@@ -1,0 +1,744 @@
+#include "storage/cowtrie/cow_trie.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "util/clock.h"
+
+namespace tardis {
+
+// Nodes are immutable once a branch root above them has been published;
+// the builder mutates only nodes it just allocated. `refs` counts owners:
+// parent nodes, branch-table roots, and transient reader pins.
+struct CowTrie::Node {
+  std::atomic<uint32_t> refs{1};
+  /// Full edge label including the byte that selects this node from its
+  /// parent. Empty only for branch roots.
+  std::string label;
+  bool has_value = false;
+  std::shared_ptr<const std::string> value;
+  uint64_t tag = 0;
+  /// Keys in this subtree (incl. own value) — makes BranchSize O(1) and
+  /// lets Delete detect emptied roots without a walk.
+  uint64_t count = 0;
+  /// Sorted by label[0]; child labels are never empty.
+  std::vector<Node*> children;
+};
+
+namespace {
+
+/// Longest common prefix length of two byte strings.
+size_t CommonPrefix(const Slice& a, const Slice& b) {
+  const size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a.data()[i] == b.data()[i]) i++;
+  return i;
+}
+
+bool SameVersion(const BranchStore::Version& a,
+                 const BranchStore::Version& b) {
+  if (a.present != b.present) return false;
+  if (!a.present) return true;
+  if (a.tag != b.tag) return false;
+  if (a.value == b.value) return true;
+  if (a.value == nullptr || b.value == nullptr) return false;
+  return *a.value == *b.value;
+}
+
+}  // namespace
+
+// ---- lifetime ----------------------------------------------------------------
+
+CowTrie::CowTrie(obs::MetricsRegistry* registry, obs::LabelSet labels) {
+  if (registry != nullptr) RegisterMetrics(registry, labels);
+}
+
+CowTrie::~CowTrie() {
+  if (registry_ != nullptr) registry_->DropCallbacks(this);
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (auto& [id, entry] : branches_) {
+      if (entry.root != nullptr) Unref(entry.root);
+    }
+    branches_.clear();
+  }
+  assert(live_nodes_.load() == 0);
+}
+
+void CowTrie::RegisterMetrics(obs::MetricsRegistry* registry,
+                              const obs::LabelSet& labels) {
+  registry_ = registry;
+  merge_diff_keys_ = registry->RegisterCounter(
+      "tardis_trie_merge_diff_keys",
+      "Keys a 3-way trie merge reconciled individually (diverged from base "
+      "on both sides; one-sided and shared subtrees are adopted unseen)",
+      labels);
+  merge_conflicts_ = registry->RegisterCounter(
+      "tardis_trie_merge_conflicts",
+      "Keys changed on both sides of a 3-way trie merge since base",
+      labels);
+  fork_us_ = registry->RegisterHistogram(
+      "tardis_trie_fork_us", "Branch fork latency, microseconds", labels);
+  merge_us_ = registry->RegisterHistogram(
+      "tardis_trie_merge_us", "3-way trie merge latency, microseconds",
+      labels);
+  registry->RegisterCallbackGauge(
+      "tardis_trie_nodes", "Live copy-on-write trie nodes (shared = once)",
+      [this] { return static_cast<double>(node_count()); }, labels, this);
+  registry->RegisterCallbackGauge(
+      "tardis_trie_shared_nodes",
+      "Extra structural references to live trie nodes (sum of refcount-1)",
+      [this] { return static_cast<double>(shared_node_refs()); }, labels,
+      this);
+}
+
+CowTrie::Node* CowTrie::NewNode() {
+  std::lock_guard<std::mutex> guard(arena_mu_);
+  if (free_list_.empty()) {
+    chunks_.push_back(std::make_unique<char[]>(kChunkNodes * sizeof(Node)));
+    char* base = chunks_.back().get();
+    free_list_.reserve(free_list_.size() + kChunkNodes);
+    for (size_t i = 0; i < kChunkNodes; i++) {
+      free_list_.push_back(reinterpret_cast<Node*>(base + i * sizeof(Node)));
+    }
+  }
+  Node* slot = free_list_.back();
+  free_list_.pop_back();
+  live_nodes_.fetch_add(1, std::memory_order_relaxed);
+  return new (slot) Node();
+}
+
+void CowTrie::Ref(Node* n) const {
+  n->refs.fetch_add(1, std::memory_order_relaxed);
+  extra_refs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CowTrie::Unref(Node* n) const {
+  // Iterative cascade: dropping the last reference to a node drops one
+  // reference from each child. Depth equals key length, but merge output
+  // may chain single-byte nodes, so no recursion here.
+  std::vector<Node*> work{n};
+  while (!work.empty()) {
+    Node* cur = work.back();
+    work.pop_back();
+    const uint32_t old = cur->refs.fetch_sub(1, std::memory_order_acq_rel);
+    assert(old > 0);
+    if (old > 1) {
+      extra_refs_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    work.insert(work.end(), cur->children.begin(), cur->children.end());
+    cur->~Node();
+    std::lock_guard<std::mutex> guard(arena_mu_);
+    free_list_.push_back(cur);
+    live_nodes_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+CowTrie::Node* CowTrie::FindChild(const Node* n, uint8_t byte) {
+  auto it = std::lower_bound(
+      n->children.begin(), n->children.end(), byte,
+      [](const Node* c, uint8_t b) {
+        return static_cast<uint8_t>(c->label[0]) < b;
+      });
+  if (it == n->children.end() ||
+      static_cast<uint8_t>((*it)->label[0]) != byte) {
+    return nullptr;
+  }
+  return *it;
+}
+
+CowTrie::Node* CowTrie::CloneNode(const Node* n) const {
+  Node* copy = const_cast<CowTrie*>(this)->NewNode();
+  copy->label = n->label;
+  copy->has_value = n->has_value;
+  copy->value = n->value;
+  copy->tag = n->tag;
+  copy->count = n->count;
+  copy->children = n->children;
+  for (Node* child : copy->children) Ref(child);
+  return copy;
+}
+
+void CowTrie::Recount(Node* n) {
+  uint64_t c = n->has_value ? 1 : 0;
+  for (const Node* child : n->children) c += child->count;
+  n->count = c;
+}
+
+void CowTrie::AttachChild(Node* parent, Node* child) {
+  auto it = std::lower_bound(
+      parent->children.begin(), parent->children.end(),
+      static_cast<uint8_t>(child->label[0]), [](const Node* c, uint8_t b) {
+        return static_cast<uint8_t>(c->label[0]) < b;
+      });
+  parent->children.insert(it, child);
+}
+
+/// Replaces (or removes, when replacement == nullptr) the child of the
+/// *fresh* node `parent` whose label starts with `byte`. The displaced
+/// child loses the reference `parent` held on it.
+void CowTrie::ReplaceChild(Node* parent, uint8_t byte, Node* replacement) {
+  for (size_t i = 0; i < parent->children.size(); i++) {
+    if (static_cast<uint8_t>(parent->children[i]->label[0]) != byte) continue;
+    Unref(parent->children[i]);
+    if (replacement == nullptr) {
+      parent->children.erase(parent->children.begin() + i);
+    } else {
+      parent->children[i] = replacement;
+    }
+    return;
+  }
+  assert(replacement != nullptr);
+  AttachChild(parent, replacement);
+}
+
+// ---- branch table -------------------------------------------------------------
+
+Status CowTrie::CreateBranch(BranchId id) {
+  std::lock_guard<std::mutex> write_guard(write_mu_);
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!branches_.emplace(id, BranchEntry{}).second) {
+    return Status::InvalidArgument("branch " + std::to_string(id) +
+                                   " already exists");
+  }
+  return Status::OK();
+}
+
+Status CowTrie::Fork(BranchId parent, BranchId child) {
+  const uint64_t start_us = NowMicros();
+  std::lock_guard<std::mutex> write_guard(write_mu_);
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = branches_.find(parent);
+  if (it == branches_.end()) {
+    return Status::NotFound("unknown parent branch " +
+                            std::to_string(parent));
+  }
+  Node* root = it->second.root;
+  auto inserted = branches_.emplace(child, BranchEntry{root});
+  if (!inserted.second) {
+    return Status::InvalidArgument("branch " + std::to_string(child) +
+                                   " already exists");
+  }
+  // The fork: one refcount bump, no matter how large the parent is.
+  if (root != nullptr) Ref(root);
+  if (fork_us_ != nullptr) fork_us_->Observe(NowMicros() - start_us);
+  return Status::OK();
+}
+
+Status CowTrie::Release(BranchId id) {
+  std::lock_guard<std::mutex> write_guard(write_mu_);
+  Node* root = nullptr;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = branches_.find(id);
+    if (it == branches_.end()) {
+      return Status::NotFound("unknown branch " + std::to_string(id));
+    }
+    root = it->second.root;
+    branches_.erase(it);
+  }
+  if (root != nullptr) Unref(root);
+  return Status::OK();
+}
+
+bool CowTrie::HasBranch(BranchId id) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return branches_.count(id) > 0;
+}
+
+size_t CowTrie::branch_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return branches_.size();
+}
+
+uint64_t CowTrie::BranchSize(BranchId branch) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = branches_.find(branch);
+  if (it == branches_.end() || it->second.root == nullptr) return 0;
+  return it->second.root->count;
+}
+
+CowTrie::Node* CowTrie::PinRoot(BranchId branch, bool* missing) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = branches_.find(branch);
+  if (it == branches_.end()) {
+    *missing = true;
+    return nullptr;
+  }
+  *missing = false;
+  if (it->second.root != nullptr) Ref(it->second.root);
+  return it->second.root;
+}
+
+// ---- point operations ---------------------------------------------------------
+
+Status CowTrie::Get(BranchId branch, const Slice& key,
+                    std::string* value) const {
+  bool missing = false;
+  Node* root = PinRoot(branch, &missing);
+  if (missing) {
+    return Status::NotFound("unknown branch " + std::to_string(branch));
+  }
+  if (root == nullptr) return Status::NotFound();
+  // Lock-free walk over immutable nodes; the pin keeps the subtree alive.
+  const Node* n = root;
+  size_t pos = 0;
+  Status result = Status::NotFound();
+  while (true) {
+    if (pos == key.size()) {
+      if (n->has_value) {
+        if (value != nullptr) *value = *n->value;  // null = existence probe
+        result = Status::OK();
+      }
+      break;
+    }
+    const Node* child = FindChild(n, static_cast<uint8_t>(key.data()[pos]));
+    if (child == nullptr) break;
+    const Slice rest(key.data() + pos, key.size() - pos);
+    if (rest.size() < child->label.size() ||
+        memcmp(rest.data(), child->label.data(), child->label.size()) != 0) {
+      break;
+    }
+    pos += child->label.size();
+    n = child;
+  }
+  Unref(root);
+  return result;
+}
+
+CowTrie::Node* CowTrie::InsertBelow(
+    const Node* n, const Slice& rest,
+    const std::shared_ptr<const std::string>& value, uint64_t tag,
+    bool* inserted) {
+  if (rest.empty()) {
+    Node* copy = CloneNode(n);
+    *inserted = !copy->has_value;
+    copy->has_value = true;
+    copy->value = value;
+    copy->tag = tag;
+    Recount(copy);
+    return copy;
+  }
+  const uint8_t byte = static_cast<uint8_t>(rest.data()[0]);
+  const Node* child = FindChild(n, byte);
+  Node* copy = CloneNode(n);
+  if (child == nullptr) {
+    Node* leaf = NewNode();
+    leaf->label = rest.ToString();
+    leaf->has_value = true;
+    leaf->value = value;
+    leaf->tag = tag;
+    leaf->count = 1;
+    AttachChild(copy, leaf);
+    *inserted = true;
+    Recount(copy);
+    return copy;
+  }
+  const size_t common = CommonPrefix(child->label, rest);
+  Node* replacement = nullptr;
+  if (common == child->label.size()) {
+    // The child's edge is fully on the key path: descend.
+    replacement = InsertBelow(
+        child, Slice(rest.data() + common, rest.size() - common), value, tag,
+        inserted);
+  } else {
+    // Edge split: a fresh interior node takes the shared prefix; the old
+    // child survives (shared, relabeled by a shallow clone) under it.
+    Node* split = NewNode();
+    split->label = std::string(rest.data(), common);
+    Node* tail = CloneNode(child);
+    tail->label = child->label.substr(common);
+    AttachChild(split, tail);
+    if (common == rest.size()) {
+      split->has_value = true;
+      split->value = value;
+      split->tag = tag;
+    } else {
+      Node* leaf = NewNode();
+      leaf->label = std::string(rest.data() + common, rest.size() - common);
+      leaf->has_value = true;
+      leaf->value = value;
+      leaf->tag = tag;
+      leaf->count = 1;
+      AttachChild(split, leaf);
+    }
+    *inserted = true;
+    Recount(split);
+    replacement = split;
+  }
+  ReplaceChild(copy, byte, replacement);
+  Recount(copy);
+  return copy;
+}
+
+Status CowTrie::Put(BranchId branch, const Slice& key,
+                    std::shared_ptr<const std::string> value, uint64_t tag) {
+  if (value == nullptr) return Status::InvalidArgument("null value");
+  std::lock_guard<std::mutex> write_guard(write_mu_);
+  bool missing = false;
+  Node* root = PinRoot(branch, &missing);
+  if (missing) {
+    return Status::NotFound("unknown branch " + std::to_string(branch));
+  }
+  Node* new_root = nullptr;
+  bool inserted = false;
+  if (root == nullptr) {
+    new_root = NewNode();  // empty branch: fresh root, then insert below it
+    if (key.empty()) {
+      new_root->has_value = true;
+      new_root->value = std::move(value);
+      new_root->tag = tag;
+      new_root->count = 1;
+    } else {
+      Node* leaf = NewNode();
+      leaf->label = key.ToString();
+      leaf->has_value = true;
+      leaf->value = std::move(value);
+      leaf->tag = tag;
+      leaf->count = 1;
+      AttachChild(new_root, leaf);
+      new_root->count = 1;
+    }
+  } else {
+    new_root = InsertBelow(root, key, value, tag, &inserted);
+  }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    branches_[branch].root = new_root;
+  }
+  if (root != nullptr) {
+    Unref(root);  // the pin
+    Unref(root);  // the branch-table reference the new root displaced
+  }
+  return Status::OK();
+}
+
+bool CowTrie::DeleteBelow(const Node* n, const Slice& rest, bool is_root,
+                          Node** out) {
+  if (rest.empty()) {
+    if (!n->has_value) return false;
+    if (n->children.empty() && !is_root) {
+      *out = nullptr;
+      return true;
+    }
+    Node* copy = CloneNode(n);
+    copy->has_value = false;
+    copy->value = nullptr;
+    copy->tag = 0;
+    Recount(copy);
+    *out = Compact(copy, is_root);
+    return true;
+  }
+  const uint8_t byte = static_cast<uint8_t>(rest.data()[0]);
+  const Node* child = FindChild(n, byte);
+  if (child == nullptr) return false;
+  if (rest.size() < child->label.size() ||
+      memcmp(rest.data(), child->label.data(), child->label.size()) != 0) {
+    return false;
+  }
+  Node* child_out = nullptr;
+  if (!DeleteBelow(child,
+                   Slice(rest.data() + child->label.size(),
+                         rest.size() - child->label.size()),
+                   /*is_root=*/false, &child_out)) {
+    return false;
+  }
+  Node* copy = CloneNode(n);
+  ReplaceChild(copy, byte, child_out);
+  Recount(copy);
+  if (!is_root && !copy->has_value && copy->children.empty()) {
+    Unref(copy);
+    *out = nullptr;
+    return true;
+  }
+  *out = Compact(copy, is_root);
+  return true;
+}
+
+/// Re-establishes path compression on a *fresh* node: a valueless node
+/// with a single child folds into it (the child may be shared — it is
+/// shallow-cloned to take the longer label). Roots keep their empty label.
+CowTrie::Node* CowTrie::Compact(Node* fresh, bool is_root) {
+  if (is_root || fresh->has_value || fresh->children.size() != 1) {
+    return fresh;
+  }
+  Node* child = fresh->children[0];
+  Node* merged = CloneNode(child);
+  merged->label = fresh->label + child->label;
+  Unref(fresh);  // drops its reference on `child` too
+  return merged;
+}
+
+Status CowTrie::Delete(BranchId branch, const Slice& key) {
+  std::lock_guard<std::mutex> write_guard(write_mu_);
+  bool missing = false;
+  Node* root = PinRoot(branch, &missing);
+  if (missing) {
+    return Status::NotFound("unknown branch " + std::to_string(branch));
+  }
+  if (root == nullptr) return Status::NotFound();
+  Node* new_root = nullptr;
+  const bool found = DeleteBelow(root, key, /*is_root=*/true, &new_root);
+  if (!found) {
+    Unref(root);
+    return Status::NotFound();
+  }
+  if (new_root != nullptr && new_root->count == 0) {
+    Unref(new_root);
+    new_root = nullptr;  // emptied out: drop the bare root node
+  }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    branches_[branch].root = new_root;
+  }
+  Unref(root);  // the pin
+  Unref(root);  // the displaced branch-table reference
+  return Status::OK();
+}
+
+// ---- views --------------------------------------------------------------------
+
+CowTrie::View CowTrie::Advance(const View& v, uint8_t byte) {
+  if (v.node == nullptr) return View{};
+  if (v.off < v.node->label.size()) {
+    if (static_cast<uint8_t>(v.node->label[v.off]) != byte) return View{};
+    return View{v.node, v.off + 1};
+  }
+  Node* child = FindChild(v.node, byte);
+  if (child == nullptr) return View{};
+  return View{child, 1};
+}
+
+bool CowTrie::ViewValue(const View& v, Version* out) {
+  *out = Version{};
+  if (v.node == nullptr || v.off != v.node->label.size() ||
+      !v.node->has_value) {
+    return false;
+  }
+  out->present = true;
+  out->value = v.node->value;
+  out->tag = v.node->tag;
+  return true;
+}
+
+/// The transition bytes leaving a view, ascending.
+void CowTrie::ViewTransitions(const View& v, std::vector<uint8_t>* out) {
+  if (v.node == nullptr) return;
+  if (v.off < v.node->label.size()) {
+    out->push_back(static_cast<uint8_t>(v.node->label[v.off]));
+    return;
+  }
+  for (const Node* child : v.node->children) {
+    out->push_back(static_cast<uint8_t>(child->label[0]));
+  }
+}
+
+CowTrie::Node* CowTrie::DetachView(const View& v) {
+  if (v.node == nullptr) return nullptr;
+  if (v.off <= 1) {
+    // Whole node: off==0 is a root position, off==1 a child whose label
+    // already begins with the consumed byte. Share it outright.
+    Ref(v.node);
+    return v.node;
+  }
+  Node* copy = CloneNode(v.node);
+  copy->label = v.node->label.substr(v.off - 1);
+  return copy;
+}
+
+// ---- diff ---------------------------------------------------------------------
+
+void CowTrie::DiffRec(const View& base, const View& branch,
+                      std::string* prefix, const DiffFn& fn) const {
+  if (base == branch) return;  // structurally shared: identical, skip
+  Version before, after;
+  ViewValue(base, &before);
+  ViewValue(branch, &after);
+  if (!SameVersion(before, after)) {
+    fn(Slice(*prefix), before, after);
+  }
+  std::vector<uint8_t> bytes;
+  ViewTransitions(base, &bytes);
+  ViewTransitions(branch, &bytes);
+  std::sort(bytes.begin(), bytes.end());
+  bytes.erase(std::unique(bytes.begin(), bytes.end()), bytes.end());
+  for (uint8_t b : bytes) {
+    prefix->push_back(static_cast<char>(b));
+    DiffRec(Advance(base, b), Advance(branch, b), prefix, fn);
+    prefix->pop_back();
+  }
+}
+
+Status CowTrie::Diff(BranchId base, BranchId branch, const DiffFn& fn) const {
+  bool base_missing = false, branch_missing = false;
+  Node* base_root = PinRoot(base, &base_missing);
+  Node* branch_root = PinRoot(branch, &branch_missing);
+  if (base_missing || branch_missing) {
+    if (base_root != nullptr) Unref(base_root);
+    if (branch_root != nullptr) Unref(branch_root);
+    return Status::NotFound("unknown branch " +
+                            std::to_string(base_missing ? base : branch));
+  }
+  std::string prefix;
+  DiffRec(View{base_root, 0}, View{branch_root, 0}, &prefix, fn);
+  if (base_root != nullptr) Unref(base_root);
+  if (branch_root != nullptr) Unref(branch_root);
+  return Status::OK();
+}
+
+// ---- 3-way merge --------------------------------------------------------------
+
+CowTrie::Node* CowTrie::MergeRec(const View& base, const View& src,
+                                 const View& dest, std::string* prefix,
+                                 const ConflictFn& resolve,
+                                 MergeStats* stats) {
+  // Pointer short-circuits — the reason merge is O(diff). Equal views are
+  // byte-identical subtries; a side equal to base contributed nothing.
+  if (src == dest) return DetachView(src);
+  if (src == base) return DetachView(dest);
+  if (dest == base) return DetachView(src);
+
+  Version bv, sv, dv;
+  ViewValue(base, &bv);
+  ViewValue(src, &sv);
+  ViewValue(dest, &dv);
+  Version merged;
+  const bool src_changed = !SameVersion(sv, bv);
+  const bool dest_changed = !SameVersion(dv, bv);
+  if (!src_changed) {
+    merged = dv;
+  } else if (!dest_changed) {
+    merged = sv;
+  } else if (SameVersion(sv, dv)) {
+    merged = sv;  // both sides arrived at the same version independently
+  } else {
+    stats->conflicts++;
+    merged = resolve != nullptr ? resolve(Slice(*prefix), bv, sv, dv)
+                                : (sv.tag >= dv.tag ? sv : dv);
+  }
+  if ((src_changed || dest_changed) &&
+      (bv.present || sv.present || dv.present)) {
+    stats->diff_keys++;
+  }
+
+  Node* out = NewNode();
+  out->label = prefix->empty()
+                   ? std::string()
+                   : std::string(1, prefix->back());
+  if (merged.present) {
+    out->has_value = true;
+    out->value = merged.value;
+    out->tag = merged.tag;
+  }
+  std::vector<uint8_t> bytes;
+  ViewTransitions(base, &bytes);
+  ViewTransitions(src, &bytes);
+  ViewTransitions(dest, &bytes);
+  std::sort(bytes.begin(), bytes.end());
+  bytes.erase(std::unique(bytes.begin(), bytes.end()), bytes.end());
+  for (uint8_t b : bytes) {
+    prefix->push_back(static_cast<char>(b));
+    Node* child = MergeRec(Advance(base, b), Advance(src, b),
+                           Advance(dest, b), prefix, resolve, stats);
+    prefix->pop_back();
+    if (child != nullptr) {
+      if (child->count == 0) {
+        Unref(child);  // the recursion emptied this subtree
+      } else {
+        AttachChild(out, child);
+      }
+    }
+  }
+  Recount(out);
+  if (out->count == 0 && !prefix->empty()) {
+    Unref(out);
+    return nullptr;
+  }
+  // Merge output along diverged paths may be a valueless single-child
+  // chain; fold it back into compressed form (the node is fresh, so the
+  // fold is safe).
+  return Compact(out, /*is_root=*/prefix->empty());
+}
+
+StatusOr<BranchStore::MergeStats> CowTrie::Merge(BranchId base, BranchId src,
+                                                 BranchId dest, BranchId out,
+                                                 const ConflictFn& resolve) {
+  const uint64_t start_us = NowMicros();
+  std::lock_guard<std::mutex> write_guard(write_mu_);
+  bool base_missing = false, src_missing = false, dest_missing = false;
+  Node* base_root = PinRoot(base, &base_missing);
+  Node* src_root = PinRoot(src, &src_missing);
+  Node* dest_root = PinRoot(dest, &dest_missing);
+  if (base_missing || src_missing || dest_missing) {
+    if (base_root != nullptr) Unref(base_root);
+    if (src_root != nullptr) Unref(src_root);
+    if (dest_root != nullptr) Unref(dest_root);
+    const BranchId which =
+        base_missing ? base : (src_missing ? src : dest);
+    return Status::NotFound("unknown branch " + std::to_string(which));
+  }
+
+  MergeStats stats;
+  std::string prefix;
+  Node* merged_root = MergeRec(View{base_root, 0}, View{src_root, 0},
+                               View{dest_root, 0}, &prefix, resolve, &stats);
+  if (merged_root != nullptr && merged_root->count == 0) {
+    Unref(merged_root);
+    merged_root = nullptr;
+  }
+
+  Node* displaced = nullptr;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto [it, created] = branches_.emplace(out, BranchEntry{});
+    displaced = it->second.root;
+    it->second.root = merged_root;
+  }
+  if (displaced != nullptr) Unref(displaced);
+  if (base_root != nullptr) Unref(base_root);
+  if (src_root != nullptr) Unref(src_root);
+  if (dest_root != nullptr) Unref(dest_root);
+
+  if (merge_diff_keys_ != nullptr) merge_diff_keys_->Increment(stats.diff_keys);
+  if (merge_conflicts_ != nullptr) merge_conflicts_->Increment(stats.conflicts);
+  if (merge_us_ != nullptr) merge_us_->Observe(NowMicros() - start_us);
+  return stats;
+}
+
+// ---- iteration ----------------------------------------------------------------
+
+Status CowTrie::ForEachRec(
+    const Node* n, std::string* prefix,
+    const std::function<Status(const Slice& key, const std::string& value)>&
+        fn) const {
+  const size_t mark = prefix->size();
+  prefix->append(n->label);
+  if (n->has_value) {
+    TARDIS_RETURN_IF_ERROR(fn(Slice(*prefix), *n->value));
+  }
+  for (const Node* child : n->children) {
+    TARDIS_RETURN_IF_ERROR(ForEachRec(child, prefix, fn));
+  }
+  prefix->resize(mark);
+  return Status::OK();
+}
+
+Status CowTrie::ForEach(
+    BranchId branch,
+    const std::function<Status(const Slice& key, const std::string& value)>&
+        fn) const {
+  bool missing = false;
+  Node* root = PinRoot(branch, &missing);
+  if (missing) {
+    return Status::NotFound("unknown branch " + std::to_string(branch));
+  }
+  if (root == nullptr) return Status::OK();
+  std::string prefix;
+  Status s = ForEachRec(root, &prefix, fn);
+  Unref(root);
+  return s;
+}
+
+}  // namespace tardis

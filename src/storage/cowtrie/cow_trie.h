@@ -1,0 +1,187 @@
+// CowTrie: a path-copying copy-on-write radix trie implementing
+// BranchStore (DESIGN.md §12).
+//
+// Structure. Nodes are immutable once published: a write path-copies the
+// O(key)-long spine from the root to the touched leaf position and
+// republishes the branch root; every untouched subtree is shared with the
+// previous version by bumping its reference count. A branch is just a
+// root pointer, so Fork is one refcount increment, and two branches that
+// have not diverged share every node.
+//
+// Node layout: each node carries a compressed edge label (its full label
+// including the byte that selects it from the parent), an optional tagged
+// value at the end of the label, a child vector sorted by the children's
+// first label byte, and a subtree key count (making BranchSize O(1)).
+//
+// Allocation. Nodes are placement-constructed in a chunked arena with a
+// free list (NodeArena): node turnover during path copying recycles slots
+// instead of hammering the general-purpose allocator, and the arena's
+// counters feed the tardis_trie_nodes / tardis_trie_shared_nodes gauges.
+//
+// Concurrency. Structural mutation is serialized by a writer mutex;
+// readers pin a root (refcount bump) under the branch-table mutex and
+// then traverse entirely lock-free over immutable nodes — concurrent
+// readers of forked branches never block a writer path-copying a sibling
+// branch, which is exactly the access pattern of TARDiS
+// branch-on-conflict commits. A writer builds its new spine outside the
+// branch-table lock and republishes the root under it.
+//
+// Merge. Merge(base, src, dest) recurses over byte-aligned "views" of the
+// three tries and short-circuits on pointer equality: subtrees src or
+// dest still share with base (or with each other) are taken wholesale
+// without being walked, so the cost is O(diff), not O(store). Key-level
+// conflicts (changed on both sides since base) go through the caller's
+// ConflictFn; the default keeps the value with the larger tag, which for
+// the TARDiS core (tag = writing state id) reproduces the key-version
+// map's descending-id visibility rule.
+
+#ifndef TARDIS_STORAGE_COWTRIE_COW_TRIE_H_
+#define TARDIS_STORAGE_COWTRIE_COW_TRIE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/cowtrie/branch_store.h"
+
+namespace tardis {
+
+class CowTrie : public BranchStore {
+ public:
+  /// `registry` (optional) receives the trie metric family under `labels`
+  /// (e.g. the owning site); counters keep working after the trie is
+  /// destroyed, callback gauges are dropped.
+  explicit CowTrie(obs::MetricsRegistry* registry = nullptr,
+                   obs::LabelSet labels = {});
+  ~CowTrie() override;
+
+  CowTrie(const CowTrie&) = delete;
+  CowTrie& operator=(const CowTrie&) = delete;
+
+  Status CreateBranch(BranchId id) override;
+  Status Fork(BranchId parent, BranchId child) override;
+  Status Release(BranchId id) override;
+  bool HasBranch(BranchId id) const override;
+
+  Status Put(BranchId branch, const Slice& key,
+             std::shared_ptr<const std::string> value, uint64_t tag) override;
+  Status Get(BranchId branch, const Slice& key,
+             std::string* value) const override;
+  Status Delete(BranchId branch, const Slice& key) override;
+  uint64_t BranchSize(BranchId branch) const override;
+
+  StatusOr<MergeStats> Merge(BranchId base, BranchId src, BranchId dest,
+                             BranchId out, const ConflictFn& resolve) override;
+  Status Diff(BranchId base, BranchId branch, const DiffFn& fn) const override;
+  Status ForEach(BranchId branch,
+                 const std::function<Status(const Slice& key,
+                                            const std::string& value)>& fn)
+      const override;
+
+  const char* name() const override { return "trie"; }
+
+  /// Live node count across all branches (structural sharing counts a
+  /// shared node once).
+  uint64_t node_count() const {
+    return live_nodes_.load(std::memory_order_relaxed);
+  }
+  /// Extra structural references to live nodes (sum of refcount-1): how
+  /// much sharing copy-on-write is buying. 0 means every node is owned by
+  /// exactly one parent.
+  uint64_t shared_node_refs() const {
+    return extra_refs_.load(std::memory_order_relaxed);
+  }
+  size_t branch_count() const;
+
+ private:
+  struct Node;
+
+  /// A byte-aligned position inside a trie: `off` label bytes of `node`
+  /// already consumed. Two views over different tries denote the same key
+  /// prefix, which is what lets the merge/diff recursions compare
+  /// subtrees across tries. node == nullptr is the empty subtrie.
+  struct View {
+    Node* node = nullptr;
+    uint32_t off = 0;
+    bool operator==(const View& other) const {
+      return node == other.node && off == other.off;
+    }
+  };
+
+  // Node lifetime.
+  Node* NewNode();
+  void Ref(Node* n) const;
+  void Unref(Node* n) const;
+  static Node* FindChild(const Node* n, uint8_t byte);
+  Node* CloneNode(const Node* n) const;
+  static void Recount(Node* n);
+  static void AttachChild(Node* parent, Node* child);
+  void ReplaceChild(Node* parent, uint8_t byte, Node* replacement);
+
+  // Path-copying primitives. `rest` is the key portion below n's label.
+  // Returned nodes own one reference for the caller.
+  Node* InsertBelow(const Node* n, const Slice& rest,
+                    const std::shared_ptr<const std::string>& value,
+                    uint64_t tag, bool* inserted);
+  bool DeleteBelow(const Node* n, const Slice& rest, bool is_root,
+                   Node** out);
+  Node* Compact(Node* fresh, bool is_root);
+
+  // View helpers.
+  static View Advance(const View& v, uint8_t byte);
+  static bool ViewValue(const View& v, Version* out);
+  static void ViewTransitions(const View& v, std::vector<uint8_t>* out);
+  /// Materializes the subtree a view denotes as a standalone node whose
+  /// label starts with the last consumed byte (shares all children).
+  Node* DetachView(const View& v);
+
+  Node* MergeRec(const View& base, const View& src, const View& dest,
+                 std::string* prefix, const ConflictFn& resolve,
+                 MergeStats* stats);
+  void DiffRec(const View& base, const View& branch, std::string* prefix,
+               const DiffFn& fn) const;
+  Status ForEachRec(const Node* n, std::string* prefix,
+                    const std::function<Status(const Slice& key,
+                                               const std::string& value)>& fn)
+      const;
+
+  /// Pins (Ref) and returns the root of `branch`, or sets *missing.
+  Node* PinRoot(BranchId branch, bool* missing) const;
+
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const obs::LabelSet& labels);
+
+  struct BranchEntry {
+    Node* root = nullptr;  // null = empty branch
+  };
+
+  // Lock order: write_mu_ -> mu_ -> arena_mu_.
+  mutable std::mutex write_mu_;  // serializes structural mutation
+  mutable std::mutex mu_;        // branch table; readers pin roots under it
+  std::unordered_map<BranchId, BranchEntry> branches_;
+
+  // Arena: chunked slabs of node slots with a free list. A reader's final
+  // Unref can free nodes, so the arena has its own (innermost) mutex.
+  static constexpr size_t kChunkNodes = 1024;
+  mutable std::mutex arena_mu_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  mutable std::vector<Node*> free_list_;
+
+  mutable std::atomic<uint64_t> live_nodes_{0};
+  mutable std::atomic<uint64_t> extra_refs_{0};
+
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Counter* merge_diff_keys_ = nullptr;
+  obs::Counter* merge_conflicts_ = nullptr;
+  obs::HistogramMetric* fork_us_ = nullptr;
+  obs::HistogramMetric* merge_us_ = nullptr;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_STORAGE_COWTRIE_COW_TRIE_H_

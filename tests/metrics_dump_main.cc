@@ -58,6 +58,16 @@ const char* kExpectedNames[] = {
     // sites. Store, 2PC, router, and replicator each register their
     // stages into it.
     "tardis_stage_micros",
+    // Fork-native storage (src/storage/cowtrie/, DESIGN.md §12). The
+    // backend info metric exists on every store; the trie family appears
+    // because this check runs on the trie backend.
+    "tardis_store_backend",
+    "tardis_trie_nodes",
+    "tardis_trie_shared_nodes",
+    "tardis_trie_merge_diff_keys",
+    "tardis_trie_merge_conflicts",
+    "tardis_trie_fork_us",
+    "tardis_trie_merge_us",
 };
 
 #define CHECK_OK(expr)                                                  \
@@ -76,6 +86,10 @@ int main() {
   using namespace tardis;
 
   TardisOptions options;  // in-memory
+  // The trie backend exposes every series the other backends do, plus the
+  // tardis_trie_* family — running the drift check on it covers the
+  // superset.
+  options.backend = RecordBackend::kTrie;
   auto store_or = TardisStore::Open(options);
   if (!store_or.ok()) {
     fprintf(stderr, "FAIL: Open: %s\n", store_or.status().ToString().c_str());

@@ -1,0 +1,148 @@
+// Backend conformance suite: every RecordStore implementation — memstore,
+// the B-tree, and the trie adapter — must satisfy the same observable
+// contract (Put/Get overwrite, Delete's NotFound, size(), Sync, and
+// ForEachKey including early-stop on a non-OK status). The TARDiS core
+// switches backends via TardisOptions::backend, so any divergence here is
+// a behavioural difference the core would inherit silently.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/btree_record_store.h"
+#include "storage/cowtrie/trie_record_store.h"
+#include "storage/memstore.h"
+#include "storage/record_store.h"
+
+namespace tardis {
+namespace {
+
+class RecordStoreConformance : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    const std::string which = GetParam();
+    if (which == "mem") {
+      store_ = std::make_unique<MemRecordStore>();
+    } else if (which == "trie") {
+      store_ = std::make_unique<TrieRecordStore>();
+    } else {
+      // Parameterized test names contain '/': flatten for the filesystem.
+      std::string name =
+          ::testing::UnitTest::GetInstance()->current_test_info()->name();
+      std::replace(name.begin(), name.end(), '/', '_');
+      path_ = ::testing::TempDir() + "tardis_conformance_" + name + ".db";
+      ::remove(path_.c_str());
+      auto opened = BTreeRecordStore::Open(path_);
+      ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+      store_ = std::move(*opened);
+    }
+  }
+
+  void TearDown() override {
+    store_.reset();
+    if (!path_.empty()) ::remove(path_.c_str());
+  }
+
+  std::unique_ptr<RecordStore> store_;
+  std::string path_;
+};
+
+TEST_P(RecordStoreConformance, PutGetOverwrite) {
+  EXPECT_EQ(store_->size(), 0u);
+  ASSERT_TRUE(store_->Put("k", "v1").ok());
+  std::string v;
+  ASSERT_TRUE(store_->Get("k", &v).ok());
+  EXPECT_EQ(v, "v1");
+  ASSERT_TRUE(store_->Put("k", "v2").ok());
+  ASSERT_TRUE(store_->Get("k", &v).ok());
+  EXPECT_EQ(v, "v2");
+  EXPECT_EQ(store_->size(), 1u);
+  EXPECT_TRUE(store_->Get("absent", &v).IsNotFound());
+}
+
+TEST_P(RecordStoreConformance, EmptyAndBinaryValues) {
+  ASSERT_TRUE(store_->Put("empty", "").ok());
+  std::string v = "sentinel";
+  ASSERT_TRUE(store_->Get("empty", &v).ok());
+  EXPECT_EQ(v, "");
+  const std::string binary("\x00\x01\xff\x7f nul\x00 inside", 16);
+  ASSERT_TRUE(store_->Put("bin", binary).ok());
+  ASSERT_TRUE(store_->Get("bin", &v).ok());
+  EXPECT_EQ(v, binary);
+}
+
+TEST_P(RecordStoreConformance, DeleteSemantics) {
+  ASSERT_TRUE(store_->Put("k", "v").ok());
+  ASSERT_TRUE(store_->Delete("k").ok());
+  std::string v;
+  EXPECT_TRUE(store_->Get("k", &v).IsNotFound());
+  EXPECT_EQ(store_->size(), 0u);
+  // Deleting a missing key reports NotFound on every backend.
+  EXPECT_TRUE(store_->Delete("k").IsNotFound());
+  EXPECT_TRUE(store_->Delete("never-existed").IsNotFound());
+}
+
+TEST_P(RecordStoreConformance, SizeTracksLiveKeys) {
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(store_->Put("key" + std::to_string(i), "v").ok());
+  }
+  EXPECT_EQ(store_->size(), 50u);
+  for (int i = 0; i < 50; i += 2) {
+    ASSERT_TRUE(store_->Delete("key" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(store_->size(), 25u);
+  // Overwrites do not change the count.
+  ASSERT_TRUE(store_->Put("key1", "v2").ok());
+  EXPECT_EQ(store_->size(), 25u);
+}
+
+TEST_P(RecordStoreConformance, SyncSucceedsAndPreservesData) {
+  ASSERT_TRUE(store_->Put("k", "v").ok());
+  ASSERT_TRUE(store_->Sync().ok());
+  std::string v;
+  ASSERT_TRUE(store_->Get("k", &v).ok());
+  EXPECT_EQ(v, "v");
+}
+
+TEST_P(RecordStoreConformance, ForEachKeySeesEveryKeyOnce) {
+  std::set<std::string> expected;
+  for (int i = 0; i < 30; i++) {
+    const std::string key = "fek/" + std::to_string(i);
+    ASSERT_TRUE(store_->Put(key, "v").ok());
+    expected.insert(key);
+  }
+  ASSERT_TRUE(store_->Delete("fek/7").ok());
+  expected.erase("fek/7");
+
+  std::vector<std::string> seen;
+  ASSERT_TRUE(store_->ForEachKey([&](const Slice& key) {
+                seen.push_back(key.ToString());
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(std::set<std::string>(seen.begin(), seen.end()), expected);
+  EXPECT_EQ(seen.size(), expected.size());  // no duplicates
+}
+
+TEST_P(RecordStoreConformance, ForEachKeyStopsOnFirstError) {
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(store_->Put("k" + std::to_string(i), "v").ok());
+  }
+  int visited = 0;
+  Status s = store_->ForEachKey([&](const Slice&) {
+    return ++visited == 3 ? Status::Aborted("early stop") : Status::OK();
+  });
+  EXPECT_TRUE(s.IsAborted()) << s.ToString();
+  EXPECT_EQ(visited, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, RecordStoreConformance,
+                         ::testing::Values("mem", "btree", "trie"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace tardis
