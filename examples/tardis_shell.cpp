@@ -9,11 +9,16 @@
 //   $ ./examples/tardis_shell --connect host:port   # remote mode
 //
 // With --connect the shell attaches to a running tardisd (client port) or
-// tardis-router instead of an in-process store: lines are sent verbatim
-// over the daemons' line protocol and replies printed, with END-
-// terminated multi-line replies (health, metrics, stats, merge, sync)
-// read to completion. Against a router, `health` therefore shows the
-// aggregated per-partition state (one P<i>-prefixed block per partition).
+// tardis-router instead of an in-process store, through TardisClient
+// (src/client/): commands carry the `*S` session header, writes are
+// exactly-once across retries, retryable errors (ERR BUSY / DEADLINE /
+// SHUTTING_DOWN / BEHIND) back off with jitter, and a comma-separated
+// endpoint list fails over automatically. END-terminated multi-line
+// replies (health, metrics, stats, merge, sync) are read to completion.
+// Against a router, `health` therefore shows the aggregated per-partition
+// state (one P<i>-prefixed block per partition). --stale-reads-ms=N
+// relaxes session read floors learned in the last N ms (bounded-staleness
+// degraded reads instead of failover when replicas lag).
 //
 // Commands:
 //   session <name>          switch to (or create) a client session
@@ -40,13 +45,8 @@
 #include <string>
 #include <vector>
 
-#include "cluster/framed_client.h"
+#include "client/tardis_client.h"
 #include "core/tardis_store.h"
-
-#include <netdb.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 using namespace tardis;
 
@@ -225,86 +225,51 @@ struct Shell {
   }
 };
 
-/// Remote mode: a line-oriented client for tardisd / tardis-router.
-/// Knows which commands produce END-terminated multi-line replies so the
-/// REPL prints them whole instead of one line per prompt.
+/// Remote mode: the REPL front-end over TardisClient, which owns the one
+/// retry/backoff/failover implementation for the line protocol. Knows
+/// which commands produce END-terminated multi-line replies so the REPL
+/// prints them whole instead of one line per prompt.
 struct RemoteShell {
-  int fd = -1;
-  std::string inbuf;
+  std::unique_ptr<client::TardisClient> cli;
 
-  bool Connect(const std::string& endpoint) {
-    std::string host;
-    uint16_t port = 0;
-    Status s = cluster::ParseEndpoint(endpoint, &host, &port);
+  bool Connect(const std::string& endpoints_csv, uint64_t stale_reads_ms) {
+    client::TardisClientOptions opt;
+    std::stringstream ss(endpoints_csv);
+    std::string ep;
+    while (std::getline(ss, ep, ',')) {
+      if (!ep.empty()) opt.endpoints.push_back(ep);
+    }
+    opt.stale_reads_ms = stale_reads_ms;
+    cli = std::make_unique<client::TardisClient>(std::move(opt));
+    std::string reply;
+    Status s = cli->Call("ping", &reply);
     if (!s.ok()) {
-      fprintf(stderr, "connect: %s\n", s.ToString().c_str());
+      fprintf(stderr, "connect %s: %s\n", endpoints_csv.c_str(),
+              s.ToString().c_str());
       return false;
     }
-    struct addrinfo hints;
-    memset(&hints, 0, sizeof(hints));
-    hints.ai_family = AF_INET;
-    hints.ai_socktype = SOCK_STREAM;
-    struct addrinfo* res = nullptr;
-    const std::string port_str = std::to_string(port);
-    if (getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0 ||
-        res == nullptr) {
-      fprintf(stderr, "connect: cannot resolve %s\n", host.c_str());
-      return false;
-    }
-    fd = socket(res->ai_family, SOCK_STREAM, 0);
-    if (fd < 0 || connect(fd, res->ai_addr, res->ai_addrlen) != 0) {
-      fprintf(stderr, "connect %s: %s\n", endpoint.c_str(), strerror(errno));
-      freeaddrinfo(res);
-      if (fd >= 0) close(fd);
-      fd = -1;
-      return false;
-    }
-    freeaddrinfo(res);
     return true;
   }
 
-  ~RemoteShell() {
-    if (fd >= 0) close(fd);
-  }
-
-  bool ReadLine(std::string* line) {
-    size_t nl;
-    while ((nl = inbuf.find('\n')) == std::string::npos) {
-      char chunk[65536];
-      const ssize_t n = read(fd, chunk, sizeof(chunk));
-      if (n <= 0) return false;
-      inbuf.append(chunk, static_cast<size_t>(n));
-    }
-    *line = inbuf.substr(0, nl);
-    inbuf.erase(0, nl + 1);
-    return true;
-  }
-
-  /// Sends one command, prints the full reply. Returns false once the
-  /// connection is gone.
+  /// Sends one command, prints the full reply. Returns false when the
+  /// REPL should exit.
   bool Execute(const std::string& line) {
     std::stringstream ss(line);
     std::string cmd;
     if (!(ss >> cmd)) return true;
-    std::string framed = line + "\n";
-    size_t off = 0;
-    while (off < framed.size()) {
-      const ssize_t n = write(fd, framed.data() + off, framed.size() - off);
-      if (n <= 0) return false;
-      off += static_cast<size_t>(n);
-    }
     const bool multi_line = cmd == "health" || cmd == "metrics" ||
                             cmd == "stats" || cmd == "merge" || cmd == "sync";
     std::string reply;
-    if (!ReadLine(&reply)) return false;
-    printf("%s\n", reply.c_str());
-    if (multi_line && reply != "END" &&
-        reply.compare(0, 4, "ERR ") != 0) {
-      while (reply != "END") {
-        if (!ReadLine(&reply)) return false;
-        printf("%s\n", reply.c_str());
-      }
+    const Status s =
+        multi_line ? cli->CallMulti(line, &reply) : cli->Call(line, &reply);
+    if (!s.ok()) {
+      // The client already retried to its deadline; the session survives,
+      // so a later command simply reconnects.
+      printf("ERR %s\n", s.ToString().c_str());
+      return !(cmd == "quit" || cmd == "shutdown");
     }
+    if (!reply.empty()) printf("%s\n", reply.c_str());
+    if (multi_line && reply.compare(0, 4, "ERR ") != 0) printf("END\n");
     return !(cmd == "quit" || cmd == "shutdown");
   }
 };
@@ -338,14 +303,22 @@ int main(int argc, char** argv) {
     } else if (argc > 2) {
       endpoint = argv[2];
     }
+    uint64_t stale_reads_ms = 0;
+    for (int i = 2; i < argc; i++) {
+      if (strncmp(argv[i], "--stale-reads-ms=", 17) == 0) {
+        stale_reads_ms = strtoull(argv[i] + 17, nullptr, 10);
+      }
+    }
     if (endpoint.empty()) {
-      fprintf(stderr, "usage: tardis_shell --connect host:port\n");
+      fprintf(stderr,
+              "usage: tardis_shell --connect host:port[,host:port...] "
+              "[--stale-reads-ms=N]\n");
       return 2;
     }
     RemoteShell remote;
-    if (!remote.Connect(endpoint)) return 1;
-    printf("TARDiS shell — connected to %s (remote line protocol; try "
-           "`health`).\n",
+    if (!remote.Connect(endpoint, stale_reads_ms)) return 1;
+    printf("TARDiS shell — connected to %s (remote line protocol with "
+           "session retries/failover; try `health`).\n",
            endpoint.c_str());
     std::string line;
     while (true) {

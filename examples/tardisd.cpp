@@ -61,6 +61,17 @@
 // context for the request, so the daemon's spans join the caller's
 // trace. --slow-ms=MS logs a structured warning for any request slower
 // than MS, with the trace id and the per-stage latency breakdown.
+//
+// After the trace header a line may carry an exactly-once session header
+// "*S<sid>/<seq>/<attempt>/<flags>[/floors]" (DESIGN.md §13): sessioned
+// writes are deduped against the per-site table and answered
+// "OK STATE <site>:<seq>"; sessioned requests whose read floors this
+// site has not caught up to are refused "ERR BEHIND" (retryable at
+// another site) unless the header sets the stale-ok flag; and sessioned
+// replies are prefixed with a "*F<site>:<seq>,..." floor token the
+// client folds back into its session. A corrupt or oversized session
+// header is rejected with retryable "ERR HEADER" — never silently
+// stripped, which would turn a dedupable write into a blind one.
 
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -88,6 +99,7 @@
 #include "cluster/coord_server.h"
 #include "cluster/framed_client.h"
 #include "cluster/twopc.h"
+#include "core/session.h"
 #include "net/tcp_transport.h"
 #include "obs/exposition.h"
 #include "obs/http_exporter.h"
@@ -310,7 +322,8 @@ std::string HandleCommand(const std::string& line, TardisStore* store,
                           ClientSession* session, Replicator* replicator,
                           TcpTransport* transport, uint32_t site,
                           obs::MetricsRegistry* registry, DaemonShared* shared,
-                          bool* close_conn, bool* shutdown) {
+                          bool* close_conn, bool* shutdown,
+                          const SessionHeader* sess = nullptr) {
   std::stringstream ss(line);
   std::string cmd;
   ss >> cmd;
@@ -324,9 +337,17 @@ std::string HandleCommand(const std::string& line, TardisStore* store,
     if (key.empty()) return "ERR usage: put <key> <value>";
     auto txn = store->Begin(session);
     if (!txn.ok()) return "ERR " + txn.status().ToString();
+    const bool tagged = sess != nullptr && sess->write();
+    if (tagged) (*txn)->SetSessionTag(sess->session_id, sess->seq);
     Status s = (*txn)->Put(key, value);
     if (s.ok()) s = (*txn)->Commit();
-    return s.ok() ? "OK" : "ERR " + s.ToString();
+    if (!s.ok()) return "ERR " + s.ToString();
+    // Sessioned writes name the commit they produced, so a retry served
+    // from dedup can return the identical reply.
+    if (tagged && session->last_commit() != nullptr) {
+      return "OK STATE " + session->last_commit()->guid().ToString();
+    }
+    return "OK";
   }
   if (cmd == "get") {
     std::string key;
@@ -476,6 +497,62 @@ std::string HandleCommand(const std::string& line, TardisStore* store,
     return "BYE";
   }
   return "ERR unknown command '" + cmd + "'";
+}
+
+/// Session-aware execution front door (DESIGN.md §13), shared by the
+/// client-port workers and the coordination server's kRoute executor:
+/// validates/strips the `*S` header (corrupt -> retryable ERR HEADER +
+/// counter, never silently stripped), enforces the session's read floors
+/// (ERR BEHIND unless stale-ok), answers retried sessioned writes from
+/// the dedup table, and prefixes sessioned replies with this site's
+/// floor token.
+std::string ExecuteSessionLine(std::string line, TardisStore* store,
+                               ClientSession* session,
+                               Replicator* replicator,
+                               TcpTransport* transport, uint32_t site,
+                               obs::MetricsRegistry* registry,
+                               DaemonShared* shared, bool* close_conn,
+                               bool* shutdown) {
+  SessionHeader sess;
+  const SessionHeaderStatus hs = StripSessionHeader(&line, &sess);
+  if (hs == SessionHeaderStatus::kMalformed) {
+    store->session_dedup()->IncrementRejected();
+    return "ERR HEADER malformed or oversized session header; retry with "
+           "a valid *S token";
+  }
+  if (hs == SessionHeaderStatus::kAbsent) {
+    return HandleCommand(line, store, session, replicator, transport, site,
+                         registry, shared, close_conn, shutdown);
+  }
+
+  // Read-your-writes / monotonic reads: this site must have applied
+  // everything the session has already seen, unless the client opted
+  // into bounded staleness for this request.
+  if (!sess.stale_ok() &&
+      !SessionFloorsCovered(sess, site, store->dag()->local_seq(),
+                            replicator->AppliedFloors())) {
+    return "ERR BEHIND site missing session writes; retry elsewhere";
+  }
+
+  std::string reply;
+  GlobalStateId prior;
+  if (sess.write() && sess.seq != 0 &&
+      store->session_dedup()->Lookup(sess.session_id, sess.seq, &prior)) {
+    // Retried write already applied (here or at its origin): answer the
+    // original outcome instead of minting a sibling branch.
+    reply = "OK STATE " + prior.ToString();
+  } else {
+    reply = HandleCommand(line, store, session, replicator, transport, site,
+                          registry, shared, close_conn, shutdown, &sess);
+  }
+
+  // Tell the client how far this site has caught up, so its next request
+  // carries floors that hold its reads monotonic across failover.
+  std::map<uint32_t, uint64_t> floors = replicator->AppliedFloors();
+  uint64_t& mine = floors[site];
+  const uint64_t local = store->dag()->local_seq();
+  if (local > mine) mine = local;
+  return FormatFloorToken(floors) + " " + reply;
 }
 
 // ---- request pipeline -----------------------------------------------------
@@ -633,10 +710,10 @@ int RunDaemon(const DaemonConfig& config) {
     coord_options.execute = [&, coord_session](const std::string& line) {
       bool ignored_close = false;
       bool ignored_shutdown = false;
-      return HandleCommand(line, store->get(), coord_session.get(),
-                           &replicator, transport->get(), config.site,
-                           registry.get(), &shared, &ignored_close,
-                           &ignored_shutdown);
+      return ExecuteSessionLine(line, store->get(), coord_session.get(),
+                                &replicator, transport->get(), config.site,
+                                registry.get(), &shared, &ignored_close,
+                                &ignored_shutdown);
     };
     auto server = cluster::CoordServer::Start(
         store->get(), participant.get(), std::move(coord_options));
@@ -751,10 +828,10 @@ int RunDaemon(const DaemonConfig& config) {
                                wait_us);
           {
             TARDIS_TRACE_SPAN("daemon", "request");
-            c.reply = HandleCommand(req.line, store->get(), req.session.get(),
-                                    &replicator, transport->get(), config.site,
-                                    registry.get(), &shared, &c.close_conn,
-                                    &c.shutdown);
+            c.reply = ExecuteSessionLine(
+                req.line, store->get(), req.session.get(), &replicator,
+                transport->get(), config.site, registry.get(), &shared,
+                &c.close_conn, &c.shutdown);
           }
           const uint64_t total_us = NowMicros() - start_us;
           if (config.slow_ms > 0 && total_us >= config.slow_ms * 1000) {

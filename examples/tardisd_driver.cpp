@@ -24,7 +24,13 @@
 //      deadline with "ERR DEADLINE", and a backoff-retry client still
 //      gets through;
 //   9. SIGTERM drains gracefully: exit code 0, and a committed-right-
-//      before-the-signal key survives a restart from the same --dir.
+//      before-the-signal key survives a restart from the same --dir;
+//  10. exactly-once client sessions (DESIGN.md §13): a duplicate
+//      sessioned put answers from the dedup table with the identical
+//      state id, a SIGKILLed site fails over with session floors intact,
+//      an uncoverable floor yields ERR BEHIND while stale-ok serves the
+//      degraded read, and a crash-restarted site still dedups the
+//      original request after commit-log replay.
 //
 // Exit code 0 iff the full scenario converges. Used by ctest as the
 // cross-process acceptance test and runnable by hand:
@@ -70,6 +76,9 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "client/tardis_client.h"
+#include "core/session.h"
 
 namespace {
 
@@ -169,24 +178,24 @@ std::string CmdMulti(int fd, const std::string& line) {
   return body;
 }
 
-/// Retryable-aware request: resends on "ERR BUSY"/"ERR DEADLINE"/
-/// "ERR SHUTTING_DOWN" with doubling backoff — the client-side half of the
-/// daemon's load-shedding contract. Returns the first non-retryable reply.
-std::string CmdRetry(int fd, const std::string& line,
+/// Retryable-aware request through the real client library (src/client/,
+/// DESIGN.md §13): TardisClient resends on the daemon's retryable errors
+/// ("ERR BUSY"/"ERR DEADLINE"/"ERR SHUTTING_DOWN"/"ERR BEHIND") with
+/// jittered backoff, so the driver exercises the same retry
+/// implementation users get instead of a parallel ad-hoc loop. Returns
+/// the first non-retryable reply, or the client's error once the
+/// deadline is exhausted.
+std::string CmdRetry(uint16_t port, const std::string& line,
                      uint64_t timeout_ms = 15'000) {
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms);
-  uint64_t delay_ms = 20;
-  while (true) {
-    const std::string reply = Cmd(fd, line);
-    const bool retryable = reply.rfind("ERR BUSY", 0) == 0 ||
-                           reply.rfind("ERR DEADLINE", 0) == 0 ||
-                           reply.rfind("ERR SHUTTING_DOWN", 0) == 0;
-    if (!retryable) return reply;
-    if (std::chrono::steady_clock::now() >= deadline) return reply;
-    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
-    delay_ms = std::min<uint64_t>(delay_ms * 2, 2000);
-  }
+  tardis::client::TardisClientOptions opt;
+  opt.endpoints.push_back("127.0.0.1:" + std::to_string(port));
+  opt.request_deadline_ms = timeout_ms;
+  tardis::client::TardisClient cli(std::move(opt));
+  std::string reply;
+  const tardis::Status s = cli.Call(line, &reply);
+  if (!s.ok()) reply = "ERR " + s.ToString();
+  if (g_verbose) printf("  [retry %s] -> %s\n", line.c_str(), reply.c_str());
+  return reply;
 }
 
 /// Value of one specific series in a Prometheus text dump, label set and
@@ -598,7 +607,7 @@ int RunOverloadAndDrain(const std::string& tardisd, const std::string& dir) {
   if (busy.rfind("ERR BUSY", 0) != 0) {
     Die("expected ERR BUSY from saturated daemon, got: " + busy);
   }
-  const std::string retried = CmdRetry(conn_c, "ping");
+  const std::string retried = CmdRetry(fleet.client_ports[0], "ping");
   if (retried != "PONG") Die("retry after BUSY failed: " + retried);
   // B's queued ping waited < deadline, so it must have been served.
   std::string reply_b;
@@ -629,7 +638,9 @@ int RunOverloadAndDrain(const std::string& tardisd, const std::string& dir) {
   if (expired.rfind("ERR DEADLINE", 0) != 0) {
     Die("expected ERR DEADLINE for over-age queued request, got: " + expired);
   }
-  if (CmdRetry(conn_b, "ping") != "PONG") Die("retry after DEADLINE failed");
+  if (CmdRetry(fleet.client_ports[0], "ping") != "PONG") {
+    Die("retry after DEADLINE failed");
+  }
   {
     char c;
     std::string reply_a;
@@ -665,7 +676,7 @@ int RunOverloadAndDrain(const std::string& tardisd, const std::string& dir) {
   fleet.pids[0] = SpawnOne(tardisd, fleet, 0);
   fleet.conns[0] = ConnectTo(fleet.client_ports[0], 10'000);
   if (fleet.conns[0] < 0) Die("site 0 did not restart after drain");
-  const std::string value = CmdRetry(fleet.conns[0], "get durable");
+  const std::string value = CmdRetry(fleet.client_ports[0], "get durable");
   if (value != "VALUE 42") {
     Die("committed key lost across SIGTERM drain: " + value);
   }
@@ -673,6 +684,170 @@ int RunOverloadAndDrain(const std::string& tardisd, const std::string& dir) {
 
   Cmd(fleet.conns[0], "shutdown");
   Cmd(fleet.conns[1], "shutdown");
+  g_fleet_pids = nullptr;
+  return 0;
+}
+
+/// Drops a leading `*F` floor token so sessioned replies can be compared
+/// across requests (the floors advance, the verdict must not).
+std::string StripFloor(std::string reply) {
+  if (reply.rfind("*F", 0) == 0) {
+    const size_t sp = reply.find(' ');
+    reply.erase(0, sp == std::string::npos ? reply.size() : sp + 1);
+  }
+  return reply;
+}
+
+long long StatesCount(int fd) {
+  const std::string reply = Cmd(fd, "states");
+  if (reply.rfind("STATES ", 0) != 0) Die("states reply: " + reply);
+  return atoll(reply.c_str() + 7);
+}
+
+/// 10. Exactly-once client sessions (DESIGN.md §13): SIGKILL-driven
+/// failover and crash-restart dedup, with the real client library.
+///
+///   a. a 3-site fleet with per-site --dir comes up; a TardisClient that
+///      knows all three endpoints writes through site 0;
+///   b. a hand-built sessioned put is replayed verbatim on the same
+///      daemon: the duplicate is answered from the dedup table with the
+///      IDENTICAL state id, no second commit (states count unchanged,
+///      dedup-hit metric increments). A corrupt `*S` token is rejected
+///      with a retryable ERR HEADER — never silently stripped;
+///   c. site 0 is SIGKILLed mid-session; the client's next write fails
+///      over — its session floors make a lagging target answer ERR
+///      BEHIND, which the client retries internally — and a
+///      read-your-writes get returns the pre-crash value;
+///   d. a deliberately uncoverable floor returns ERR BEHIND, and the
+///      same read with the stale-ok flag is served anyway: the bounded-
+///      staleness degraded-read mode;
+///   e. site 0 restarts from its --dir and the ORIGINAL sessioned line
+///      still answers from dedup with the original state id — the table
+///      was rebuilt from the commit log;
+///   f. the fleet converges to one leaf, the session keys hold exactly
+///      the acknowledged values, and no site counted a dedup duplicate.
+int RunSessionRetry(const std::string& tardisd, const std::string& dir) {
+  // The store only creates the last path component, so make the phase's
+  // own base directory (it must not share site dirs with earlier phases).
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    Die("mkdir " + dir + ": " + strerror(errno));
+  }
+  Fleet fleet;
+  SpawnFleet(tardisd, 3, {"--dir=" + dir}, &fleet);
+  g_fleet_pids = &fleet.pids;
+
+  // a. Session writes through the library.
+  tardis::client::TardisClientOptions opt;
+  for (uint16_t p : fleet.client_ports) {
+    opt.endpoints.push_back("127.0.0.1:" + std::to_string(p));
+  }
+  opt.request_deadline_ms = 20'000;
+  opt.seed = 7;
+  tardis::client::TardisClient cli(std::move(opt));
+  std::string s1;
+  if (!cli.Put("sess_a", "v1", &s1).ok() || s1.empty()) {
+    Die("session put did not commit");
+  }
+  printf("== session: exactly-once put acknowledged at state %s\n",
+         s1.c_str());
+
+  // b. Duplicate replay and header rejection on a raw connection.
+  tardis::SessionHeader h;
+  h.session_id = 0xabcdef12;
+  h.seq = 1;
+  h.flags = tardis::kSessionFlagWrite;
+  const std::string dup_line =
+      tardis::FormatSessionHeader(h) + " put sess_dup A";
+  const std::string r1 = StripFloor(Cmd(fleet.conns[0], dup_line));
+  if (r1.rfind("OK STATE ", 0) != 0) Die("sessioned put reply: " + r1);
+  const long long states_before = StatesCount(fleet.conns[0]);
+  const std::string r2 = StripFloor(Cmd(fleet.conns[0], dup_line));
+  if (r2 != r1) Die("duplicate not deduped: " + r2 + " vs " + r1);
+  if (StatesCount(fleet.conns[0]) != states_before) {
+    Die("duplicate sessioned put created a second commit");
+  }
+  const std::string m0 = CmdMulti(fleet.conns[0], "metrics");
+  if (MetricValue(m0, "tardis_session_dedup_hits") < 1) {
+    Die("dedup hit not counted:\n" + m0);
+  }
+  const std::string bad = Cmd(fleet.conns[0], "*Szzz put sess_bad B");
+  if (bad.rfind("ERR HEADER", 0) != 0) {
+    Die("corrupt session header not rejected: " + bad);
+  }
+  if (MetricValue(CmdMulti(fleet.conns[0], "metrics"),
+                  "tardis_session_header_rejected") < 1) {
+    Die("header rejection not counted");
+  }
+  printf("== session: duplicate answered from dedup, corrupt *S rejected\n");
+
+  // c. SIGKILL the serving site mid-session; the client fails over.
+  kill(fleet.pids[0], SIGKILL);
+  waitpid(fleet.pids[0], nullptr, 0);
+  fleet.pids[0] = -1;
+  close(fleet.conns[0]);
+  fleet.conns[0] = -1;
+  std::string s2;
+  if (!cli.Put("sess_b", "v2", &s2).ok()) Die("failover put failed");
+  if (cli.failovers() == 0) Die("client reported no failover");
+  std::string rv;
+  if (!cli.Get("sess_a", &rv).ok() || rv != "v1") {
+    Die("read-your-writes across failover broken: " + rv);
+  }
+  printf("== session: SIGKILL failover kept exactly-once + session reads\n");
+
+  // d. Degraded reads: an uncoverable floor is refused, stale-ok serves.
+  tardis::SessionHeader probe;
+  probe.session_id = 0x51;
+  probe.floors.emplace_back(0, 999'999);
+  const std::string behind = StripFloor(
+      Cmd(fleet.conns[1], tardis::FormatSessionHeader(probe) + " get sess_a"));
+  if (behind.rfind("ERR BEHIND", 0) != 0) {
+    Die("uncovered floor not refused: " + behind);
+  }
+  probe.flags = tardis::kSessionFlagStaleOk;
+  const std::string stale = StripFloor(
+      Cmd(fleet.conns[1], tardis::FormatSessionHeader(probe) + " get sess_a"));
+  if (stale != "VALUE v1") Die("stale-ok read not served: " + stale);
+  printf("== session: ERR BEHIND on floors, stale-ok degraded read ok\n");
+
+  // e. Crash-restart: dedup must survive the crash. When the SIGKILL
+  // outran the record-store flush, recovery discards the torn log suffix
+  // and the site re-learns the commits from its peers — replicated
+  // CommitRecords carry the session tags, so ApplyRemote refills the
+  // dedup table either way. Wait for the restarted site to have
+  // re-applied the session writes before replaying the duplicate.
+  fleet.pids[0] = SpawnOne(tardisd, fleet, 0);
+  fleet.conns[0] = ConnectTo(fleet.client_ports[0], 10'000);
+  if (fleet.conns[0] < 0) Die("site 0 did not restart");
+  const int fd0 = fleet.conns[0];
+  if (!WaitFor([fd0] { return Cmd(fd0, "get sess_dup") == "VALUE A"; })) {
+    Die("restarted site 0 did not recover the session commits");
+  }
+  const std::string r3 = StripFloor(Cmd(fleet.conns[0], dup_line));
+  if (r3 != r1) {
+    Die("dedup did not survive crash-restart: " + r3 + " vs " + r1);
+  }
+  printf("== session: dedup survived SIGKILL + restart\n");
+
+  // f. Convergence, exactly-once values, no duplicate commits anywhere.
+  for (size_t i = 0; i < fleet.conns.size(); i++) {
+    const int fd = fleet.conns[i];
+    if (!WaitFor([fd] {
+          return Cmd(fd, "leaves") == "LEAVES 1" &&
+                 Cmd(fd, "get sess_a") == "VALUE v1" &&
+                 Cmd(fd, "get sess_b") == "VALUE v2" &&
+                 Cmd(fd, "get sess_dup") == "VALUE A";
+        })) {
+      Die("site " + std::to_string(i) + " did not converge on session keys");
+    }
+    const std::string m = CmdMulti(fd, "metrics");
+    if (MetricValue(m, "tardis_session_dedup_duplicates") > 0) {
+      Die("site " + std::to_string(i) + " committed a session duplicate");
+    }
+  }
+  printf("== session: fleet converged, one leaf, exactly-once values\n");
+
+  for (int fd : fleet.conns) Cmd(fd, "shutdown");
   g_fleet_pids = nullptr;
   return 0;
 }
@@ -1215,6 +1390,7 @@ int main(int argc, char** argv) {
   }
   if (RunConvergence(tardisd) != 0) return 1;
   if (RunOverloadAndDrain(tardisd, dir) != 0) return 1;
+  if (RunSessionRetry(tardisd, std::string(dir) + "/session") != 0) return 1;
   printf("PASS: cross-process branch-and-merge + resilience over TCP\n");
   return 0;
 }

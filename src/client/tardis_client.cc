@@ -1,0 +1,421 @@
+#include "client/tardis_client.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "cluster/framed_client.h"
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace tardis {
+namespace client {
+
+namespace {
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.compare(0, strlen(prefix), prefix) == 0;
+}
+
+/// Retryable daemon errors all mean "not executed": the request was shed
+/// before reaching the store, so any verb may be resent.
+bool IsCleanRetryable(const std::string& reply) {
+  return StartsWith(reply, "ERR BUSY") || StartsWith(reply, "ERR DEADLINE") ||
+         StartsWith(reply, "ERR SHUTTING_DOWN") ||
+         StartsWith(reply, "ERR BEHIND") || StartsWith(reply, "ERR HEADER");
+}
+
+/// BUSY/DEADLINE are transient load on an otherwise healthy endpoint;
+/// the others mean this endpoint will not serve us soon, so fail over.
+bool WantsRotate(const std::string& reply) {
+  return StartsWith(reply, "ERR SHUTTING_DOWN") ||
+         StartsWith(reply, "ERR BEHIND") || StartsWith(reply, "ERR HEADER");
+}
+
+void SetSocketTimeouts(int fd, uint64_t ms) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+TardisClient::TardisClient(TardisClientOptions options)
+    : options_(std::move(options)),
+      backoff_(options_.backoff_initial_ms, options_.backoff_max_ms) {
+  uint64_t seed = options_.seed;
+  if (seed == 0) {
+    // No determinism requested: decorrelate from other clients on this
+    // host (the whole point of the jitter).
+    seed = NowNanos() ^ (static_cast<uint64_t>(getpid()) << 32) ^
+           reinterpret_cast<uintptr_t>(this);
+  }
+  backoff_.EnableJitter(seed);
+  session_id_ = options_.session_id;
+  if (session_id_ == 0) {
+    Random rng(seed);
+    while (session_id_ == 0) session_id_ = rng.Next();
+  }
+  if (options_.registry != nullptr) {
+    requests_ = options_.registry->RegisterCounter(
+        "tardis_client_requests", "logical operations issued by TardisClient");
+    retries_ = options_.registry->RegisterCounter(
+        "tardis_client_retries", "request attempts beyond the first");
+    failovers_ = options_.registry->RegisterCounter(
+        "tardis_client_failovers", "endpoint rotations (connect failures, "
+        "cut connections, draining or behind replicas)");
+    stale_reads_ = options_.registry->RegisterCounter(
+        "tardis_client_stale_reads",
+        "reads sent with floors relaxed under --stale-reads-ms");
+  }
+}
+
+TardisClient::~TardisClient() { CloseConn(); }
+
+void TardisClient::CloseConn() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+}
+
+void TardisClient::Rotate() {
+  CloseConn();
+  if (options_.endpoints.size() > 1) {
+    endpoint_ = (endpoint_ + 1) % options_.endpoints.size();
+  }
+  failovers_n_++;
+  if (failovers_ != nullptr) failovers_->Increment();
+}
+
+Status TardisClient::ConnectCurrent(uint64_t deadline_ms) {
+  const std::string& endpoint = options_.endpoints[endpoint_];
+  std::string host;
+  uint16_t port = 0;
+  TARDIS_RETURN_IF_ERROR(cluster::ParseEndpoint(endpoint, &host, &port));
+
+  addrinfo hints;
+  memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    return Status::IOError("resolve " + host);
+  }
+  const int fd = socket(res->ai_family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    freeaddrinfo(res);
+    return Status::IOError("socket: " + std::string(strerror(errno)));
+  }
+  // Nonblocking connect so the connect attempt honors both the connect
+  // timeout and the request deadline instead of the kernel's default.
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = connect(fd, res->ai_addr, static_cast<socklen_t>(res->ai_addrlen));
+  freeaddrinfo(res);
+  if (rc != 0 && errno != EINPROGRESS) {
+    const Status s =
+        Status::IOError("connect " + endpoint + ": " + strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (rc != 0) {
+    const uint64_t now = NowMillis();
+    uint64_t budget = options_.connect_timeout_ms;
+    if (deadline_ms > now) budget = std::min(budget, deadline_ms - now);
+    pollfd pfd{fd, POLLOUT, 0};
+    rc = poll(&pfd, 1, static_cast<int>(std::max<uint64_t>(budget, 1)));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (rc <= 0 ||
+        getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return Status::IOError("connect " + endpoint + ": " +
+                             (rc <= 0 ? "timeout" : strerror(err)));
+    }
+  }
+  fcntl(fd, F_SETFL, flags);  // back to blocking; SO_*TIMEO bound the IO
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  inbuf_.clear();
+  return Status::OK();
+}
+
+Status TardisClient::ReadLine(uint64_t deadline_ms, std::string* line) {
+  size_t nl;
+  while ((nl = inbuf_.find('\n')) == std::string::npos) {
+    const uint64_t now = NowMillis();
+    if (now >= deadline_ms) {
+      CloseConn();  // a late reply would desynchronize the stream
+      return Status::Unavailable("reply deadline expired");
+    }
+    SetSocketTimeouts(fd_, deadline_ms - now);
+    char chunk[65536];
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      inbuf_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn();
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::Unavailable("reply deadline expired");
+    }
+    return Status::IOError("connection lost");
+  }
+  *line = inbuf_.substr(0, nl);
+  inbuf_.erase(0, nl + 1);
+  return Status::OK();
+}
+
+void TardisClient::MergeFloors(const std::map<uint32_t, uint64_t>& learned,
+                               uint64_t now_ms) {
+  for (const auto& [site, seq] : learned) {
+    uint64_t& cur = floors_[site];
+    if (seq > cur || floor_learned_ms_.find(site) == floor_learned_ms_.end()) {
+      if (seq > cur) cur = seq;
+      floor_learned_ms_[site] = now_ms;
+    }
+  }
+}
+
+Status TardisClient::Roundtrip(const std::string& line, bool multi,
+                               uint64_t deadline_ms, std::string* reply,
+                               bool* sent) {
+  {
+    const uint64_t now = NowMillis();
+    if (now >= deadline_ms) return Status::Unavailable("deadline expired");
+    SetSocketTimeouts(fd_, deadline_ms - now);
+  }
+  const std::string framed = line + "\n";
+  size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n =
+        send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      *sent = true;
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn();
+    return Status::IOError("send: " + std::string(strerror(errno)));
+  }
+  std::string first;
+  TARDIS_RETURN_IF_ERROR(ReadLine(deadline_ms, &first));
+  if (!first.empty() && first[0] == '*' && first.size() > 1 &&
+      first[1] == 'F') {
+    std::map<uint32_t, uint64_t> learned;
+    if (StripFloorToken(&first, &learned)) MergeFloors(learned, NowMillis());
+  }
+  // Multi-line commands answer a single line when rejected before
+  // execution (shed, malformed) — mirror the shell's heuristic.
+  if (!multi || first == "END" || StartsWith(first, "ERR")) {
+    *reply = first == "END" ? std::string() : first;
+    return Status::OK();
+  }
+  std::string body = first;
+  while (true) {
+    std::string l;
+    TARDIS_RETURN_IF_ERROR(ReadLine(deadline_ms, &l));
+    if (l == "END") break;
+    body += "\n";
+    body += l;
+  }
+  *reply = body;
+  return Status::OK();
+}
+
+std::string TardisClient::BuildHeader(Verb verb, uint64_t seq,
+                                      uint64_t attempt, uint64_t now_ms,
+                                      bool* degraded) {
+  if (verb == Verb::kUnsafe) return std::string();
+  SessionHeader h;
+  h.session_id = session_id_;
+  if (verb == Verb::kSessionWrite) {
+    h.seq = seq;
+    h.attempt = attempt;
+    h.flags = kSessionFlagWrite;
+  }
+  const bool relax = verb == Verb::kReadOnly && options_.stale_reads_ms > 0;
+  for (const auto& [site, fseq] : floors_) {
+    if (relax) {
+      const auto it = floor_learned_ms_.find(site);
+      const uint64_t learned = it == floor_learned_ms_.end() ? 0 : it->second;
+      if (learned + options_.stale_reads_ms > now_ms) {
+        // The floor is younger than the staleness bound: omit it and tell
+        // the daemon a replica behind by at most that much may answer.
+        h.flags |= kSessionFlagStaleOk;
+        *degraded = true;
+        continue;
+      }
+    }
+    h.floors.emplace_back(site, fseq);
+    if (h.floors.size() >= kMaxSessionFloors) break;
+  }
+  return FormatSessionHeader(h);
+}
+
+TardisClient::Verb TardisClient::Classify(const std::string& line) {
+  std::stringstream ss(line);
+  std::string cmd;
+  ss >> cmd;
+  static const char* kReads[] = {"get",   "ping",  "health",    "metrics",
+                                 "stats", "leaves", "states",   "peers",
+                                 "partition", "trace", "sleep", "dag"};
+  for (const char* r : kReads) {
+    if (cmd == r) return Verb::kReadOnly;
+  }
+  if (cmd == "put" || cmd == "mput") return Verb::kSessionWrite;
+  return Verb::kUnsafe;
+}
+
+Status TardisClient::Execute(const std::string& line, Verb verb, bool multi,
+                             uint64_t seq, std::string* out) {
+  if (options_.endpoints.empty()) {
+    return Status::InvalidArgument("no endpoints configured");
+  }
+  requests_n_++;
+  if (requests_ != nullptr) requests_->Increment();
+  const uint64_t deadline = NowMillis() + options_.request_deadline_ms;
+  backoff_.Reset();
+  uint64_t attempt = 0;
+  bool first_try = true;
+  std::string last = "no attempt completed";
+  while (true) {
+    if (!first_try) {
+      retries_n_++;
+      if (retries_ != nullptr) retries_->Increment();
+      uint64_t now = NowMillis();
+      backoff_.Fail(now);
+      const uint64_t wait = backoff_.RemainingMs(now);
+      if (now + wait >= deadline) {
+        return Status::Unavailable("request deadline exceeded; last: " + last);
+      }
+      if (wait > 0) usleep(static_cast<useconds_t>(wait * 1000));
+    }
+    first_try = false;
+    const uint64_t now = NowMillis();
+    if (now >= deadline) {
+      return Status::Unavailable("request deadline exceeded; last: " + last);
+    }
+    if (fd_ < 0) {
+      const Status cs = ConnectCurrent(deadline);
+      if (!cs.ok()) {
+        last = cs.ToString();
+        Rotate();
+        continue;
+      }
+    }
+    bool degraded = false;
+    const std::string header = BuildHeader(verb, seq, attempt, now, &degraded);
+    if (degraded) {
+      stale_reads_n_++;
+      if (stale_reads_ != nullptr) stale_reads_->Increment();
+    }
+    const std::string full = header.empty() ? line : header + " " + line;
+    std::string reply;
+    bool sent = false;
+    const Status s = Roundtrip(full, multi, deadline, &reply, &sent);
+    if (!s.ok()) {
+      last = s.ToString();
+      // Connection cut before any byte went out: nothing executed, all
+      // verbs retry. Cut after: the outcome is unknown — reads are
+      // harmless, sessioned writes dedup server-side, everything else
+      // must surface the uncertainty.
+      if (sent && verb == Verb::kUnsafe) {
+        return Status::IOError("connection lost with request outcome "
+                               "unknown (unsafe to retry): " + last);
+      }
+      Rotate();
+      continue;
+    }
+    if (IsCleanRetryable(reply)) {
+      last = reply;
+      if (WantsRotate(reply)) Rotate();
+      continue;
+    }
+    if (seq != 0 && StartsWith(reply, "ERR 2PC abort")) {
+      // The transaction definitively aborted: re-derive a fresh txn id so
+      // the retry is not confused with the aborted attempt's 2PC state.
+      last = reply;
+      attempt++;
+      continue;
+    }
+    *out = reply;
+    return Status::OK();
+  }
+}
+
+Status TardisClient::Put(const std::string& key, const std::string& value,
+                         std::string* state) {
+  const uint64_t seq = ++next_seq_;
+  std::string reply;
+  TARDIS_RETURN_IF_ERROR(
+      Execute("put " + key + " " + value, Verb::kSessionWrite, false, seq,
+              &reply));
+  if (StartsWith(reply, "OK")) {
+    if (state != nullptr) {
+      *state = StartsWith(reply, "OK STATE ") ? reply.substr(9) : "";
+    }
+    return Status::OK();
+  }
+  return Status::Aborted(reply);
+}
+
+Status TardisClient::Get(const std::string& key, std::string* value) {
+  std::string reply;
+  TARDIS_RETURN_IF_ERROR(
+      Execute("get " + key, Verb::kReadOnly, false, 0, &reply));
+  if (StartsWith(reply, "VALUE ")) {
+    *value = reply.substr(6);
+    return Status::OK();
+  }
+  if (reply == "NOTFOUND") return Status::NotFound(key);
+  return Status::Aborted(reply);
+}
+
+Status TardisClient::MultiPut(
+    const std::vector<std::pair<std::string, std::string>>& writes,
+    std::string* reply) {
+  std::string line = "mput";
+  for (const auto& [key, value] : writes) {
+    line += " " + key + " " + value;
+  }
+  const uint64_t seq = ++next_seq_;
+  std::string raw;
+  TARDIS_RETURN_IF_ERROR(
+      Execute(line, Verb::kSessionWrite, false, seq, &raw));
+  if (reply != nullptr) *reply = raw;
+  return StartsWith(raw, "OK") ? Status::OK() : Status::Aborted(raw);
+}
+
+Status TardisClient::Call(const std::string& line, std::string* reply) {
+  const Verb verb = Classify(line);
+  const uint64_t seq = verb == Verb::kSessionWrite ? ++next_seq_ : 0;
+  return Execute(line, verb, false, seq, reply);
+}
+
+Status TardisClient::CallMulti(const std::string& line, std::string* body) {
+  const Verb verb = Classify(line);
+  const uint64_t seq = verb == Verb::kSessionWrite ? ++next_seq_ : 0;
+  return Execute(line, verb, true, seq, body);
+}
+
+}  // namespace client
+}  // namespace tardis

@@ -94,9 +94,19 @@ Status CoordServer::Listen() {
 }
 
 std::string CoordServer::ApplyWriteSet(const ReplMessage& req) {
+  // Exactly-once: a retried sessioned write answers from the dedup table
+  // with the original commit's state instead of re-executing.
+  if (req.session_id != 0) {
+    GlobalStateId prior;
+    if (store_->session_dedup()->Lookup(req.session_id, req.session_seq,
+                                        &prior)) {
+      return "OK STATE " + prior.ToString();
+    }
+  }
   auto session = store_->CreateSession();
   auto txn = store_->Begin(session.get());
   if (!txn.ok()) return "ERR " + txn.status().ToString();
+  (*txn)->SetSessionTag(req.session_id, req.session_seq);
   for (const auto& [key, value] : req.commit.writes) {
     const Slice v = value ? Slice(*value) : Slice();
     Status s = (*txn)->Put(key, v);
@@ -106,7 +116,11 @@ std::string CoordServer::ApplyWriteSet(const ReplMessage& req) {
     }
   }
   Status s = (*txn)->Commit();
-  return s.ok() ? "OK" : "ERR " + s.ToString();
+  if (!s.ok()) return "ERR " + s.ToString();
+  if (req.session_id != 0 && session->last_commit() != nullptr) {
+    return "OK STATE " + session->last_commit()->guid().ToString();
+  }
+  return "OK";
 }
 
 void CoordServer::Dispatch(const ReplMessage& req, ReplMessage* reply) {

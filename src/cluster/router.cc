@@ -82,6 +82,9 @@ Router::Router(PartitionMap map, RouterOptions options,
       "tardis_2pc_forked_commits",
       "2PC decide-commits that forked a participant DAG",
       {{"role", "router"}});
+  header_rejected_ = registry->RegisterCounter(
+      "tardis_session_header_rejected",
+      "Requests rejected for a corrupt or oversized *S session header");
   prepare_rtt_us_ = obs::RegisterStageHistogram(registry, "prepare_rtt");
 }
 
@@ -136,7 +139,8 @@ std::string Router::ForwardLine(uint32_t partition, const std::string& line) {
   return resp.text;
 }
 
-std::string Router::HandleMultiPut(const std::vector<WriteOp>& writes) {
+std::string Router::HandleMultiPut(const std::vector<WriteOp>& writes,
+                                   const SessionHeader& session) {
   // Group the write set by owning partition, preserving first-seen order.
   std::vector<uint32_t> partition_ids;
   std::vector<std::vector<WriteOp>> by_partition;
@@ -162,6 +166,8 @@ std::string Router::HandleMultiPut(const std::vector<WriteOp>& writes) {
     ReplMessage req;
     req.type = ReplMessage::Type::kRoute;
     AttachTrace(&req);
+    req.session_id = session.session_id;
+    req.session_seq = session.seq;
     for (const WriteOp& w : by_partition[0]) {
       req.commit.writes.emplace_back(
           w.key, std::make_shared<const std::string>(w.value));
@@ -172,13 +178,22 @@ std::string Router::HandleMultiPut(const std::vector<WriteOp>& writes) {
     return resp.text;
   }
   requests_2pc_->Increment();
-  return CommitAcrossPartitions(partition_ids, by_partition);
+  return CommitAcrossPartitions(partition_ids, by_partition, session);
 }
 
 std::string Router::CommitAcrossPartitions(
     const std::vector<uint32_t>& partition_ids,
-    const std::vector<std::vector<WriteOp>>& by_partition) {
-  const uint64_t txn_id = next_txn_id_++;
+    const std::vector<std::vector<WriteOp>>& by_partition,
+    const SessionHeader& session) {
+  // A sessioned mput derives its txn id from the client request identity:
+  // a retry re-runs 2PC under the SAME id, so participants that already
+  // prepared or decided re-ack idempotently and the retry converges on
+  // the original outcome instead of committing a second transaction.
+  const uint64_t txn_id =
+      session.session_id != 0
+          ? DeriveSessionTxnId(session.session_id, session.seq,
+                               session.attempt)
+          : next_txn_id_++;
   const uint64_t deadline_ms = NowMillis() + options_.txn_deadline_ms;
 
   std::vector<std::string> endpoints;
@@ -204,6 +219,8 @@ std::string Router::CommitAcrossPartitions(
     prep.txn_id = txn_id;
     prep.endpoints = endpoints;
     AttachTrace(&prep);
+    prep.session_id = session.session_id;
+    prep.session_seq = session.seq;
     for (const WriteOp& w : by_partition[i]) {
       prep.commit.writes.emplace_back(
           w.key, std::make_shared<const std::string>(w.value));
@@ -405,10 +422,21 @@ std::string Router::Handle(const std::string& line, bool* close_conn) {
   }
   obs::TraceContextScope bind(ctx);
   TARDIS_TRACE_SPAN("router", "request");
-  return Dispatch(cmd_line, close_conn);
+  // The session header rides behind the trace header. Unlike the trace
+  // header, a corrupt one is rejected: silently stripping it would turn
+  // a dedupable write into a blind one (DESIGN.md §13).
+  SessionHeader session;
+  if (StripSessionHeader(&cmd_line, &session) ==
+      SessionHeaderStatus::kMalformed) {
+    header_rejected_->Increment();
+    return "ERR HEADER malformed or oversized session header; retry with "
+           "a valid *S token";
+  }
+  return Dispatch(cmd_line, close_conn, session);
 }
 
-std::string Router::Dispatch(const std::string& line, bool* close_conn) {
+std::string Router::Dispatch(const std::string& line, bool* close_conn,
+                             const SessionHeader& session) {
   std::stringstream ss(line);
   std::string cmd;
   ss >> cmd;
@@ -429,14 +457,19 @@ std::string Router::Dispatch(const std::string& line, bool* close_conn) {
     ss >> key;
     if (key.empty()) return "ERR usage: " + cmd + " <key> ...";
     requests_fast_->Increment();
-    return ForwardLine(map_.PartitionForKey(key), line);
+    // Keep the session header on the forwarded line: the owning daemon
+    // runs the dedup/floor checks and prefixes its floor token.
+    const std::string forwarded =
+        session.session_id == 0 ? line
+                                : FormatSessionHeader(session) + " " + line;
+    return ForwardLine(map_.PartitionForKey(key), forwarded);
   }
   if (cmd == "mput") {
     std::vector<WriteOp> writes;
     WriteOp w;
     while (ss >> w.key >> w.value) writes.push_back(w);
     if (writes.empty()) return "ERR usage: mput <key> <value> [...]";
-    return HandleMultiPut(writes);
+    return HandleMultiPut(writes, session);
   }
   if (cmd == "merge" || cmd == "sync") {
     // Partition-local maintenance, fanned out everywhere.

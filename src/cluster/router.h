@@ -37,6 +37,7 @@
 
 #include "cluster/framed_client.h"
 #include "cluster/partition_map.h"
+#include "core/session.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/status.h"
@@ -103,6 +104,15 @@ class Router {
   /// ("*T<trace>/<span>/<flags>", obs::StripTraceHeader); the router then
   /// logs its spans under that trace and propagates the context on every
   /// coordination frame it sends.
+  ///
+  /// After the trace header, a request may carry an exactly-once session
+  /// header ("*S...", DESIGN.md §13). Forwarded get/put lines keep the
+  /// header (the owning daemon dedups and checks floors); mput carries
+  /// the tag on its kRoute/kPrepare frames, and a sessioned
+  /// cross-partition mput derives its 2PC txn id from the request id so
+  /// a retry resolves the in-doubt transaction instead of starting a
+  /// second one. A corrupt or oversized header is rejected with a
+  /// retryable "ERR HEADER ..." (never silently stripped).
   std::string Handle(const std::string& line, bool* close_conn);
 
   const PartitionMap& map() const { return map_; }
@@ -122,15 +132,18 @@ class Router {
                        uint64_t deadline_ms = 0);
 
   std::string ForwardLine(uint32_t partition, const std::string& line);
-  std::string HandleMultiPut(const std::vector<WriteOp>& writes);
+  std::string HandleMultiPut(const std::vector<WriteOp>& writes,
+                             const SessionHeader& session);
   /// The 2PC path; `by_partition[i]` is partition_ids[i]'s write subset.
   std::string CommitAcrossPartitions(
       const std::vector<uint32_t>& partition_ids,
-      const std::vector<std::vector<WriteOp>>& by_partition);
+      const std::vector<std::vector<WriteOp>>& by_partition,
+      const SessionHeader& session);
   std::string AggregateHealth();
   /// The dispatch body behind Handle, running inside the request's trace
-  /// context/span.
-  std::string Dispatch(const std::string& line, bool* close_conn);
+  /// context/span with the parsed (possibly empty) session header.
+  std::string Dispatch(const std::string& line, bool* close_conn,
+                       const SessionHeader& session);
   std::string HandleTraceCommand(const std::string& sub);
   std::string CollectClusterTraces();
   std::string ClusterMetrics();
@@ -149,6 +162,7 @@ class Router {
   obs::Counter* requests_2pc_ = nullptr;
   obs::Counter* prepares_ = nullptr;
   obs::Counter* forked_commits_ = nullptr;
+  obs::Counter* header_rejected_ = nullptr;
   obs::HistogramMetric* prepare_rtt_us_ = nullptr;
 };
 

@@ -214,6 +214,9 @@ Status TwoPhaseParticipant::HandlePrepare(const ReplMessage& msg,
   p.session = store_->CreateSession();
   auto txn = store_->Begin(p.session.get());
   if (txn.ok()) {
+    // A sessioned prepare commits tagged, so the resulting state feeds
+    // every site's exactly-once dedup table (DESIGN.md §13).
+    (*txn)->SetSessionTag(msg.session_id, msg.session_seq);
     bool staged = true;
     for (const auto& [key, value] : msg.commit.writes) {
       const Slice v = value ? Slice(*value) : Slice();
@@ -261,6 +264,10 @@ Status TwoPhaseParticipant::ApplyDecisionLocked(uint64_t txn_id, Pending* p,
       if (!txn.ok()) {
         s = txn.status();
       } else {
+        // The logged prepare carries the session tag, so even a crash-
+        // recovered decide-commit lands tagged and dedupable.
+        (*txn)->SetSessionTag(p->prepare.session_id,
+                              p->prepare.session_seq);
         s = Status::OK();
         for (const auto& [key, value] : p->prepare.commit.writes) {
           const Slice v = value ? Slice(*value) : Slice();

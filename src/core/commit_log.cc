@@ -24,6 +24,12 @@ std::string CommitLog::Serialize(const CommitLogEntry& entry) {
   for (const std::string& k : entry.write_keys) {
     PutLengthPrefixed(&out, Slice(k));
   }
+  // Optional session tail: only written when tagged, so untagged entries
+  // keep the original byte layout.
+  if (entry.session_id != 0) {
+    PutVarint64(&out, entry.session_id);
+    PutVarint64(&out, entry.session_seq);
+  }
   return out;
 }
 
@@ -54,7 +60,12 @@ bool CommitLog::Deserialize(const Slice& payload, CommitLogEntry* entry) {
     if (!GetLengthPrefixed(&in, &k)) return false;
     entry->write_keys.push_back(k.ToString());
   }
-  return in.empty();
+  entry->session_id = 0;
+  entry->session_seq = 0;
+  if (in.empty()) return true;  // pre-session entry
+  if (!GetVarint64(&in, &entry->session_id)) return false;
+  if (!GetVarint64(&in, &entry->session_seq)) return false;
+  return in.empty() && entry->session_id != 0;
 }
 
 Status CommitLog::Append(const CommitLogEntry& entry) {

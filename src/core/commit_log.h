@@ -24,6 +24,12 @@ struct CommitLogEntry {
   std::vector<StateId> parent_ids;
   bool is_merge = false;
   std::vector<std::string> write_keys;
+  /// Exactly-once client session tag (DESIGN.md §13): nonzero when the
+  /// commit carried a `*S` header. Logged with the commit so the per-site
+  /// dedup table survives crash-restart replay. Serialized as an optional
+  /// trailing pair, so pre-session logs still decode (as 0/0).
+  uint64_t session_id = 0;
+  uint64_t session_seq = 0;
 };
 
 class CommitLog {

@@ -1,0 +1,322 @@
+#include "core/session.h"
+
+#include <cstdio>
+
+namespace tardis {
+
+namespace {
+
+/// Parses [begin,end) as hex into *out. Rejects empty input and anything
+/// longer than 16 digits (same contract as the trace-header parser).
+bool ParseHex(const char* begin, const char* end, uint64_t* out) {
+  if (begin == end || end - begin > 16) return false;
+  uint64_t v = 0;
+  for (const char* p = begin; p != end; p++) {
+    char c = *p;
+    uint64_t d;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      d = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | d;
+  }
+  *out = v;
+  return true;
+}
+
+/// Parses a `<site>:<seq>` floor pair, decimal on both sides (matching
+/// GlobalStateId::ToString, so floors round-trip through `OK STATE`
+/// replies without a base conversion).
+bool ParseFloor(const char* begin, const char* end, uint32_t* site,
+                uint64_t* seq) {
+  const char* colon = nullptr;
+  for (const char* p = begin; p != end; p++) {
+    if (*p == ':') {
+      colon = p;
+      break;
+    }
+  }
+  if (colon == nullptr || colon == begin || colon + 1 == end) return false;
+  uint64_t s = 0;
+  for (const char* p = begin; p != colon; p++) {
+    if (*p < '0' || *p > '9' || colon - begin > 10) return false;
+    s = s * 10 + static_cast<uint64_t>(*p - '0');
+  }
+  if (s > UINT32_MAX) return false;
+  uint64_t q = 0;
+  if (end - colon - 1 > 20) return false;
+  for (const char* p = colon + 1; p != end; p++) {
+    if (*p < '0' || *p > '9') return false;
+    q = q * 10 + static_cast<uint64_t>(*p - '0');
+  }
+  *site = static_cast<uint32_t>(s);
+  *seq = q;
+  return true;
+}
+
+}  // namespace
+
+std::string FormatSessionHeader(const SessionHeader& h) {
+  char buf[80];
+  snprintf(buf, sizeof(buf), "*S%llx/%llx/%llx/%x",
+           static_cast<unsigned long long>(h.session_id),
+           static_cast<unsigned long long>(h.seq),
+           static_cast<unsigned long long>(h.attempt), h.flags);
+  std::string out = buf;
+  for (size_t i = 0; i < h.floors.size(); i++) {
+    out += i == 0 ? '/' : ',';
+    out += std::to_string(h.floors[i].first);
+    out += ':';
+    out += std::to_string(h.floors[i].second);
+  }
+  return out;
+}
+
+bool ParseSessionHeader(const std::string& token, SessionHeader* h) {
+  if (token.size() < 3 || token[0] != '*' || token[1] != 'S') return false;
+  if (token.size() > kMaxSessionHeaderBytes) return false;
+  const size_t slash1 = token.find('/', 2);
+  if (slash1 == std::string::npos) return false;
+  const size_t slash2 = token.find('/', slash1 + 1);
+  if (slash2 == std::string::npos) return false;
+  const size_t slash3 = token.find('/', slash2 + 1);
+  if (slash3 == std::string::npos) return false;
+  const char* s = token.data();
+  uint64_t sid = 0, seq = 0, attempt = 0, flags = 0;
+  if (!ParseHex(s + 2, s + slash1, &sid)) return false;
+  if (!ParseHex(s + slash1 + 1, s + slash2, &seq)) return false;
+  if (!ParseHex(s + slash2 + 1, s + slash3, &attempt)) return false;
+  const size_t slash4 = token.find('/', slash3 + 1);
+  const size_t flags_end = slash4 == std::string::npos ? token.size() : slash4;
+  if (!ParseHex(s + slash3 + 1, s + flags_end, &flags)) return false;
+  if (sid == 0) return false;
+  if (flags > UINT32_MAX) return false;
+  std::vector<std::pair<uint32_t, uint64_t>> floors;
+  if (slash4 != std::string::npos) {
+    size_t pos = slash4 + 1;
+    while (pos < token.size()) {
+      size_t comma = token.find(',', pos);
+      if (comma == std::string::npos) comma = token.size();
+      uint32_t site = 0;
+      uint64_t floor_seq = 0;
+      if (!ParseFloor(s + pos, s + comma, &site, &floor_seq)) return false;
+      floors.emplace_back(site, floor_seq);
+      if (floors.size() > kMaxSessionFloors) return false;
+      pos = comma + 1;
+    }
+    if (floors.empty()) return false;  // trailing '/' with nothing after
+  }
+  h->session_id = sid;
+  h->seq = seq;
+  h->attempt = attempt;
+  h->flags = static_cast<uint32_t>(flags);
+  h->floors = std::move(floors);
+  return true;
+}
+
+SessionHeaderStatus StripSessionHeader(std::string* line, SessionHeader* h) {
+  size_t start = line->find_first_not_of(" \t");
+  if (start == std::string::npos) return SessionHeaderStatus::kAbsent;
+  if (line->compare(start, 2, "*S") != 0) return SessionHeaderStatus::kAbsent;
+  size_t end = line->find_first_of(" \t", start);
+  if (end == std::string::npos) end = line->size();
+  const std::string token = line->substr(start, end - start);
+  const bool parsed = ParseSessionHeader(token, h);
+  size_t rest = line->find_first_not_of(" \t", end);
+  if (rest == std::string::npos) rest = line->size();
+  line->erase(0, rest);
+  return parsed ? SessionHeaderStatus::kOk : SessionHeaderStatus::kMalformed;
+}
+
+std::string FormatFloorToken(const std::map<uint32_t, uint64_t>& floors) {
+  std::string out = "*F";
+  bool first = true;
+  for (const auto& [site, seq] : floors) {
+    if (!first) out += ',';
+    first = false;
+    out += std::to_string(site);
+    out += ':';
+    out += std::to_string(seq);
+  }
+  return out;
+}
+
+bool StripFloorToken(std::string* reply,
+                     std::map<uint32_t, uint64_t>* floors) {
+  if (reply->compare(0, 2, "*F") != 0) return false;
+  size_t end = reply->find(' ');
+  if (end == std::string::npos) end = reply->size();
+  const char* s = reply->data();
+  size_t pos = 2;
+  std::map<uint32_t, uint64_t> parsed;
+  while (pos < end) {
+    size_t comma = reply->find(',', pos);
+    if (comma == std::string::npos || comma > end) comma = end;
+    uint32_t site = 0;
+    uint64_t seq = 0;
+    if (!ParseFloor(s + pos, s + comma, &site, &seq)) return false;
+    // Keep the max if a site repeats (it never should).
+    uint64_t& slot = parsed[site];
+    if (seq > slot) slot = seq;
+    pos = comma + 1;
+  }
+  if (parsed.empty()) return false;
+  size_t rest = reply->find_first_not_of(' ', end);
+  if (rest == std::string::npos) rest = reply->size();
+  reply->erase(0, rest);
+  for (const auto& [site, seq] : parsed) {
+    uint64_t& slot = (*floors)[site];
+    if (seq > slot) slot = seq;
+  }
+  return true;
+}
+
+uint64_t DeriveSessionTxnId(uint64_t session_id, uint64_t seq,
+                            uint64_t attempt) {
+  // SplitMix64 finalizer over a mix of the triple: deterministic for a
+  // given request, uniformly spread across the txn-id space otherwise.
+  uint64_t x = session_id;
+  x ^= seq + 0x9e3779b97f4a7c15ull + (x << 6) + (x >> 2);
+  x ^= attempt + 0x9e3779b97f4a7c15ull + (x << 6) + (x >> 2);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+bool SessionFloorsCovered(const SessionHeader& h, uint32_t local_site,
+                          uint64_t local_applied_seq,
+                          const std::map<uint32_t, uint64_t>& applied) {
+  for (const auto& [site, floor] : h.floors) {
+    uint64_t have = 0;
+    if (site == local_site) {
+      have = local_applied_seq;
+    } else {
+      auto it = applied.find(site);
+      if (it != applied.end()) have = it->second;
+    }
+    if (have < floor) return false;
+  }
+  return true;
+}
+
+// ---- SessionDedup -----------------------------------------------------------
+
+SessionDedup::SessionDedup(Options options) : options_(options) {}
+
+void SessionDedup::RegisterMetrics(obs::MetricsRegistry* registry,
+                                   void* owner) {
+  if (registry == nullptr) return;
+  hits_ = registry->RegisterCounter(
+      "tardis_session_dedup_hits",
+      "Retried session writes answered from the dedup table");
+  evictions_ = registry->RegisterCounter(
+      "tardis_session_dedup_evictions",
+      "Session dedup entries evicted by the table bounds");
+  duplicates_counter_ = registry->RegisterCounter(
+      "tardis_session_dedup_duplicates",
+      "Session (id, seq) pairs observed committed under two different "
+      "states — a duplicate that slipped past dedup");
+  rejected_ = registry->RegisterCounter(
+      "tardis_session_header_rejected",
+      "Requests rejected for a corrupt or oversized *S session header");
+  registry->RegisterCallbackGauge(
+      "tardis_session_dedup_entries",
+      "Session dedup (id, seq) entries currently held",
+      [this] { return static_cast<double>(entry_count()); }, {}, owner);
+  registry->RegisterCallbackGauge(
+      "tardis_session_dedup_sessions",
+      "Distinct client sessions currently tracked by dedup",
+      [this] { return static_cast<double>(session_count()); }, {}, owner);
+}
+
+bool SessionDedup::Lookup(uint64_t session_id, uint64_t seq,
+                          GlobalStateId* guid) {
+  if (session_id == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return false;
+  auto eit = it->second.entries.find(seq);
+  if (eit == it->second.entries.end()) return false;
+  *guid = eit->second;
+  TouchLocked(session_id, &it->second);
+  if (hits_ != nullptr) hits_->Increment();
+  return true;
+}
+
+void SessionDedup::Record(uint64_t session_id, uint64_t seq,
+                          const GlobalStateId& guid) {
+  if (session_id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    // Evict the least-recently-used session to stay within bounds.
+    while (sessions_.size() >= options_.max_sessions && !lru_.empty()) {
+      const uint64_t victim = lru_.back();
+      lru_.pop_back();
+      auto vit = sessions_.find(victim);
+      if (vit != sessions_.end()) {
+        entry_count_ -= vit->second.entries.size();
+        if (evictions_ != nullptr)
+          evictions_->Increment(vit->second.entries.size());
+        sessions_.erase(vit);
+      }
+    }
+    lru_.push_front(session_id);
+    Session s;
+    s.lru_pos = lru_.begin();
+    it = sessions_.emplace(session_id, std::move(s)).first;
+  } else {
+    TouchLocked(session_id, &it->second);
+  }
+  Session& s = it->second;
+  auto [eit, inserted] = s.entries.emplace(seq, guid);
+  if (!inserted) {
+    if (!(eit->second == guid)) {
+      duplicates_++;
+      if (duplicates_counter_ != nullptr) duplicates_counter_->Increment();
+    }
+    return;
+  }
+  entry_count_++;
+  // Per-session window: drop the lowest sequences first — a client only
+  // retries its most recent writes.
+  while (s.entries.size() > options_.per_session) {
+    s.entries.erase(s.entries.begin());
+    entry_count_--;
+    if (evictions_ != nullptr) evictions_->Increment();
+  }
+}
+
+void SessionDedup::IncrementRejected() {
+  if (rejected_ != nullptr) rejected_->Increment();
+}
+
+size_t SessionDedup::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+size_t SessionDedup::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entry_count_;
+}
+
+uint64_t SessionDedup::duplicates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicates_;
+}
+
+void SessionDedup::TouchLocked(uint64_t session_id, Session* s) {
+  lru_.erase(s->lru_pos);
+  lru_.push_front(session_id);
+  s->lru_pos = lru_.begin();
+}
+
+}  // namespace tardis

@@ -1,0 +1,179 @@
+// Client sessions & exactly-once retries (DESIGN.md §13).
+//
+// A client that loses its connection after sending `put`/`mput` cannot
+// tell whether the write executed; a blind resend double-applies it —
+// and under branch-on-conflict a duplicated write silently becomes an
+// extra sibling branch the merge policies then have to reconcile. The
+// session layer makes mutating commands idempotent:
+//
+//  * Clients attach a `*S` line-protocol header (shaped like the `*T`
+//    trace header) carrying (session_id, seq): the session identity, a
+//    monotonically increasing per-session write sequence, a retry
+//    attempt counter, flags, and the session's read/write floors over
+//    branch tips (origin site -> minimum applied sequence).
+//  * Each site keeps a bounded SessionDedup table mapping
+//    (session_id, seq) -> the guid of the commit that applied it, so a
+//    retried write returns the original reply instead of re-executing.
+//    The mapping rides the commit log (CommitLogEntry session fields),
+//    so crash-restart replay rebuilds it and retries stay deduped.
+//  * The router derives cross-partition 2PC transaction ids from the
+//    client request id (DeriveSessionTxnId), so a retried `mput`
+//    resolves the in-doubt transaction instead of starting a second one.
+//
+// Unlike the trace header, a corrupt or oversized `*S` token is
+// REJECTED (retryable "ERR HEADER", counter bump), never silently
+// stripped: silent stripping would turn a dedupable write into a blind
+// one.
+
+#ifndef TARDIS_CORE_SESSION_H_
+#define TARDIS_CORE_SESSION_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+#include "obs/metrics.h"
+
+namespace tardis {
+
+// SessionHeader flag bits.
+inline constexpr uint32_t kSessionFlagWrite = 1u << 0;  ///< dedup this seq
+/// The request deliberately carries a reduced floor set (client-side
+/// --stale-reads-ms): the serving site may be behind by the client's
+/// staleness bound.
+inline constexpr uint32_t kSessionFlagStaleOk = 1u << 1;
+
+/// Hard bound on an accepted `*S` token; anything longer is rejected as
+/// oversized (a header must never smuggle unbounded payload past the
+/// command parser).
+inline constexpr size_t kMaxSessionHeaderBytes = 256;
+/// Hard bound on the floor list length (a cluster has few origin sites).
+inline constexpr size_t kMaxSessionFloors = 16;
+
+/// The parsed `*S` header:
+///   *S<session>/<seq>/<attempt>/<flags>[/<site>:<seq>[,<site>:<seq>...]]
+/// All fields lowercase hex (like the trace header). session_id == 0
+/// means "no session".
+struct SessionHeader {
+  uint64_t session_id = 0;
+  uint64_t seq = 0;      ///< per-session write sequence; 0 on reads
+  uint64_t attempt = 0;  ///< bumped only after a known-aborted 2PC attempt
+  uint32_t flags = 0;
+  /// Read-your-writes / monotonic floors: origin site -> minimum applied
+  /// local sequence the serving site must have caught up to.
+  std::vector<std::pair<uint32_t, uint64_t>> floors;
+
+  bool write() const { return (flags & kSessionFlagWrite) != 0; }
+  bool stale_ok() const { return (flags & kSessionFlagStaleOk) != 0; }
+};
+
+std::string FormatSessionHeader(const SessionHeader& h);
+
+/// Parses one `*S...` token (no surrounding whitespace). False on any
+/// malformed or oversized token.
+bool ParseSessionHeader(const std::string& token, SessionHeader* h);
+
+enum class SessionHeaderStatus {
+  kAbsent,     ///< line carries no *S token
+  kOk,         ///< header parsed and stripped
+  kMalformed,  ///< *S-shaped token that does not parse: REJECT the request
+};
+
+/// Strips a leading `*S` token off `line` (after any trace header has
+/// already been stripped). On kMalformed the token is consumed but the
+/// request must be rejected with a retryable error, not executed.
+SessionHeaderStatus StripSessionHeader(std::string* line, SessionHeader* h);
+
+/// Server floors attached to session-tagged replies, as a leading token:
+///   *F<site>:<seq>[,<site>:<seq>...]
+/// The client merges these into its session so later requests carry them
+/// (monotonic reads across failover).
+std::string FormatFloorToken(const std::map<uint32_t, uint64_t>& floors);
+bool StripFloorToken(std::string* reply,
+                     std::map<uint32_t, uint64_t>* floors);
+
+/// Deterministic 2PC transaction id for a session-tagged request
+/// (SplitMix64 over the triple; attempt differentiates re-derivations
+/// after a known abort). Never returns 0. Ids from distinct sessions
+/// collide with ~2^-64 probability — indistinguishable from the random
+/// ids unsessioned transactions use.
+uint64_t DeriveSessionTxnId(uint64_t session_id, uint64_t seq,
+                            uint64_t attempt);
+
+/// True when the serving site covers every floor in `h`: its own commit
+/// sequence has reached floors for `local_site`, and the replication
+/// applied-floor map covers the rest. A missing origin counts as floor 0.
+bool SessionFloorsCovered(const SessionHeader& h, uint32_t local_site,
+                          uint64_t local_applied_seq,
+                          const std::map<uint32_t, uint64_t>& applied);
+
+/// SessionDedup: the bounded per-site (session_id, seq) -> commit guid
+/// table. Fed from three places — local tagged commits, remote tagged
+/// commits arriving through replication, and commit-log replay during
+/// recovery — so lookups dedup retries against everything this site has
+/// applied, across crash-restarts and across the write's origin site.
+///
+/// Bounds: at most `max_sessions` sessions (LRU-evicted) of at most
+/// `per_session` entries each (lowest sequences evicted first — a client
+/// only ever retries its most recent writes). Thread-safe.
+class SessionDedup {
+ public:
+  struct Options {
+    size_t max_sessions = 1024;
+    size_t per_session = 128;
+  };
+
+  SessionDedup() : SessionDedup(Options()) {}
+  explicit SessionDedup(Options options);
+
+  /// Registers tardis_session_dedup_* on `registry` (owner-scoped to
+  /// `owner`; pass the enclosing store). Call once, before traffic.
+  void RegisterMetrics(obs::MetricsRegistry* registry, void* owner);
+
+  /// True (and fills *guid) when (session_id, seq) already applied here.
+  bool Lookup(uint64_t session_id, uint64_t seq, GlobalStateId* guid);
+
+  /// Remembers (session_id, seq) -> guid. Recording a sequence that is
+  /// already present under a different guid means a duplicate commit
+  /// slipped past dedup (e.g. a failover retry that outran replication);
+  /// it bumps tardis_session_dedup_duplicates and keeps the first guid.
+  void Record(uint64_t session_id, uint64_t seq, const GlobalStateId& guid);
+
+  /// Counter for rejected (corrupt/oversized) session headers; bumped by
+  /// the request paths that parse headers.
+  void IncrementRejected();
+
+  size_t session_count() const;
+  size_t entry_count() const;
+  uint64_t duplicates() const;
+
+ private:
+  struct Session {
+    std::map<uint64_t, GlobalStateId> entries;  ///< seq -> commit guid
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  void TouchLocked(uint64_t session_id, Session* s);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Session> sessions_;
+  std::list<uint64_t> lru_;  ///< most-recently-used session ids, front first
+  size_t entry_count_ = 0;
+  uint64_t duplicates_ = 0;
+
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Counter* duplicates_counter_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_SESSION_H_

@@ -69,6 +69,16 @@ class State {
   bool is_merge() const { return is_merge_; }
   void set_is_merge(bool v) { is_merge_ = v; }
 
+  /// Exactly-once session tag of the commit that created this state
+  /// (0/0 when untagged). Kept on the state so checkpoints rebuild the
+  /// dedup table: a checkpoint snapshots the DAG, not the commit log.
+  uint64_t session_id() const { return session_id_; }
+  uint64_t session_seq() const { return session_seq_; }
+  void set_session_tag(uint64_t id, uint64_t seq) {
+    session_id_ = id;
+    session_seq_ = seq;
+  }
+
   // --- read-state pinning (GC pass 2 must skip pinned states) ------------
   void PinAsReadState() { read_pins_.fetch_add(1, std::memory_order_relaxed); }
   void UnpinAsReadState() {
@@ -94,6 +104,8 @@ class State {
   KeySet inherited_writes_;
   KeySet read_set_;
   bool is_merge_ = false;
+  uint64_t session_id_ = 0;
+  uint64_t session_seq_ = 0;
   std::atomic<int> read_pins_{0};
 };
 

@@ -87,6 +87,11 @@ class StateDag {
     }
   }
 
+  /// Highest local sequence issued so far (0 = none). Session floor
+  /// checks compare a client's read-your-writes floor for this site
+  /// against it.
+  uint64_t local_seq() const { return next_seq_.load(); }
+
   /// Raises the local state-id counter past `id`. Record B-Tree keys embed
   /// local ids, and a flushed record can outlive its commit-log entry in a
   /// crash; if a restarted incarnation reissued such an id for a commit

@@ -104,6 +104,9 @@ void TardisStore::RegisterMetrics() {
   // Process-wide fault-injection counters (zero unless a test arms
   // faults); exported here so every site's registry sees them.
   fault::FaultRegistry::Global().BindMetrics(metrics_.get());
+  // Exactly-once session dedup (DESIGN.md §13). Callback gauges are
+  // owner-scoped to this store and dropped in the destructor.
+  session_dedup_.RegisterMetrics(metrics_.get(), this);
 }
 
 TardisStore::~TardisStore() {
@@ -454,6 +457,9 @@ Status TardisStore::CommitTxn(Transaction* t, const EndConstraintPtr& ec_in) {
     new_state = dag_.CreateStateLocked(parents, dag_.NextLocalGuid(),
                                        t->ctx_.reads, t->ctx_.writes,
                                        is_merge);
+    if (t->session_tag_id_ != 0) {
+      new_state->set_session_tag(t->session_tag_id_, t->session_tag_seq_);
+    }
 
     // Publish versions before releasing the commit lock so any
     // transaction that selects new_state as its read state sees them.
@@ -477,6 +483,8 @@ Status TardisStore::CommitTxn(Transaction* t, const EndConstraintPtr& ec_in) {
       for (const auto& [key, value] : t->write_cache_) {
         entry.write_keys.push_back(key);
       }
+      entry.session_id = t->session_tag_id_;
+      entry.session_seq = t->session_tag_seq_;
       obs::StageTimer fsync_stage(stage_wal_fsync_us_, "wal_fsync");
       Status s = commit_log_->Append(entry);
       if (!s.ok()) {
@@ -502,6 +510,15 @@ Status TardisStore::CommitTxn(Transaction* t, const EndConstraintPtr& ec_in) {
 
   t->session_->last_commit_ = new_state;
 
+  // The dedup entry becomes visible only after the commit (and its log
+  // entry) exist: a concurrent retry either misses it and re-executes
+  // against the same (sid, seq) — caught as a duplicate — or hits it and
+  // gets the original state back.
+  if (t->session_tag_id_ != 0) {
+    session_dedup_.Record(t->session_tag_id_, t->session_tag_seq_,
+                          new_state->guid());
+  }
+
   // Automatic checkpointing (§6.5): once the commit log grows past the
   // configured bound, snapshot the DAG and truncate it. At most one
   // committer runs the checkpoint; the others proceed.
@@ -523,6 +540,8 @@ Status TardisStore::CommitTxn(Transaction* t, const EndConstraintPtr& ec_in) {
     for (const auto& [key, value] : t->write_cache_) {
       record.writes.emplace_back(key, value);
     }
+    record.session_id = t->session_tag_id_;
+    record.session_seq = t->session_tag_seq_;
   }
 
   const bool was_merge = t->mode() == Transaction::Mode::kMerge;
@@ -578,6 +597,9 @@ Status TardisStore::ApplyRemote(const CommitRecord& record) {
 
     new_state = dag_.CreateStateLocked(parents, record.guid, KeySet(),
                                        std::move(writes), record.is_merge);
+    if (record.session_id != 0) {
+      new_state->set_session_tag(record.session_id, record.session_seq);
+    }
     for (const auto& [key, value] : record.writes) {
       kvmap_.AddVersion(key, new_state, value);
     }
@@ -598,6 +620,8 @@ Status TardisStore::ApplyRemote(const CommitRecord& record) {
       for (const auto& [key, value] : record.writes) {
         entry.write_keys.push_back(key);
       }
+      entry.session_id = record.session_id;
+      entry.session_seq = record.session_seq;
       obs::StageTimer fsync_stage(stage_wal_fsync_us_, "wal_fsync");
       Status s = commit_log_->Append(entry);
       if (!s.ok()) {
@@ -613,6 +637,13 @@ Status TardisStore::ApplyRemote(const CommitRecord& record) {
       commit_log_degraded_.store(true, std::memory_order_relaxed);
       TARDIS_ERROR("record persist: %s", s.ToString().c_str());
     }
+  }
+  if (record.session_id != 0) {
+    // A gossiped tagged commit extends dedup coverage to this site: a
+    // client failing over here with the same (sid, seq) gets the original
+    // state, not a second commit.
+    session_dedup_.Record(record.session_id, record.session_seq,
+                          record.guid);
   }
   remote_applied_total_->Increment();
   if (forked) {
@@ -721,6 +752,12 @@ Status TardisStore::RecoverEntry(const CommitLogEntry& entry,
   StatePtr state = dag_.CreateStateWithIdLocked(
       entry.id, parents, entry.guid, KeySet(), std::move(writes),
       entry.is_merge);
+  if (entry.session_id != 0) {
+    // Rebuild the exactly-once dedup table from the replayed log, so a
+    // client retrying across this site's crash-restart still dedups.
+    state->set_session_tag(entry.session_id, entry.session_seq);
+    session_dedup_.Record(entry.session_id, entry.session_seq, entry.guid);
+  }
   // Values load lazily from the record store on first read.
   for (const std::string& k : entry.write_keys) {
     kvmap_.AddVersion(k, state, nullptr);
@@ -741,6 +778,8 @@ std::vector<CommitLogEntry> TardisStore::SnapshotDag() {
     }
     entry.is_merge = s->is_merge();
     entry.write_keys = s->write_set().keys();
+    entry.session_id = s->session_id();
+    entry.session_seq = s->session_seq();
     snapshot.push_back(std::move(entry));
   }
   return snapshot;

@@ -34,6 +34,7 @@
 #include "core/gc.h"
 #include "core/key_version_map.h"
 #include "core/options.h"
+#include "core/session.h"
 #include "core/state_dag.h"
 #include "core/transaction.h"
 #include "obs/metrics.h"
@@ -71,6 +72,10 @@ struct CommitRecord {
   bool is_merge = false;
   std::vector<std::pair<std::string, std::shared_ptr<const std::string>>>
       writes;
+  /// Exactly-once session tag (DESIGN.md §13); replicated so every site's
+  /// dedup table learns about tagged commits from other sites. 0 = none.
+  uint64_t session_id = 0;
+  uint64_t session_seq = 0;
 };
 
 /// Compatibility snapshot of the per-site transaction counters. The
@@ -171,6 +176,10 @@ class TardisStore {
   obs::MetricsRegistry* metrics() const { return metrics_.get(); }
   StoreStats stats() const;
   uint32_t site_id() const { return dag_.site_id(); }
+  /// The per-site exactly-once dedup table (DESIGN.md §13). Fed by every
+  /// tagged commit path — local, remote, recovery — so request handlers
+  /// only ever need Lookup.
+  SessionDedup* session_dedup() { return &session_dedup_; }
 
  private:
   friend class Transaction;
@@ -223,6 +232,7 @@ class TardisStore {
   std::unique_ptr<RecordStore> record_store_;
   std::unique_ptr<CommitLog> commit_log_;
   std::unique_ptr<GarbageCollector> gc_;
+  SessionDedup session_dedup_;
   std::function<void(const CommitRecord&)> commit_cb_;
 
   /// Lock-free registry metrics; the commit hot path increments counters

@@ -74,6 +74,16 @@ class Transaction {
   /// Abandons the transaction (always succeeds).
   void Abort();
 
+  /// Tags the commit with an exactly-once client session identity
+  /// (DESIGN.md §13). The tag rides the commit-log entry and the
+  /// replicated CommitRecord, feeding every site's dedup table.
+  void SetSessionTag(uint64_t session_id, uint64_t session_seq) {
+    session_tag_id_ = session_id;
+    session_tag_seq_ = session_seq;
+  }
+  uint64_t session_tag_id() const { return session_tag_id_; }
+  uint64_t session_tag_seq() const { return session_tag_seq_; }
+
   const TxnContext& context() const { return ctx_; }
 
  private:
@@ -88,6 +98,8 @@ class Transaction {
   TxnContext ctx_;
   /// Buffered writes (last value per key wins).
   std::map<std::string, std::shared_ptr<const std::string>> write_cache_;
+  uint64_t session_tag_id_ = 0;
+  uint64_t session_tag_seq_ = 0;
   bool active_ = true;
 };
 

@@ -68,12 +68,29 @@ bool GetTrace(Slice* in, ReplMessage* msg) {
   return true;
 }
 
+/// Exactly-once session tag on the frames that execute client writes
+/// (kRoute/kPrepare). Encoded unconditionally — two bytes when
+/// unsessioned.
+void PutSession(std::string* out, const ReplMessage& msg) {
+  PutVarint64(out, msg.session_id);
+  PutVarint64(out, msg.session_seq);
+}
+
+bool GetSession(Slice* in, ReplMessage* msg) {
+  if (!GetVarint64(in, &msg->session_id)) return false;
+  return GetVarint64(in, &msg->session_seq);
+}
+
 void PutCommitRecord(std::string* out, const CommitRecord& r) {
   PutGuid(out, r.guid);
   PutVarint64(out, r.parent_guids.size());
   for (const GlobalStateId& p : r.parent_guids) PutGuid(out, p);
   out->push_back(r.is_merge ? 1 : 0);
   PutWrites(out, r.writes);
+  // v3: the session tag replicates with the commit so every site's dedup
+  // table learns about tagged commits from other sites.
+  PutVarint64(out, r.session_id);
+  PutVarint64(out, r.session_seq);
 }
 
 bool GetCommitRecord(Slice* in, CommitRecord* r) {
@@ -92,7 +109,9 @@ bool GetCommitRecord(Slice* in, CommitRecord* r) {
   if (in->empty()) return false;
   r->is_merge = (*in)[0] != 0;
   in->remove_prefix(1);
-  return GetWrites(in, &r->writes);
+  if (!GetWrites(in, &r->writes)) return false;
+  if (!GetVarint64(in, &r->session_id)) return false;
+  return GetVarint64(in, &r->session_seq);
 }
 
 }  // namespace
@@ -130,6 +149,7 @@ void EncodeReplMessage(const ReplMessage& msg, std::string* out) {
       PutLengthPrefixed(out, Slice(msg.text));
       PutWrites(out, msg.commit.writes);
       PutTrace(out, msg);
+      PutSession(out, msg);
       break;
     case ReplMessage::Type::kRouteReply:
       PutVarint64(out, msg.txn_id);
@@ -143,6 +163,7 @@ void EncodeReplMessage(const ReplMessage& msg, std::string* out) {
         PutLengthPrefixed(out, Slice(ep));
       }
       PutTrace(out, msg);
+      PutSession(out, msg);
       break;
     case ReplMessage::Type::kPrepareAck:
       PutVarint64(out, msg.txn_id);
@@ -260,6 +281,9 @@ Status DecodeReplMessage(Slice payload, ReplMessage* out) {
       if (!GetTrace(&in, &msg)) {
         return Status::Corruption("bad route trace context");
       }
+      if (!GetSession(&in, &msg)) {
+        return Status::Corruption("bad route session tag");
+      }
       break;
     }
     case ReplMessage::Type::kRouteReply: {
@@ -294,6 +318,9 @@ Status DecodeReplMessage(Slice payload, ReplMessage* out) {
       }
       if (!GetTrace(&in, &msg)) {
         return Status::Corruption("bad prepare trace context");
+      }
+      if (!GetSession(&in, &msg)) {
+        return Status::Corruption("bad prepare session tag");
       }
       break;
     }

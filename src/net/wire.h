@@ -45,7 +45,10 @@ namespace tardis {
 /// Current wire format version. Bump on incompatible payload changes.
 /// v2: kRoute/kPrepare/kDecide carry a trailing distributed-trace
 /// context (trace_id, trace_span, sampled) — see DESIGN.md §7.
-inline constexpr uint8_t kWireVersion = 2;
+/// v3: kRoute/kPrepare carry an exactly-once session tag after the trace
+/// context, and CommitRecord carries the tag of the commit it replicates
+/// (DESIGN.md §13).
+inline constexpr uint8_t kWireVersion = 3;
 
 /// Frame header: u32 length + u32 masked CRC.
 inline constexpr size_t kWireHeaderBytes = 8;

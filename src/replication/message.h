@@ -96,6 +96,14 @@ struct ReplMessage {
   uint64_t trace_id = 0;
   uint64_t trace_span = 0;
   bool trace_sampled = false;
+
+  /// kRoute/kPrepare: exactly-once client session tag (DESIGN.md §13).
+  /// session_id 0 = unsessioned. The executing daemon dedups the request
+  /// against its per-session table and tags the resulting commit, and on
+  /// kPrepare persists the tag with the prepare record so a crash-
+  /// recovered decision still commits tagged.
+  uint64_t session_id = 0;
+  uint64_t session_seq = 0;
 };
 
 }  // namespace tardis

@@ -5,12 +5,21 @@
 // responses). The policy is deliberately time-source agnostic: callers
 // feed in "now" in whatever clock they use (wall ms, ticks), which keeps
 // the deterministic test harnesses deterministic.
+//
+// With EnableJitter(seed) the delay becomes *decorrelated jitter*
+// (delay' = uniform[initial, min(max, 3 * delay)]): after a daemon
+// restart, plain doubling makes every waiting client retry on the same
+// beat and the reconnect storm re-sheds itself; jitter spreads the
+// retries across the window. The PRNG is seeded by the caller, so
+// deterministic harnesses stay deterministic.
 
 #ifndef TARDIS_UTIL_BACKOFF_H_
 #define TARDIS_UTIL_BACKOFF_H_
 
 #include <algorithm>
 #include <cstdint>
+
+#include "util/random.h"
 
 namespace tardis {
 
@@ -20,12 +29,29 @@ class Backoff {
   Backoff(uint64_t initial_ms, uint64_t max_ms)
       : initial_ms_(initial_ms), max_ms_(max_ms) {}
 
+  /// Switches Fail() to decorrelated jitter, drawing from a PRNG seeded
+  /// with `seed`. Every delay stays within [initial_ms, max_ms].
+  void EnableJitter(uint64_t seed) {
+    jitter_ = true;
+    rng_ = Random(seed);
+  }
+  bool jitter_enabled() const { return jitter_; }
+
   /// Records a failure at time `now_ms`: doubles the current delay
   /// (starting from `initial_ms`, capped at `max_ms`) and arms the next
-  /// attempt time.
+  /// attempt time. With jitter enabled the next delay is drawn uniformly
+  /// from [initial_ms, min(max_ms, 3 * previous delay)] instead.
   void Fail(uint64_t now_ms) {
-    delay_ms_ = delay_ms_ == 0 ? initial_ms_
-                               : std::min(delay_ms_ * 2, max_ms_);
+    if (delay_ms_ == 0) {
+      delay_ms_ = initial_ms_;
+    } else if (jitter_) {
+      const uint64_t hi = std::min(
+          max_ms_, delay_ms_ > max_ms_ / 3 ? max_ms_ : delay_ms_ * 3);
+      delay_ms_ = hi <= initial_ms_ ? initial_ms_
+                                    : rng_.Range(initial_ms_, hi);
+    } else {
+      delay_ms_ = std::min(delay_ms_ * 2, max_ms_);
+    }
     next_attempt_ms_ = now_ms + delay_ms_;
   }
 
@@ -51,6 +77,8 @@ class Backoff {
   uint64_t max_ms_ = 2000;
   uint64_t delay_ms_ = 0;  // 0 = no failure since the last Reset
   uint64_t next_attempt_ms_ = 0;
+  bool jitter_ = false;
+  Random rng_;
 };
 
 }  // namespace tardis

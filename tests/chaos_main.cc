@@ -35,6 +35,7 @@
 #include <unistd.h>
 
 #include "cluster/twopc.h"
+#include "core/session.h"
 #include "core/state.h"
 #include "core/state_dag.h"
 #include "core/tardis_store.h"
@@ -1159,6 +1160,401 @@ bool RunTwoPcSchedule(uint64_t seed, bool verbose) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Client-retry schedules (src/client/, src/core/session.h, DESIGN.md §13).
+// The adversary is the network between a retrying client and the fleet:
+// requests vanish before the site sees them, replies vanish after the
+// commit applied, the serving site dies mid-session, and a router decide
+// is lost between 2PC partitions. The invariant is exactly-once: however
+// many times the client re-sends a (session, seq) write, it applies at
+// most once, across failover and across crash-restart.
+// ---------------------------------------------------------------------------
+
+/// Server-side sessioned write path, exactly as tardisd executes it:
+/// consult the dedup table first, otherwise commit with the session tag.
+/// `*deduped` reports which path answered; `*guid` the commit's identity.
+bool SessionedCommit(TardisStore* store, ClientSession* session,
+                     uint64_t sid, uint64_t seq, const std::string& key,
+                     const std::string& value, GlobalStateId* guid,
+                     bool* deduped) {
+  if (store->session_dedup()->Lookup(sid, seq, guid)) {
+    *deduped = true;
+    return true;
+  }
+  *deduped = false;
+  auto txn = store->Begin(session);
+  if (!txn.ok()) return false;
+  txn.value()->SetSessionTag(sid, seq);
+  if (!txn.value()->Put(key, value).ok()) return false;
+  if (!txn.value()->Commit().ok()) return false;
+  *guid = session->last_commit()->guid();
+  return true;
+}
+
+/// One seeded client-retry schedule, three sub-adversaries:
+///
+///   A. A lossy single site (durable, synchronous WAL): every logical
+///      write runs a drop-request / drop-reply / deliver lottery until
+///      acked. Exactly-once must hold while the store is up, and the
+///      dedup table must survive a crash-restart via commit-log replay —
+///      replaying every (session, seq) after reopen adds no state.
+///   B. Failover under read-your-writes floors: tagged writes land at
+///      site 0; before replication has run, site 1 must refuse the
+///      session's floors (the ERR BEHIND path) though a stale-ok
+///      degraded read is allowed; once anti-entropy catches up the
+///      client retries its unacked write at site 1 and must be answered
+///      from dedup with the ORIGIN site's guid.
+///   C. 2PC under a derived txn id: a decide is lost and the router
+///      dies; the client re-runs the whole round under the SAME
+///      DeriveSessionTxnId and both partitions settle on one commit,
+///      applied once. A second transaction whose first round is presumed
+///      abort retries under a bumped attempt (fresh txn id) and commits.
+bool RunRetrySchedule(uint64_t seed, bool verbose) {
+  auto fail = [&](const std::string& what) {
+    return ResilienceFail("RETRY", seed, what);
+  };
+  Random rng(seed);
+  const uint64_t sid = (seed << 8) | 0x51;  // nonzero by construction
+
+  // --- A. Lossy single durable site + crash-restart replay. ---
+  const std::string base =
+      (std::filesystem::temp_directory_path() /
+       ("tardis_chaos_retry_" + std::to_string(seed)))
+          .string();
+  std::filesystem::remove_all(base);
+  const int logical = 10 + static_cast<int>(rng.Uniform(8));
+  std::map<uint64_t, GlobalStateId> acked;  // seq -> guid the client saw
+  uint64_t send_attempts = 0;
+  size_t states_after_traffic = 0;
+  {
+    TardisOptions o;
+    o.dir = base;
+    o.flush_mode = Wal::FlushMode::kSync;
+    auto store_or = TardisStore::Open(o);
+    if (!store_or.ok()) return fail("durable store failed to open");
+    std::unique_ptr<TardisStore> store = std::move(store_or.value());
+    auto session = store->CreateSession();
+    for (int i = 1; i <= logical; i++) {
+      const std::string key = "rk" + std::to_string(i);
+      const std::string value = "rv" + std::to_string(i);
+      bool done = false;
+      for (int attempt = 0; attempt < 64 && !done; attempt++) {
+        const uint32_t roll = rng.Uniform(3);
+        send_attempts++;
+        if (roll == 0) continue;  // request lost before the site saw it
+        GlobalStateId guid;
+        bool deduped = false;
+        if (!SessionedCommit(store.get(), session.get(), sid,
+                             static_cast<uint64_t>(i), key, value, &guid,
+                             &deduped)) {
+          return fail("sessioned commit failed");
+        }
+        if (roll == 1) continue;  // reply lost: client retries same seq
+        acked[static_cast<uint64_t>(i)] = guid;
+        done = true;
+      }
+      if (!done) return fail("client starved: no ack in 64 attempts");
+    }
+    // Exactly-once while up: one commit per logical write, no duplicate
+    // (session, seq) ever recorded, every key holds its value.
+    if (store->stats().commits != static_cast<uint64_t>(logical)) {
+      return fail("expected " + std::to_string(logical) + " commits, got " +
+                  std::to_string(store->stats().commits) + " from " +
+                  std::to_string(send_attempts) + " attempts");
+    }
+    if (store->session_dedup()->duplicates() != 0) {
+      return fail("dedup recorded a duplicate commit on the lossy site");
+    }
+    for (int i = 1; i <= logical; i++) {
+      if (ReadKey(store.get(), "rk" + std::to_string(i)) !=
+          "rv" + std::to_string(i)) {
+        return fail("rk" + std::to_string(i) + " lost its value");
+      }
+    }
+    states_after_traffic = GuidSet(store.get()).size();
+    Status s = store->Flush();
+    if (!s.ok()) return fail("flush failed: " + s.ToString());
+  }  // SIGKILL: the store is dropped without a clean shutdown path
+  {
+    TardisOptions o;
+    o.dir = base;
+    o.flush_mode = Wal::FlushMode::kSync;
+    auto store_or = TardisStore::Open(o);
+    if (!store_or.ok()) return fail("store failed to reopen after crash");
+    std::unique_ptr<TardisStore> store = std::move(store_or.value());
+    auto session = store->CreateSession();
+    if (GuidSet(store.get()).size() != states_after_traffic) {
+      return fail("recovery changed the state count");
+    }
+    // The dedup table must have been rebuilt from the commit log: every
+    // acked (session, seq) answers from dedup with its original guid,
+    // and replaying the whole session adds nothing.
+    for (const auto& [seq, guid] : acked) {
+      GlobalStateId got;
+      bool deduped = false;
+      if (!SessionedCommit(store.get(), session.get(), sid, seq,
+                           "rk" + std::to_string(seq), "replay", &got,
+                           &deduped)) {
+        return fail("replay commit failed after restart");
+      }
+      if (!deduped) {
+        return fail("seq " + std::to_string(seq) +
+                    " re-executed after crash-restart");
+      }
+      if (!(got == guid)) {
+        return fail("seq " + std::to_string(seq) +
+                    " answered with the wrong guid after restart");
+      }
+    }
+    if (GuidSet(store.get()).size() != states_after_traffic) {
+      return fail("post-restart replay created new states");
+    }
+  }
+  std::filesystem::remove_all(base);
+
+  // --- B. Failover under read-your-writes floors. ---
+  {
+    NetworkOptions nopt;
+    nopt.seed = seed * 31 + 7;
+    SimNetwork net(kSites, nopt);
+    ReplicatorOptions ropt;
+    ropt.heartbeat_every_ticks = 2;
+    ropt.suspect_after_ticks = 4;
+    ropt.dead_after_ticks = 8;
+    ResilienceSite sites[kSites];
+    for (uint32_t i = 0; i < kSites; i++) {
+      if (!OpenResilienceSite(&sites[i], i, &net, ropt)) {
+        return fail("failover site failed to open");
+      }
+    }
+    auto pump = [&]() {
+      for (int spin = 0; spin < 200; spin++) {
+        size_t moved = 0;
+        for (ResilienceSite& s : sites) {
+          if (s.repl) moved += s.repl->PumpOnce();
+        }
+        if (moved == 0) return;
+      }
+    };
+    const uint64_t fsid = sid ^ 0xF417;
+    SessionHeader floors_probe;
+    floors_probe.session_id = fsid;
+    const int writes = 3 + static_cast<int>(rng.Uniform(4));
+    GlobalStateId last_guid;
+    for (int i = 1; i <= writes; i++) {
+      GlobalStateId guid;
+      bool deduped = false;
+      if (!SessionedCommit(&*sites[0].store, sites[0].session.get(), fsid,
+                           static_cast<uint64_t>(i),
+                           "fk" + std::to_string(i), "fv" + std::to_string(i),
+                           &guid, &deduped) ||
+          deduped) {
+        return fail("failover seed write failed");
+      }
+      last_guid = guid;
+      // The client merges each acked guid into its floor set.
+      bool found = false;
+      for (auto& [site, seq] : floors_probe.floors) {
+        if (site == guid.site) {
+          seq = std::max(seq, guid.seq);
+          found = true;
+        }
+      }
+      if (!found) floors_probe.floors.emplace_back(guid.site, guid.seq);
+    }
+    // Replication has not run: site 1 cannot cover this session's floors
+    // (tardisd would answer ERR BEHIND), but a stale-ok degraded read is
+    // still allowed — it just sees the pre-session world.
+    if (SessionFloorsCovered(floors_probe, 1, sites[1].store->dag()->local_seq(),
+                             sites[1].repl->AppliedFloors())) {
+      return fail("site 1 claimed to cover floors it never applied");
+    }
+    if (ReadKey(&*sites[1].store, "fk1") != "<notfound>") {
+      return fail("degraded read saw a value that never replicated");
+    }
+    // Anti-entropy catches site 1 up, then site 0 dies.
+    bool covered = false;
+    for (int round = 0; round < 400 && !covered; round++) {
+      for (ResilienceSite& s : sites) {
+        if (s.repl) s.repl->Tick();
+      }
+      pump();
+      covered = SessionFloorsCovered(floors_probe, 1,
+                                     sites[1].store->dag()->local_seq(),
+                                     sites[1].repl->AppliedFloors());
+    }
+    if (!covered) return fail("site 1 never covered the session floors");
+    sites[0].Kill();
+    net.Partition(0, 1);
+    net.Partition(0, 2);
+    // The reply to the LAST write was lost: the client retries it at
+    // site 1, which must answer from dedup with the ORIGIN guid — the
+    // replicated CommitRecord carried the session tag.
+    GlobalStateId got;
+    bool deduped = false;
+    if (!SessionedCommit(&*sites[1].store, sites[1].session.get(), fsid,
+                         static_cast<uint64_t>(writes),
+                         "fk" + std::to_string(writes), "retry-after-failover",
+                         &got, &deduped)) {
+      return fail("failover retry failed");
+    }
+    if (!deduped) return fail("failover retry re-executed the write");
+    if (!(got == last_guid)) {
+      return fail("failover retry answered with the wrong guid");
+    }
+    if (sites[1].store->session_dedup()->duplicates() != 0) {
+      return fail("failover produced a duplicate commit");
+    }
+    // The session continues on the new site: the next seq executes fresh.
+    if (!SessionedCommit(&*sites[1].store, sites[1].session.get(), fsid,
+                         static_cast<uint64_t>(writes + 1), "fk_next", "fv",
+                         &got, &deduped) ||
+        deduped) {
+      return fail("post-failover write did not execute at the new site");
+    }
+    if (got.site != 1) return fail("post-failover commit has the wrong origin");
+    for (ResilienceSite& s : sites) s.Kill();
+  }
+
+  // --- C. 2PC retry under a derived transaction id. ---
+  {
+    const std::string tbase =
+        (std::filesystem::temp_directory_path() /
+         ("tardis_chaos_retry2pc_" + std::to_string(seed)))
+            .string();
+    std::filesystem::remove_all(tbase);
+    std::unique_ptr<TardisStore> stores[2];
+    std::unique_ptr<cluster::TwoPhaseParticipant> parts[2];
+    auto open_participant = [&](int p) -> bool {
+      cluster::TwoPhaseOptions o;
+      o.dir = tbase + "/p" + std::to_string(p);
+      std::filesystem::create_directories(o.dir);
+      o.self_endpoint = "p" + std::to_string(p);
+      o.resolve_grace_ms = 0;
+      o.query_peer = [&parts](const std::string& endpoint, uint64_t txn_id,
+                              cluster::TwoPhaseDecision* decision) {
+        const int peer = endpoint == "p0" ? 0 : 1;
+        if (!parts[peer]) return Status::Unavailable("peer down");
+        ReplMessage req;
+        req.type = ReplMessage::Type::kTxnStatus;
+        req.txn_id = txn_id;
+        ReplMessage resp;
+        Status s = parts[peer]->HandleTxnStatus(req, &resp);
+        if (!s.ok()) return s;
+        *decision = static_cast<cluster::TwoPhaseDecision>(resp.decision);
+        return Status::OK();
+      };
+      parts[p] = std::make_unique<cluster::TwoPhaseParticipant>(
+          stores[p].get(), std::move(o));
+      return parts[p]->Recover().ok();
+    };
+    for (int p = 0; p < 2; p++) {
+      TardisOptions o;
+      o.site_id = static_cast<uint32_t>(p);
+      auto store = TardisStore::Open(o);
+      if (!store.ok()) return fail("2pc store failed to open");
+      stores[p] = std::move(store.value());
+      if (!open_participant(p)) return fail("2pc participant failed to open");
+    }
+    auto round = [&](uint64_t txn_id, const std::string& value, bool decide0,
+                     bool decide1) -> bool {
+      for (int p = 0; p < 2; p++) {
+        ReplMessage prep;
+        prep.type = ReplMessage::Type::kPrepare;
+        prep.txn_id = txn_id;
+        prep.endpoints = {"p0", "p1"};
+        prep.commit.writes.emplace_back(
+            "y" + std::to_string(p),
+            std::make_shared<const std::string>(value));
+        ReplMessage ack;
+        if (!parts[p]->HandlePrepare(prep, &ack).ok()) return false;
+      }
+      for (int p = 0; p < 2; p++) {
+        if ((p == 0 && !decide0) || (p == 1 && !decide1)) continue;
+        ReplMessage msg;
+        msg.type = ReplMessage::Type::kDecide;
+        msg.txn_id = txn_id;
+        msg.decision =
+            static_cast<uint8_t>(cluster::TwoPhaseDecision::kCommit);
+        ReplMessage ack;
+        if (!parts[p]->HandleDecide(msg, &ack).ok()) return false;
+      }
+      return true;
+    };
+    // Round 1: the decide to partition 1 is lost, then the router dies.
+    // The client retries the WHOLE round under the same derived id; the
+    // duplicate prepare re-acks, the duplicate decide is idempotent.
+    const uint64_t txn1 = DeriveSessionTxnId(sid, 1, 0);
+    const size_t s0_before = GuidSet(stores[0].get()).size();
+    const size_t s1_before = GuidSet(stores[1].get()).size();
+    if (!round(txn1, "once", true, false)) return fail("2pc round 1 failed");
+    if (!round(txn1, "once", true, true)) return fail("2pc retry failed");
+    for (int r = 0;
+         r < 4 && (parts[0]->in_doubt_count() + parts[1]->in_doubt_count());
+         r++) {
+      parts[0]->ResolveInDoubt();
+      parts[1]->ResolveInDoubt();
+    }
+    if (parts[0]->DecisionFor(txn1) != cluster::TwoPhaseDecision::kCommit ||
+        parts[1]->DecisionFor(txn1) != cluster::TwoPhaseDecision::kCommit) {
+      return fail("retried 2pc did not settle on commit at both partitions");
+    }
+    if (GuidSet(stores[0].get()).size() != s0_before + 1 ||
+        GuidSet(stores[1].get()).size() != s1_before + 1) {
+      return fail("retried 2pc applied a write twice");
+    }
+    if (ReadKey(stores[0].get(), "y0") != "once" ||
+        ReadKey(stores[1].get(), "y1") != "once") {
+      return fail("retried 2pc write missing");
+    }
+    // Round 2: partition 1 never hears the prepare and the router dies;
+    // cooperative termination presumes abort. The client re-derives the
+    // txn id under a bumped attempt and the fresh round commits.
+    const uint64_t txn2a = DeriveSessionTxnId(sid, 2, 0);
+    {
+      ReplMessage prep;
+      prep.type = ReplMessage::Type::kPrepare;
+      prep.txn_id = txn2a;
+      prep.endpoints = {"p0", "p1"};
+      prep.commit.writes.emplace_back(
+          "y0", std::make_shared<const std::string>("lost"));
+      ReplMessage ack;
+      if (!parts[0]->HandlePrepare(prep, &ack).ok()) {
+        return fail("2pc round 2 prepare failed");
+      }
+    }
+    for (int r = 0; r < 4 && parts[0]->in_doubt_count(); r++) {
+      parts[0]->ResolveInDoubt();
+      parts[1]->ResolveInDoubt();
+    }
+    if (parts[0]->DecisionFor(txn2a) != cluster::TwoPhaseDecision::kAbort) {
+      return fail("half-prepared 2pc round did not presume abort");
+    }
+    const uint64_t txn2b = DeriveSessionTxnId(sid, 2, 1);
+    if (txn2b == txn2a) return fail("attempt bump did not change the txn id");
+    if (!round(txn2b, "second", true, true)) return fail("2pc reissue failed");
+    if (parts[0]->DecisionFor(txn2b) != cluster::TwoPhaseDecision::kCommit ||
+        parts[1]->DecisionFor(txn2b) != cluster::TwoPhaseDecision::kCommit) {
+      return fail("reissued 2pc did not commit");
+    }
+    if (ReadKey(stores[0].get(), "y0") != "second") {
+      return fail("reissued 2pc write missing at partition 0");
+    }
+    parts[0].reset();
+    parts[1].reset();
+    std::filesystem::remove_all(tbase);
+  }
+
+  if (verbose) {
+    fprintf(stderr,
+            "  retry seed %llu: %d logical writes acked over %llu attempts, "
+            "all exactly-once\n",
+            static_cast<unsigned long long>(seed), logical,
+            static_cast<unsigned long long>(send_attempts));
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1214,15 +1610,16 @@ int main(int argc, char** argv) {
          static_cast<unsigned long long>(total.injected_errors),
          static_cast<unsigned long long>(total.reads_checked));
   // Resilience families: blank rejoin past the archive horizon,
-  // pessimistic GC with a dead peer, and cross-partition 2PC with the
-  // router and a participant crashing between prepare and decide. Seeds
-  // offset so they never overlap with the main schedule's seed range
-  // under default flags.
+  // pessimistic GC with a dead peer, cross-partition 2PC with the router
+  // and a participant crashing between prepare and decide, and client
+  // retry/failover exactly-once under lost requests, lost replies and
+  // crash-restart. Seeds offset so they never overlap with the main
+  // schedule's seed range under default flags.
   int resilience_failed = 0;
   if (resilience > 0) {
-    printf("tardis_chaos: %d resilience + %d gc-resilience + %d twopc "
-           "schedules\n",
-           resilience, resilience, resilience);
+    printf("tardis_chaos: %d resilience + %d gc-resilience + %d twopc + "
+           "%d retry schedules\n",
+           resilience, resilience, resilience, resilience);
     for (int i = 0; i < resilience; i++) {
       const uint64_t seed = base_seed + 100000 + static_cast<uint64_t>(i);
       if (!RunResilienceSchedule(seed, verbose)) resilience_failed++;
@@ -1231,6 +1628,10 @@ int main(int argc, char** argv) {
     for (int i = 0; i < resilience; i++) {
       const uint64_t seed = base_seed + 200000 + static_cast<uint64_t>(i);
       if (!RunTwoPcSchedule(seed, verbose)) resilience_failed++;
+    }
+    for (int i = 0; i < resilience; i++) {
+      const uint64_t seed = base_seed + 300000 + static_cast<uint64_t>(i);
+      if (!RunRetrySchedule(seed, verbose)) resilience_failed++;
     }
   }
 
@@ -1250,6 +1651,6 @@ int main(int argc, char** argv) {
     return 1;
   }
   printf("tardis_chaos: all %d schedules passed\n",
-         schedules + 3 * resilience);
+         schedules + 4 * resilience);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "client/tardis_client.h"
 #include "cluster/partition_map.h"
 #include "cluster/router.h"
 #include "cluster/twopc.h"
@@ -61,6 +62,20 @@ const char* kExpectedNames[] = {
     // Fork-native storage (src/storage/cowtrie/, DESIGN.md §12). The
     // backend info metric exists on every store; the trie family appears
     // because this check runs on the trie backend.
+    // Client sessions & exactly-once retries (src/core/session.h,
+    // src/client/, DESIGN.md §13). The dedup table registers on the
+    // store's registry; the client series appear because this check
+    // constructs a TardisClient sharing the same registry.
+    "tardis_session_dedup_hits",
+    "tardis_session_dedup_evictions",
+    "tardis_session_dedup_duplicates",
+    "tardis_session_dedup_entries",
+    "tardis_session_dedup_sessions",
+    "tardis_session_header_rejected",
+    "tardis_client_requests",
+    "tardis_client_retries",
+    "tardis_client_failovers",
+    "tardis_client_stale_reads",
     "tardis_store_backend",
     "tardis_trie_nodes",
     "tardis_trie_shared_nodes",
@@ -146,6 +161,14 @@ int main() {
   ropt.coord_endpoints = {"127.0.0.1:1", "127.0.0.1:2"};
   cluster::Router router(cluster::PartitionMap::Uniform(2), std::move(ropt),
                          store->metrics());
+
+  // The client library's series (DESIGN.md §13): a TardisClient sharing
+  // the store's registry. Construction alone registers the family — it
+  // never dials the (unreachable) endpoint.
+  client::TardisClientOptions copt;
+  copt.endpoints = {"127.0.0.1:1"};
+  copt.registry = store->metrics();
+  client::TardisClient client(copt);
 
   // Diff the exposed name set against the catalog.
   std::set<std::string> expected(std::begin(kExpectedNames),

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "util/backoff.h"
 #include "util/coding.h"
 #include "util/crc32.h"
 #include "util/histogram.h"
@@ -285,6 +286,80 @@ TEST(HistogramTest, LargeValues) {
   h.Add(8'500'000'000ull);  // beyond the last finite bucket boundary
   EXPECT_EQ(h.count(), 1u);
   EXPECT_EQ(h.max(), 8'500'000'000ull);
+}
+
+TEST(BackoffTest, DeterministicDoublingWithoutJitter) {
+  Backoff b(20, 2000);
+  uint64_t now = 1000;
+  const uint64_t expect[] = {20, 40, 80, 160, 320, 640, 1280, 2000, 2000};
+  for (uint64_t e : expect) {
+    b.Fail(now);
+    EXPECT_EQ(b.delay_ms(), e);
+    EXPECT_FALSE(b.Due(now));
+    EXPECT_EQ(b.RemainingMs(now), e);
+    EXPECT_TRUE(b.Due(now + e));
+    now += e;
+  }
+  b.Reset();
+  b.Fail(now);
+  EXPECT_EQ(b.delay_ms(), 20u);
+}
+
+TEST(BackoffTest, JitterStaysWithinBounds) {
+  // Decorrelated jitter: every delay in [initial, max], and the window
+  // for step n+1 is [initial, min(max, 3 * delay_n)].
+  Backoff b(20, 2000);
+  b.EnableJitter(/*seed=*/42);
+  uint64_t now = 0;
+  uint64_t prev = 0;
+  for (int i = 0; i < 200; i++) {
+    b.Fail(now);
+    const uint64_t d = b.delay_ms();
+    EXPECT_GE(d, 20u);
+    EXPECT_LE(d, 2000u);
+    if (i == 0) {
+      EXPECT_EQ(d, 20u);  // first failure always starts at initial
+    } else {
+      EXPECT_LE(d, std::min<uint64_t>(2000, prev * 3));
+    }
+    EXPECT_EQ(b.RemainingMs(now), d);
+    prev = d;
+    now += d;
+  }
+}
+
+TEST(BackoffTest, JitterIsSeededAndDeterministic) {
+  Backoff a(10, 5000), b(10, 5000), c(10, 5000);
+  a.EnableJitter(7);
+  b.EnableJitter(7);
+  c.EnableJitter(8);
+  std::vector<uint64_t> da, db, dc;
+  for (int i = 0; i < 50; i++) {
+    a.Fail(0);
+    b.Fail(0);
+    c.Fail(0);
+    da.push_back(a.delay_ms());
+    db.push_back(b.delay_ms());
+    dc.push_back(c.delay_ms());
+  }
+  EXPECT_EQ(da, db);  // same seed, same schedule
+  EXPECT_NE(da, dc);  // different seed decorrelates the schedule
+}
+
+TEST(BackoffTest, JitterDegenerateRanges) {
+  // initial == max pins every delay; a tiny max still bounds the draw.
+  Backoff pinned(100, 100);
+  pinned.EnableJitter(3);
+  for (int i = 0; i < 10; i++) {
+    pinned.Fail(0);
+    EXPECT_EQ(pinned.delay_ms(), 100u);
+  }
+  Backoff zero(0, 5);
+  zero.EnableJitter(3);
+  for (int i = 0; i < 10; i++) {
+    zero.Fail(0);
+    EXPECT_LE(zero.delay_ms(), 5u);
+  }
 }
 
 }  // namespace
